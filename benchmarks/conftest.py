@@ -1,0 +1,45 @@
+"""Session fixtures for the benchmark harness.
+
+The database scale is controlled by ``REPRO_BENCH_SCALE`` (default 0.05,
+about 200k store_sales rows — large enough for every offload decision to
+match the paper's regime, small enough to run the whole suite in a couple
+of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads.datagen import generate_database, scaled_config
+from repro.workloads.driver import WorkloadDriver
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return generate_database(scale=bench_scale(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def config(catalog):
+    return scaled_config(catalog)
+
+
+@pytest.fixture(scope="session")
+def driver(catalog, config):
+    return WorkloadDriver(catalog, config)
+
+
+@pytest.fixture(scope="session")
+def results_dir(tmp_path_factory):
+    path = os.environ.get("REPRO_RESULTS_DIR")
+    if path:
+        return path
+    path = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(path, exist_ok=True)
+    return path

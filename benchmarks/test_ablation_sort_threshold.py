@@ -1,0 +1,70 @@
+"""Ablation — the GPU sort job-size threshold (section 3).
+
+"If the number of input tuples is very small, there is no benefit in
+forwarding the sort job over to the GPU because the combined cost of the
+transfer time plus processing time overshadows the performance savings."
+Sweeps the job size and reports CPU sort time vs GPU (transfer + kernel)
+time, locating the crossover that motivates the hybrid job queue.
+"""
+
+import math
+
+import numpy as np
+
+from repro.bench import ExperimentReport
+from repro.config import CostModel, GpuSpec, HostSpec
+from repro.gpu.kernels.radix_sort import RadixSortKernel
+from repro.gpu.transfer import transfer_seconds
+
+JOB_SIZES = (256, 1024, 4096, 16_384, 65_536, 262_144, 1_048_576)
+
+
+def test_ablation_sort_threshold(benchmark, results_dir):
+    cost = CostModel()
+    spec = GpuSpec()
+    host = HostSpec()
+    kernel = RadixSortKernel(cost)
+    rng = np.random.default_rng(29)
+
+    def run():
+        rows = []
+        for n in JOB_SIZES:
+            keys = rng.integers(0, 2**32, n, dtype=np.uint32)
+            result = kernel.run(keys)
+            staged = n * 8
+            gpu_time = (spec.kernel_launch_overhead
+                        + transfer_seconds(staged, spec)
+                        + result.kernel_seconds
+                        + transfer_seconds(staged, spec))
+            # CPU: n log n comparisons at the calibrated rate over 8 cores.
+            cpu_time = (n * math.log2(max(n, 2))
+                        / (cost.cpu_sort_rate * 16)
+                        / host.effective_capacity(8))
+            rows.append((n, cpu_time, gpu_time))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "ablation_sort_threshold",
+        "per-job sort cost: CPU vs GPU (transfer included, ms)",
+        headers=["job rows", "CPU ms", "GPU ms", "GPU wins"],
+    )
+    crossover = None
+    for n, cpu_time, gpu_time in rows:
+        wins = gpu_time < cpu_time
+        if wins and crossover is None:
+            crossover = n
+        report.add_row(n, cpu_time * 1e3, gpu_time * 1e3,
+                       "yes" if wins else "no")
+    report.add_note(f"configured CPU-job threshold: "
+                    f"{cost.cpu_sort_job_threshold} rows; measured "
+                    f"crossover near {crossover} rows")
+    report.emit(results_dir)
+
+    # Small jobs lose on the GPU, large jobs win, and the configured
+    # threshold sits at or below the measured crossover.
+    assert rows[0][2] > rows[0][1]              # 256 rows: GPU loses
+    assert rows[-1][2] < rows[-1][1]            # 1M rows: GPU wins
+    assert crossover is not None
+    assert cost.cpu_sort_job_threshold <= crossover * 4

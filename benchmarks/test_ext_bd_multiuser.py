@@ -1,0 +1,63 @@
+"""Extension — the multi-user BD Insights mode.
+
+Section 5.1.1: "The workload can be run in several modes with both single
+user and varying multi-user combinations using the Apache JMETER load
+driver."  The paper only charts the single-user mode (Figures 5–6); this
+target runs the multi-user combination — six dashboard analysts, three
+sales-report analysts and one data scientist, with think-time pacing — and
+measures the fleet-level effect of GPU offload.
+"""
+
+from repro.bench import ExperimentReport, gantt_chart
+from repro.sim import UserScript, WorkloadSimulator
+from repro.workloads.scenarios import bd_insights_multiuser_groups
+
+
+def test_ext_bd_multiuser(benchmark, driver, config, results_dir):
+    groups = bd_insights_multiuser_groups()
+
+    def simulate(gpu: bool):
+        users = []
+        for name, threads, queries in groups:
+            profiles = [driver.profile(q, gpu) for q in queries]
+            for t in range(threads):
+                users.append(UserScript(
+                    user_id=f"{name}-{t + 1}", profiles=list(profiles),
+                    loops=2,
+                    think_seconds=0.002 if name == "dashboard" else 0.0,
+                ))
+        simulator = WorkloadSimulator(
+            driver._sim_config(gpu))
+        return simulator.run(users)
+
+    def run():
+        return simulate(True), simulate(False)
+
+    on, off = benchmark(run)
+
+    report = ExperimentReport(
+        "ext_bd_multiuser",
+        "EXTENSION: multi-user BD Insights (6 dashboard / 3 report / "
+        "1 scientist)",
+        headers=["metric", "GPU on", "GPU off"],
+    )
+    report.add_row("makespan ms", on.makespan * 1e3, off.makespan * 1e3)
+    report.add_row("queries completed", on.queries_completed,
+                   off.queries_completed)
+    report.add_row("throughput /h", on.throughput_per_hour(),
+                   off.throughput_per_hour())
+    on_by = on.elapsed_by_query()
+    scientist = [q for q in on_by if q.startswith("C")]
+    report.add_row("scientist avg ms",
+                   1e3 * sum(sum(on_by[q]) / len(on_by[q])
+                             for q in scientist) / max(1, len(scientist)),
+                   "-")
+    report.add_note("dashboard users pace with think time; the data "
+                    "scientist's complex queries drive the offload")
+    report.add_chart(gantt_chart(on.completions,
+                                 title="GPU on — analyst timeline"))
+    report.emit(results_dir)
+
+    assert on.queries_completed == off.queries_completed
+    # The fleet finishes sooner with the GPUs absorbing the heavy queries.
+    assert on.makespan < off.makespan

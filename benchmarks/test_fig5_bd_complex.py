@@ -1,0 +1,46 @@
+"""Figure 5 — BD Insights complex queries, GPU on vs off.
+
+Paper shape: the five Data-Scientist queries improve by ~20% in total
+end-to-end time when the GPU path is enabled.
+"""
+
+from repro.bench import ExperimentReport, bar_chart, gain_percent
+from repro.workloads.bdinsights import queries_by_category
+from repro.workloads.query import QueryCategory
+
+
+def test_fig5_bd_complex(benchmark, driver, results_dir):
+    queries = queries_by_category(QueryCategory.COMPLEX)
+
+    def run():
+        on = driver.run_serial(queries, gpu=True)
+        off = driver.run_serial(queries, gpu=False)
+        return on, off
+
+    on, off = benchmark(run)
+
+    report = ExperimentReport(
+        "fig5", "BD Insights complex queries (end-to-end ms)",
+        headers=["query", "GPU on", "GPU off", "gain %", "offloaded"],
+    )
+    for a, b in zip(on, off):
+        report.add_row(a.query_id, a.elapsed_ms, b.elapsed_ms,
+                       gain_percent(b.elapsed_ms, a.elapsed_ms),
+                       "yes" if a.offloaded else "no")
+    total_on = sum(r.elapsed_ms for r in on)
+    total_off = sum(r.elapsed_ms for r in off)
+    total_gain = gain_percent(total_off, total_on)
+    report.add_row("TOTAL", total_on, total_off, total_gain, "")
+    report.add_note("paper: ~20% total improvement for complex queries")
+    report.add_chart(bar_chart(
+        [r.query_id for r in on],
+        {"GPU on": [r.elapsed_ms for r in on],
+         "GPU off": [r.elapsed_ms for r in off]},
+        unit=" ms", title="Figure 5 (reproduced)",
+    ))
+    report.emit(results_dir)
+
+    # Shape assertions: every complex query offloads, and the total gain
+    # lands in the paper's neighbourhood.
+    assert all(r.offloaded for r in on)
+    assert 10.0 < total_gain < 35.0

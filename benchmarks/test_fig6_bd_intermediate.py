@@ -1,0 +1,65 @@
+"""Figure 6 — BD Insights intermediate queries, GPU on vs off.
+
+Paper shape: "the performance of our prototype is very close to baseline"
+— these queries have little offloadable work, and the path selection keeps
+the small group-bys on the CPU, so the deltas are small in both directions.
+The simple queries (never sent to the GPU) are reported alongside as the
+paper's section 5.2.1 describes them.
+"""
+
+from repro.bench import ExperimentReport, gain_percent
+from repro.workloads.bdinsights import queries_by_category
+from repro.workloads.query import QueryCategory
+
+
+def test_fig6_bd_intermediate(benchmark, driver, results_dir):
+    queries = queries_by_category(QueryCategory.INTERMEDIATE)
+
+    def run():
+        on = driver.run_serial(queries, gpu=True)
+        off = driver.run_serial(queries, gpu=False)
+        return on, off
+
+    on, off = benchmark(run)
+
+    report = ExperimentReport(
+        "fig6", "BD Insights intermediate queries (end-to-end ms)",
+        headers=["query", "GPU on", "GPU off", "gain %"],
+    )
+    for a, b in zip(on, off):
+        report.add_row(a.query_id, a.elapsed_ms, b.elapsed_ms,
+                       gain_percent(b.elapsed_ms, a.elapsed_ms))
+    total_on = sum(r.elapsed_ms for r in on)
+    total_off = sum(r.elapsed_ms for r in off)
+    total_gain = gain_percent(total_off, total_on)
+    report.add_row("TOTAL", total_on, total_off, total_gain)
+    report.add_note("paper: intermediate queries stay very close to the "
+                    "baseline (no room for improvement)")
+    report.emit(results_dir)
+
+    assert -5.0 < total_gain < 8.0
+
+
+def test_fig6_simple_queries_untouched(benchmark, driver, results_dir):
+    """The 70 simple queries are never sent to the GPU (section 5.2.1)."""
+    queries = queries_by_category(QueryCategory.SIMPLE)
+
+    def run():
+        return (driver.run_serial(queries, gpu=True),
+                driver.run_serial(queries, gpu=False))
+
+    on, off = benchmark(run)
+
+    report = ExperimentReport(
+        "fig6_simple", "BD Insights simple queries (aggregate)",
+        headers=["metric", "GPU on", "GPU off"],
+    )
+    total_on = sum(r.elapsed_ms for r in on)
+    total_off = sum(r.elapsed_ms for r in off)
+    report.add_row("total ms", total_on, total_off)
+    report.add_row("avg ms", total_on / len(on), total_off / len(off))
+    report.add_row("offloaded", sum(r.offloaded for r in on), 0)
+    report.emit(results_dir)
+
+    assert not any(r.offloaded for r in on)
+    assert total_on == total_off

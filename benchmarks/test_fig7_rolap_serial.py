@@ -1,0 +1,47 @@
+"""Figure 7 — Cognos ROLAP per-query serial times, GPU on vs off.
+
+Paper shape: "Most of the queries take less time when GPU is used ... The
+benefit of GPU offloading is apparent with longer running queries, but
+there is no benefit for shorter running queries (e.g. Q1 and Q4)."
+"""
+
+from repro.bench import ExperimentReport, bar_chart, gain_percent
+from repro.workloads.cognos_rolap import screen_queries
+
+
+def test_fig7_rolap_serial(benchmark, driver, results_dir):
+    runnable, _ = screen_queries(driver.gpu_engine)
+
+    def run():
+        on = driver.run_serial(runnable, gpu=True, repeats=5)
+        off = driver.run_serial(runnable, gpu=False, repeats=5)
+        return on, off
+
+    on, off = benchmark(run)
+
+    report = ExperimentReport(
+        "fig7", "Cognos ROLAP per-query serial times (ms, avg of 5)",
+        headers=["query", "GPU on", "GPU off", "gain %"],
+    )
+    by_id = {}
+    for a, b in zip(on, off):
+        gain = gain_percent(b.elapsed_ms, a.elapsed_ms)
+        by_id[a.query_id] = (a.elapsed_ms, b.elapsed_ms, gain)
+        report.add_row(a.query_id, a.elapsed_ms, b.elapsed_ms, gain)
+    report.add_note("paper: long queries gain, short queries (Q1, Q4) don't")
+    report.add_chart(bar_chart(
+        [a.query_id for a in on],
+        {"GPU on": [a.elapsed_ms for a in on],
+         "GPU off": [b.elapsed_ms for b in off]},
+        unit=" ms", title="Figure 7 (reproduced)",
+    ))
+    report.emit(results_dir)
+
+    # Q1/Q4 are short and see no benefit.
+    assert abs(by_id["Q1"][2]) < 1.0
+    assert abs(by_id["Q4"][2]) < 1.0
+    # Most queries improve; the long ones improve clearly.
+    improved = sum(1 for _, _, g in by_id.values() if g > 1.0)
+    assert improved >= len(by_id) // 2
+    longest = max(by_id.values(), key=lambda v: v[1])
+    assert longest[2] > 5.0

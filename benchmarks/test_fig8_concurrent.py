@@ -1,0 +1,52 @@
+"""Figure 8 — the mixed concurrent 10-user test.
+
+Paper shape: five thread groups x two threads (ROLAP-moderate + simple,
+BD-complex + simple, and two handcrafted GPU-to-the-limit queries) finish
+in "almost a 2x speed up" with the GPUs enabled; the non-GPU queries
+perform the same in both configurations.
+"""
+
+from repro.bench import ExperimentReport, gantt_chart, speedup
+from repro.workloads.scenarios import figure8_thread_groups
+
+
+def test_fig8_concurrent(benchmark, driver, results_dir):
+    groups = figure8_thread_groups()
+
+    def run():
+        on = driver.simulate_groups(groups, gpu=True, loops=3)
+        off = driver.simulate_groups(groups, gpu=False, loops=3)
+        return on, off
+
+    on, off = benchmark(run)
+    factor = speedup(off.makespan, on.makespan)
+
+    report = ExperimentReport(
+        "fig8", "Concurrent mixed workload elapsed time (paper Figure 8)",
+        headers=["metric", "GPU on", "GPU off"],
+    )
+    report.add_row("elapsed ms", on.makespan * 1e3, off.makespan * 1e3)
+    report.add_row("queries completed", on.queries_completed,
+                   off.queries_completed)
+    report.add_row("speedup", f"{factor:.2f}x", "1.00x")
+    # Per-query-class means, to show the non-GPU queries are unaffected.
+    on_by = on.elapsed_by_query()
+    off_by = off.elapsed_by_query()
+    for qid in sorted(set(on_by) & set(off_by)):
+        report.add_row(f"avg ms {qid}",
+                       1e3 * sum(on_by[qid]) / len(on_by[qid]),
+                       1e3 * sum(off_by[qid]) / len(off_by[qid]))
+    report.add_note("paper: 'almost a 2x speed up by using the GPU'")
+    report.add_chart(gantt_chart(on.completions,
+                                 title="GPU on — per-user timeline"))
+    report.add_chart(gantt_chart(off.completions,
+                                 title="GPU off — per-user timeline"))
+    report.emit(results_dir)
+
+    assert on.queries_completed == off.queries_completed
+    assert 1.6 < factor < 3.0
+    # Simple (never-offloaded) queries see comparable service in both runs:
+    # they are short either way, far shorter than the heavy queries.
+    for qid in ("S01", "S21", "S41", "S61"):
+        if qid in on_by and qid in off_by:
+            assert sum(on_by[qid]) < on.makespan / 4

@@ -1,0 +1,47 @@
+"""Table 1 — hash-table mask initialisation.
+
+Reproduces the paper's worked example: for
+``SELECT SUM(C1), MAX(C2), MIN(C3) FROM table1 GROUP BY C1`` with C1, C2
+64-bit integers and C3 a 32-bit integer, the per-entry initialisation mask
+is ``FFFFFFFFFFFFFFFF, 0, -9223372036854775808, 2147483647, 0(padding)``.
+The benchmark times mask construction plus the parallel-init cost model.
+"""
+
+from repro.bench import ExperimentReport
+from repro.blu.datatypes import int32, int64
+from repro.blu.expressions import AggFunc
+from repro.config import CostModel
+from repro.gpu.kernels.hashtable import HashTableLayout
+from repro.gpu.kernels.request import PayloadSpec
+
+
+def test_table1_mask(benchmark, results_dir):
+    payloads = [
+        PayloadSpec(int64(), AggFunc.SUM),
+        PayloadSpec(int64(), AggFunc.MAX),
+        PayloadSpec(int32(), AggFunc.MIN),
+    ]
+
+    def build():
+        return HashTableLayout.build(64, payloads)
+
+    layout = benchmark(build)
+    mask = layout.mask_row()
+
+    report = ExperimentReport(
+        "table1", "hash-table initialisation mask (paper Table 1)",
+        headers=["field", "width B", "init value"],
+    )
+    for field, value in zip(layout.fields, mask):
+        report.add_row(field.name, field.width_bytes, value)
+    report.add_note(f"entry={layout.entry_bytes} B, "
+                    f"padding={layout.padding_bytes} B; init of a 1M-slot "
+                    f"table costs "
+                    f"{layout.table_bytes(10**6) / CostModel().gpu_init_rate * 1e3:.3f} ms")
+    report.emit(results_dir)
+
+    assert mask[0] == "F" * 16
+    assert mask[1] == 0
+    assert mask[2] == -9223372036854775808
+    assert mask[3] == 2147483647
+    assert mask[4] == 0

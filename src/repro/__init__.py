@@ -1,0 +1,68 @@
+"""repro — reproduction of "Towards a Hybrid Design for Fast Query
+Processing in DB2 with BLU Acceleration Using Graphical Processing Units"
+(SIGMOD 2016).
+
+The package layers:
+
+- :mod:`repro.blu` — a from-scratch in-memory columnar engine (the DB2 BLU
+  substrate);
+- :mod:`repro.gpu` — a simulated CUDA substrate (device memory reservation,
+  pinned host memory, PCIe transfers, group-by/sort kernels that compute
+  real results and report calibrated simulated timings);
+- :mod:`repro.core` — the paper's contribution: hybrid path selection,
+  the kernel moderator, hybrid sort/group-by executors, the multi-GPU
+  scheduler, integrated monitoring;
+- :mod:`repro.sim` — a discrete-event simulator for multi-user runs;
+- :mod:`repro.workloads` — TPC-DS-derived schema/data plus the BD Insights
+  and Cognos ROLAP benchmark query sets.
+
+Quickstart::
+
+    from repro import load_bd_insights, make_engine
+
+    catalog = load_bd_insights(scale=0.05)
+    engine = make_engine(catalog, gpu=True)
+    result = engine.execute_sql(
+        "SELECT ss_store_sk, SUM(ss_net_paid) AS revenue "
+        "FROM store_sales GROUP BY ss_store_sk"
+    )
+"""
+
+from repro.blu import BluEngine, Catalog, Schema, Table
+from repro.config import (
+    SystemConfig,
+    cpu_only_testbed,
+    paper_testbed,
+    single_gpu_testbed,
+)
+from repro.core import GpuAcceleratedEngine, make_engine
+from repro.timing import CostEvent, QueryProfile, TimedResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BluEngine",
+    "Catalog",
+    "CostEvent",
+    "GpuAcceleratedEngine",
+    "QueryProfile",
+    "Schema",
+    "SystemConfig",
+    "Table",
+    "TimedResult",
+    "cpu_only_testbed",
+    "load_bd_insights",
+    "make_engine",
+    "paper_testbed",
+    "single_gpu_testbed",
+]
+
+
+def load_bd_insights(scale: float = 0.05, seed: int = 7):
+    """Generate the BD Insights database (TPC-DS-derived star schema).
+
+    Lazy import so that ``import repro`` stays light.
+    """
+    from repro.workloads.datagen import generate_database
+
+    return generate_database(scale=scale, seed=seed)

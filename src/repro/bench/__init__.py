@@ -1,0 +1,15 @@
+"""Benchmark harness helpers: table formatting and experiment reporting."""
+
+from repro.bench.charts import bar_chart, gantt_chart, timeline_chart
+from repro.bench.reporting import ExperimentReport, format_table
+from repro.bench.runner import gain_percent, speedup
+
+__all__ = [
+    "ExperimentReport",
+    "bar_chart",
+    "format_table",
+    "gain_percent",
+    "gantt_chart",
+    "speedup",
+    "timeline_chart",
+]

@@ -1,0 +1,147 @@
+"""ASCII chart rendering for the figure benchmarks.
+
+The paper's figures are bar charts (per-query times, elapsed comparisons)
+and a time series (GPU memory).  These helpers render the same shapes as
+fixed-width text so the regenerated artefacts are self-contained in the
+``benchmarks/results`` files.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+_BAR = "#"
+_BAR_ALT = "="
+
+
+def bar_chart(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Grouped horizontal bar chart: one row per label per series."""
+    all_values = [v for values in series.values() for v in values]
+    peak = max(all_values, default=0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    series_width = max((len(s) for s in series), default=0)
+    glyphs = {}
+    for i, name in enumerate(series):
+        glyphs[name] = _BAR if i % 2 == 0 else _BAR_ALT
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, label in enumerate(labels):
+        for name, values in series.items():
+            value = values[i]
+            bar = glyphs[name] * max(1, round(value / peak * width)) \
+                if value > 0 else ""
+            lines.append(
+                f"{label:>{label_width}} {name:<{series_width}} "
+                f"|{bar:<{width}}| {value:.3f}{unit}"
+            )
+        if i != len(labels) - 1:
+            lines.append("")
+    legend = "  ".join(f"{glyphs[name]} = {name}" for name in series)
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def gantt_chart(
+    completions,
+    width: int = 64,
+    title: str = "",
+) -> str:
+    """Per-user query timeline (one row per user, one letter per query).
+
+    ``completions`` are :class:`repro.sim.simulator.QueryCompletion`
+    records.  Each query paints its [start, end) span with a rotating
+    glyph; idle/think time shows as gaps.
+    """
+    if not completions:
+        return (title + "\n" if title else "") + "(no completions)"
+    t_end = max(c.end for c in completions)
+    span = max(t_end, 1e-12)
+    users = sorted({c.user_id for c in completions})
+    user_width = max(len(u) for u in users)
+    glyphs = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend: dict[str, str] = {}
+    for user in users:
+        row = [" "] * width
+        mine = sorted((c for c in completions if c.user_id == user),
+                      key=lambda c: c.start)
+        for completion in mine:
+            if completion.query_id not in legend:
+                legend[completion.query_id] = \
+                    glyphs[len(legend) % len(glyphs)]
+            glyph = legend[completion.query_id]
+            c0 = min(width - 1, int(completion.start / span * width))
+            c1 = min(width - 1, max(c0, int(completion.end / span * width)))
+            for c in range(c0, c1 + 1):
+                row[c] = glyph
+        lines.append(f"{user:>{user_width}} |{''.join(row)}|")
+    lines.append(f"{'':>{user_width}}  0{'':>{max(0, width - 12)}}"
+                 f"t={t_end:.4f}s")
+    pairs = ", ".join(f"{g}={q}" for q, g in sorted(legend.items()))
+    lines.append(f"{'':>{user_width}}  [{pairs}]")
+    return "\n".join(lines)
+
+
+def timeline_chart(
+    samples: Sequence[tuple[float, float]],
+    capacity: Optional[float] = None,
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render a (time, value) step series as an ASCII area chart.
+
+    Used for the Figure-9 memory-utilisation trace: the y axis is the
+    reserved bytes (optionally against a capacity ceiling), the x axis is
+    simulated time bucketed into ``width`` columns, each column showing the
+    *maximum* value inside its bucket (so spikes stay visible).
+    """
+    if not samples:
+        return (title + "\n" if title else "") + "(no samples)"
+    t_end = max(t for t, _ in samples)
+    t_start = min(t for t, _ in samples)
+    span = max(t_end - t_start, 1e-12)
+    top = capacity if capacity else max(v for _, v in samples)
+    top = max(top, 1e-12)
+
+    # Step-function maximum per column.
+    columns = [0.0] * width
+    ordered = sorted(samples)
+    for i in range(len(ordered)):
+        t, v = ordered[i]
+        t_next = ordered[i + 1][0] if i + 1 < len(ordered) else t_end
+        c0 = min(width - 1, int((t - t_start) / span * width))
+        c1 = min(width - 1, int((t_next - t_start) / span * width))
+        for c in range(c0, c1 + 1):
+            columns[c] = max(columns[c], v)
+
+    rows = []
+    if title:
+        rows.append(title)
+    for level in range(height, 0, -1):
+        threshold = top * (level - 0.5) / height
+        line = "".join("#" if value >= threshold else " "
+                       for value in columns)
+        marker = "capacity" if capacity and level == height else ""
+        rows.append(f"|{line}| {marker}")
+    rows.append("+" + "-" * width + "+")
+    rows.append(f" t={t_start:.4f}s{'':>{max(0, width - 24)}}t={t_end:.4f}s")
+    peak = max(v for _, v in samples)
+    if capacity:
+        rows.append(f" peak {peak / 1e6:.1f} MB of "
+                    f"{capacity / 1e6:.1f} MB capacity "
+                    f"({peak / capacity * 100:.0f}%)")
+    return "\n".join(rows)

@@ -1,0 +1,99 @@
+"""Rendering benchmark results as paper-shaped tables.
+
+Every benchmark produces an :class:`ExperimentReport`: a titled table (or
+series) that is printed to stdout *and* written under
+``benchmarks/results/`` so the artefacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width text table (numbers right-aligned, 2-4 significant
+    decimals)."""
+    rendered_rows = [
+        [_render_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(
+            cell.rjust(w) if _is_numeric(cell) else cell.ljust(w)
+            for cell, w in zip(row, widths)
+        ))
+    return "\n".join(lines)
+
+
+def _render_cell(cell) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 1000:
+            return f"{cell:,.1f}"
+        return f"{cell:.3f}" if abs(cell) < 10 else f"{cell:.2f}"
+    return str(cell)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("%", "").replace("x", "")
+    try:
+        float(stripped)
+        return True
+    except ValueError:
+        return False
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's reproduced artefact."""
+
+    experiment_id: str                  # "table2", "fig5", ...
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    charts: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def add_chart(self, chart: str) -> None:
+        self.charts.append(chart)
+
+    def render(self) -> str:
+        parts = [format_table(self.headers, self.rows,
+                              title=f"== {self.experiment_id}: {self.title} ==")]
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        for chart in self.charts:
+            parts.append("")
+            parts.append(chart)
+        return "\n".join(parts)
+
+    def emit(self, results_dir: Optional[str] = None) -> str:
+        """Print the table and persist it under ``results_dir``."""
+        text = self.render()
+        print()
+        print(text)
+        if results_dir is None:
+            results_dir = os.environ.get("REPRO_RESULTS_DIR",
+                                         "benchmarks/results")
+        os.makedirs(results_dir, exist_ok=True)
+        path = os.path.join(results_dir, f"{self.experiment_id}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        return path

@@ -1,0 +1,49 @@
+"""DB2-BLU-like in-memory columnar engine substrate.
+
+This subpackage is a from-scratch reimplementation of the pieces of DB2 with
+BLU Acceleration that the paper's GPU integration plugs into: dictionary
+encoded columnar storage, an evaluator-chain runtime (Figure 1), CPU
+operators (scan, hash join, hash group-by, sort, OLAP RANK), column
+statistics with KMV distinct-count sketches, a cardinality optimizer, and a
+small SQL subset front end.
+
+Public entry points:
+
+- :class:`repro.blu.table.Table` / :class:`repro.blu.table.Schema`
+- :class:`repro.blu.catalog.Catalog`
+- :class:`repro.blu.engine.BluEngine`
+- :func:`repro.blu.sql.parse_query`
+"""
+
+from repro.blu.catalog import Catalog
+from repro.blu.column import Column
+from repro.blu.datatypes import (
+    DataType,
+    char,
+    date,
+    decimal,
+    float64,
+    int32,
+    int64,
+    int128,
+    varchar,
+)
+from repro.blu.engine import BluEngine
+from repro.blu.table import Schema, Table
+
+__all__ = [
+    "BluEngine",
+    "Catalog",
+    "Column",
+    "DataType",
+    "Schema",
+    "Table",
+    "char",
+    "date",
+    "decimal",
+    "float64",
+    "int32",
+    "int64",
+    "int128",
+    "varchar",
+]

@@ -1,0 +1,79 @@
+"""Database catalog: registered tables plus their statistics."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.blu.statistics import ColumnStats, compute_column_stats
+from repro.blu.table import Table
+from repro.errors import SchemaError
+
+
+class Catalog:
+    """Holds the tables of one in-memory database and their statistics.
+
+    Statistics are collected eagerly when a table is registered (BLU gathers
+    them during LOAD) and are what the optimizer consults for cardinality
+    and group-count estimates.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, dict[str, ColumnStats]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, table: Table, collect_stats: bool = True) -> None:
+        key = table.name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {table.name!r} already registered")
+        self._tables[key] = table
+        if collect_stats:
+            self._stats[key] = {
+                f.name.lower(): compute_column_stats(c)
+                for f, c in zip(table.schema, table.columns)
+            }
+        else:
+            self._stats[key] = {}
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise SchemaError(f"unknown table {name!r}")
+        del self._tables[key]
+        del self._stats[key]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return [t.name for t in self._tables.values()]
+
+    def column_stats(self, table_name: str, column_name: str) -> Optional[ColumnStats]:
+        stats = self._stats.get(table_name.lower())
+        if stats is None:
+            raise SchemaError(f"unknown table {table_name!r}")
+        return stats.get(column_name.lower())
+
+    @property
+    def total_rows(self) -> int:
+        return sum(t.num_rows for t in self._tables.values())
+
+    @property
+    def total_encoded_nbytes(self) -> int:
+        return sum(t.encoded_nbytes for t in self._tables.values())

@@ -1,0 +1,215 @@
+"""Columnar storage: encoded vectors with optional dictionaries.
+
+BLU stores every column as a compressed, dictionary-encoded vector and
+evaluates predicates directly on the encoded form where possible.  We keep
+the same split:
+
+- numeric/date columns store their values directly in a numpy array;
+- string columns store int32 *codes* plus a value dictionary built by
+  :mod:`repro.blu.compression` (frequency-ordered, as in BLU).
+
+A column is immutable after construction; all operators produce new columns
+via :meth:`Column.take` / :meth:`Column.filter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.blu.datatypes import DataType, TypeKind
+from repro.errors import SchemaError, TypeMismatchError
+
+
+@dataclass(frozen=True)
+class Dictionary:
+    """An ordered value dictionary for an encoded string column.
+
+    ``values[code]`` is the logical value for ``code``.  ``sort_rank[code]``
+    gives the rank of the value in collation order, which lets ORDER BY and
+    MIN/MAX work on codes without decoding (BLU evaluates on encoded data
+    whenever order is preserved or recoverable).
+    """
+
+    values: np.ndarray                    # dtype=object / unicode
+    sort_rank: np.ndarray                 # int32, same length
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.sort_rank):
+            raise SchemaError("dictionary values/sort_rank length mismatch")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        return self.values[codes]
+
+    def code_of(self, value: str) -> int:
+        """Return the code for ``value`` or -1 when absent."""
+        matches = np.nonzero(self.values == value)[0]
+        return int(matches[0]) if len(matches) else -1
+
+
+class Column:
+    """One immutable column vector.
+
+    Parameters
+    ----------
+    dtype:
+        Logical type of the column.
+    data:
+        Encoded numpy array (codes for string columns).
+    dictionary:
+        Required for string columns, forbidden otherwise.
+    null_mask:
+        Optional boolean array where ``True`` marks NULL rows.
+    """
+
+    __slots__ = ("dtype", "data", "dictionary", "null_mask")
+
+    def __init__(
+        self,
+        dtype: DataType,
+        data: np.ndarray,
+        dictionary: Optional[Dictionary] = None,
+        null_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        if dtype.is_string and dictionary is None:
+            raise SchemaError("string columns require a dictionary")
+        if not dtype.is_string and dictionary is not None:
+            raise SchemaError(f"{dtype} columns must not carry a dictionary")
+        if null_mask is not None and len(null_mask) != len(data):
+            raise SchemaError("null mask length must match data length")
+        self.dtype = dtype
+        self.data = np.ascontiguousarray(data, dtype=dtype.numpy_dtype)
+        self.dictionary = dictionary
+        self.null_mask = None if null_mask is None else np.asarray(null_mask, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def has_nulls(self) -> bool:
+        return self.null_mask is not None and bool(self.null_mask.any())
+
+    @property
+    def encoded_nbytes(self) -> int:
+        """Bytes of the encoded vector (what a GPU transfer would move)."""
+        size = self.data.nbytes
+        if self.null_mask is not None:
+            size += len(self.null_mask) // 8 + 1
+        return size
+
+    @property
+    def logical_nbytes(self) -> int:
+        """Bytes at the declared (uncompressed) width."""
+        return len(self.data) * self.dtype.bytes
+
+    def decoded(self) -> np.ndarray:
+        """Materialise logical values (decodes string dictionaries)."""
+        if self.dictionary is not None:
+            return self.dictionary.decode(self.data)
+        return self.data
+
+    def values_at(self, indices: Sequence[int]) -> list:
+        """Decoded python values at ``indices`` (None for NULLs)."""
+        decoded = self.decoded()
+        out = []
+        for i in indices:
+            if self.null_mask is not None and self.null_mask[i]:
+                out.append(None)
+            else:
+                out.append(decoded[i].item() if hasattr(decoded[i], "item") else decoded[i])
+        return out
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new columns)
+    # ------------------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Column":
+        mask = None if self.null_mask is None else self.null_mask[indices]
+        return Column(self.dtype, self.data[indices], self.dictionary, mask)
+
+    def filter(self, keep: np.ndarray) -> "Column":
+        mask = None if self.null_mask is None else self.null_mask[keep]
+        return Column(self.dtype, self.data[keep], self.dictionary, mask)
+
+    def slice(self, start: int, stop: int) -> "Column":
+        mask = None if self.null_mask is None else self.null_mask[start:stop]
+        return Column(self.dtype, self.data[start:stop], self.dictionary, mask)
+
+    # ------------------------------------------------------------------
+    # Order-aware views
+    # ------------------------------------------------------------------
+
+    def sort_keys(self) -> np.ndarray:
+        """An array whose natural order matches the logical value order.
+
+        Numerics sort on their values; string columns sort on the
+        dictionary's collation rank so comparisons never decode.
+        """
+        if self.dictionary is not None:
+            return self.dictionary.sort_rank[self.data]
+        return self.data
+
+    def min_max(self) -> tuple:
+        """Logical (min, max); Nones when the column is empty/all-NULL."""
+        valid = self._valid_positions()
+        if valid is not None and not len(valid):
+            return (None, None)
+        keys = self.sort_keys() if valid is None else self.sort_keys()[valid]
+        if not len(keys):
+            return (None, None)
+        lo, hi = int(np.argmin(keys)), int(np.argmax(keys))
+        positions = np.arange(len(self.data)) if valid is None else valid
+        decoded = self.decoded()
+        return (decoded[positions[lo]], decoded[positions[hi]])
+
+    def _valid_positions(self) -> Optional[np.ndarray]:
+        if self.null_mask is None:
+            return None
+        return np.nonzero(~self.null_mask)[0]
+
+
+# ---------------------------------------------------------------------------
+# Constructors from python data
+# ---------------------------------------------------------------------------
+
+
+def column_from_values(dtype: DataType, values: Iterable, nulls_as=None) -> Column:
+    """Build a column from an iterable of python values.
+
+    ``None`` entries become NULLs.  String columns get a frequency-ordered
+    dictionary via :mod:`repro.blu.compression`.
+    """
+    from repro.blu.compression import build_dictionary  # local: avoid cycle
+
+    values = list(values)
+    null_mask = np.array([v is None for v in values], dtype=bool)
+    has_nulls = bool(null_mask.any())
+
+    if dtype.is_string:
+        filled = ["" if v is None else str(v) for v in values]
+        dictionary, codes = build_dictionary(filled)
+        return Column(dtype, codes, dictionary, null_mask if has_nulls else None)
+
+    if dtype.kind is TypeKind.FLOAT:
+        filled = [0.0 if v is None else float(v) for v in values]
+    else:
+        filled = [0 if v is None else int(v) for v in values]
+    data = np.asarray(filled, dtype=dtype.numpy_dtype)
+    return Column(dtype, data, None, null_mask if has_nulls else None)
+
+
+def column_from_array(dtype: DataType, data: np.ndarray) -> Column:
+    """Wrap a numeric numpy array directly (no dictionary, no NULLs)."""
+    if dtype.is_string:
+        raise TypeMismatchError("use column_from_values for string columns")
+    return Column(dtype, data)

@@ -1,0 +1,193 @@
+"""Column data types for the BLU engine.
+
+The paper's GPU aggregation strategy (section 4.4) branches on the physical
+width and kind of each type:
+
+- 32/64-bit integers and floats: native CUDA atomics (atomicAdd/Min/Max/CAS).
+- 128-bit integers and DECIMAL: no native atomic, emulated via atomicCAS
+  loops ("as explained in Nvidia documents").
+- fixed/variable-size strings wider than 128 bits: locks only.
+
+Each :class:`DataType` therefore carries its bit width and an
+:class:`AtomicSupport` classification that the GPU kernels consult.  Values
+are stored in numpy arrays; 128-bit integers and decimals are physically
+stored as int64 at our synthetic scale but keep their declared width so the
+atomics model behaves as the paper describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+
+
+class TypeKind(enum.Enum):
+    """Logical families of column types."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    DECIMAL = "decimal"
+    DATE = "date"
+    STRING = "string"
+
+
+class AtomicSupport(enum.Enum):
+    """How a simulated CUDA kernel may update a value of this type.
+
+    NATIVE    — hardware atomics (atomicAdd / atomicMin / atomicMax).
+    CAS_LOOP  — emulated through an atomicCAS retry loop (128-bit numerics).
+    LOCK_ONLY — no atomic path exists; a lock must guard every update.
+    """
+
+    NATIVE = "native"
+    CAS_LOOP = "cas-loop"
+    LOCK_ONLY = "lock-only"
+
+
+@dataclass(frozen=True)
+class DataType:
+    """An immutable column type descriptor."""
+
+    kind: TypeKind
+    bits: int
+    precision: int = 0
+    scale: int = 0
+    length: int = 0
+    variable: bool = False
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+
+    @property
+    def bytes(self) -> int:
+        """Physical width in bytes of one encoded value."""
+        return self.bits // 8
+
+    @property
+    def atomic_support(self) -> AtomicSupport:
+        if self.kind is TypeKind.STRING:
+            return AtomicSupport.LOCK_ONLY
+        if self.bits > 64:
+            return AtomicSupport.CAS_LOOP
+        return AtomicSupport.NATIVE
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used for the column's encoded representation.
+
+        Strings are dictionary-encoded, so their storage dtype is the code
+        width (int32); the logical string values live in the dictionary.
+        """
+        if self.kind is TypeKind.STRING:
+            return np.dtype(np.int32)
+        if self.kind is TypeKind.FLOAT:
+            return np.dtype(np.float64)
+        if self.kind is TypeKind.DATE:
+            return np.dtype(np.int32)
+        if self.bits <= 32:
+            return np.dtype(np.int32)
+        return np.dtype(np.int64)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in (TypeKind.INTEGER, TypeKind.FLOAT, TypeKind.DECIMAL)
+
+    @property
+    def is_string(self) -> bool:
+        return self.kind is TypeKind.STRING
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+
+    def validate_comparable(self, other: "DataType") -> None:
+        """Raise unless values of ``self`` and ``other`` may be compared."""
+        if self.is_string != other.is_string:
+            raise TypeMismatchError(
+                f"cannot compare {self} with {other}: string/non-string mismatch"
+            )
+
+    def result_type_for_sum(self) -> "DataType":
+        """Type of SUM over this column (integers widen to 64/128 bits)."""
+        if self.kind is TypeKind.FLOAT:
+            return float64()
+        if self.kind is TypeKind.DECIMAL:
+            return decimal(max(self.precision, 31), self.scale)
+        if self.kind is TypeKind.INTEGER:
+            return int128() if self.bits >= 64 else int64()
+        raise TypeMismatchError(f"SUM is not defined for {self}")
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        if self.kind is TypeKind.DECIMAL:
+            return f"DECIMAL({self.precision},{self.scale})"
+        if self.kind is TypeKind.STRING:
+            base = "VARCHAR" if self.variable else "CHAR"
+            return f"{base}({self.length})"
+        if self.kind is TypeKind.DATE:
+            return "DATE"
+        if self.kind is TypeKind.FLOAT:
+            return "FLOAT64"
+        return f"INT{self.bits}"
+
+
+# ---------------------------------------------------------------------------
+# Factory helpers (the public way to spell types)
+# ---------------------------------------------------------------------------
+
+
+def int32() -> DataType:
+    return DataType(TypeKind.INTEGER, 32)
+
+
+def int64() -> DataType:
+    return DataType(TypeKind.INTEGER, 64)
+
+
+def int128() -> DataType:
+    """128-bit integer: no native CUDA atomics (section 4.4)."""
+    return DataType(TypeKind.INTEGER, 128)
+
+
+def float64() -> DataType:
+    return DataType(TypeKind.FLOAT, 64)
+
+
+def decimal(precision: int, scale: int = 2) -> DataType:
+    """DECIMAL(p,s); p > 18 is stored 128-bit wide, else 64-bit."""
+    bits = 128 if precision > 18 else 64
+    return DataType(TypeKind.DECIMAL, bits, precision=precision, scale=scale)
+
+
+def date() -> DataType:
+    """Calendar date stored as int32 days since epoch."""
+    return DataType(TypeKind.DATE, 32)
+
+
+def char(length: int) -> DataType:
+    """Fixed-width string; physical width is the padded byte length."""
+    return DataType(TypeKind.STRING, max(8 * length, 8), length=length)
+
+
+def varchar(length: int) -> DataType:
+    return DataType(TypeKind.STRING, max(8 * length, 8), length=length, variable=True)
+
+
+def common_numeric_type(left: DataType, right: DataType) -> DataType:
+    """The widened type used when combining two numeric operands."""
+    if not (left.is_numeric or left.kind is TypeKind.DATE):
+        raise TypeMismatchError(f"{left} is not numeric")
+    if not (right.is_numeric or right.kind is TypeKind.DATE):
+        raise TypeMismatchError(f"{right} is not numeric")
+    if TypeKind.FLOAT in (left.kind, right.kind):
+        return float64()
+    if TypeKind.DECIMAL in (left.kind, right.kind):
+        scale = max(left.scale, right.scale)
+        precision = max(left.precision, right.precision, 19)
+        return decimal(precision, scale)
+    bits = max(left.bits, right.bits)
+    return DataType(TypeKind.INTEGER, bits)

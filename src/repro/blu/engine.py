@@ -1,0 +1,205 @@
+"""The BLU execution engine.
+
+:class:`BluEngine` binds a catalog to the cost model and executes annotated
+logical plans.  Group-by and sort run through pluggable *executors* — the
+exact seam the paper's prototype uses: the stock engine installs the CPU
+chains of Figure 1, while :class:`repro.core.accelerator.GpuAcceleratedEngine`
+installs hybrid executors that may dispatch to the simulated GPUs (Figures
+2 and 3).
+
+Every execution returns a :class:`repro.timing.TimedResult`: the real result
+table plus the simulated-time profile of how it was produced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.blu.catalog import Catalog
+from repro.blu.operators import (
+    execute_groupby_cpu,
+    execute_join,
+    execute_limit,
+    execute_project,
+    execute_rank,
+    execute_scan,
+    execute_sort_cpu,
+)
+from repro.blu.optimizer import Optimizer
+from repro.blu.plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    RankNode,
+    ScanNode,
+    SortNode,
+)
+from repro.blu.table import Table
+from repro.config import SystemConfig, cpu_only_testbed
+from repro.errors import ExecutionError
+from repro.timing import CostLedger, QueryProfile, TimedResult
+
+
+@dataclass
+class OperatorContext:
+    """Everything an executor needs: config, ledger, and the plan node."""
+
+    config: SystemConfig
+    ledger: CostLedger
+    degree: int
+
+
+# Executor signatures: (input table(s), plan node, context) -> output table.
+GroupByExecutor = Callable[[Table, GroupByNode, OperatorContext], Table]
+SortExecutor = Callable[[Table, SortNode, OperatorContext], Table]
+JoinExecutor = Callable[[Table, Table, JoinNode, OperatorContext], Table]
+
+
+def cpu_groupby_executor(table: Table, node: GroupByNode,
+                         ctx: OperatorContext) -> Table:
+    """The stock Figure-1 chain: everything on the host."""
+    return execute_groupby_cpu(
+        table, node.keys, node.aggs, ctx.config.cost, ctx.ledger,
+        max_degree=ctx.degree,
+    )
+
+
+def cpu_join_executor(left: Table, right: Table, node: JoinNode,
+                      ctx: OperatorContext) -> Table:
+    """The stock host hash join (the paper's prototype never offloads it)."""
+    return execute_join(left, right, node.left_key, node.right_key,
+                        ctx.config.cost, ctx.ledger, max_degree=ctx.degree)
+
+
+def cpu_sort_executor(table: Table, node: SortNode,
+                      ctx: OperatorContext) -> Table:
+    return execute_sort_cpu(
+        table, node.keys, ctx.config.cost, ctx.ledger,
+        max_degree=min(ctx.degree, 24),
+    )
+
+
+class BluEngine:
+    """Executes logical plans against a catalog with cost accounting.
+
+    Parameters
+    ----------
+    catalog:
+        The database to query.
+    config:
+        Simulated system description; defaults to the CPU-only baseline
+        (stock DB2 BLU — no GPUs installed).
+    groupby_executor / sort_executor:
+        Strategy hooks; default to the CPU chains.
+    default_degree:
+        DB2-style query parallelism degree (Table 3 sweeps 24/48/64).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: Optional[SystemConfig] = None,
+        groupby_executor: Optional[GroupByExecutor] = None,
+        sort_executor: Optional[SortExecutor] = None,
+        join_executor: Optional[JoinExecutor] = None,
+        default_degree: int = 48,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or cpu_only_testbed()
+        self.optimizer = Optimizer(catalog)
+        self.groupby_executor = groupby_executor or cpu_groupby_executor
+        self.sort_executor = sort_executor or cpu_sort_executor
+        self.join_executor = join_executor or cpu_join_executor
+        self.default_degree = default_degree
+        self._query_counter = itertools.count(1)
+
+    @property
+    def gpu_enabled(self) -> bool:
+        return self.config.gpu_count > 0 and \
+            self.groupby_executor is not cpu_groupby_executor
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def execute_plan(
+        self,
+        plan: PlanNode,
+        query_id: Optional[str] = None,
+        degree: Optional[int] = None,
+    ) -> TimedResult:
+        """Annotate, execute, and time one plan."""
+        qid = query_id or f"q{next(self._query_counter)}"
+        self.optimizer.annotate(plan)
+        ledger = CostLedger()
+        ctx = OperatorContext(
+            config=self.config,
+            ledger=ledger,
+            degree=degree or self.default_degree,
+        )
+        table = self._execute(plan, ctx)
+        profile = QueryProfile(
+            query_id=qid, gpu_enabled=self.gpu_enabled, events=ledger.events
+        )
+        return TimedResult(table=table, profile=profile)
+
+    def execute_sql(
+        self,
+        sql: str,
+        query_id: Optional[str] = None,
+        degree: Optional[int] = None,
+    ) -> TimedResult:
+        """Parse a SQL-subset statement and execute it."""
+        from repro.blu.sql import parse_query  # local: parser imports plan
+
+        plan = parse_query(sql, catalog=self.catalog)
+        return self.execute_plan(plan, query_id=query_id, degree=degree)
+
+    def explain_sql(self, sql: str) -> str:
+        from repro.blu.plan import explain
+        from repro.blu.sql import parse_query
+
+        plan = parse_query(sql, catalog=self.catalog)
+        self.optimizer.annotate(plan)
+        return explain(plan)
+
+    # ------------------------------------------------------------------
+    # Plan walk
+    # ------------------------------------------------------------------
+
+    def _execute(self, node: PlanNode, ctx: OperatorContext) -> Table:
+        if isinstance(node, ScanNode):
+            base = self.catalog.table(node.table_name)
+            return execute_scan(base, node.predicate, ctx.config.cost,
+                                ctx.ledger, max_degree=min(ctx.degree * 2, 96))
+        if isinstance(node, JoinNode):
+            left = self._execute(node.left, ctx)
+            right = self._execute(node.right, ctx)
+            return self.join_executor(left, right, node, ctx)
+        if isinstance(node, FilterNode):
+            child = self._execute(node.child, ctx)
+            return execute_scan(child, node.predicate, ctx.config.cost,
+                                ctx.ledger, max_degree=min(ctx.degree * 2, 96))
+        if isinstance(node, GroupByNode):
+            child = self._execute(node.child, ctx)
+            return self.groupby_executor(child, node, ctx)
+        if isinstance(node, SortNode):
+            child = self._execute(node.child, ctx)
+            return self.sort_executor(child, node, ctx)
+        if isinstance(node, ProjectNode):
+            child = self._execute(node.child, ctx)
+            return execute_project(child, node.items, ctx.config.cost,
+                                   ctx.ledger, max_degree=ctx.degree)
+        if isinstance(node, RankNode):
+            child = self._execute(node.child, ctx)
+            return execute_rank(child, node, ctx.config.cost, ctx.ledger,
+                                max_degree=min(ctx.degree, 24))
+        if isinstance(node, LimitNode):
+            child = self._execute(node.child, ctx)
+            return execute_limit(child, node.limit, ctx.config.cost, ctx.ledger)
+        raise ExecutionError(f"no executor for {type(node).__name__}")

@@ -1,0 +1,140 @@
+"""Evaluator chains — Figure 1 (CPU) and the host half of Figure 2 (GPU).
+
+BLU executes group-by/aggregation as a chain of *evaluators*:
+
+    LCOG, LCOV  load grouping keys and payloads
+    CCAT        concatenate keys for multi-column GROUP BY
+    HASH        hash the (concatenated) grouping keys
+    LGHT        first-phase local hash tables per thread
+    AGGD/SUM/CNT apply aggregation functions
+    MERGE       merge local tables into the global hash table
+
+The GPU design of section 4.1 removes LGHT and the aggregation evaluators
+from the host chain and replaces them with:
+
+    KMV         estimate the group count from the HASH output
+    MEMCPY      copy encoded data into pinned staging buffers
+    GPU         launch the device kernel (costed by the GPU substrate)
+
+This module builds those chains and prices each evaluator with the
+calibrated cost model, so monitoring output and the timing ledger agree on a
+per-evaluator breakdown, just like the paper's integrated monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.config import CostModel
+from repro.timing import CostEvent
+
+
+@dataclass(frozen=True)
+class Evaluator:
+    """One stage of an evaluator chain with its priced CPU work."""
+
+    name: str
+    rows: int
+    cpu_seconds: float
+    max_degree: int = 48
+
+    def cost_event(self, degree_cap: int) -> CostEvent:
+        return CostEvent(
+            op=self.name,
+            rows=self.rows,
+            cpu_seconds=self.cpu_seconds,
+            max_degree=min(self.max_degree, degree_cap),
+        )
+
+
+class EvaluatorChain:
+    """An ordered list of evaluators plus chain-level metadata."""
+
+    def __init__(self, name: str, evaluators: Iterable[Evaluator]) -> None:
+        self.name = name
+        self.evaluators = list(evaluators)
+
+    def cost_events(self, degree_cap: int) -> list[CostEvent]:
+        return [e.cost_event(degree_cap) for e in self.evaluators]
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        return sum(e.cpu_seconds for e in self.evaluators)
+
+    def stage_names(self) -> list[str]:
+        return [e.name for e in self.evaluators]
+
+    def describe(self) -> str:
+        return f"{self.name}: " + " -> ".join(self.stage_names())
+
+
+def build_cpu_groupby_chain(
+    rows: int,
+    num_keys: int,
+    num_aggs: int,
+    groups: int,
+    cost: CostModel,
+) -> EvaluatorChain:
+    """The all-CPU chain of Figure 1."""
+    evaluators = [
+        Evaluator("LCOG", rows, rows * num_keys / cost.cpu_decode_rate),
+        Evaluator("LCOV", rows, rows * num_aggs / cost.cpu_decode_rate),
+    ]
+    if num_keys > 1:
+        evaluators.append(
+            Evaluator("CCAT", rows, rows * (num_keys - 1) / cost.cpu_decode_rate)
+        )
+    evaluators.append(Evaluator("HASH", rows, rows / cost.cpu_hash_rate))
+    evaluators.append(Evaluator("LGHT", rows, rows / cost.cpu_groupby_rate))
+    for i in range(num_aggs):
+        evaluators.append(
+            Evaluator(_agg_evaluator_name(i), rows,
+                      rows / cost.cpu_aggregate_rate_per_fn)
+        )
+    # Merging per-thread local tables: work scales with groups times the
+    # number of local tables; partially parallel.
+    merge_entries = groups * 8
+    evaluators.append(
+        Evaluator("MERGE", groups, merge_entries / cost.cpu_merge_rate,
+                  max_degree=8)
+    )
+    return EvaluatorChain("cpu-groupby", evaluators)
+
+
+def build_gpu_host_chain(
+    rows: int,
+    num_keys: int,
+    num_aggs: int,
+    staged_bytes: int,
+    cost: CostModel,
+) -> EvaluatorChain:
+    """The host-side half of Figure 2 (everything before the kernel launch).
+
+    LGHT and the aggregation evaluators are gone; KMV and MEMCPY are new.
+    The GPU kernel itself is priced by the GPU substrate and appended as a
+    separate event by the hybrid group-by.
+    """
+    evaluators = [
+        Evaluator("LCOG", rows, rows * num_keys / cost.cpu_decode_rate),
+        Evaluator("LCOV", rows, rows * num_aggs / cost.cpu_decode_rate),
+    ]
+    if num_keys > 1:
+        evaluators.append(
+            Evaluator("CCAT", rows, rows * (num_keys - 1) / cost.cpu_decode_rate)
+        )
+    evaluators.append(Evaluator("HASH", rows, rows / cost.cpu_hash_rate))
+    # KMV folds the already-computed hashes into the sketch: cheap linear pass.
+    evaluators.append(Evaluator("KMV", rows, rows / (4 * cost.cpu_scan_rate)))
+    evaluators.append(
+        Evaluator("MEMCPY", rows, staged_bytes / cost.cpu_memcpy_rate)
+    )
+    return EvaluatorChain("gpu-groupby-host", evaluators)
+
+
+def _agg_evaluator_name(index: int) -> str:
+    """Paper-style names: the first few get the classic labels."""
+    classic = ("AGGD", "SUM", "CNT")
+    if index < len(classic):
+        return classic[index]
+    return f"AGG{index}"

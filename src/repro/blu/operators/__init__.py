@@ -1,0 +1,22 @@
+"""CPU (host) physical operators of the BLU engine."""
+
+from repro.blu.operators.aggregate import apply_aggregates, group_encode
+from repro.blu.operators.groupby import execute_groupby_cpu
+from repro.blu.operators.join import execute_join
+from repro.blu.operators.limit import execute_limit
+from repro.blu.operators.olap import execute_rank
+from repro.blu.operators.project import execute_project
+from repro.blu.operators.scan import execute_scan
+from repro.blu.operators.sort import execute_sort_cpu
+
+__all__ = [
+    "apply_aggregates",
+    "execute_groupby_cpu",
+    "execute_join",
+    "execute_limit",
+    "execute_project",
+    "execute_rank",
+    "execute_scan",
+    "execute_sort_cpu",
+    "group_encode",
+]

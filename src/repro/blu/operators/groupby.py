@@ -1,0 +1,81 @@
+"""CPU hash group-by/aggregation — the baseline BLU chain of Figure 1.
+
+The evaluator chain (LCOG/LCOV -> CCAT -> HASH -> LGHT -> AGGD/SUM/CNT,
+then a merge into a global hash table) is costed stage by stage through
+:class:`repro.blu.evaluators.EvaluatorChain`; the functional result is
+computed with the shared primitives of
+:mod:`repro.blu.operators.aggregate`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.blu.evaluators import build_cpu_groupby_chain
+from repro.blu.expressions import AggSpec
+from repro.blu.operators.aggregate import (
+    build_group_output,
+    group_encode,
+    grouping_key_arrays,
+)
+from repro.blu.table import Table
+from repro.config import CostModel
+from repro.timing import CostLedger
+
+
+def execute_groupby_cpu(
+    table: Table,
+    keys: Sequence[str],
+    aggs: Sequence[AggSpec],
+    cost: CostModel,
+    ledger: CostLedger,
+    max_degree: int = 48,
+) -> Table:
+    """Group ``table`` on ``keys`` and evaluate ``aggs`` entirely on the CPU."""
+    if not keys:
+        return _global_aggregate(table, aggs, cost, ledger, max_degree)
+
+    key_arrays = grouping_key_arrays(table, keys)
+    group_index, first_row, n_groups = group_encode(key_arrays)
+
+    chain = build_cpu_groupby_chain(
+        rows=table.num_rows,
+        num_keys=len(keys),
+        num_aggs=max(1, len(aggs)),
+        groups=n_groups,
+        cost=cost,
+    )
+    for event in chain.cost_events(max_degree):
+        ledger.add(event)
+
+    return build_group_output(
+        table, keys, aggs, group_index, first_row, n_groups,
+        name=f"{table.name}_grouped",
+    )
+
+
+def _global_aggregate(
+    table: Table,
+    aggs: Sequence[AggSpec],
+    cost: CostModel,
+    ledger: CostLedger,
+    max_degree: int,
+) -> Table:
+    """Aggregation with no GROUP BY keys: one output row."""
+    import numpy as np
+
+    rows = table.num_rows
+    group_index = np.zeros(rows, dtype=np.int64)
+    first_row = np.zeros(1, dtype=np.int64)
+    ledger.cpu(
+        "AGG",
+        rows,
+        rows * max(1, len(aggs)) / cost.cpu_aggregate_rate_per_fn,
+        max_degree,
+    )
+    # SQL: an aggregate with no GROUP BY always yields exactly one row,
+    # even over empty input (COUNT(*) = 0).
+    return build_group_output(
+        table, [], aggs, group_index, first_row, n_groups=1,
+        name=f"{table.name}_agg",
+    )

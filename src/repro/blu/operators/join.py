@@ -1,0 +1,127 @@
+"""CPU hash join (build on the right/dimension side, probe the left).
+
+Joins stay on the host in the paper's prototype ("As one of our next steps,
+we would like to study the performance of other compute intensive operations
+(like join) on the GPU"), so this operator only ever produces CPU cost
+events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blu.table import Field, Schema, Table
+from repro.config import CostModel
+from repro.errors import ExecutionError
+from repro.timing import CostLedger
+
+
+def execute_join(
+    left: Table,
+    right: Table,
+    left_key: str,
+    right_key: str,
+    cost: CostModel,
+    ledger: CostLedger,
+    max_degree: int = 48,
+) -> Table:
+    """Inner equi-join; returns left columns plus non-colliding right columns."""
+    build_col = right.column(right_key)
+    probe_col = left.column(left_key)
+    if build_col.dtype.is_string != probe_col.dtype.is_string:
+        raise ExecutionError(
+            f"join key type mismatch: {probe_col.dtype} vs {build_col.dtype}"
+        )
+
+    build_keys, probe_keys = _aligned_keys(build_col, probe_col)
+
+    if len(build_keys) == 0 or len(probe_keys) == 0:
+        ledger.cpu("JOIN", left.num_rows,
+                   max(len(build_keys), len(probe_keys))
+                   / cost.cpu_join_probe_rate, max_degree)
+        empty = np.empty(0, dtype=np.int64)
+        left_idx, right_idx = empty, empty
+        return _assemble(left, right, left_idx, right_idx)
+
+    # Build: position of each key in the build side (inner join assumes the
+    # build side is unique on its key, the star-schema dimension case; fall
+    # back to a sort-merge expansion otherwise).
+    unique_keys, first_pos = np.unique(build_keys, return_index=True)
+    if len(unique_keys) == len(build_keys):
+        positions = np.searchsorted(unique_keys, probe_keys)
+        positions = np.clip(positions, 0, len(unique_keys) - 1)
+        matched = unique_keys[positions] == probe_keys
+        left_idx = np.nonzero(matched)[0]
+        right_idx = first_pos[positions[matched]]
+    else:
+        left_idx, right_idx = _many_to_many(probe_keys, build_keys)
+
+    ledger.cpu(
+        "JOIN",
+        left.num_rows,
+        len(build_keys) / cost.cpu_join_build_rate
+        + len(probe_keys) / cpu_probe_rate(len(build_keys), cost)
+        + len(left_idx) * (left.num_columns + right.num_columns)
+        / cost.cpu_decode_rate,
+        max_degree,
+    )
+    return _assemble(left, right, left_idx, right_idx)
+
+
+def cpu_probe_rate(build_rows: int, cost: CostModel) -> float:
+    """Per-core probe throughput: random lookups slow sharply once the
+    build table falls out of the last-level cache (dimension tables fit;
+    fact-sized build sides do not)."""
+    build_bytes = build_rows * 16               # key + payload pointer
+    if build_bytes <= cost.cpu_cache_bytes:
+        return cost.cpu_join_probe_rate
+    return cost.cpu_join_probe_rate_uncached
+
+
+def _assemble(left: Table, right: Table, left_idx: np.ndarray,
+              right_idx: np.ndarray) -> Table:
+    taken_left = left.take(left_idx)
+    taken_right = right.take(right_idx)
+    fields = list(taken_left.schema.fields)
+    columns = list(taken_left.columns)
+    existing = {f.name.lower() for f in fields}
+    for f, c in zip(taken_right.schema, taken_right.columns):
+        if f.name.lower() in existing:
+            continue
+        fields.append(Field(f.name, f.dtype))
+        columns.append(c)
+    name = f"{left.name}_join_{right.name}"
+    return Table(name, Schema(fields), columns)
+
+
+def _aligned_keys(build_col, probe_col) -> tuple[np.ndarray, np.ndarray]:
+    """Comparable int64 key arrays for build and probe sides.
+
+    Dictionary-encoded string keys from *different* tables carry different
+    code spaces, so string joins align through the decoded values.
+    """
+    if build_col.dictionary is not None:
+        build_vals = build_col.dictionary.decode(build_col.data).astype(str)
+        probe_vals = probe_col.dictionary.decode(probe_col.data).astype(str)
+        universe, build_keys = np.unique(build_vals, return_inverse=True)
+        probe_pos = np.searchsorted(universe, probe_vals)
+        probe_pos = np.clip(probe_pos, 0, len(universe) - 1)
+        probe_keys = np.where(
+            universe[probe_pos] == probe_vals, probe_pos, -1
+        )
+        return build_keys.astype(np.int64), probe_keys.astype(np.int64)
+    return (build_col.data.astype(np.int64), probe_col.data.astype(np.int64))
+
+
+def _many_to_many(probe_keys: np.ndarray, build_keys: np.ndarray):
+    """General inner join via sorted expansion (rarely taken)."""
+    order = np.argsort(build_keys, kind="stable")
+    sorted_build = build_keys[order]
+    starts = np.searchsorted(sorted_build, probe_keys, side="left")
+    ends = np.searchsorted(sorted_build, probe_keys, side="right")
+    counts = ends - starts
+    left_idx = np.repeat(np.arange(len(probe_keys)), counts)
+    offsets = np.concatenate([np.arange(s, e) for s, e in zip(starts, ends) if e > s]) \
+        if counts.sum() else np.empty(0, dtype=np.int64)
+    right_idx = order[offsets] if counts.sum() else np.empty(0, dtype=np.int64)
+    return left_idx, right_idx

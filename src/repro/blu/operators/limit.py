@@ -1,0 +1,19 @@
+"""LIMIT (row truncation)."""
+
+from __future__ import annotations
+
+from repro.blu.table import Table
+from repro.config import CostModel
+from repro.timing import CostLedger
+
+
+def execute_limit(
+    table: Table,
+    limit: int,
+    cost: CostModel,
+    ledger: CostLedger,
+) -> Table:
+    """Keep the first ``limit`` rows; costs nothing measurable."""
+    if limit >= table.num_rows:
+        return table
+    return table.head(limit)

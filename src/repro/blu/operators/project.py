@@ -1,0 +1,40 @@
+"""Projection: column selection and computed expressions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.blu.column import Column
+from repro.blu.expressions import ColumnRef, Expr
+from repro.blu.table import Field, Schema, Table
+from repro.config import CostModel
+from repro.timing import CostLedger
+
+
+def execute_project(
+    table: Table,
+    items: Sequence[tuple[str, Expr]],
+    cost: CostModel,
+    ledger: CostLedger,
+    max_degree: int = 96,
+) -> Table:
+    """Evaluate each (alias, expression) pair into an output column."""
+    fields = []
+    columns = []
+    work_units = 0
+    for alias, expr in items:
+        if isinstance(expr, ColumnRef):
+            src = table.column(expr.name)
+            fields.append(Field(alias, src.dtype))
+            columns.append(src)
+            continue
+        res = expr.evaluate(table)
+        work_units += max(1, expr.complexity())
+        fields.append(Field(alias, res.dtype))
+        nulls = res.nulls if res.nulls is not None and res.nulls.any() else None
+        columns.append(Column(res.dtype, res.values.astype(res.dtype.numpy_dtype),
+                              None, nulls))
+    if work_units:
+        ledger.cpu("PROJECT", table.num_rows,
+                   table.num_rows * work_units / cost.cpu_scan_rate, max_degree)
+    return Table(f"{table.name}_proj", Schema(fields), columns)

@@ -1,0 +1,41 @@
+"""Table scan with predicate pushdown."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.blu.expressions import Expr
+from repro.blu.table import Table
+from repro.config import CostModel
+from repro.timing import CostLedger
+
+
+def execute_scan(
+    table: Table,
+    predicate: Optional[Expr],
+    cost: CostModel,
+    ledger: CostLedger,
+    max_degree: int = 96,
+) -> Table:
+    """Scan ``table``, applying ``predicate`` on encoded columns.
+
+    Scans parallelise across BLU's data "strides"; we allow the full SMT
+    width.  Cost is one pass per predicate complexity unit plus the
+    materialisation of surviving rows.
+    """
+    rows = table.num_rows
+    if predicate is None:
+        ledger.cpu("SCAN", rows, rows / cost.cpu_scan_rate, max_degree)
+        return table
+    result = predicate.evaluate(table)
+    keep = result.values.astype(bool)
+    selected = int(keep.sum())
+    complexity = max(1, predicate.complexity())
+    scan_seconds = rows * complexity / cost.cpu_scan_rate
+    materialise_seconds = selected * table.num_columns / cost.cpu_decode_rate
+    ledger.cpu("SCAN", rows, scan_seconds + materialise_seconds, max_degree)
+    if selected == rows:
+        return table
+    return table.filter(np.nonzero(keep)[0])

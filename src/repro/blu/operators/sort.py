@@ -1,0 +1,60 @@
+"""CPU multi-key sort (the baseline against which GPU sort is compared)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.blu.plan import SortKey
+from repro.blu.table import Table
+from repro.config import CostModel
+from repro.timing import CostLedger
+
+
+def null_high_sort_keys(col) -> np.ndarray:
+    """The column's sort keys with NULLs substituted to sort highest.
+
+    DB2 collates NULL as the highest value: last under ASC, first under
+    DESC.  Substituting before any descending negation preserves that.
+    """
+    arr = col.sort_keys()
+    arr = arr.astype(np.int64) if col.dtype.is_string else arr
+    if col.null_mask is None:
+        return arr
+    if arr.dtype.kind == "f":
+        return np.where(col.null_mask, np.inf, arr)
+    high = np.iinfo(np.int64).max
+    return np.where(col.null_mask, high, arr.astype(np.int64))
+
+
+def sort_order(table: Table, keys: Sequence[SortKey]) -> np.ndarray:
+    """Stable row order satisfying ``keys`` (primary key first)."""
+    arrays = []
+    for key in reversed(keys):
+        col = table.column(key.column)
+        arr = null_high_sort_keys(col)
+        if not key.ascending:
+            if arr.dtype.kind == "f":
+                arr = -arr
+            else:
+                arr = -(arr.astype(np.int64))
+        arrays.append(arr)
+    return np.lexsort(tuple(arrays))
+
+
+def execute_sort_cpu(
+    table: Table,
+    keys: Sequence[SortKey],
+    cost: CostModel,
+    ledger: CostLedger,
+    max_degree: int = 24,
+) -> Table:
+    """Sort on the host: n·log2(n) comparisons at the calibrated rate."""
+    order = sort_order(table, keys)
+    rows = table.num_rows
+    if rows > 1:
+        comparisons = rows * math.log2(rows) * len(keys)
+        ledger.cpu("SORT", rows, comparisons / (cost.cpu_sort_rate * 16), max_degree)
+    return table.take(order, name=f"{table.name}_sorted")

@@ -1,0 +1,273 @@
+"""Cardinality estimation: the optimizer metadata the GPU runtime consumes.
+
+The paper's path selection (Figure 3) and hash-table sizing both feed on
+"input from the DB2 optimizer ... like the number of groups/input rows
+before we start processing the group by chain".  This module reproduces
+that: it walks a logical plan bottom-up, estimating row counts and group
+counts from catalog statistics with the classical uniformity assumptions.
+
+Estimates are deliberately *estimates*: the runtime KMV sketch refines the
+group count later, and the error path in the GPU hash table covers the case
+where both underestimate (section 4.2).
+"""
+
+from __future__ import annotations
+
+from repro.blu.catalog import Catalog
+from repro.blu.expressions import (
+    And,
+    Between,
+    CmpOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    conjuncts,
+)
+from repro.blu.plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    RankNode,
+    ScanNode,
+    SortNode,
+)
+from repro.errors import PlanError
+
+_DEFAULT_RANGE_SELECTIVITY = 0.33
+_DEFAULT_BETWEEN_SELECTIVITY = 0.15
+_DEFAULT_LIKE_SELECTIVITY = 0.10
+_DEFAULT_EQ_SELECTIVITY = 0.01
+
+
+class _Provenance:
+    """Maps visible column names to their originating base table columns."""
+
+    def __init__(self) -> None:
+        self.origin: dict[str, tuple[str, str]] = {}
+
+    @classmethod
+    def for_table(cls, catalog: Catalog, table_name: str) -> "_Provenance":
+        prov = cls()
+        table = catalog.table(table_name)
+        for f in table.schema:
+            prov.origin[f.name.lower()] = (table_name, f.name)
+        return prov
+
+    def merged(self, other: "_Provenance") -> "_Provenance":
+        out = _Provenance()
+        out.origin = {**other.origin, **self.origin}
+        return out
+
+
+class Optimizer:
+    """Annotates plan trees with :class:`repro.blu.plan.PlanEstimates`."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    def annotate(self, plan: PlanNode) -> PlanNode:
+        """Fill in estimates for every node; returns the same tree."""
+        self._visit(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Node dispatch
+    # ------------------------------------------------------------------
+
+    def _visit(self, node: PlanNode) -> _Provenance:
+        if isinstance(node, ScanNode):
+            return self._visit_scan(node)
+        if isinstance(node, JoinNode):
+            return self._visit_join(node)
+        if isinstance(node, FilterNode):
+            return self._visit_filter(node)
+        if isinstance(node, GroupByNode):
+            return self._visit_groupby(node)
+        if isinstance(node, (SortNode, LimitNode, ProjectNode, RankNode)):
+            return self._visit_passthrough(node)
+        raise PlanError(f"optimizer cannot annotate {type(node).__name__}")
+
+    def _visit_scan(self, node: ScanNode) -> _Provenance:
+        table = self.catalog.table(node.table_name)
+        prov = _Provenance.for_table(self.catalog, node.table_name)
+        selectivity = 1.0
+        for term in conjuncts(node.predicate):
+            selectivity *= self._selectivity(term, prov)
+        node.estimates.rows = max(1.0, table.num_rows * selectivity)
+        node.estimates.width_bytes = sum(f.dtype.bytes for f in table.schema)
+        return prov
+
+    def _visit_join(self, node: JoinNode) -> _Provenance:
+        left_prov = self._visit(node.left)
+        right_prov = self._visit(node.right)
+        left_rows = node.left.estimates.rows
+        right_rows = node.right.estimates.rows
+        # Star-schema FK join: each probe row matches with probability equal
+        # to the fraction of the dimension that survived its filters.
+        right_base = self._base_rows(node.right)
+        match_fraction = right_rows / right_base if right_base else 1.0
+        node.estimates.rows = max(1.0, left_rows * min(1.0, match_fraction))
+        node.estimates.width_bytes = (
+            node.left.estimates.width_bytes + node.right.estimates.width_bytes
+        )
+        return left_prov.merged(right_prov)
+
+    def _visit_filter(self, node: FilterNode) -> _Provenance:
+        prov = self._visit(node.child)
+        selectivity = 1.0
+        for term in conjuncts(node.predicate):
+            selectivity *= self._selectivity(term, prov)
+        node.estimates.rows = max(1.0, node.child.estimates.rows * selectivity)
+        node.estimates.width_bytes = node.child.estimates.width_bytes
+        return prov
+
+    def _visit_groupby(self, node: GroupByNode) -> _Provenance:
+        prov = self._visit(node.child)
+        rows = node.child.estimates.rows
+        groups = 1.0
+        for key in node.keys:
+            groups *= self._distinct_of(key, prov, rows)
+        if not node.keys:
+            groups = 1.0
+        # Cap: can't have more groups than input rows; correlated keys mean
+        # the product overestimates, so damp multi-key products.
+        if len(node.keys) > 1:
+            groups = groups ** 0.85
+        node.estimates.groups = max(1.0, min(groups, rows))
+        node.estimates.rows = node.estimates.groups
+        node.estimates.width_bytes = 8.0 * (len(node.keys) + len(node.aggs))
+        out = _Provenance()
+        for key in node.keys:
+            if key.lower() in prov.origin:
+                out.origin[key.lower()] = prov.origin[key.lower()]
+        return out
+
+    def _visit_passthrough(self, node: PlanNode) -> _Provenance:
+        child = node.children[0]
+        prov = self._visit(child)
+        node.estimates.rows = child.estimates.rows
+        node.estimates.groups = child.estimates.groups
+        node.estimates.width_bytes = child.estimates.width_bytes
+        if isinstance(node, LimitNode):
+            node.estimates.rows = min(node.estimates.rows, float(node.limit))
+        return prov
+
+    # ------------------------------------------------------------------
+    # Statistics plumbing
+    # ------------------------------------------------------------------
+
+    def _base_rows(self, node: PlanNode) -> float:
+        """Rows of the base table under a (possibly filtered) scan subtree."""
+        current = node
+        while not isinstance(current, ScanNode):
+            if not current.children:
+                return current.estimates.rows
+            current = current.children[0]
+        return float(self.catalog.table(current.table_name).num_rows)
+
+    def _distinct_of(self, column: str, prov: _Provenance, rows: float) -> float:
+        origin = prov.origin.get(column.lower())
+        if origin is not None:
+            stats = self.catalog.column_stats(*origin)
+            if stats is not None and stats.distinct:
+                return float(min(stats.distinct, rows))
+        # Unknown provenance (computed column): sqrt heuristic.
+        return max(1.0, rows ** 0.5)
+
+    def _selectivity(self, predicate: Expr, prov: _Provenance) -> float:
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(predicate, prov)
+        if isinstance(predicate, Between):
+            return _DEFAULT_BETWEEN_SELECTIVITY
+        if isinstance(predicate, InList):
+            stats = self._stats_for(predicate.operand, prov)
+            if stats is not None and stats.distinct:
+                return min(1.0, len(predicate.values) / stats.distinct)
+            return min(1.0, len(predicate.values) * _DEFAULT_EQ_SELECTIVITY)
+        if isinstance(predicate, Like):
+            return _DEFAULT_LIKE_SELECTIVITY
+        if isinstance(predicate, IsNull):
+            stats = self._stats_for(predicate.operand, prov)
+            if stats is not None and stats.rows:
+                frac = stats.null_count / stats.rows
+                return (1.0 - frac) if predicate.negated else max(frac, 1e-4)
+            return 0.05
+        if isinstance(predicate, Or):
+            sel = 0.0
+            for term in predicate.terms:
+                sel = sel + self._selectivity(term, prov) - sel * self._selectivity(term, prov)
+            return min(1.0, sel)
+        if isinstance(predicate, And):
+            sel = 1.0
+            for term in predicate.terms:
+                sel *= self._selectivity(term, prov)
+            return sel
+        if isinstance(predicate, Not):
+            return max(0.0, 1.0 - self._selectivity(predicate.operand, prov))
+        return 0.5
+
+    def _comparison_selectivity(self, cmp: Comparison, prov: _Provenance) -> float:
+        stats = self._stats_for(cmp.left, prov) or self._stats_for(cmp.right, prov)
+        if cmp.op is CmpOp.EQ:
+            if stats is not None and stats.distinct:
+                return 1.0 / stats.distinct
+            return _DEFAULT_EQ_SELECTIVITY
+        if cmp.op is CmpOp.NE:
+            if stats is not None and stats.distinct:
+                return 1.0 - 1.0 / stats.distinct
+            return 1.0 - _DEFAULT_EQ_SELECTIVITY
+        # Range predicate against a literal: interpolate within [min, max].
+        literal = None
+        column_side = None
+        if isinstance(cmp.right, Literal) and isinstance(cmp.left, ColumnRef):
+            literal, column_side = cmp.right.value, cmp.left
+            op = cmp.op
+        elif isinstance(cmp.left, Literal) and isinstance(cmp.right, ColumnRef):
+            literal, column_side = cmp.left.value, cmp.right
+            op = _flip(cmp.op)
+        else:
+            return _DEFAULT_RANGE_SELECTIVITY
+        stats = self._stats_for(column_side, prov)
+        if (
+            stats is None
+            or stats.min_value is None
+            or isinstance(literal, str)
+            or isinstance(stats.min_value, str)
+        ):
+            return _DEFAULT_RANGE_SELECTIVITY
+        lo, hi = float(stats.min_value), float(stats.max_value)
+        if hi <= lo:
+            return _DEFAULT_RANGE_SELECTIVITY
+        frac = (float(literal) - lo) / (hi - lo)
+        frac = min(1.0, max(0.0, frac))
+        if op in (CmpOp.LT, CmpOp.LE):
+            return max(frac, 1e-4)
+        return max(1.0 - frac, 1e-4)
+
+    def _stats_for(self, expr: Expr, prov: _Provenance):
+        if not isinstance(expr, ColumnRef):
+            return None
+        origin = prov.origin.get(expr.name.lower())
+        if origin is None:
+            return None
+        return self.catalog.column_stats(*origin)
+
+
+def _flip(op: CmpOp) -> CmpOp:
+    return {
+        CmpOp.LT: CmpOp.GT,
+        CmpOp.LE: CmpOp.GE,
+        CmpOp.GT: CmpOp.LT,
+        CmpOp.GE: CmpOp.LE,
+        CmpOp.EQ: CmpOp.EQ,
+        CmpOp.NE: CmpOp.NE,
+    }[op]

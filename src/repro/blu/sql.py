@@ -1,0 +1,553 @@
+"""A SQL subset front end.
+
+Supports the statement shape the paper's workloads need:
+
+.. code-block:: sql
+
+    SELECT <expr | AGG(expr) | COUNT(*) |
+            RANK() OVER (PARTITION BY c, ... ORDER BY c [DESC])> [AS alias], ...
+    FROM table
+      [JOIN table ON left_col = right_col] ...
+    [WHERE <predicate>]
+    [GROUP BY col, ...]
+    [HAVING <predicate>]
+    [ORDER BY col [ASC|DESC], ...]
+    [LIMIT n]
+
+Predicates: comparisons, BETWEEN, IN (...), LIKE 'pat%', IS [NOT] NULL,
+AND/OR/NOT, parentheses.  Scalar expressions: + - * /, numbers, strings,
+column references (optionally ``table.column`` qualified — the qualifier is
+dropped because our schemas use TPC-DS-style per-table column prefixes).
+
+Single-table-only conjuncts of WHERE are pushed into the scan; the rest
+becomes a FILTER above the joins, matching BLU's predicate pushdown.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.blu.expressions import (
+    AggFunc,
+    AggSpec,
+    And,
+    Arithmetic,
+    ArithOp,
+    Between,
+    CmpOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    conjuncts,
+)
+from repro.blu.plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    RankNode,
+    ScanNode,
+    SortKey,
+    SortNode,
+)
+from repro.errors import SqlError
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<cmp><=|>=|<>|!=|=|<|>)
+  | (?P<punct>[(),.*+\-/])
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "JOIN", "INNER", "ON", "AND", "OR", "NOT", "AS", "ASC", "DESC",
+    "BETWEEN", "IN", "LIKE", "IS", "NULL", "SUM", "COUNT", "MIN", "MAX",
+    "AVG", "RANK", "OVER", "PARTITION", "DISTINCT",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # NUMBER | STRING | CMP | PUNCT | IDENT | KEYWORD | EOF
+    text: str
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlError(f"unexpected character {sql[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        kind = match.lastgroup.upper()
+        if kind == "IDENT" and text.upper() in _KEYWORDS:
+            kind, text = "KEYWORD", text.upper()
+        tokens.append(Token(kind, text, match.start()))
+    tokens.append(Token("EOF", "", len(sql)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _SelectItem:
+    alias: str
+    expr: Optional[Expr] = None           # scalar expression
+    agg: Optional[AggSpec] = None         # aggregate
+    rank: Optional[dict] = None           # RANK() OVER spec
+
+
+class _Parser:
+    def __init__(self, sql: str, catalog=None) -> None:
+        self.sql = sql
+        self.catalog = catalog
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.index]
+        if tok.kind != "EOF":
+            self.index += 1
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            actual = self.peek()
+            wanted = text or kind
+            raise SqlError(
+                f"expected {wanted} at offset {actual.position}, "
+                f"found {actual.text or 'end of input'!r}"
+            )
+        return tok
+
+    def at_keyword(self, word: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "KEYWORD" and tok.text == word
+
+    # -- grammar --------------------------------------------------------
+
+    def parse(self) -> PlanNode:
+        self.expect("KEYWORD", "SELECT")
+        items = self._select_list()
+        self.expect("KEYWORD", "FROM")
+        tables, join_specs = self._from_clause()
+        where = self._optional_predicate("WHERE")
+        group_keys = self._group_by()
+        having = self._optional_predicate("HAVING")
+        order_keys = self._order_by()
+        limit = self._limit()
+        self.expect("EOF")
+        return _assemble(items, tables, join_specs, where, group_keys,
+                         having, order_keys, limit, catalog=self.catalog)
+
+    def _select_list(self) -> list[_SelectItem]:
+        items = [self._select_item(0)]
+        while self.accept("PUNCT", ","):
+            items.append(self._select_item(len(items)))
+        return items
+
+    def _select_item(self, ordinal: int) -> _SelectItem:
+        tok = self.peek()
+        if tok.kind == "KEYWORD" and tok.text in ("SUM", "COUNT", "MIN", "MAX", "AVG"):
+            spec = self._aggregate()
+            alias = self._alias() or spec.alias
+            return _SelectItem(alias=alias,
+                               agg=AggSpec(spec.func, spec.expr, alias,
+                                           distinct=spec.distinct))
+        if tok.kind == "KEYWORD" and tok.text == "RANK":
+            rank = self._rank_over()
+            alias = self._alias() or "rnk"
+            rank["alias"] = alias
+            return _SelectItem(alias=alias, rank=rank)
+        expr = self._expression()
+        alias = self._alias()
+        if alias is None:
+            alias = expr.name if isinstance(expr, ColumnRef) else f"expr{ordinal}"
+        return _SelectItem(alias=alias, expr=expr)
+
+    def _aggregate(self) -> AggSpec:
+        func_tok = self.next()
+        func = AggFunc[func_tok.text]
+        self.expect("PUNCT", "(")
+        if func is AggFunc.COUNT and self.accept("PUNCT", "*"):
+            self.expect("PUNCT", ")")
+            return AggSpec(func, None, "count_star")
+        distinct = bool(self.accept("KEYWORD", "DISTINCT"))
+        expr = self._expression()
+        self.expect("PUNCT", ")")
+        default_alias = f"{func.value.lower()}_{expr.name}" \
+            if isinstance(expr, ColumnRef) else func.value.lower()
+        return AggSpec(func, expr, default_alias, distinct=distinct)
+
+    def _rank_over(self) -> dict:
+        self.expect("KEYWORD", "RANK")
+        self.expect("PUNCT", "(")
+        self.expect("PUNCT", ")")
+        self.expect("KEYWORD", "OVER")
+        self.expect("PUNCT", "(")
+        partition: list[str] = []
+        if self.accept("KEYWORD", "PARTITION"):
+            self.expect("KEYWORD", "BY")
+            partition.append(self._column_name())
+            while self.accept("PUNCT", ","):
+                partition.append(self._column_name())
+        self.expect("KEYWORD", "ORDER")
+        self.expect("KEYWORD", "BY")
+        order_col = self._column_name()
+        ascending = True
+        if self.accept("KEYWORD", "DESC"):
+            ascending = False
+        else:
+            self.accept("KEYWORD", "ASC")
+        self.expect("PUNCT", ")")
+        return {"partition": partition, "order": order_col,
+                "ascending": ascending}
+
+    def _alias(self) -> Optional[str]:
+        if self.accept("KEYWORD", "AS"):
+            return self.expect("IDENT").text
+        return None
+
+    def _from_clause(self) -> tuple[list[str], list[tuple[str, str, str]]]:
+        """Returns (table names, [(table, left_key, right_key)])."""
+        tables = [self.expect("IDENT").text]
+        joins: list[tuple[str, str, str]] = []
+        while True:
+            if self.accept("KEYWORD", "INNER"):
+                self.expect("KEYWORD", "JOIN")
+            elif not self.accept("KEYWORD", "JOIN"):
+                break
+            table = self.expect("IDENT").text
+            self.expect("KEYWORD", "ON")
+            left = self._column_name()
+            self.expect("CMP", "=")
+            right = self._column_name()
+            joins.append((table, left, right))
+            tables.append(table)
+        return tables, joins
+
+    def _column_name(self) -> str:
+        name = self.expect("IDENT").text
+        if self.accept("PUNCT", "."):
+            name = self.expect("IDENT").text  # drop the qualifier
+        return name
+
+    def _optional_predicate(self, keyword: str) -> Optional[Expr]:
+        if self.accept("KEYWORD", keyword):
+            return self._predicate()
+        return None
+
+    def _group_by(self) -> list[str]:
+        if not self.at_keyword("GROUP"):
+            return []
+        self.next()
+        self.expect("KEYWORD", "BY")
+        keys = [self._column_name()]
+        while self.accept("PUNCT", ","):
+            keys.append(self._column_name())
+        return keys
+
+    def _order_by(self) -> list[SortKey]:
+        if not self.at_keyword("ORDER"):
+            return []
+        self.next()
+        self.expect("KEYWORD", "BY")
+        keys = [self._sort_key()]
+        while self.accept("PUNCT", ","):
+            keys.append(self._sort_key())
+        return keys
+
+    def _sort_key(self) -> SortKey:
+        column = self._column_name()
+        if self.accept("KEYWORD", "DESC"):
+            return SortKey(column, ascending=False)
+        self.accept("KEYWORD", "ASC")
+        return SortKey(column, ascending=True)
+
+    def _limit(self) -> Optional[int]:
+        if self.accept("KEYWORD", "LIMIT"):
+            return int(self.expect("NUMBER").text)
+        return None
+
+    # -- predicates -----------------------------------------------------
+
+    def _predicate(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        terms = [self._and_expr()]
+        while self.accept("KEYWORD", "OR"):
+            terms.append(self._and_expr())
+        return terms[0] if len(terms) == 1 else Or(tuple(terms))
+
+    def _and_expr(self) -> Expr:
+        terms = [self._not_expr()]
+        while self.accept("KEYWORD", "AND"):
+            terms.append(self._not_expr())
+        return terms[0] if len(terms) == 1 else And(tuple(terms))
+
+    def _not_expr(self) -> Expr:
+        if self.accept("KEYWORD", "NOT"):
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        if self.accept("PUNCT", "("):
+            inner = self._predicate()
+            self.expect("PUNCT", ")")
+            return inner
+        left = self._expression()
+        tok = self.peek()
+        if tok.kind == "CMP":
+            self.next()
+            op = CmpOp.NE if tok.text == "!=" else CmpOp(tok.text)
+            right = self._expression()
+            return Comparison(op, left, right)
+        if self.accept("KEYWORD", "BETWEEN"):
+            low = self._expression()
+            self.expect("KEYWORD", "AND")
+            high = self._expression()
+            return Between(left, low, high)
+        if self.accept("KEYWORD", "IN"):
+            self.expect("PUNCT", "(")
+            values = [self._literal_value()]
+            while self.accept("PUNCT", ","):
+                values.append(self._literal_value())
+            self.expect("PUNCT", ")")
+            return InList(left, tuple(values))
+        if self.accept("KEYWORD", "LIKE"):
+            pattern = self.expect("STRING").text
+            return Like(left, _unquote(pattern))
+        if self.accept("KEYWORD", "IS"):
+            negated = bool(self.accept("KEYWORD", "NOT"))
+            self.expect("KEYWORD", "NULL")
+            return IsNull(left, negated=negated)
+        raise SqlError(
+            f"expected a comparison operator at offset {tok.position}"
+        )
+
+    def _literal_value(self):
+        tok = self.next()
+        if tok.kind == "NUMBER":
+            return float(tok.text) if "." in tok.text else int(tok.text)
+        if tok.kind == "STRING":
+            return _unquote(tok.text)
+        raise SqlError(f"expected a literal at offset {tok.position}")
+
+    # -- scalar expressions ----------------------------------------------
+
+    def _expression(self) -> Expr:
+        left = self._term()
+        while True:
+            if self.accept("PUNCT", "+"):
+                left = Arithmetic(ArithOp.ADD, left, self._term())
+            elif self.accept("PUNCT", "-"):
+                left = Arithmetic(ArithOp.SUB, left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while True:
+            if self.accept("PUNCT", "*"):
+                left = Arithmetic(ArithOp.MUL, left, self._factor())
+            elif self.accept("PUNCT", "/"):
+                left = Arithmetic(ArithOp.DIV, left, self._factor())
+            else:
+                return left
+
+    def _factor(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "NUMBER":
+            self.next()
+            value = float(tok.text) if "." in tok.text else int(tok.text)
+            return Literal(value)
+        if tok.kind == "STRING":
+            self.next()
+            return Literal(_unquote(tok.text))
+        if tok.kind == "PUNCT" and tok.text == "(":
+            self.next()
+            inner = self._expression()
+            self.expect("PUNCT", ")")
+            return inner
+        if tok.kind == "PUNCT" and tok.text == "-":
+            self.next()
+            operand = self._factor()
+            return Arithmetic(ArithOp.SUB, Literal(0), operand)
+        if tok.kind == "IDENT":
+            return ColumnRef(self._column_name())
+        raise SqlError(f"unexpected token {tok.text!r} at offset {tok.position}")
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace("''", "'")
+
+
+# ---------------------------------------------------------------------------
+# Plan assembly
+# ---------------------------------------------------------------------------
+
+
+def _assemble(
+    items: list[_SelectItem],
+    tables: list[str],
+    join_specs: list[tuple[str, str, str]],
+    where: Optional[Expr],
+    group_keys: list[str],
+    having: Optional[Expr],
+    order_keys: list[SortKey],
+    limit: Optional[int],
+    catalog=None,
+) -> PlanNode:
+    pushed, residual = _split_predicate(where, tables, catalog)
+
+    plan: PlanNode = ScanNode(tables[0], pushed.get(tables[0].lower()))
+    for table, left_key, right_key in join_specs:
+        right: PlanNode = ScanNode(table, pushed.get(table.lower()))
+        plan = JoinNode(plan, right, left_key, right_key)
+    if residual is not None:
+        plan = FilterNode(plan, residual)
+
+    aggs = [item.agg for item in items if item.agg is not None]
+    if aggs or group_keys:
+        plan = GroupByNode(plan, group_keys, aggs)
+        if having is not None:
+            plan = FilterNode(plan, having)
+        plan = _project_if_reordered(plan, items, group_keys)
+    elif any(not isinstance(i.expr, ColumnRef) for i in items if i.expr):
+        plan = ProjectNode(plan, [(i.alias, i.expr) for i in items
+                                  if i.expr is not None])
+
+    for item in items:
+        if item.rank is not None:
+            plan = RankNode(plan, item.rank["partition"], item.rank["order"],
+                            item.rank["ascending"], item.rank["alias"])
+    if order_keys:
+        plan = SortNode(plan, order_keys)
+    if limit is not None:
+        plan = LimitNode(plan, limit)
+    return plan
+
+
+def _project_if_reordered(plan: PlanNode, items: list[_SelectItem],
+                          group_keys: list[str]) -> PlanNode:
+    """Re-order group-by output to SELECT-list order when they differ."""
+    natural = [k.lower() for k in group_keys] + \
+        [i.alias.lower() for i in items if i.agg is not None]
+    wanted = [i.alias.lower() if i.agg is not None else
+              (i.expr.name.lower() if isinstance(i.expr, ColumnRef) else None)
+              for i in items if i.rank is None]
+    if None in wanted or wanted == natural[: len(wanted)]:
+        return plan
+    projections: list[tuple[str, Expr]] = []
+    for item in items:
+        if item.rank is not None:
+            continue
+        if item.agg is not None:
+            projections.append((item.alias, ColumnRef(item.alias)))
+        elif isinstance(item.expr, ColumnRef):
+            projections.append((item.alias, item.expr))
+    return ProjectNode(plan, projections)
+
+
+def _split_predicate(
+    where: Optional[Expr],
+    tables: list[str],
+    catalog=None,
+) -> tuple[dict[str, Expr], Optional[Expr]]:
+    """Push single-table conjuncts down to their scans.
+
+    Column ownership is resolved against the catalog's table schemas (our
+    workload schemas use TPC-DS-style per-table column prefixes, so every
+    column belongs to exactly one FROM table).  Without a catalog the whole
+    predicate stays residual.  Returns ``({table_lower: predicate}, residual)``.
+    """
+    if where is None:
+        return {}, None
+    if catalog is None:
+        return {}, where
+
+    owner_of: dict[str, str] = {}
+    ambiguous: set[str] = set()
+    for table_name in tables:
+        if table_name not in catalog:
+            continue
+        for field in catalog.table(table_name).schema:
+            key = field.name.lower()
+            if key in owner_of and owner_of[key] != table_name.lower():
+                ambiguous.add(key)
+            owner_of[key] = table_name.lower()
+
+    per_table: dict[str, list[Expr]] = {}
+    residual_terms: list[Expr] = []
+    for term in conjuncts(where):
+        owners = set()
+        resolvable = True
+        for col in term.columns():
+            key = col.lower()
+            if key in ambiguous or key not in owner_of:
+                resolvable = False
+                break
+            owners.add(owner_of[key])
+        if resolvable and len(owners) == 1:
+            per_table.setdefault(owners.pop(), []).append(term)
+        else:
+            residual_terms.append(term)
+    pushed = {
+        t: (terms[0] if len(terms) == 1 else And(tuple(terms)))
+        for t, terms in per_table.items()
+    }
+    residual = None
+    if residual_terms:
+        residual = residual_terms[0] if len(residual_terms) == 1 \
+            else And(tuple(residual_terms))
+    return pushed, residual
+
+
+def parse_query(sql: str, catalog=None) -> PlanNode:
+    """Parse one SELECT statement into a logical plan.
+
+    Passing the catalog enables predicate pushdown into scans (the engine
+    always does).
+    """
+    return _Parser(sql, catalog=catalog).parse()

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``sql``        run one SQL statement against the BD Insights database
+``explain``    print the annotated plan for one SQL statement
+``workload``   run a benchmark query class (simple/intermediate/complex/rolap)
+               with and without GPU and print the comparison
+``schema``     print the generated database's tables and sizes
+``monitor``    run a workload slice and dump the integrated monitor report
+
+Examples::
+
+    python -m repro sql "SELECT ss_store_sk, COUNT(*) AS c \
+        FROM store_sales GROUP BY ss_store_sk ORDER BY c DESC LIMIT 5"
+    python -m repro workload complex --scale 0.05
+    python -m repro explain "SELECT i_category, SUM(ss_net_paid) AS rev \
+        FROM store_sales JOIN item ON ss_item_sk = i_item_sk \
+        GROUP BY i_category"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.reporting import format_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DB2 BLU + GPU hybrid query processing (SIGMOD 2016 "
+                    "reproduction)",
+    )
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="database scale factor (default 0.05)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="data generator seed (default 7)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sql = sub.add_parser("sql", help="run one SQL statement")
+    p_sql.add_argument("statement")
+    p_sql.add_argument("--no-gpu", action="store_true",
+                       help="use the stock CPU-only engine")
+    p_sql.add_argument("--limit", type=int, default=20,
+                       help="max rows to print (default 20)")
+
+    p_explain = sub.add_parser("explain", help="print the annotated plan")
+    p_explain.add_argument("statement")
+
+    p_inspect = sub.add_parser(
+        "inspect",
+        help="run a statement and show plan + offload decisions + costs")
+    p_inspect.add_argument("statement")
+
+    p_workload = sub.add_parser("workload",
+                                help="run a benchmark query class")
+    p_workload.add_argument("category",
+                            choices=["simple", "intermediate", "complex",
+                                     "rolap"])
+    p_workload.add_argument("--repeats", type=int, default=1)
+
+    sub.add_parser("schema", help="print the generated tables")
+
+    p_monitor = sub.add_parser(
+        "monitor", help="run the complex queries and dump the monitor")
+    p_monitor.add_argument("--race", action="store_true",
+                           help="race group-by kernels")
+    p_monitor.add_argument("--json", metavar="PATH",
+                           help="also write the raw event dump as JSON")
+    return parser
+
+
+def _make_database(args):
+    from repro.workloads.datagen import generate_database, scaled_config
+
+    catalog = generate_database(scale=args.scale, seed=args.seed)
+    return catalog, scaled_config(catalog)
+
+
+def _print_result_table(table, limit: int) -> None:
+    data = table.to_pydict()
+    headers = table.schema.names()
+    rows = list(zip(*[data[h] for h in headers])) if headers else []
+    print(format_table(headers, rows[:limit]))
+    if len(rows) > limit:
+        print(f"... ({len(rows) - limit} more rows)")
+
+
+def cmd_sql(args) -> int:
+    from repro.core.accelerator import make_engine
+
+    catalog, config = _make_database(args)
+    engine = make_engine(catalog, config=config, gpu=not args.no_gpu)
+    result = engine.execute_sql(args.statement, query_id="cli")
+    _print_result_table(result.table, args.limit)
+    print()
+    mode = "CPU-only" if args.no_gpu else "GPU-accelerated"
+    print(f"{mode}: {result.elapsed_ms:.3f} simulated ms "
+          f"(offloaded: {result.profile.offloaded})")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.blu.engine import BluEngine
+
+    catalog, _config = _make_database(args)
+    engine = BluEngine(catalog)
+    print(engine.explain_sql(args.statement))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro.core.accelerator import GpuAcceleratedEngine
+
+    catalog, config = _make_database(args)
+    engine = GpuAcceleratedEngine(catalog, config=config)
+    print(engine.explain_decisions(args.statement))
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from repro.workloads.bdinsights import queries_by_category
+    from repro.workloads.cognos_rolap import screen_queries
+    from repro.workloads.driver import WorkloadDriver
+    from repro.workloads.query import QueryCategory
+
+    catalog, config = _make_database(args)
+    driver = WorkloadDriver(catalog, config)
+    if args.category == "rolap":
+        queries, oversized = screen_queries(driver.gpu_engine)
+        print(f"(34-of-46 screen: {len(oversized)} queries exceed GPU "
+              f"memory and are excluded)")
+    else:
+        queries = queries_by_category(QueryCategory(args.category))
+    on = driver.run_serial(queries, gpu=True, repeats=args.repeats)
+    off = driver.run_serial(queries, gpu=False, repeats=args.repeats)
+    rows = []
+    for a, b in zip(on, off):
+        gain = (b.elapsed_ms - a.elapsed_ms) / b.elapsed_ms * 100 \
+            if b.elapsed_ms else 0.0
+        rows.append((a.query_id, f"{a.elapsed_ms:.3f}",
+                     f"{b.elapsed_ms:.3f}", f"{gain:.1f}%",
+                     "yes" if a.offloaded else "no"))
+    print(format_table(
+        ["query", "GPU on (ms)", "GPU off (ms)", "gain", "offloaded"],
+        rows, title=f"{args.category} queries, scale {args.scale}"))
+    total_on = sum(r.elapsed_ms for r in on)
+    total_off = sum(r.elapsed_ms for r in off)
+    gain = (total_off - total_on) / total_off * 100 if total_off else 0.0
+    print(f"\nTOTAL: {total_on:.2f} vs {total_off:.2f} ms "
+          f"({gain:+.2f}% with GPU)")
+    return 0
+
+
+def cmd_schema(args) -> int:
+    catalog, config = _make_database(args)
+    rows = []
+    for name in catalog.table_names():
+        table = catalog.table(name)
+        rows.append((name, table.num_rows, table.num_columns,
+                     f"{table.encoded_nbytes / 1e6:.2f}"))
+    print(format_table(["table", "rows", "columns", "MB"], rows,
+                       title=f"BD Insights database, scale {args.scale}"))
+    print(f"\nsimulated GPUs: {config.gpu_count} x "
+          f"{config.gpus[0].device_memory_bytes / 1e6:.0f} MB, "
+          f"T1={config.thresholds.t1_min_rows}, "
+          f"T3={config.thresholds.t3_max_rows}")
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    from repro.core.accelerator import GpuAcceleratedEngine
+    from repro.workloads.bdinsights import queries_by_category
+    from repro.workloads.query import QueryCategory
+
+    catalog, config = _make_database(args)
+    engine = GpuAcceleratedEngine(catalog, config=config,
+                                  race_kernels=args.race)
+    for query in queries_by_category(QueryCategory.COMPLEX):
+        engine.execute_sql(query.sql, query_id=query.query_id)
+    print(engine.monitor.report())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump(engine.monitor.export_events(), f, indent=1)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+_COMMANDS = {
+    "sql": cmd_sql,
+    "explain": cmd_explain,
+    "inspect": cmd_inspect,
+    "workload": cmd_workload,
+    "schema": cmd_schema,
+    "monitor": cmd_monitor,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Hardware presets and cost-model calibration constants.
+
+The paper's testbed is an IBM Power S824 (2 sockets, 24 cores at 3.92 GHz,
+SMT-4 for 96 hardware threads, 512 GB RAM) with two NVIDIA Tesla K40 cards
+(2880 CUDA cores, 12 GB GDDR5 each) attached over PCIe gen3.  We have no such
+hardware, so every timing in this repository is *simulated*: operators and
+kernels compute real results on numpy arrays and report durations derived
+from the constants below.
+
+All constants live here — and only here — so that the calibration that maps
+our laptop-scale datasets onto the paper's reported shapes is auditable in
+one place.  Rates are expressed per *row* or per *byte* so they scale with
+the synthetic data volumes the workload generators produce.
+
+Units: time in seconds (floats), sizes in bytes, rates in units/second.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Host machine model (IBM Power S824 analogue)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """CPU-side machine description used by the processor-sharing simulator."""
+
+    name: str = "IBM Power S824 (simulated)"
+    sockets: int = 2
+    cores: int = 24
+    smt: int = 4
+    clock_ghz: float = 3.92
+    ram_bytes: int = 512 * 1024**3
+    # SMT scaling: running more threads than cores helps, with sharply
+    # diminishing returns (calibrated against Table 3's degree sweep, where
+    # degree 48 beats 24 by ~45% and 64 beats 48 by only ~8%).
+    smt_efficiency: float = 0.6
+    smt_decay: float = 30.0
+
+    @property
+    def hardware_threads(self) -> int:
+        return self.cores * self.smt
+
+    def effective_capacity(self, threads: int) -> float:
+        """Core-equivalents delivered by ``threads`` software threads."""
+        threads = max(0, min(threads, self.hardware_threads))
+        if threads <= self.cores:
+            return float(threads)
+        extra = threads - self.cores
+        bonus = self.smt_efficiency * (1.0 - math.exp(-extra / self.smt_decay))
+        return self.cores * (1.0 + bonus)
+
+
+# ---------------------------------------------------------------------------
+# GPU device model (NVIDIA Tesla K40 analogue)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one simulated CUDA device.
+
+    The shared-memory/L1 split is configurable per kernel launch exactly as
+    on Kepler (section 4.3.2 configures 48 KB shared / 16 KB L1).
+    """
+
+    name: str = "NVIDIA Tesla K40 (simulated)"
+    cuda_cores: int = 2880
+    smx_count: int = 15
+    shared_mem_per_smx: int = 64 * 1024
+    device_memory_bytes: int = 12 * 1024**3
+    max_concurrent_kernels: int = 32
+    # PCIe gen3 x16 effective bandwidths (section 2.1.2: pinned transfers are
+    # "more than 4X faster" than unpinned).
+    pcie_pinned_bw: float = 12.0e9
+    pcie_unpinned_bw: float = 2.8e9
+    kernel_launch_overhead: float = 20e-6
+    transfer_setup_overhead: float = 15e-6
+
+
+# ---------------------------------------------------------------------------
+# Cost model calibration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Throughput constants for the analytic timing model.
+
+    CPU rates are per core; the engine divides work across the degree of
+    parallelism it is granted and the simulator's processor-sharing pool
+    decides how many cores a query actually receives.  GPU rates are for the
+    whole device (the kernels internally model SMX occupancy and atomic
+    contention on top of these base rates).
+    """
+
+    # --- CPU per-core rates (rows/second) -------------------------------
+    cpu_scan_rate: float = 60e6            # predicate evaluation over a column
+    cpu_decode_rate: float = 120e6         # dictionary decode / load
+    cpu_hash_rate: float = 45e6            # hashing grouping keys
+    cpu_groupby_rate: float = 7e6          # local hash table build (LGHT)
+    cpu_merge_rate: float = 25e6           # merging local hash tables (per group)
+    cpu_join_build_rate: float = 16e6      # hash-join build side
+    cpu_join_probe_rate: float = 28e6      # probe side, build table in cache
+    cpu_join_probe_rate_uncached: float = 9e6   # build table misses LLC
+    cpu_cache_bytes: int = 32 * 1024 * 1024     # last-level cache per socket
+    cpu_sort_rate: float = 6e6             # comparison sort, rows * log2(rows) factor applied
+    cpu_partialkey_rate: float = 80e6      # generating 4-byte partial keys
+    cpu_memcpy_rate: float = 4.5e9         # bytes/s, copy into pinned staging
+    cpu_aggregate_rate_per_fn: float = 25e6  # per aggregation evaluator
+
+    # --- GPU whole-device rates -----------------------------------------
+    gpu_ht_insert_rate: float = 900e6      # hash-table insert probes/second
+    gpu_ht_probe_rate: float = 4000e6      # read-only probe lookups/second
+    gpu_atomic_agg_rate: float = 1600e6    # device-global atomic updates/second
+    gpu_lock_agg_rate: float = 5e9         # plain updates under a held row lock
+    gpu_lock_acquire_cost: float = 2.5e-9  # seconds per lock acquire/release pair
+    gpu_shared_insert_rate: float = 2600e6 # shared-memory hash inserts/second
+    gpu_shared_merge_rate: float = 700e6   # shared->global merge entries/second
+    gpu_radix_sort_rate: float = 550e6     # 4-byte keys/second (Merrill radix)
+    gpu_init_rate: float = 80e9            # bytes/s hash-table mask initialisation
+    gpu_scan_rate: float = 2500e6          # rows/s for on-device scans
+
+    # --- contention model ------------------------------------------------
+    atomic_contention_base: float = 1.0    # multiplier floor
+    atomic_contention_slope: float = 0.08  # grows with rows/groups ratio (log scale)
+
+    # --- CPU sort --------------------------------------------------------
+    cpu_sort_job_threshold: int = 4096     # below this, sort jobs stay on CPU
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Path-selection thresholds of Figure 3 (section 4.1).
+
+    T1: minimum input rows (and groups) for GPU offload to pay for itself.
+    T2: minimum estimated groups for the GPU path.
+    T3: maximum input rows before the working set no longer fits in device
+        memory and the query is processed on the CPU (the paper's current
+        prototype does not partition oversized group-bys).
+    """
+
+    t1_min_rows: int = 100_000
+    t2_min_groups: int = 8
+    t3_max_rows: int = 60_000_000
+    sort_min_rows: int = 100_000
+    small_groups_kernel_max_groups: int = 1024
+    many_aggs_threshold: int = 5
+    low_contention_ratio: float = 4.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete simulated-system description: host + GPUs + calibration."""
+
+    host: HostSpec = field(default_factory=HostSpec)
+    gpus: tuple[GpuSpec, ...] = field(default_factory=lambda: (GpuSpec(), GpuSpec()))
+    cost: CostModel = field(default_factory=CostModel)
+    thresholds: Thresholds = field(default_factory=Thresholds)
+
+    @property
+    def gpu_count(self) -> int:
+        return len(self.gpus)
+
+
+def paper_testbed() -> SystemConfig:
+    """The configuration of section 5: S824 + 2x K40."""
+    return SystemConfig()
+
+
+def single_gpu_testbed() -> SystemConfig:
+    """Same host with a single K40 (used by ablation benches)."""
+    return SystemConfig(gpus=(GpuSpec(),))
+
+
+def cpu_only_testbed() -> SystemConfig:
+    """Baseline DB2 BLU configuration: no GPUs installed."""
+    return SystemConfig(gpus=())

@@ -1,0 +1,192 @@
+"""Public facade: a BLU engine with GPU acceleration wired in.
+
+:class:`GpuAcceleratedEngine` owns the simulated devices, the pinned host
+memory pool, the multi-GPU scheduler, the kernel moderator, and the
+integrated performance monitor, and installs the hybrid group-by/sort
+executors into a :class:`repro.blu.engine.BluEngine`.
+
+Typical use::
+
+    from repro import make_engine, paper_testbed
+
+    engine = make_engine(catalog, config=paper_testbed(), gpu=True)
+    result = engine.execute_sql("SELECT ... GROUP BY ...")
+    print(result.elapsed_ms, result.profile.offloaded)
+    print(engine.monitor.report())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.blu.catalog import Catalog
+from repro.blu.engine import BluEngine, OperatorContext
+from repro.blu.plan import GroupByNode, JoinNode, PlanNode, SortNode
+from repro.blu.table import Table
+from repro.config import SystemConfig, cpu_only_testbed, paper_testbed
+from repro.core.hybrid_groupby import HybridGroupByExecutor
+from repro.core.hybrid_join import HybridJoinExecutor
+from repro.core.hybrid_sort import HybridSortExecutor
+from repro.core.moderator import GpuModerator
+from repro.core.monitoring import PerformanceMonitor
+from repro.core.scheduler import MultiGpuScheduler
+from repro.gpu.device import GpuDevice, make_devices
+from repro.gpu.pinned import PinnedMemoryPool
+from repro.timing import TimedResult
+
+_DEFAULT_PINNED_POOL = 2 * 1024**3      # registered once at start-up
+
+
+class GpuAcceleratedEngine:
+    """DB2-BLU-with-GPU: the paper's prototype as a library object."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: Optional[SystemConfig] = None,
+        race_kernels: bool = False,
+        learning_moderator: bool = False,
+        enable_join_offload: bool = False,
+        partition_large_groupby: bool = False,
+        pinned_pool_bytes: int = _DEFAULT_PINNED_POOL,
+        default_degree: int = 48,
+    ) -> None:
+        self.config = config or paper_testbed()
+        if self.config.gpu_count == 0:
+            raise ValueError(
+                "GpuAcceleratedEngine needs at least one GPU; "
+                "use BluEngine (or make_engine(gpu=False)) for the baseline"
+            )
+        self.devices: list[GpuDevice] = make_devices(self.config.gpus)
+        self.scheduler = MultiGpuScheduler(self.devices)
+        self.pinned = PinnedMemoryPool(pinned_pool_bytes)
+        self.monitor = PerformanceMonitor(self.devices)
+        if learning_moderator:
+            from repro.core.moderator import LearningModerator
+            self.moderator: GpuModerator = LearningModerator(
+                self.config.cost, self.config.thresholds,
+                smx_count=self.config.gpus[0].smx_count,
+            )
+        else:
+            self.moderator = GpuModerator(
+                self.config.cost, self.config.thresholds,
+                smx_count=self.config.gpus[0].smx_count,
+            )
+        self._groupby = HybridGroupByExecutor(
+            scheduler=self.scheduler,
+            moderator=self.moderator,
+            pinned=self.pinned,
+            thresholds=self.config.thresholds,
+            monitor=self.monitor,
+            race_kernels=race_kernels,
+            partition_large=partition_large_groupby,
+        )
+        self._sort = HybridSortExecutor(
+            scheduler=self.scheduler,
+            pinned=self.pinned,
+            thresholds=self.config.thresholds,
+            monitor=self.monitor,
+        )
+        self._join = HybridJoinExecutor(
+            scheduler=self.scheduler,
+            pinned=self.pinned,
+            thresholds=self.config.thresholds,
+            monitor=self.monitor,
+        ) if enable_join_offload else None
+        self.engine = BluEngine(
+            catalog,
+            config=self.config,
+            groupby_executor=self._route_groupby,
+            sort_executor=self._route_sort,
+            join_executor=self._route_join if enable_join_offload else None,
+            default_degree=default_degree,
+        )
+
+    # Route through bound methods so the executors see the current query id.
+    def _route_groupby(self, table: Table, node: GroupByNode,
+                       ctx: OperatorContext) -> Table:
+        return self._groupby(table, node, ctx)
+
+    def _route_sort(self, table: Table, node: SortNode,
+                    ctx: OperatorContext) -> Table:
+        return self._sort(table, node, ctx)
+
+    def _route_join(self, left: Table, right: Table, node: JoinNode,
+                    ctx: OperatorContext) -> Table:
+        return self._join(left, right, node, ctx)
+
+    # ------------------------------------------------------------------
+    # Query entry points (mirror BluEngine)
+    # ------------------------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.engine.catalog
+
+    def execute_sql(self, sql: str, query_id: Optional[str] = None,
+                    degree: Optional[int] = None) -> TimedResult:
+        self._set_query_id(query_id or "")
+        result = self.engine.execute_sql(sql, query_id=query_id,
+                                         degree=degree)
+        self.monitor.record_profile(result.profile)
+        return result
+
+    def execute_plan(self, plan: PlanNode, query_id: Optional[str] = None,
+                     degree: Optional[int] = None) -> TimedResult:
+        self._set_query_id(query_id or "")
+        result = self.engine.execute_plan(plan, query_id=query_id,
+                                          degree=degree)
+        self.monitor.record_profile(result.profile)
+        return result
+
+    def explain_sql(self, sql: str) -> str:
+        return self.engine.explain_sql(sql)
+
+    def explain_decisions(self, sql: str, degree: Optional[int] = None) -> str:
+        """Run ``sql`` and render the plan, the offload decisions the hybrid
+        executors took, and the per-event cost trace — the paper's
+        monitoring view for a single query."""
+        query_id = f"explain-{id(sql) & 0xFFFF:x}"
+        plan_text = self.explain_sql(sql)
+        result = self.execute_sql(sql, query_id=query_id, degree=degree)
+        lines = ["== plan ==", plan_text, "", "== offload decisions =="]
+        decisions = self.monitor.decisions_for(query_id)
+        if not decisions:
+            lines.append("(none — no offloadable operators)")
+        for d in decisions:
+            kernel = f" kernel={d.kernel}" if d.kernel else ""
+            device = f" device={d.device_id}" if d.device_id >= 0 else ""
+            lines.append(f"{d.operator:8} -> {d.path:{16}}{kernel}{device}"
+                         f"  ({d.reason})")
+        lines.append("")
+        lines.append("== cost trace ==")
+        for e in result.profile.events:
+            gpu = (f"  gpu={e.gpu_seconds * 1e3:.3f}ms "
+                   f"mem={e.gpu_memory_bytes / 1e6:.2f}MB "
+                   f"dev={e.device_id}") if e.uses_gpu else ""
+            lines.append(f"{e.op:12} rows={e.rows:>9} "
+                         f"cpu={e.cpu_seconds * 1e3:8.3f}ms-core "
+                         f"deg={e.max_degree:>3}{gpu}")
+        lines.append("")
+        lines.append(f"elapsed: {result.elapsed_ms:.3f} simulated ms "
+                     f"(offloaded: {result.profile.offloaded})")
+        return "\n".join(lines)
+
+    def _set_query_id(self, query_id: str) -> None:
+        self._groupby.query_id = query_id
+        self._sort.query_id = query_id
+        if self._join is not None:
+            self._join.query_id = query_id
+
+
+def make_engine(catalog: Catalog, config: Optional[SystemConfig] = None,
+                gpu: bool = True, **kwargs):
+    """Build either the GPU-accelerated prototype or the stock baseline.
+
+    Returns an object exposing ``execute_sql`` / ``execute_plan``; pass
+    ``gpu=False`` (or a config with no GPUs) for baseline DB2 BLU.
+    """
+    if not gpu:
+        return BluEngine(catalog, config=cpu_only_testbed(),
+                         default_degree=kwargs.get("default_degree", 48))
+    return GpuAcceleratedEngine(catalog, config=config, **kwargs)

@@ -1,0 +1,386 @@
+"""The hybrid group-by/aggregation executor — Figures 2 and 3.
+
+This is the paper's centrepiece.  For each group-by the executor:
+
+1. applies the Figure-3 path selection on the optimizer's row/group
+   estimates (small -> stock CPU chain; oversized -> CPU; else GPU);
+2. on the GPU path, runs the rewired host chain of Figure 2
+   (LCOG/LCOV -> CCAT -> HASH -> KMV -> MEMCPY): LGHT and the aggregation
+   evaluators are gone because the device does that work;
+3. reserves device memory up front through the multi-GPU scheduler (falling
+   back to the CPU when no device has room — section 2.1.1's option 2);
+4. asks the moderator for a kernel (or races all candidates), sizing the
+   hash table from the KMV estimate, growing it on the overflow error path;
+5. accounts the launch (pinned transfers in/out + kernel time) on the
+   owning device and emits a single-threaded GPU cost event — the
+   dispatching thread blocks while every other core is freed for other
+   work, which is where the multi-user throughput gains come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.blu.compression import packed_transfer_bytes
+from repro.blu.datatypes import int64 as int64_type
+from repro.blu.engine import OperatorContext, cpu_groupby_executor
+from repro.blu.evaluators import build_gpu_host_chain
+from repro.blu.operators.aggregate import (
+    build_group_output,
+    group_encode,
+    grouping_key_arrays,
+)
+from repro.blu.plan import GroupByNode
+from repro.blu.statistics import estimate_distinct, murmur3_fmix64
+from repro.blu.table import Table
+from repro.config import Thresholds
+from repro.core.metadata import RuntimeMetadata
+from repro.core.moderator import GpuModerator
+from repro.core.monitoring import OffloadDecision, PerformanceMonitor
+from repro.core.pathselect import ExecutionPath, select_groupby_path
+from repro.core.scheduler import MultiGpuScheduler
+from repro.errors import PinnedMemoryError
+from repro.gpu.kernels.hashtable import combine_keys
+from repro.gpu.kernels.request import GroupByRequest, PayloadSpec
+from repro.gpu.pinned import PinnedMemoryPool
+from repro.timing import CostEvent
+
+_DISPATCH_SECONDS = 50e-6     # the single dispatching thread's CPU work
+
+# Deterministic, widely spaced parallel-group ids: each partitioned run
+# claims a base id and numbers its device waves from there.
+import itertools as _itertools
+
+_PARALLEL_GROUP_IDS = _itertools.count(0, 1024)
+
+
+@dataclass
+class HybridGroupByExecutor:
+    """Pluggable group-by executor implementing the hybrid design.
+
+    ``partition_large`` enables the extension the paper describes but does
+    not implement ("If the number of input rows is very large ... we will
+    need to partition the data and use both the CPU and the GPU ... In our
+    current implementation, all of the large queries are processed in the
+    CPU"): inputs above T3 are hash-partitioned on the grouping key into
+    device-sized chunks that run on the GPUs one lease at a time, and the
+    partitions concatenate merge-free because their key sets are disjoint.
+    """
+
+    scheduler: MultiGpuScheduler
+    moderator: GpuModerator
+    pinned: PinnedMemoryPool
+    thresholds: Thresholds
+    monitor: Optional[PerformanceMonitor] = None
+    race_kernels: bool = False
+    partition_large: bool = False
+    query_id: str = ""
+
+    def __call__(self, table: Table, node: GroupByNode,
+                 ctx: OperatorContext) -> Table:
+        rows = table.num_rows
+        optimizer_groups = node.estimates.groups or 0.0
+
+        if not node.keys:
+            return cpu_groupby_executor(table, node, ctx)
+
+        decision = select_groupby_path(rows, optimizer_groups,
+                                       self.thresholds)
+        if decision.path is ExecutionPath.CPU_LARGE and self.partition_large:
+            return self._run_partitioned(table, node, ctx, optimizer_groups)
+        if not decision.use_gpu:
+            self._record(decision.path.value, decision.reason)
+            return cpu_groupby_executor(table, node, ctx)
+
+        return self._run_on_gpu(table, node, ctx, optimizer_groups)
+
+    # ------------------------------------------------------------------
+    # GPU path
+    # ------------------------------------------------------------------
+
+    def _run_on_gpu(self, table: Table, node: GroupByNode,
+                    ctx: OperatorContext, optimizer_groups: float) -> Table:
+        rows = table.num_rows
+        cost = ctx.config.cost
+
+        # Host half of the Figure-2 chain: load, concat, hash, KMV, memcpy.
+        key_arrays = grouping_key_arrays(table, node.keys)
+        combined, exact = combine_keys(key_arrays)
+        key_bits = sum(table.schema.field(k).dtype.bits for k in node.keys)
+        hashes = murmur3_fmix64(combined)
+        kmv = estimate_distinct(hashes, k=1024)
+
+        payloads = self._payload_specs(table, node)
+        metadata = RuntimeMetadata(
+            rows=rows,
+            optimizer_groups=optimizer_groups,
+            kmv_groups=kmv.groups,
+            key_bits=key_bits,
+            num_keys=len(node.keys),
+            payloads=payloads,
+            exact_keys=exact,
+            key_transfer_bytes=_staged_key_bytes(table, node.keys),
+        )
+        staged_bytes = metadata.staged_input_bytes()
+        host_chain = build_gpu_host_chain(
+            rows=rows, num_keys=len(node.keys),
+            num_aggs=max(1, len(payloads)),
+            staged_bytes=staged_bytes, cost=cost,
+        )
+
+        # Up-front device memory reservation, sized from optimizer metadata
+        # (the KMV refinement may grow it below).
+        request = GroupByRequest(
+            keys=combined, key_bits=key_bits, payloads=payloads,
+            estimated_groups=metadata.estimated_groups, exact_keys=exact,
+        )
+        kernel, _reason = self.moderator.choose(metadata)
+        memory_needed = (staged_bytes + metadata.result_bytes()
+                         + kernel.table_bytes(request))
+        if self.race_kernels:
+            memory_needed += sum(
+                k.table_bytes(request)
+                for k in self.moderator.candidates(metadata)
+                if k is not kernel
+            )
+        lease = self.scheduler.try_acquire(memory_needed, tag="groupby")
+        if lease is None:
+            # No device has room right now: fall back to the CPU chain
+            # (section 2.1.1 option 2).  Nothing was staged yet, so only
+            # the decision is recorded.
+            self._record("cpu-fallback",
+                         f"no GPU could reserve {memory_needed} bytes")
+            return cpu_groupby_executor(table, node, ctx)
+
+        self._record("gpu", f"offloading {rows} rows, "
+                            f"kmv groups~{metadata.estimated_groups}",
+                     kernel=kernel.name, device_id=lease.device.device_id)
+
+        # The host chain (including MEMCPY into pinned staging) runs now.
+        for event in host_chain.cost_events(ctx.degree):
+            ctx.ledger.add(event)
+        try:
+            buffer = self.pinned.allocate(staged_bytes)
+        except PinnedMemoryError:
+            self.scheduler.release(lease)
+            self._record("cpu-fallback", "pinned staging pool exhausted")
+            return cpu_groupby_executor(table, node, ctx)
+
+        try:
+            outcome = self.moderator.run(request, metadata,
+                                         race=self.race_kernels)
+            winner = outcome.winner
+            if outcome.wasted_device_seconds and self.monitor is not None:
+                self.monitor.counters.overflow_retries += \
+                    0 if outcome.raced else 1
+            if outcome.raced and self.monitor is not None:
+                self.monitor.counters.kernels_raced += 1
+                self.monitor.counters.kernels_cancelled += \
+                    len(outcome.cancelled)
+
+            launch = lease.device.launch(
+                kernel=winner.kernel,
+                kernel_seconds=(winner.kernel_seconds
+                                + outcome.wasted_device_seconds),
+                reservation=lease.reservation,
+                rows=rows,
+                bytes_in=staged_bytes,
+                bytes_out=metadata.result_bytes(),
+                pinned=True,
+            )
+            ctx.ledger.add(CostEvent(
+                op="GPU-GROUPBY",
+                rows=rows,
+                cpu_seconds=_DISPATCH_SECONDS,
+                max_degree=1,
+                gpu_seconds=launch.total_seconds,
+                gpu_memory_bytes=lease.reservation.nbytes,
+                device_id=lease.device.device_id,
+            ))
+        finally:
+            self.pinned.release(buffer)
+            self.scheduler.release(lease)
+
+        first_row = _first_rows(winner.group_index, winner.n_groups)
+        return build_group_output(
+            table, node.keys, node.aggs, winner.group_index, first_row,
+            winner.n_groups, name=f"{table.name}_grouped",
+        )
+
+    # ------------------------------------------------------------------
+    # Extension: partitioned processing of over-T3 inputs
+    # ------------------------------------------------------------------
+
+    def _run_partitioned(self, table: Table, node: GroupByNode,
+                         ctx: OperatorContext,
+                         optimizer_groups: float) -> Table:
+        """Hash-partition an oversized group-by into device-sized chunks.
+
+        Partitioning on the grouping-key hash makes the partitions'
+        group sets disjoint, so per-partition results concatenate without
+        any merge step — the same merge-free idea as the hybrid sort.
+        """
+        rows = table.num_rows
+        cost = ctx.config.cost
+        key_arrays = grouping_key_arrays(table, node.keys)
+        combined, exact = combine_keys(key_arrays)
+        key_bits = sum(table.schema.field(k).dtype.bits for k in node.keys)
+        payloads = self._payload_specs(table, node)
+
+        partitions = max(2, -(-rows // self.thresholds.t3_max_rows))
+        hashes = murmur3_fmix64(combined)
+        part_of_row = (hashes % np.uint64(partitions)).astype(np.int64)
+        # One pass over the data to split it (host side, parallel).
+        ctx.ledger.cpu("PARTITION", rows, rows / cost.cpu_scan_rate,
+                       max_degree=ctx.degree)
+        self._record("gpu-partitioned",
+                     f"{rows} rows split into {partitions} partitions",
+                     kernel=None)
+
+        # Partitions run data-parallel across the devices (section 2.2):
+        # GPU events are emitted in waves of device_count sharing a
+        # parallel group, so both the serial timing and the DES overlap
+        # them the way the hardware would.
+        devices = max(1, self.scheduler.device_count)
+        gpu_events: list[CostEvent] = []
+        group_base = next(_PARALLEL_GROUP_IDS)
+
+        group_index = np.empty(rows, dtype=np.int64)
+        offset = 0
+        for p in range(partitions):
+            rows_p = np.nonzero(part_of_row == p)[0]
+            if not len(rows_p):
+                continue
+            keys_p = combined[rows_p]
+            kmv = estimate_distinct(murmur3_fmix64(keys_p), k=1024)
+            metadata = RuntimeMetadata(
+                rows=len(rows_p),
+                optimizer_groups=optimizer_groups / partitions,
+                kmv_groups=kmv.groups,
+                key_bits=key_bits, num_keys=len(node.keys),
+                payloads=payloads, exact_keys=exact,
+            )
+            request = GroupByRequest(
+                keys=keys_p, key_bits=key_bits, payloads=payloads,
+                estimated_groups=metadata.estimated_groups,
+                exact_keys=exact,
+            )
+            staged = metadata.staged_input_bytes()
+            host_chain = build_gpu_host_chain(
+                rows=len(rows_p), num_keys=len(node.keys),
+                num_aggs=max(1, len(payloads)),
+                staged_bytes=staged, cost=cost,
+            )
+            kernel, _reason = self.moderator.choose(metadata)
+            memory_needed = (staged + metadata.result_bytes()
+                             + kernel.table_bytes(request))
+            lease = self.scheduler.try_acquire(memory_needed,
+                                               tag="groupby-part")
+            if lease is None:
+                # Partition runs on the CPU chain instead (truly hybrid).
+                sub = table.take(rows_p)
+                sub_result_index, _, n_sub = group_encode([keys_p])
+                chain_events = build_gpu_host_chain(
+                    rows=len(rows_p), num_keys=len(node.keys),
+                    num_aggs=max(1, len(payloads)),
+                    staged_bytes=0, cost=cost,
+                ).cost_events(ctx.degree)
+                ctx.ledger.extend(chain_events)
+                ctx.ledger.cpu(
+                    "LGHT", len(rows_p),
+                    len(rows_p) / cost.cpu_groupby_rate, ctx.degree)
+                group_index[rows_p] = sub_result_index + offset
+                offset += n_sub
+                continue
+            for event in host_chain.cost_events(ctx.degree):
+                ctx.ledger.add(event)
+            buffer = self.pinned.allocate(staged)
+            try:
+                outcome = self.moderator.run(request, metadata, race=False)
+                winner = outcome.winner
+                launch = lease.device.launch(
+                    kernel=winner.kernel,
+                    kernel_seconds=(winner.kernel_seconds
+                                    + outcome.wasted_device_seconds),
+                    reservation=lease.reservation,
+                    rows=len(rows_p),
+                    bytes_in=staged,
+                    bytes_out=metadata.result_bytes(),
+                    pinned=True,
+                )
+                gpu_events.append(CostEvent(
+                    op="GPU-GROUPBY",
+                    rows=len(rows_p),
+                    cpu_seconds=_DISPATCH_SECONDS,
+                    max_degree=1,
+                    gpu_seconds=launch.total_seconds,
+                    gpu_memory_bytes=lease.reservation.nbytes,
+                    device_id=lease.device.device_id,
+                    parallel_group=group_base + p // devices,
+                ))
+            finally:
+                self.pinned.release(buffer)
+                self.scheduler.release(lease)
+            group_index[rows_p] = winner.group_index + offset
+            offset += winner.n_groups
+
+        # Emit the device work as consecutive wave groups.
+        ctx.ledger.extend(gpu_events)
+
+        first_row = _first_rows(group_index, offset)
+        return build_group_output(
+            table, node.keys, node.aggs, group_index, first_row, offset,
+            name=f"{table.name}_grouped",
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _payload_specs(self, table: Table,
+                       node: GroupByNode) -> list[PayloadSpec]:
+        specs = []
+        for agg in node.aggs:
+            dtype = int64_type() if agg.expr is None \
+                else agg.expr.result_type(table)
+            specs.append(PayloadSpec(dtype=dtype, func=agg.func))
+        return specs
+
+    def _record(self, path: str, reason: str, kernel: Optional[str] = None,
+                device_id: int = -1) -> None:
+        if self.monitor is None:
+            return
+        self.monitor.record_decision(OffloadDecision(
+            query_id=self.query_id, operator="groupby", path=path,
+            reason=reason, kernel=kernel, device_id=device_id,
+        ))
+
+
+def _staged_key_bytes(table: Table, keys) -> int:
+    """Bytes MEMCPY stages for the key columns, at their packed widths.
+
+    Dictionary columns pack to their cardinality's width; plain integer
+    columns pack to their value span (BLU's load-time frame-of-reference
+    encoding).
+    """
+    total = 0
+    for name in keys:
+        col = table.column(name)
+        if col.dictionary is not None:
+            cardinality = col.dictionary.cardinality
+        elif len(col.data):
+            cardinality = int(col.data.max()) - int(col.data.min()) + 1
+        else:
+            cardinality = 1
+        total += packed_transfer_bytes(len(col), cardinality)
+    return total
+
+
+def _first_rows(group_index: np.ndarray, n_groups: int) -> np.ndarray:
+    """First row of each dense group id (groups are appearance-ordered)."""
+    first = np.full(n_groups, len(group_index), dtype=np.int64)
+    np.minimum.at(first, group_index, np.arange(len(group_index)))
+    return first

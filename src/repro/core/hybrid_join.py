@@ -1,0 +1,126 @@
+"""Hybrid join executor — the paper's future-work item, implemented.
+
+Disabled by default (the paper's prototype keeps joins on the host); pass
+``enable_join_offload=True`` to :class:`~repro.core.accelerator.
+GpuAcceleratedEngine` to turn it on.  The routing mirrors the group-by
+path selection: the probe side must clear the offload row threshold, the
+build side must have unique keys (the star-schema FK case the kernel
+handles), the working set must fit a device, and any failure falls back to
+the stock CPU join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.blu.engine import OperatorContext, cpu_join_executor
+from repro.blu.operators.join import _aligned_keys, _assemble
+from repro.blu.plan import JoinNode
+from repro.blu.table import Table
+from repro.config import Thresholds
+from repro.core.monitoring import OffloadDecision, PerformanceMonitor
+from repro.core.scheduler import MultiGpuScheduler
+from repro.errors import GpuError, PinnedMemoryError
+from repro.gpu.kernels.join import HashJoinKernel
+from repro.gpu.pinned import PinnedMemoryPool
+from repro.timing import CostEvent
+
+_DISPATCH_SECONDS = 50e-6
+
+
+@dataclass
+class HybridJoinExecutor:
+    """Pluggable join executor that may offload FK joins to a GPU."""
+
+    scheduler: MultiGpuScheduler
+    pinned: PinnedMemoryPool
+    thresholds: Thresholds
+    monitor: Optional[PerformanceMonitor] = None
+    query_id: str = ""
+
+    def __call__(self, left: Table, right: Table, node: JoinNode,
+                 ctx: OperatorContext) -> Table:
+        probe_rows = left.num_rows
+        build_rows = right.num_rows
+        if probe_rows < self.thresholds.t1_min_rows or build_rows == 0:
+            self._record("cpu-small",
+                         f"probe side {probe_rows} rows below T1")
+            return cpu_join_executor(left, right, node, ctx)
+
+        build_col = right.column(node.right_key)
+        probe_col = left.column(node.left_key)
+        build_keys, probe_keys = _aligned_keys(build_col, probe_col)
+        if len(np.unique(build_keys)) != len(build_keys):
+            self._record("cpu-small",
+                         "build keys not unique: many-to-many stays on CPU")
+            return cpu_join_executor(left, right, node, ctx)
+
+        kernel = HashJoinKernel(ctx.config.cost)
+        # BLU-encoded transfers: build keys as 8-byte words, probe keys as
+        # packed 4-byte codes; the kernel returns a compact 4-byte match
+        # row id per probe hit.
+        staged = build_rows * 8 + probe_rows * 4
+        result_bytes = probe_rows * 4
+        memory_needed = staged + result_bytes \
+            + kernel.table_bytes(build_rows)
+        lease = self.scheduler.try_acquire(memory_needed, tag="join")
+        if lease is None:
+            self._record("cpu-fallback",
+                         f"no GPU could reserve {memory_needed} bytes")
+            return cpu_join_executor(left, right, node, ctx)
+
+        try:
+            buffer = self.pinned.allocate(staged)
+        except PinnedMemoryError:
+            self.scheduler.release(lease)
+            self._record("cpu-fallback", "pinned staging pool exhausted")
+            return cpu_join_executor(left, right, node, ctx)
+
+        try:
+            try:
+                result = kernel.run(build_keys, probe_keys)
+            except GpuError:
+                self._record("cpu-fallback", "kernel rejected the join")
+                return cpu_join_executor(left, right, node, ctx)
+            launch = lease.device.launch(
+                kernel=result.kernel,
+                kernel_seconds=result.kernel_seconds,
+                reservation=lease.reservation,
+                rows=probe_rows,
+                bytes_in=staged,
+                bytes_out=len(result.left_idx) * 4,
+                pinned=True,
+            )
+            ctx.ledger.add(CostEvent(
+                op="GPU-JOIN",
+                rows=probe_rows,
+                cpu_seconds=_DISPATCH_SECONDS,
+                max_degree=1,
+                gpu_seconds=launch.total_seconds,
+                gpu_memory_bytes=lease.reservation.nbytes,
+                device_id=lease.device.device_id,
+            ))
+            # Host-side materialisation of the joined columns.
+            materialise = (len(result.left_idx)
+                           * (left.num_columns + right.num_columns)
+                           / ctx.config.cost.cpu_decode_rate)
+            ctx.ledger.cpu("JOIN-MAT", len(result.left_idx), materialise,
+                           max_degree=ctx.degree)
+        finally:
+            self.pinned.release(buffer)
+            self.scheduler.release(lease)
+
+        self._record("gpu", f"offloaded FK join: {probe_rows} probe rows, "
+                            f"{build_rows} build rows")
+        return _assemble(left, right, result.left_idx, result.right_idx)
+
+    def _record(self, path: str, reason: str) -> None:
+        if self.monitor is None:
+            return
+        self.monitor.record_decision(OffloadDecision(
+            query_id=self.query_id, operator="join", path=path,
+            reason=reason,
+        ))

@@ -1,0 +1,278 @@
+"""The hybrid job-queue sort — section 3.
+
+The sort never moves the wide tuples (they stay in the Sort Data Store);
+what gets sorted are *partial keys*: 4-byte binary-sortable prefixes of a
+type-erased key encoding, paired with 4-byte payloads pointing back at the
+tuples.  A job queue drives the work:
+
+- the initial job covers the whole data set at key offset 0;
+- each job extracts its 4-byte partial keys (host side, parallel), then is
+  dispatched either to a GPU (Merrill radix sort) when it is large enough,
+  or sorted on the CPU when it is small — "a truly hybrid sorting system";
+- the GPU identifies *duplicate ranges* (runs of equal partial keys); each
+  range becomes a new job on the next 4 key bytes;
+- jobs operate on disjoint contiguous slices of the global order, so no
+  merge step ever runs ("we have a merge free sort algorithm ... by making
+  conflict free partitions before sending sort jobs to the GPU").
+
+The byte encoding is order-preserving for every supported type (two's
+complement sign flip for integers, the IEEE total-order trick for floats,
+collation ranks for dictionary-coded strings; descending keys are bitwise
+complemented), so sorting the byte stream 4 bytes at a time equals the
+CPU engine's multi-key sort exactly — which the tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.blu.engine import OperatorContext, cpu_sort_executor
+from repro.blu.plan import SortKey, SortNode
+from repro.blu.table import Table
+from repro.config import Thresholds
+from repro.core.monitoring import OffloadDecision, PerformanceMonitor
+from repro.core.pathselect import select_sort_offload
+from repro.core.scheduler import MultiGpuScheduler
+from repro.errors import PinnedMemoryError
+from repro.gpu.kernels.radix_sort import RadixSortKernel
+from repro.gpu.pinned import PinnedMemoryPool
+from repro.timing import CostEvent
+
+_DISPATCH_SECONDS = 50e-6
+
+
+# ---------------------------------------------------------------------------
+# Order-preserving key encoding (the "partial binary sortable representation")
+# ---------------------------------------------------------------------------
+
+
+def encode_sort_keys(table: Table, keys: Sequence[SortKey]) -> np.ndarray:
+    """Encode the sort keys of every row into big-endian sortable bytes.
+
+    Returns an (n, total_bytes) uint8 array whose lexicographic byte order
+    equals the logical multi-key order.
+    """
+    from repro.blu.operators.sort import null_high_sort_keys
+
+    parts = []
+    for key in keys:
+        col = table.column(key.column)
+        raw = null_high_sort_keys(col)
+        if raw.dtype.kind == "f":
+            encoded = _encode_float64(raw.astype(np.float64))
+        elif raw.dtype.itemsize <= 4:
+            encoded = _encode_int(raw.astype(np.int32))
+        else:
+            encoded = _encode_int(raw.astype(np.int64))
+        if not key.ascending:
+            encoded = ~encoded
+        parts.append(encoded)
+    return np.hstack(parts) if parts else \
+        np.zeros((table.num_rows, 0), dtype=np.uint8)
+
+
+def _encode_int(values: np.ndarray) -> np.ndarray:
+    """Two's-complement ints -> big-endian unsigned bytes, order-preserving."""
+    if values.dtype == np.int32:
+        unsigned = (values.view(np.uint32) ^ np.uint32(1 << 31))
+        return unsigned.astype(">u4").view(np.uint8).reshape(len(values), 4)
+    unsigned = (values.view(np.uint64) ^ np.uint64(1 << 63))
+    return unsigned.astype(">u8").view(np.uint8).reshape(len(values), 8)
+
+
+def _encode_float64(values: np.ndarray) -> np.ndarray:
+    """IEEE-754 total-order trick: flip all bits of negatives, sign bit of
+    non-negatives.  -0.0 is normalised to +0.0 first — SQL comparison
+    semantics treat them as equal, but their bit patterns would not be."""
+    values = np.where(values == 0.0, 0.0, values)
+    bits = values.view(np.uint64)
+    sign = np.uint64(1 << 63)
+    flipped = np.where(bits & sign != 0, ~bits, bits | sign)
+    return flipped.astype(">u8").view(np.uint8).reshape(len(values), 8)
+
+
+def extract_partial_keys(encoded: np.ndarray, rows: np.ndarray,
+                         offset: int) -> np.ndarray:
+    """The 4-byte partial key of each row at ``offset`` (zero-padded)."""
+    n = len(rows)
+    window = np.zeros((n, 4), dtype=np.uint8)
+    available = max(0, min(4, encoded.shape[1] - offset))
+    if available:
+        window[:, :available] = encoded[rows, offset:offset + available]
+    return window.view(">u4").reshape(n).astype(np.uint32)
+
+
+# ---------------------------------------------------------------------------
+# Job queue
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SortJob:
+    """One contiguous slice of the global order at one key offset."""
+
+    start: int
+    length: int
+    key_offset: int
+
+
+@dataclass
+class SortRunStats:
+    """What the hybrid sort did (for tests and monitoring)."""
+
+    jobs_total: int = 0
+    jobs_gpu: int = 0
+    jobs_cpu: int = 0
+    duplicate_jobs: int = 0
+    fallbacks: int = 0
+
+
+@dataclass
+class HybridSortExecutor:
+    """Pluggable sort executor implementing the section-3 design."""
+
+    scheduler: MultiGpuScheduler
+    pinned: PinnedMemoryPool
+    thresholds: Thresholds
+    monitor: Optional[PerformanceMonitor] = None
+    query_id: str = ""
+    last_stats: SortRunStats = field(default_factory=SortRunStats)
+
+    def __call__(self, table: Table, node: SortNode,
+                 ctx: OperatorContext) -> Table:
+        rows = table.num_rows
+        if not select_sort_offload(rows, self.thresholds) \
+                or self.scheduler.device_count == 0:
+            self._record("cpu-small",
+                         f"{rows} rows below sort offload threshold")
+            return cpu_sort_executor(table, node, ctx)
+
+        order, stats = self._hybrid_sort(table, node.keys, ctx)
+        self.last_stats = stats
+        self._record("gpu", f"hybrid sort: {stats.jobs_gpu} GPU / "
+                            f"{stats.jobs_cpu} CPU jobs")
+        return table.take(order, name=f"{table.name}_sorted")
+
+    # ------------------------------------------------------------------
+
+    def _hybrid_sort(self, table: Table, keys: Sequence[SortKey],
+                     ctx: OperatorContext) -> tuple[np.ndarray, SortRunStats]:
+        cost = ctx.config.cost
+        radix = RadixSortKernel(cost)
+        encoded = encode_sort_keys(table, keys)
+        total_bytes = encoded.shape[1]
+        n = table.num_rows
+        order = np.arange(n, dtype=np.int64)
+        stats = SortRunStats()
+
+        queue: list[SortJob] = [SortJob(0, n, 0)]
+        while queue:
+            job = queue.pop()
+            stats.jobs_total += 1
+            rows_idx = order[job.start:job.start + job.length]
+            partial = extract_partial_keys(encoded, rows_idx, job.key_offset)
+
+            # Host threads generate partial keys and payloads in parallel.
+            ctx.ledger.add(CostEvent(
+                op="PARTIALKEY", rows=job.length,
+                cpu_seconds=job.length / cost.cpu_partialkey_rate,
+                max_degree=min(ctx.degree, 48),
+            ))
+
+            if job.length >= cost.cpu_sort_job_threshold:
+                result = self._gpu_sort_job(partial, radix, ctx, stats)
+            else:
+                result = None
+            if result is None:
+                sub_order, duplicate_ranges = _cpu_sort_job(
+                    partial, cost, ctx, stats)
+            else:
+                sub_order, duplicate_ranges = result
+
+            order[job.start:job.start + job.length] = rows_idx[sub_order]
+
+            next_offset = job.key_offset + 4
+            if next_offset < total_bytes:
+                for dup in duplicate_ranges:
+                    stats.duplicate_jobs += 1
+                    queue.append(SortJob(job.start + dup[0], dup[1],
+                                         next_offset))
+        return order, stats
+
+    def _gpu_sort_job(self, partial: np.ndarray, radix: RadixSortKernel,
+                      ctx: OperatorContext, stats: SortRunStats):
+        """Dispatch one job to a GPU; None means fall back to the CPU."""
+        length = len(partial)
+        staged = length * 8           # key + payload pairs
+        memory_needed = radix.device_bytes(length)
+        lease = self.scheduler.try_acquire(memory_needed, tag="sort")
+        if lease is None:
+            stats.fallbacks += 1
+            return None
+        try:
+            buffer = self.pinned.allocate(staged)
+        except PinnedMemoryError:
+            self.scheduler.release(lease)
+            stats.fallbacks += 1
+            return None
+        try:
+            result = radix.run(partial)
+            launch = lease.device.launch(
+                kernel=radix.name,
+                kernel_seconds=result.kernel_seconds,
+                reservation=lease.reservation,
+                rows=length,
+                bytes_in=staged,
+                bytes_out=staged,
+                pinned=True,
+            )
+            ctx.ledger.add(CostEvent(
+                op="GPU-SORT", rows=length,
+                cpu_seconds=_DISPATCH_SECONDS, max_degree=1,
+                gpu_seconds=launch.total_seconds,
+                gpu_memory_bytes=lease.reservation.nbytes,
+                device_id=lease.device.device_id,
+            ))
+        finally:
+            self.pinned.release(buffer)
+            self.scheduler.release(lease)
+        stats.jobs_gpu += 1
+        ranges = [(d.start, d.length) for d in result.duplicate_ranges]
+        return result.order, ranges
+
+    def _record(self, path: str, reason: str) -> None:
+        if self.monitor is None:
+            return
+        self.monitor.record_decision(OffloadDecision(
+            query_id=self.query_id, operator="sort", path=path,
+            reason=reason,
+        ))
+
+
+def _cpu_sort_job(partial: np.ndarray, cost, ctx: OperatorContext,
+                  stats: SortRunStats):
+    """Sort a small job on the host (stable, like the radix kernel)."""
+    length = len(partial)
+    sub_order = np.argsort(partial, kind="stable")
+    if length > 1:
+        comparisons = length * math.log2(length)
+        ctx.ledger.add(CostEvent(
+            op="SORT", rows=length,
+            cpu_seconds=comparisons / (cost.cpu_sort_rate * 16),
+            max_degree=min(ctx.degree, 8),
+        ))
+    stats.jobs_cpu += 1
+    sorted_keys = partial[sub_order]
+    ranges = []
+    if length:
+        change = np.empty(length, dtype=bool)
+        change[0] = True
+        change[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        starts = np.nonzero(change)[0]
+        lengths = np.diff(np.append(starts, length))
+        ranges = [(int(s), int(l)) for s, l in zip(starts, lengths) if l > 1]
+    return sub_order, ranges

@@ -1,0 +1,74 @@
+"""Runtime metadata records (section 4.2).
+
+"All of the metadata is sent to the GPU runtime": the exact number of input
+tuples, the estimated number of groups (optimizer estimate, refined by the
+KMV sketch computed off the HASH evaluator output), and the number of
+aggregation functions.  The moderator and the hash-table sizing both consume
+this record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gpu.kernels.request import PayloadSpec
+
+
+@dataclass
+class RuntimeMetadata:
+    """What the GPU runtime knows about one group-by before launching."""
+
+    rows: int                          # exact (counted by the host chain)
+    optimizer_groups: float            # catalog-statistics estimate
+    kmv_groups: Optional[int] = None   # runtime KMV refinement
+    key_bits: int = 64                 # declared width of the combined key
+    num_keys: int = 1                  # grouping columns (CCAT inputs)
+    payloads: list[PayloadSpec] = field(default_factory=list)
+    exact_keys: bool = True
+    # Actual bytes of the packed (dictionary-coded) key columns as staged
+    # by MEMCPY; None falls back to PACKED_COLUMN_BYTES per key column.
+    key_transfer_bytes: Optional[int] = None
+
+    @property
+    def estimated_groups(self) -> int:
+        """Best available group estimate: KMV when present, else optimizer.
+
+        Without any estimate the table must be sized at the row count — the
+        expensive case the paper's metadata plumbing exists to avoid.
+        """
+        if self.kmv_groups is not None:
+            return max(1, self.kmv_groups)
+        if self.optimizer_groups > 0:
+            return max(1, int(round(self.optimizer_groups)))
+        return max(1, self.rows)
+
+    @property
+    def num_aggs(self) -> int:
+        return len(self.payloads)
+
+    @property
+    def rows_per_group(self) -> float:
+        return self.rows / max(1, self.estimated_groups)
+
+    # Transfers move BLU-*encoded* columns ("we design our GPU kernels such
+    # that they can process DB2 BLU data with minimum conversion cost"):
+    # dictionary codes and scaled decimals ship as 4-byte packed words.
+    PACKED_COLUMN_BYTES = 4
+
+    def staged_input_bytes(self) -> int:
+        """Bytes the MEMCPY evaluator stages for transfer: the encoded key
+        columns (at their true packed width when known) plus every encoded
+        payload column."""
+        keys_part = self.key_transfer_bytes
+        if keys_part is None:
+            keys_part = self.rows * self.PACKED_COLUMN_BYTES * self.num_keys
+        payload_part = self.rows * self.PACKED_COLUMN_BYTES \
+            * max(1, self.num_aggs)
+        return keys_part + payload_part
+
+    def result_bytes(self) -> int:
+        """Bytes copied back: one hash-table row per group."""
+        per_group = max(8, self.key_bits // 8) \
+            + sum(p.width_bytes for p in self.payloads)
+        return self.estimated_groups * per_group

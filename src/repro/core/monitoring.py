@@ -1,0 +1,165 @@
+"""Integrated CPU+GPU performance monitoring (section 2.3).
+
+The paper built its own monitor because nvidia-smi cannot profile kernels
+inside a host application.  :class:`PerformanceMonitor` plays that role:
+it collects per-query profiles from the engine, offload decisions from the
+hybrid executors, and kernel records from every device's
+:class:`~repro.gpu.profiler.GpuProfiler`, and renders the combined view
+used for kernel tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.gpu.device import GpuDevice
+from repro.timing import QueryProfile
+
+
+@dataclass
+class OffloadDecision:
+    """One path-selection / kernel-choice event."""
+
+    query_id: str
+    operator: str              # "groupby" | "sort"
+    path: str                  # "gpu" | "cpu-small" | "cpu-large" | ...
+    reason: str
+    kernel: Optional[str] = None
+    device_id: int = -1
+
+
+@dataclass
+class Counters:
+    """Engine-wide offload accounting."""
+
+    gpu_offloads: int = 0
+    cpu_small: int = 0
+    cpu_large: int = 0
+    reservation_fallbacks: int = 0
+    overflow_retries: int = 0
+    kernels_raced: int = 0
+    kernels_cancelled: int = 0
+
+
+class PerformanceMonitor:
+    """Collects everything the tuning loop needs in one place."""
+
+    def __init__(self, devices: Sequence[GpuDevice] = ()) -> None:
+        self.devices = list(devices)
+        self.profiles: list[QueryProfile] = []
+        self.decisions: list[OffloadDecision] = []
+        self.counters = Counters()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_profile(self, profile: QueryProfile) -> None:
+        self.profiles.append(profile)
+
+    def record_decision(self, decision: OffloadDecision) -> None:
+        self.decisions.append(decision)
+        if decision.path == "gpu":
+            self.counters.gpu_offloads += 1
+        elif decision.path == "cpu-small":
+            self.counters.cpu_small += 1
+        elif decision.path == "cpu-large":
+            self.counters.cpu_large += 1
+        elif decision.path == "cpu-fallback":
+            self.counters.reservation_fallbacks += 1
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+
+    @property
+    def total_gpu_seconds(self) -> float:
+        return sum(p.gpu_seconds for p in self.profiles)
+
+    @property
+    def total_cpu_core_seconds(self) -> float:
+        return sum(p.cpu_core_seconds for p in self.profiles)
+
+    def operator_breakdown(self) -> dict[str, float]:
+        """Elapsed-equivalent seconds per operator label across queries."""
+        out: dict[str, float] = {}
+        for profile in self.profiles:
+            for op, seconds in profile.breakdown().items():
+                out[op] = out.get(op, 0.0) + seconds
+        return out
+
+    def decisions_for(self, query_id: str) -> list[OffloadDecision]:
+        return [d for d in self.decisions if d.query_id == query_id]
+
+    def export_events(self) -> list[dict]:
+        """Machine-readable dump of everything the monitor collected.
+
+        One dict per record — query profiles (with their event traces),
+        offload decisions, and device kernel records — suitable for
+        json.dump or downstream analysis.
+        """
+        out: list[dict] = []
+        for profile in self.profiles:
+            out.append({
+                "kind": "query",
+                "query_id": profile.query_id,
+                "gpu_enabled": profile.gpu_enabled,
+                "cpu_core_seconds": profile.cpu_core_seconds,
+                "gpu_seconds": profile.gpu_seconds,
+                "offloaded": profile.offloaded,
+                "events": [
+                    {
+                        "op": e.op, "rows": e.rows,
+                        "cpu_seconds": e.cpu_seconds,
+                        "max_degree": e.max_degree,
+                        "gpu_seconds": e.gpu_seconds,
+                        "gpu_memory_bytes": e.gpu_memory_bytes,
+                        "device_id": e.device_id,
+                        "parallel_group": e.parallel_group,
+                    }
+                    for e in profile.events
+                ],
+            })
+        for d in self.decisions:
+            out.append({
+                "kind": "decision",
+                "query_id": d.query_id, "operator": d.operator,
+                "path": d.path, "reason": d.reason, "kernel": d.kernel,
+                "device_id": d.device_id,
+            })
+        for device in self.devices:
+            for r in device.profiler.records:
+                out.append({
+                    "kind": "kernel",
+                    "device_id": r.device_id, "kernel": r.kernel,
+                    "rows": r.rows,
+                    "kernel_seconds": r.kernel_seconds,
+                    "transfer_seconds": r.transfer_seconds,
+                    "device_bytes": r.device_bytes,
+                })
+        return out
+
+    def report(self) -> str:
+        lines = ["=== DB2 BLU + GPU performance monitor ==="]
+        c = self.counters
+        lines.append(
+            f"queries={len(self.profiles)}  gpu_offloads={c.gpu_offloads}  "
+            f"cpu_small={c.cpu_small}  cpu_large={c.cpu_large}  "
+            f"fallbacks={c.reservation_fallbacks}  "
+            f"overflow_retries={c.overflow_retries}"
+        )
+        lines.append(
+            f"cpu core-seconds={self.total_cpu_core_seconds:.3f}  "
+            f"gpu device-seconds={self.total_gpu_seconds:.3f}"
+        )
+        breakdown = self.operator_breakdown()
+        if breakdown:
+            lines.append("-- operator breakdown (elapsed-equivalent s) --")
+            for op, seconds in sorted(breakdown.items(),
+                                      key=lambda kv: -kv[1]):
+                lines.append(f"  {op:16} {seconds:10.4f}")
+        for device in self.devices:
+            if device.profiler.records:
+                lines.append(device.profiler.report())
+        return "\n".join(lines)

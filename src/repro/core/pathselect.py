@@ -1,0 +1,73 @@
+"""Optimizer-driven execution-path selection — Figure 3 (section 4.1).
+
+Three-way routing on the optimizer's row/group estimates:
+
+- rows < T1 (or groups < T2): the CPU is already fast, and the PCIe
+  round-trip would cost more than the kernel saves -> stock CPU chain;
+- T1 <= rows <= T3 and groups >= T2: the common analytic case -> GPU;
+- rows > T3: the working set would not fit in device memory and the
+  prototype does not partition group-bys -> CPU ("in our current
+  implementation, all of the large queries are processed in the CPU").
+
+Sort offload gets the analogous small-job cutoff from section 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import Thresholds
+
+
+class ExecutionPath(enum.Enum):
+    CPU_SMALL = "cpu-small"      # below T1/T2: not worth the transfer
+    GPU = "gpu"                  # the offload sweet spot
+    CPU_LARGE = "cpu-large"      # above T3: exceeds device memory
+
+
+@dataclass(frozen=True)
+class PathDecision:
+    """Where a group-by runs, and why (for monitoring/EXPLAIN output)."""
+
+    path: ExecutionPath
+    reason: str
+
+    @property
+    def use_gpu(self) -> bool:
+        return self.path is ExecutionPath.GPU
+
+
+def select_groupby_path(
+    rows: float,
+    estimated_groups: float,
+    thresholds: Thresholds,
+) -> PathDecision:
+    """Apply the Figure 3 decision tree to one group-by."""
+    if rows > thresholds.t3_max_rows:
+        return PathDecision(
+            ExecutionPath.CPU_LARGE,
+            f"rows~{rows:.0f} > T3={thresholds.t3_max_rows}: "
+            "exceeds GPU memory, processed on CPU",
+        )
+    if rows < thresholds.t1_min_rows:
+        return PathDecision(
+            ExecutionPath.CPU_SMALL,
+            f"rows~{rows:.0f} < T1={thresholds.t1_min_rows}: "
+            "transfer cost would dominate",
+        )
+    if estimated_groups < thresholds.t2_min_groups:
+        return PathDecision(
+            ExecutionPath.CPU_SMALL,
+            f"groups~{estimated_groups:.0f} < T2={thresholds.t2_min_groups}: "
+            "CPU is already fast for tiny group counts",
+        )
+    return PathDecision(
+        ExecutionPath.GPU,
+        f"rows~{rows:.0f} in [T1, T3] and groups~{estimated_groups:.0f} >= T2",
+    )
+
+
+def select_sort_offload(rows: int, thresholds: Thresholds) -> bool:
+    """Is a sort large enough that GPU jobs pay for their transfers?"""
+    return rows >= thresholds.sort_min_rows

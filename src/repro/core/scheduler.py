@@ -1,0 +1,100 @@
+"""Multi-GPU task scheduler (section 2.2).
+
+"After calculating the total memory size that a kernel invocation needs, we
+consult the GPUs to see if any of them has enough free resources to execute
+the given kernel call."  The scheduler tracks outstanding jobs and free
+memory per device, supports heterogeneous device specs, and hands back a
+(device, reservation) lease.  When no device qualifies the caller chooses:
+wait, or fall back to the CPU (section 2.1.1's two options).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SchedulerError
+from repro.gpu.device import GpuDevice
+from repro.gpu.memory import Reservation
+
+
+@dataclass
+class GpuLease:
+    """A granted device slot + memory reservation; release when done."""
+
+    device: GpuDevice
+    reservation: Reservation
+    released: bool = False
+
+
+class MultiGpuScheduler:
+    """Distributes kernel jobs across the available (possibly
+    heterogeneous) devices."""
+
+    def __init__(self, devices: Sequence[GpuDevice]) -> None:
+        self.devices = list(devices)
+        self.grants = 0
+        self.rejections = 0
+
+    @property
+    def device_count(self) -> int:
+        return len(self.devices)
+
+    def try_acquire(self, memory_bytes: int, tag: str = "") -> Optional[GpuLease]:
+        """Lease the least-loaded device that can reserve ``memory_bytes``.
+
+        Ranking: fewest outstanding jobs first, then most free memory — the
+        "resources required by the task and the resources currently
+        available by each of the GPUs".
+        """
+        candidates = [
+            d for d in self.devices if d.memory.can_reserve(memory_bytes)
+        ]
+        if not candidates:
+            self.rejections += 1
+            return None
+        best = min(
+            candidates,
+            key=lambda d: (d.outstanding_jobs, -d.memory.free),
+        )
+        reservation = best.memory.try_reserve(memory_bytes, tag)
+        if reservation is None:          # raced by a concurrent reserver
+            self.rejections += 1
+            return None
+        best.outstanding_jobs += 1
+        self.grants += 1
+        return GpuLease(device=best, reservation=reservation)
+
+    def acquire(self, memory_bytes: int, tag: str = "") -> GpuLease:
+        lease = self.try_acquire(memory_bytes, tag)
+        if lease is None:
+            raise SchedulerError(
+                f"no GPU can reserve {memory_bytes} bytes for {tag or 'job'}"
+            )
+        return lease
+
+    def release(self, lease: GpuLease) -> None:
+        if lease.released:
+            raise SchedulerError("lease already released")
+        lease.device.memory.release(lease.reservation)
+        lease.device.outstanding_jobs -= 1
+        lease.released = True
+
+    def fits_any_device(self, memory_bytes: int) -> bool:
+        """Could an idle system ever run this job?  (The 12-of-46 ROLAP
+        queries whose requirements exceed the K40's memory fail this.)"""
+        return any(
+            memory_bytes <= d.memory.capacity for d in self.devices
+        )
+
+    def snapshot(self) -> list[dict]:
+        """Per-device load view (what the dispatcher consults)."""
+        return [
+            {
+                "device_id": d.device_id,
+                "outstanding_jobs": d.outstanding_jobs,
+                "free_bytes": d.memory.free,
+                "capacity_bytes": d.memory.capacity,
+            }
+            for d in self.devices
+        ]

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch engine failures without swallowing genuine programming errors.  The GPU
+substrate mirrors the error surface the paper's prototype has to handle: out
+of device memory (the expensive "error code path" of section 2.1.1), failed
+reservations, and hash-table overflow when the KMV group estimate was too low
+(section 4.2's "error detection code-path").
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A table/column definition or lookup is invalid."""
+
+
+class TypeMismatchError(ReproError):
+    """An expression or operator was applied to an incompatible data type."""
+
+
+class SqlError(ReproError):
+    """The SQL subset parser rejected a statement."""
+
+
+class PlanError(ReproError):
+    """A logical plan is malformed or cannot be bound to the catalog."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a physical plan."""
+
+
+class GpuError(ReproError):
+    """Base class for simulated-CUDA failures."""
+
+
+class DeviceMemoryError(GpuError):
+    """Device memory allocation failed (cudaErrorMemoryAllocation analogue)."""
+
+
+class ReservationError(GpuError):
+    """An up-front device-memory reservation could not be satisfied."""
+
+
+class PinnedMemoryError(GpuError):
+    """The pinned host-memory pool could not satisfy a request."""
+
+
+class HashTableOverflowError(GpuError):
+    """The GPU hash table filled up (group estimate was too small).
+
+    Section 4.2: "We also have an error detection code-path, so if the
+    estimated number of groups is not correct (smaller than the exact number
+    of groups) we could still process the query."  The hybrid group-by
+    catches this error, grows the table, and retries.
+    """
+
+
+class KernelAbortedError(GpuError):
+    """A racing kernel was cancelled because a sibling finished first."""
+
+
+class SchedulerError(ReproError):
+    """No GPU device can satisfy a job's resource requirements."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload definition or generator failed."""

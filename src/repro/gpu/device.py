@@ -1,0 +1,130 @@
+"""The simulated GPU device: geometry, memory, launches, profiling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.config import GpuSpec
+from repro.errors import GpuError
+from repro.gpu.memory import DeviceMemoryManager, Reservation
+from repro.gpu.profiler import GpuProfiler, KernelRecord
+from repro.gpu.transfer import transfer_seconds
+
+
+@dataclass(frozen=True)
+class SharedMemoryConfig:
+    """Per-SMX shared-memory / L1 split (Kepler's configurable 64 KB)."""
+
+    shared_bytes: int
+    l1_bytes: int
+
+    @classmethod
+    def prefer_shared(cls) -> "SharedMemoryConfig":
+        """The 48 KB shared / 16 KB L1 split of section 4.3.2."""
+        return cls(shared_bytes=48 * 1024, l1_bytes=16 * 1024)
+
+    @classmethod
+    def prefer_l1(cls) -> "SharedMemoryConfig":
+        return cls(shared_bytes=16 * 1024, l1_bytes=48 * 1024)
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Timing of one kernel launch, transfers included."""
+
+    kernel: str
+    device_id: int
+    transfer_in_seconds: float
+    kernel_seconds: float
+    transfer_out_seconds: float
+    device_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.transfer_in_seconds + self.kernel_seconds
+                + self.transfer_out_seconds)
+
+
+class GpuDevice:
+    """One simulated K40: spec + memory manager + profiler + job count.
+
+    The multi-GPU scheduler (section 2.2) consults ``outstanding_jobs`` and
+    ``memory.free`` when choosing a device.
+    """
+
+    def __init__(self, device_id: int, spec: GpuSpec) -> None:
+        self.device_id = device_id
+        self.spec = spec
+        self.memory = DeviceMemoryManager(spec.device_memory_bytes)
+        self.profiler = GpuProfiler(device_id)
+        self.outstanding_jobs = 0
+        self.shared_config = SharedMemoryConfig.prefer_shared()
+
+    # ------------------------------------------------------------------
+    # Geometry helpers the kernels use
+    # ------------------------------------------------------------------
+
+    @property
+    def smx_count(self) -> int:
+        return self.spec.smx_count
+
+    @property
+    def shared_bytes_per_smx(self) -> int:
+        return self.shared_config.shared_bytes
+
+    def configure_shared_memory(self, config: SharedMemoryConfig) -> None:
+        if config.shared_bytes + config.l1_bytes != self.spec.shared_mem_per_smx:
+            raise GpuError(
+                "shared + L1 must equal the SMX's "
+                f"{self.spec.shared_mem_per_smx} bytes"
+            )
+        self.shared_config = config
+
+    # ------------------------------------------------------------------
+    # Launch accounting
+    # ------------------------------------------------------------------
+
+    def launch(
+        self,
+        kernel: str,
+        kernel_seconds: float,
+        reservation: Reservation,
+        rows: int = 0,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+        pinned: bool = True,
+    ) -> LaunchResult:
+        """Account one kernel invocation under a live memory reservation.
+
+        The caller must have reserved device memory first — launching
+        without a reservation is exactly the bug class section 2.1.1 rules
+        out, so the API makes it impossible.
+        """
+        if reservation.released:
+            raise GpuError("launch requires a live memory reservation")
+        t_in = transfer_seconds(bytes_in, self.spec, pinned)
+        t_out = transfer_seconds(bytes_out, self.spec, pinned)
+        total_kernel = self.spec.kernel_launch_overhead + kernel_seconds
+        record = KernelRecord(
+            kernel=kernel,
+            device_id=self.device_id,
+            rows=rows,
+            transfer_in_seconds=t_in,
+            kernel_seconds=total_kernel,
+            transfer_out_seconds=t_out,
+            device_bytes=reservation.nbytes,
+            launch_overhead=self.spec.kernel_launch_overhead,
+        )
+        self.profiler.record(record)
+        return LaunchResult(
+            kernel=kernel,
+            device_id=self.device_id,
+            transfer_in_seconds=t_in,
+            kernel_seconds=total_kernel,
+            transfer_out_seconds=t_out,
+            device_bytes=reservation.nbytes,
+        )
+
+
+def make_devices(specs) -> list[GpuDevice]:
+    """Instantiate one :class:`GpuDevice` per spec."""
+    return [GpuDevice(i, spec) for i, spec in enumerate(specs)]

@@ -1,0 +1,36 @@
+"""Simulated CUDA kernels: three group-by variants plus radix sort.
+
+Each kernel computes a *real* result with numpy and returns a simulated
+duration derived from the calibrated cost model, including hash-probe
+counts, atomic contention, shared-memory capacity effects and lock costs.
+"""
+
+from repro.gpu.kernels.atomics import AtomicsModel
+from repro.gpu.kernels.hashtable import (
+    GpuHashTable,
+    HashTableLayout,
+    combine_keys,
+)
+from repro.gpu.kernels.groupby_regular import RegularGroupByKernel
+from repro.gpu.kernels.groupby_shared import SharedMemoryGroupByKernel
+from repro.gpu.kernels.groupby_biglock import GlobalLockGroupByKernel
+from repro.gpu.kernels.radix_sort import RadixSortKernel
+from repro.gpu.kernels.request import (
+    GroupByKernelResult,
+    GroupByRequest,
+    PayloadSpec,
+)
+
+__all__ = [
+    "AtomicsModel",
+    "GlobalLockGroupByKernel",
+    "GpuHashTable",
+    "GroupByKernelResult",
+    "GroupByRequest",
+    "HashTableLayout",
+    "PayloadSpec",
+    "RadixSortKernel",
+    "RegularGroupByKernel",
+    "SharedMemoryGroupByKernel",
+    "combine_keys",
+]

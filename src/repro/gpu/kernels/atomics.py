@@ -1,0 +1,81 @@
+"""Atomic-vs-lock aggregation cost model (section 4.4).
+
+Three update regimes, decided by the payload type's
+:class:`~repro.blu.datatypes.AtomicSupport`:
+
+- NATIVE:    one hardware atomic per update (atomicAdd/Min/Max);
+- CAS_LOOP:  an atomicCAS retry loop for 128-bit numerics — pricier, and
+  retries grow with contention;
+- LOCK_ONLY: wide strings must take a lock per update.
+
+Contention scales with the rows-per-group ratio: many rows hitting few hash
+entries serialise their atomics.  Kernel 3's alternative — one *row lock*
+covering all aggregation functions — is also priced here so the moderator
+can compare the two strategies (section 4.3.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.blu.datatypes import AtomicSupport
+from repro.config import CostModel
+from repro.gpu.kernels.request import PayloadSpec
+
+_CAS_LOOP_PENALTY = 2.5
+
+
+@dataclass(frozen=True)
+class AtomicsModel:
+    """Prices per-update aggregation work for one kernel invocation."""
+
+    cost: CostModel
+
+    def contention_factor(self, rows: int, groups: int) -> float:
+        """Serialisation multiplier for ``rows`` hammering ``groups`` entries."""
+        if groups <= 0 or rows <= 0:
+            return self.cost.atomic_contention_base
+        ratio = max(1.0, rows / groups)
+        return (self.cost.atomic_contention_base
+                + self.cost.atomic_contention_slope * math.log2(ratio))
+
+    def update_seconds(self, payload: PayloadSpec, contention: float) -> float:
+        """Seconds for one per-payload update (kernel 1's strategy)."""
+        support = payload.dtype.atomic_support
+        if support is AtomicSupport.NATIVE:
+            return contention / self.cost.gpu_atomic_agg_rate
+        if support is AtomicSupport.CAS_LOOP:
+            return _CAS_LOOP_PENALTY * contention / self.cost.gpu_atomic_agg_rate
+        # LOCK_ONLY: acquire/release around every single update.
+        return (self.cost.gpu_lock_acquire_cost * contention
+                + 1.0 / self.cost.gpu_lock_agg_rate)
+
+    def per_payload_row_seconds(self, payloads: list[PayloadSpec],
+                                rows: int, groups: int) -> float:
+        """Kernel-1 aggregation: every payload updated independently."""
+        contention = self.contention_factor(rows, groups)
+        return sum(self.update_seconds(p, contention) for p in payloads)
+
+    def row_lock_seconds(self, payloads: list[PayloadSpec],
+                         rows: int, groups: int) -> float:
+        """Kernel-3 aggregation: one row lock, then all payloads updated.
+
+        The lock pair is paid once per row; individual updates proceed at
+        the (uncontended) lock-protected rate because the row is exclusively
+        held.
+        """
+        contention = self.contention_factor(rows, groups)
+        lock_pair = self.cost.gpu_lock_acquire_cost * contention
+        updates = len(payloads) / self.cost.gpu_lock_agg_rate
+        return lock_pair + updates
+
+    def total_aggregation_seconds(self, payloads: list[PayloadSpec],
+                                  rows: int, groups: int,
+                                  row_lock: bool) -> float:
+        """Whole-kernel aggregation time for ``rows`` input rows."""
+        if row_lock:
+            per_row = self.row_lock_seconds(payloads, rows, groups)
+        else:
+            per_row = self.per_payload_row_seconds(payloads, rows, groups)
+        return rows * per_row

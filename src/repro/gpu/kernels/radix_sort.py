@@ -1,0 +1,94 @@
+"""GPU radix sort over 4-byte partial keys (section 3).
+
+The paper uses Nvidia's Merrill/Grimshaw "Duane" radix sort kernel.  We
+model it: a stable LSD radix sort over the 4-byte partial keys, one pass
+per 8-bit digit, at the calibrated device rate.  The kernel also returns
+the *duplicate ranges* — runs of tuples whose 4-byte partial keys are
+identical — which the host turns into follow-up jobs on the next 4 key
+bytes.
+
+The functional sort is numpy's stable argsort (same output as an LSD radix
+sort); the cost is priced per radix pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CostModel
+
+_RADIX_BITS = 8
+_KEY_BITS = 32
+_PASSES = _KEY_BITS // _RADIX_BITS
+
+
+@dataclass(frozen=True)
+class DuplicateRange:
+    """A run of tuples sharing the same 4-byte partial key."""
+
+    start: int
+    length: int
+
+
+@dataclass
+class RadixSortResult:
+    """Sorted order, duplicate ranges, and simulated timing."""
+
+    order: np.ndarray
+    duplicate_ranges: list[DuplicateRange]
+    kernel_seconds: float
+    device_bytes: int
+
+
+class RadixSortKernel:
+    """Merrill-style radix sort of (4-byte key, 4-byte payload) pairs."""
+
+    name = "radix_sort"
+
+    def __init__(self, cost: CostModel) -> None:
+        self.cost = cost
+
+    def device_bytes(self, rows: int) -> int:
+        """Keys + payloads + double buffer (radix sort ping-pongs)."""
+        return rows * 8 * 2
+
+    def run(self, keys: np.ndarray) -> RadixSortResult:
+        """Sort ``keys`` (uint32 partial keys); stable within equal keys."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint32)
+        rows = len(keys)
+        order = np.argsort(keys, kind="stable")
+
+        sorted_keys = keys[order]
+        duplicate_ranges = _find_duplicate_ranges(sorted_keys)
+
+        kernel_seconds = (
+            rows * _PASSES / (self.cost.gpu_radix_sort_rate * _PASSES)
+            if rows else 0.0
+        )
+        # Duplicate-range detection is one extra linear scan on device.
+        kernel_seconds += rows / self.cost.gpu_scan_rate if rows else 0.0
+        return RadixSortResult(
+            order=order,
+            duplicate_ranges=duplicate_ranges,
+            kernel_seconds=kernel_seconds,
+            device_bytes=self.device_bytes(rows),
+        )
+
+
+def _find_duplicate_ranges(sorted_keys: np.ndarray) -> list[DuplicateRange]:
+    """Runs of length > 1 in an already-sorted key array."""
+    n = len(sorted_keys)
+    if n == 0:
+        return []
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    change[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    starts = np.nonzero(change)[0]
+    lengths = np.diff(np.append(starts, n))
+    return [
+        DuplicateRange(int(s), int(l))
+        for s, l in zip(starts, lengths)
+        if l > 1
+    ]

@@ -1,0 +1,137 @@
+"""Device memory management with up-front reservation (section 2.1.1).
+
+The paper's motivation: concurrent tasks that start kernels optimistically
+can hit mid-flight allocation failures, forcing an expensive rollback path.
+Their fix — which we reproduce — is a reservation system: a task queries and
+reserves *all* the device memory it will need before launching; if the
+reservation fails it can wait or fall back to the CPU, but it never fails
+half-way through.
+
+:class:`DeviceMemoryManager` tracks reservations and the allocations made
+against them, and keeps a high-water mark plus an optional usage log that
+Figure 9's memory-utilisation trace is built from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DeviceMemoryError, ReservationError
+
+
+@dataclass
+class Reservation:
+    """A granted up-front claim on device memory."""
+
+    reservation_id: int
+    nbytes: int
+    tag: str
+    allocated: int = 0
+    released: bool = False
+
+    @property
+    def available(self) -> int:
+        return self.nbytes - self.allocated
+
+
+class DeviceMemoryManager:
+    """Tracks all consumers of one GPU device's memory."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("device memory capacity must be positive")
+        self.capacity = capacity_bytes
+        self._reservations: dict[int, Reservation] = {}
+        self._ids = itertools.count(1)
+        self.peak_reserved = 0
+        # (timestamp, reserved_bytes) samples appended by whoever owns the
+        # clock (the DES during concurrency runs, callers in serial runs).
+        self.usage_log: list[tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def reserved(self) -> int:
+        return sum(r.nbytes for r in self._reservations.values())
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.reserved
+
+    def can_reserve(self, nbytes: int) -> bool:
+        return nbytes <= self.free
+
+    def record_usage(self, timestamp: float) -> None:
+        """Append a usage sample (drives the Figure 9 trace)."""
+        self.usage_log.append((timestamp, self.reserved))
+
+    # ------------------------------------------------------------------
+    # Reservation protocol
+    # ------------------------------------------------------------------
+
+    def try_reserve(self, nbytes: int, tag: str = "") -> Optional[Reservation]:
+        """Reserve ``nbytes`` up front, or return None if they aren't free."""
+        if nbytes < 0:
+            raise ValueError("cannot reserve a negative amount")
+        if nbytes > self.free:
+            return None
+        reservation = Reservation(next(self._ids), nbytes, tag)
+        self._reservations[reservation.reservation_id] = reservation
+        self.peak_reserved = max(self.peak_reserved, self.reserved)
+        return reservation
+
+    def reserve(self, nbytes: int, tag: str = "") -> Reservation:
+        """Like :meth:`try_reserve` but raises on failure."""
+        reservation = self.try_reserve(nbytes, tag)
+        if reservation is None:
+            raise ReservationError(
+                f"cannot reserve {nbytes} bytes ({tag or 'untagged'}): "
+                f"only {self.free} of {self.capacity} free"
+            )
+        return reservation
+
+    def allocate(self, reservation: Reservation, nbytes: int) -> None:
+        """Allocate against a reservation (kernel-side cudaMalloc analogue).
+
+        Exceeding the reservation is the exact failure the reservation
+        discipline exists to prevent, so it raises
+        :class:`~repro.errors.DeviceMemoryError` — the expensive error path.
+        """
+        self._check_live(reservation)
+        if nbytes > reservation.available:
+            raise DeviceMemoryError(
+                f"allocation of {nbytes} bytes exceeds reservation "
+                f"{reservation.reservation_id} (remaining "
+                f"{reservation.available} of {reservation.nbytes})"
+            )
+        reservation.allocated += nbytes
+
+    def grow(self, reservation: Reservation, extra: int) -> bool:
+        """Try to extend a live reservation (hash-table regrow path)."""
+        self._check_live(reservation)
+        if extra > self.free:
+            return False
+        reservation.nbytes += extra
+        self.peak_reserved = max(self.peak_reserved, self.reserved)
+        return True
+
+    def release(self, reservation: Reservation) -> None:
+        """Return the reserved memory to the free pool."""
+        self._check_live(reservation)
+        reservation.released = True
+        del self._reservations[reservation.reservation_id]
+
+    def _check_live(self, reservation: Reservation) -> None:
+        if reservation.released or \
+                reservation.reservation_id not in self._reservations:
+            raise ReservationError(
+                f"reservation {reservation.reservation_id} is not live"
+            )
+
+    @property
+    def live_reservations(self) -> list[Reservation]:
+        return list(self._reservations.values())

@@ -1,0 +1,20 @@
+"""PCIe gen3 transfer timing model (section 2.1.2)."""
+
+from __future__ import annotations
+
+from repro.config import GpuSpec
+
+
+def transfer_seconds(nbytes: int, spec: GpuSpec, pinned: bool = True) -> float:
+    """Host<->device copy duration over PCIe gen3.
+
+    Pinned (registered) memory streams at the DMA rate; unpinned memory goes
+    through an intermediate bounce buffer at well under a quarter of that
+    (the paper: "more than 4X faster ... if the host memory is registered").
+    """
+    if nbytes < 0:
+        raise ValueError("cannot transfer a negative byte count")
+    if nbytes == 0:
+        return 0.0
+    bandwidth = spec.pcie_pinned_bw if pinned else spec.pcie_unpinned_bw
+    return spec.transfer_setup_overhead + nbytes / bandwidth

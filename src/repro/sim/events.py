@@ -1,0 +1,35 @@
+"""A deterministic priority event queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """Min-heap of (time, sequence, payload) with stable FIFO tie-breaks."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = itertools.count()
+
+    def push(self, timestamp: float, payload: Any) -> None:
+        heapq.heappush(self._heap, (timestamp, next(self._seq), payload))
+
+    def pop(self) -> tuple[float, Any]:
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        timestamp, _seq, payload = heapq.heappop(self._heap)
+        return timestamp, payload
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,370 @@
+"""Closed-loop multi-user workload simulator.
+
+Each *user* (the paper drives these with JMETER connection threads) executes
+its list of query profiles sequentially, ``loops`` times over.  A query is a
+sequence of cost events; CPU work contends in the processor-sharing pool,
+GPU work is admitted to a device by the least-loaded-with-room rule (waiting
+when no device has memory free — section 2.1.1 option 1).
+
+Consecutive events that share a ``parallel_group`` start together: that is
+the multi-GPU data-parallel path of section 2.2, where a partitioned input
+is "sent to some number of available GPU devices, to be operated on
+concurrently".
+
+The simulation is exact for this model: between events all rates are
+constant, so we repeatedly advance to the earliest stage completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.resources import (
+    CpuTask,
+    GpuDeviceState,
+    GpuKernelTask,
+    ProcessorSharingPool,
+)
+from repro.timing import QueryProfile
+
+_EPS = 1e-9
+
+
+@dataclass
+class UserScript:
+    """One closed-loop connection thread.
+
+    ``think_seconds`` inserts a pause between consecutive queries — the
+    JMETER-style pacing of a human analyst clicking through a dashboard.
+    """
+
+    user_id: str
+    profiles: list[QueryProfile]
+    loops: int = 1
+    think_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class QueryCompletion:
+    user_id: str
+    query_id: str
+    start: float
+    end: float
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark harness needs from one simulated run."""
+
+    makespan: float
+    completions: list[QueryCompletion]
+    device_memory_logs: dict[int, list[tuple[float, int]]]
+    cpu_utilisation_samples: list[tuple[float, float]]
+    gpu_waits: int
+
+    @property
+    def queries_completed(self) -> int:
+        return len(self.completions)
+
+    def throughput_per_hour(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.queries_completed * 3600.0 / self.makespan
+
+    def elapsed_by_query(self) -> dict[str, list[float]]:
+        out: dict[str, list[float]] = {}
+        for c in self.completions:
+            out.setdefault(c.query_id, []).append(c.elapsed)
+        return out
+
+
+@dataclass
+class _Stage:
+    kind: str                 # "cpu" | "gpu"
+    work: float               # core-seconds or device-seconds
+    max_rate: float = 1.0
+    threads: int = 1
+    memory_bytes: int = 0
+    parallel_group: int = -1
+
+
+@dataclass
+class _UserState:
+    script: UserScript
+    loop: int = 0
+    query_index: int = 0
+    stage_queue: list[_Stage] = field(default_factory=list)
+    query_start: float = 0.0
+    outstanding: set = field(default_factory=set)
+    waiting_count: int = 0
+    wake_at: Optional[float] = None      # set while thinking between queries
+    in_query: bool = False               # a begun query not yet finished
+    done: bool = False
+
+    @property
+    def idle(self) -> bool:
+        return not self.outstanding and self.waiting_count == 0
+
+
+class WorkloadSimulator:
+    """Replays query profiles for concurrent users over shared hardware."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.pool = ProcessorSharingPool(config.host)
+        self.devices = [
+            GpuDeviceState(device_id=i, spec=spec)
+            for i, spec in enumerate(config.gpus)
+        ]
+        self._task_ids = itertools.count(1)
+        self._gpu_waits = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, users: Sequence[UserScript],
+            max_seconds: Optional[float] = None) -> SimulationResult:
+        clock = SimClock()
+        states = [_UserState(script=u) for u in users]
+        completions: list[QueryCompletion] = []
+        waiters: list[tuple[_UserState, _Stage]] = []
+        owner_of_task: dict[int, _UserState] = {}
+        util_samples: list[tuple[float, float]] = []
+        self._gpu_waits = 0
+
+        for state in states:
+            self._begin_query(state, clock.now)
+            self._skip_empty_queries(state, clock.now, completions)
+            if not state.done:
+                self._start_next_batch(state, clock, owner_of_task, waiters)
+
+        while True:
+            active = [s for s in states if not s.done]
+            if not active:
+                break
+            if max_seconds is not None and clock.now >= max_seconds:
+                break
+            delta = self._earliest_completion()
+            wake_delta = min(
+                (s.wake_at - clock.now for s in active
+                 if s.wake_at is not None),
+                default=None,
+            )
+            if delta is None and wake_delta is None:
+                if waiters:
+                    raise SimulationError(
+                        "all users blocked on GPU admission with idle "
+                        "devices (a stage exceeds every device's capacity?)"
+                    )
+                break
+            if delta is None or (wake_delta is not None
+                                 and wake_delta < delta):
+                delta = max(0.0, wake_delta)
+            util_samples.append((clock.now, self.pool.utilisation))
+            clock.advance(delta)
+            self.pool.progress(delta)
+            for device in self.devices:
+                device.progress(delta)
+
+            finished = self._collect_finished(owner_of_task, clock.now)
+            touched = []
+            for state, task_id in finished:
+                state.outstanding.discard(task_id)
+                touched.append(state)
+            # Wake users whose think time elapsed.
+            for state in active:
+                if state.wake_at is not None \
+                        and state.wake_at <= clock.now + _EPS:
+                    state.wake_at = None
+                    touched.append(state)
+            self._drain_waiters(waiters, clock, owner_of_task)
+            for state in touched:
+                if state.done or not state.idle or state.wake_at is not None:
+                    continue
+                if state.in_query and not state.stage_queue:
+                    self._finish_query(state, clock.now, completions)
+                    if state.done:
+                        continue
+                    if state.script.think_seconds > 0:
+                        state.wake_at = (clock.now
+                                         + state.script.think_seconds)
+                        continue
+                if not state.in_query:
+                    self._begin_query(state, clock.now)
+                    self._skip_empty_queries(state, clock.now, completions)
+                    if state.done:
+                        continue
+                self._start_next_batch(state, clock, owner_of_task, waiters)
+
+        return SimulationResult(
+            makespan=clock.now,
+            completions=completions,
+            device_memory_logs={
+                d.device_id: list(d.memory_log) for d in self.devices
+            },
+            cpu_utilisation_samples=util_samples,
+            gpu_waits=self._gpu_waits,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage plumbing
+    # ------------------------------------------------------------------
+
+    def _begin_query(self, state: _UserState, now: float) -> None:
+        profile = state.script.profiles[state.query_index]
+        state.stage_queue = list(self._stages_of(profile))
+        state.query_start = now
+        state.in_query = True
+
+    def _skip_empty_queries(self, state: _UserState, now: float,
+                            completions: list[QueryCompletion]) -> None:
+        """Complete zero-work queries instantly (they never enter a pool)."""
+        while not state.done and not state.stage_queue:
+            self._finish_query(state, now, completions)
+            if not state.done:
+                self._begin_query(state, now)
+
+    def _stages_of(self, profile: QueryProfile) -> Iterable[_Stage]:
+        host = self.config.host
+        for event in profile.events:
+            if event.parallel_group >= 0 and event.gpu_seconds > _EPS:
+                # Data-parallel GPU work: fold the (tiny) dispatch CPU time
+                # into the device stage so batch members start together.
+                yield _Stage(
+                    kind="gpu",
+                    work=event.gpu_seconds + event.cpu_seconds,
+                    memory_bytes=event.gpu_memory_bytes,
+                    parallel_group=event.parallel_group,
+                )
+                continue
+            if event.cpu_seconds > _EPS:
+                degree = max(1, min(event.max_degree, host.hardware_threads))
+                yield _Stage(
+                    kind="cpu",
+                    work=event.cpu_seconds,
+                    max_rate=host.effective_capacity(degree),
+                    threads=degree,
+                    parallel_group=event.parallel_group,
+                )
+            if event.gpu_seconds > _EPS:
+                yield _Stage(
+                    kind="gpu",
+                    work=event.gpu_seconds,
+                    memory_bytes=event.gpu_memory_bytes,
+                    parallel_group=event.parallel_group,
+                )
+
+    def _start_next_batch(self, state: _UserState, clock: SimClock,
+                          owner_of_task, waiters) -> None:
+        """Launch the next stage — or the whole parallel group it heads."""
+        if not state.stage_queue:
+            return
+        first = state.stage_queue.pop(0)
+        batch = [first]
+        if first.parallel_group >= 0:
+            while (state.stage_queue
+                   and state.stage_queue[0].parallel_group
+                   == first.parallel_group):
+                batch.append(state.stage_queue.pop(0))
+        for stage in batch:
+            self._launch_stage(state, stage, clock, owner_of_task, waiters)
+
+    def _launch_stage(self, state: _UserState, stage: _Stage,
+                      clock: SimClock, owner_of_task, waiters) -> None:
+        task_id = next(self._task_ids)
+        if stage.kind == "cpu":
+            self.pool.add(CpuTask(task_id=task_id, remaining=stage.work,
+                                  max_rate=stage.max_rate,
+                                  threads=stage.threads))
+            state.outstanding.add(task_id)
+            owner_of_task[task_id] = state
+            return
+        device = self._pick_device(stage.memory_bytes)
+        if device is None:
+            state.waiting_count += 1
+            self._gpu_waits += 1
+            waiters.append((state, stage))
+            return
+        device.admit(GpuKernelTask(task_id=task_id, remaining=stage.work,
+                                   memory_bytes=stage.memory_bytes),
+                     clock.now)
+        state.outstanding.add(task_id)
+        owner_of_task[task_id] = state
+
+    def _pick_device(self, memory_bytes: int) -> Optional[GpuDeviceState]:
+        candidates = [d for d in self.devices if d.can_admit(memory_bytes)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda d: (d.resident_count, -d.free))
+
+    def _drain_waiters(self, waiters, clock, owner_of_task) -> None:
+        admitted = True
+        while admitted and waiters:
+            admitted = False
+            for i, (state, stage) in enumerate(waiters):
+                device = self._pick_device(stage.memory_bytes)
+                if device is None:
+                    continue
+                task_id = next(self._task_ids)
+                device.admit(GpuKernelTask(task_id=task_id,
+                                           remaining=stage.work,
+                                           memory_bytes=stage.memory_bytes),
+                             clock.now)
+                state.waiting_count -= 1
+                state.outstanding.add(task_id)
+                owner_of_task[task_id] = state
+                waiters.pop(i)
+                admitted = True
+                break
+
+    def _earliest_completion(self) -> Optional[float]:
+        candidates = []
+        cpu_eta = self.pool.earliest_completion()
+        if cpu_eta is not None:
+            candidates.append(cpu_eta)
+        for device in self.devices:
+            eta = device.earliest_completion()
+            if eta is not None:
+                candidates.append(eta)
+        return min(candidates) if candidates else None
+
+    def _collect_finished(self, owner_of_task,
+                          now: float) -> list[tuple[_UserState, int]]:
+        finished = []
+        for task_id in [t for t, task in self.pool.tasks.items()
+                        if task.remaining <= _EPS]:
+            self.pool.remove(task_id)
+            finished.append((owner_of_task.pop(task_id), task_id))
+        for device in self.devices:
+            for task_id in [t for t, k in device.kernels.items()
+                            if k.remaining <= _EPS]:
+                device.release(task_id, now)
+                finished.append((owner_of_task.pop(task_id), task_id))
+        return finished
+
+    def _finish_query(self, state: _UserState, now: float,
+                      completions: list[QueryCompletion]) -> None:
+        profile = state.script.profiles[state.query_index]
+        completions.append(QueryCompletion(
+            user_id=state.script.user_id,
+            query_id=profile.query_id,
+            start=state.query_start,
+            end=now,
+        ))
+        state.in_query = False
+        state.query_index += 1
+        if state.query_index >= len(state.script.profiles):
+            state.query_index = 0
+            state.loop += 1
+            if state.loop >= state.script.loops:
+                state.done = True

@@ -1,0 +1,25 @@
+"""Benchmark workloads: BD Insights and Cognos ROLAP (section 5.1).
+
+Both IBM-internal workloads derive their schema and data generator from the
+TPC-DS benchmark standard.  We reproduce that derivation at laptop scale:
+:mod:`repro.workloads.tpcds_schema` defines the 7 fact + 17 dimension star
+schema, :mod:`repro.workloads.datagen` generates deterministic synthetic
+data, and the two query-set modules define the 100 BD Insights queries
+(5 complex / 25 intermediate / 70 simple) and the 46 Cognos ROLAP queries.
+"""
+
+from repro.workloads.bdinsights import bd_insights_queries
+from repro.workloads.cognos_rolap import cognos_rolap_queries
+from repro.workloads.datagen import generate_database, scaled_config
+from repro.workloads.driver import WorkloadDriver
+from repro.workloads.query import QueryCategory, WorkloadQuery
+
+__all__ = [
+    "QueryCategory",
+    "WorkloadDriver",
+    "WorkloadQuery",
+    "bd_insights_queries",
+    "cognos_rolap_queries",
+    "generate_database",
+    "scaled_config",
+]

@@ -1,0 +1,220 @@
+"""The BD Insights workload (section 5.1.1).
+
+"A day in the life of a customer representative business intelligence
+application": 100 distinct queries over the TPC-DS-derived retail schema,
+split across three user classes —
+
+- 70 *simple* queries (Returns Dashboard Analysts): short running, narrow
+  data range, usually one fact table;
+- 25 *intermediate* queries (Sales Report Analysts): sales-report joins
+  over broader ranges, small grouping sets;
+- 5 *complex* queries (Data Scientists): long-running deep-dive analytics
+  with multi-way joins, large grouping sets, many aggregates and sorts.
+
+The queries are synthesised from templates with deterministic parameter
+fills so that the class populations and runtime mixes match the paper's
+characterisation (simple ≈ quick filtered aggregates the engine never
+offloads; complex ≈ dominated by group-by/aggregation/sort, the offload
+sweet spot).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.query import QueryCategory, WorkloadQuery
+
+# Deterministic parameter streams (no RNG: reviewability beats randomness).
+_STORES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+_REASONS = [1, 3, 5, 7, 9, 11, 13, 15, 17, 19]
+_DATES = [(40 * i + 1, 40 * i + 120) for i in range(10)]
+_YEARS = [2010, 2011, 2012, 2013, 2014]
+_ITEM_CUTS = [400, 800, 1200, 1600, 2000, 2400, 2800, 3200, 3600, 4000]
+
+
+def _simple_queries() -> list[WorkloadQuery]:
+    """70 Returns-Dashboard queries: 7 templates x 10 parameter fills."""
+    out: list[WorkloadQuery] = []
+
+    for i, store in enumerate(_STORES):
+        out.append(WorkloadQuery(
+            f"S{len(out) + 1:02d}", QueryCategory.SIMPLE,
+            f"SELECT COUNT(*) AS returns_cnt, SUM(sr_return_amt) AS amt "
+            f"FROM store_returns WHERE sr_store_sk = {store}",
+            "return volume for one store",
+        ))
+    for d1, d2 in _DATES:
+        out.append(WorkloadQuery(
+            f"S{len(out) + 1:02d}", QueryCategory.SIMPLE,
+            f"SELECT sr_reason_sk, COUNT(*) AS cnt FROM store_returns "
+            f"WHERE sr_returned_date_sk BETWEEN {d1} AND {d2} "
+            f"GROUP BY sr_reason_sk",
+            "returns by reason over a narrow date range",
+        ))
+    for cut in _ITEM_CUTS:
+        out.append(WorkloadQuery(
+            f"S{len(out) + 1:02d}", QueryCategory.SIMPLE,
+            f"SELECT AVG(sr_net_loss) AS avg_loss FROM store_returns "
+            f"WHERE sr_item_sk < {cut}",
+            "average net loss on a small item range",
+        ))
+    for store, (d1, d2) in zip(_STORES, _DATES):
+        out.append(WorkloadQuery(
+            f"S{len(out) + 1:02d}", QueryCategory.SIMPLE,
+            f"SELECT COUNT(*) AS cnt FROM store_sales "
+            f"WHERE ss_store_sk = {store} "
+            f"AND ss_sold_date_sk BETWEEN {d1} AND {d2}",
+            "ticket count for one store and date window",
+        ))
+    for reason in _REASONS:
+        out.append(WorkloadQuery(
+            f"S{len(out) + 1:02d}", QueryCategory.SIMPLE,
+            f"SELECT MAX(sr_return_amt) AS max_amt, "
+            f"MIN(sr_return_amt) AS min_amt FROM store_returns "
+            f"WHERE sr_reason_sk = {reason}",
+            "return amount envelope for one reason",
+        ))
+    for reason in _REASONS:
+        out.append(WorkloadQuery(
+            f"S{len(out) + 1:02d}", QueryCategory.SIMPLE,
+            f"SELECT sr_store_sk, SUM(sr_return_quantity) AS qty "
+            f"FROM store_returns WHERE sr_reason_sk = {reason} "
+            f"GROUP BY sr_store_sk",
+            "per-store quantity for one return reason",
+        ))
+    for d1, _d2 in _DATES:
+        out.append(WorkloadQuery(
+            f"S{len(out) + 1:02d}", QueryCategory.SIMPLE,
+            f"SELECT COUNT(*) AS cnt, SUM(wr_return_amt) AS amt "
+            f"FROM web_returns WHERE wr_returned_date_sk < {d1 + 90}",
+            "web return totals before a cutoff date",
+        ))
+    assert len(out) == 70
+    return out
+
+
+def _intermediate_queries() -> list[WorkloadQuery]:
+    """25 Sales-Report queries: joins over broader ranges, small groups.
+
+    Per section 5.2.1, these have "a small number of group by, aggregation
+    and sort" components — most of their runtime is scan+join work the
+    prototype never offloads, so GPU-on stays close to baseline.
+    """
+    out: list[WorkloadQuery] = []
+    for year in _YEARS:
+        out.append(WorkloadQuery(
+            f"I{len(out) + 1:02d}", QueryCategory.INTERMEDIATE,
+            f"SELECT s_state, SUM(ss_net_paid) AS rev, COUNT(*) AS cnt "
+            f"FROM store_sales "
+            f"JOIN date_dim ON ss_sold_date_sk = d_date_sk "
+            f"JOIN store ON ss_store_sk = s_store_sk "
+            f"WHERE d_year = {year} GROUP BY s_state ORDER BY rev DESC",
+            "state-level sales report for one year",
+        ))
+    for i, category in enumerate(("Books", "Electronics", "Home",
+                                  "Music", "Sports")):
+        out.append(WorkloadQuery(
+            f"I{len(out) + 1:02d}", QueryCategory.INTERMEDIATE,
+            f"SELECT i_class, SUM(cs_ext_sales_price) AS rev, "
+            f"AVG(cs_quantity) AS avg_qty FROM catalog_sales "
+            f"JOIN item ON cs_item_sk = i_item_sk "
+            f"WHERE i_category = '{category}' "
+            f"GROUP BY i_class ORDER BY rev DESC",
+            "class-level catalog profitability in one category",
+        ))
+    for year in _YEARS:
+        out.append(WorkloadQuery(
+            f"I{len(out) + 1:02d}", QueryCategory.INTERMEDIATE,
+            f"SELECT d_moy, SUM(ws_net_paid) AS rev, COUNT(*) AS orders "
+            f"FROM web_sales JOIN date_dim ON ws_sold_date_sk = d_date_sk "
+            f"WHERE d_year = {year} GROUP BY d_moy ORDER BY d_moy",
+            "monthly web revenue for one year",
+        ))
+    for gender in ("M", "F"):
+        for marital in ("S", "M"):
+            out.append(WorkloadQuery(
+                f"I{len(out) + 1:02d}", QueryCategory.INTERMEDIATE,
+                f"SELECT cd_education_status, SUM(ss_quantity) AS qty, "
+                f"AVG(ss_sales_price) AS avg_price FROM store_sales "
+                f"JOIN customer_demographics ON ss_cdemo_sk = cd_demo_sk "
+                f"WHERE cd_gender = '{gender}' "
+                f"AND cd_marital_status = '{marital}' "
+                f"GROUP BY cd_education_status",
+                "demographic purchasing profile",
+            ))
+    for d1, d2 in _DATES[:6]:
+        out.append(WorkloadQuery(
+            f"I{len(out) + 1:02d}", QueryCategory.INTERMEDIATE,
+            f"SELECT r_reason_desc, COUNT(*) AS cnt, "
+            f"SUM(sr_return_amt) AS amt FROM store_returns "
+            f"JOIN reason ON sr_reason_sk = r_reason_sk "
+            f"WHERE sr_returned_date_sk BETWEEN {d1} AND {d2 + 240} "
+            f"GROUP BY r_reason_desc ORDER BY amt DESC",
+            "returns impact report by reason",
+        ))
+    assert len(out) == 25
+    return out
+
+
+def _complex_queries() -> list[WorkloadQuery]:
+    """5 Data-Scientist queries: multi-join, large grouping sets, sorts."""
+    return [
+        WorkloadQuery(
+            "C1", QueryCategory.COMPLEX,
+            "SELECT ss_customer_sk, COUNT(*) AS trips, "
+            "SUM(ss_net_paid) AS paid, SUM(ss_net_profit) AS profit, "
+            "AVG(ss_quantity) AS avg_qty, MAX(ss_ext_sales_price) AS max_sale, "
+            "MIN(ss_sales_price) AS min_price "
+            "FROM store_sales "
+            "JOIN customer ON ss_customer_sk = c_customer_sk "
+            "GROUP BY ss_customer_sk ORDER BY profit DESC LIMIT 100",
+            "customer lifetime value deep dive (customer-level groups)",
+        ),
+        WorkloadQuery(
+            "C2", QueryCategory.COMPLEX,
+            "SELECT ss_item_sk, SUM(ss_quantity) AS qty, "
+            "SUM(ss_net_paid) AS rev, SUM(ss_net_profit) AS profit, "
+            "AVG(ss_list_price) AS avg_list, COUNT(*) AS cnt "
+            "FROM store_sales JOIN item ON ss_item_sk = i_item_sk "
+            "JOIN store ON ss_store_sk = s_store_sk "
+            "GROUP BY ss_item_sk ORDER BY rev DESC LIMIT 500",
+            "item-level profitability over the full history",
+        ),
+        WorkloadQuery(
+            "C3", QueryCategory.COMPLEX,
+            "SELECT cs_bill_customer_sk, SUM(cs_net_paid) AS paid, "
+            "SUM(cs_ext_discount_amt) AS discounts, COUNT(*) AS orders, "
+            "AVG(cs_quantity) AS avg_qty, MAX(cs_net_profit) AS best "
+            "FROM catalog_sales "
+            "JOIN customer ON cs_bill_customer_sk = c_customer_sk "
+            "JOIN customer_demographics ON c_current_cdemo_sk = cd_demo_sk "
+            "GROUP BY cs_bill_customer_sk ORDER BY paid DESC LIMIT 100",
+            "catalog customer behaviour with demographics",
+        ),
+        WorkloadQuery(
+            "C4", QueryCategory.COMPLEX,
+            "SELECT ss_sold_date_sk, ss_store_sk, SUM(ss_net_paid) AS rev, "
+            "SUM(ss_net_profit) AS profit, COUNT(*) AS tickets, "
+            "RANK() OVER (PARTITION BY ss_store_sk ORDER BY rev DESC) AS rnk "
+            "FROM store_sales GROUP BY ss_sold_date_sk, ss_store_sk "
+            "ORDER BY ss_store_sk, rnk LIMIT 1000",
+            "per-store daily revenue ranking (composite groups + RANK)",
+        ),
+        WorkloadQuery(
+            "C5", QueryCategory.COMPLEX,
+            "SELECT inv_item_sk, SUM(inv_quantity_on_hand) AS on_hand, "
+            "AVG(inv_quantity_on_hand) AS avg_on_hand, COUNT(*) AS snaps, "
+            "MAX(inv_quantity_on_hand) AS peak "
+            "FROM inventory JOIN item ON inv_item_sk = i_item_sk "
+            "JOIN warehouse ON inv_warehouse_sk = w_warehouse_sk "
+            "GROUP BY inv_item_sk ORDER BY on_hand DESC",
+            "inventory position across warehouses, fully sorted",
+        ),
+    ]
+
+
+def bd_insights_queries() -> list[WorkloadQuery]:
+    """All 100 BD Insights queries (5 complex, 25 intermediate, 70 simple)."""
+    return _complex_queries() + _intermediate_queries() + _simple_queries()
+
+
+def queries_by_category(category: QueryCategory) -> list[WorkloadQuery]:
+    return [q for q in bd_insights_queries() if q.category is category]

@@ -1,0 +1,155 @@
+"""Multi-user workload driver (the JMETER analogue).
+
+The driver owns a GPU-enabled engine and a CPU-only baseline over the same
+catalog, profiles each query once per configuration (caching the cost
+profile), and exposes the three run modes of section 5:
+
+- ``run_serial``: one-at-a-time elapsed times (Figures 5-7, Table 2);
+- ``simulate_streams``: N closed-loop connection threads cycling through a
+  query list, measuring throughput (Table 3);
+- ``simulate_groups``: heterogeneous thread groups, measuring elapsed time
+  and GPU memory traces (Figures 8-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.blu.engine import BluEngine
+from repro.config import SystemConfig, cpu_only_testbed
+from repro.core.accelerator import GpuAcceleratedEngine
+from repro.sim import SimulationResult, UserScript, WorkloadSimulator
+from repro.timing import QueryProfile
+from repro.workloads.query import WorkloadQuery
+
+
+@dataclass(frozen=True)
+class SerialRun:
+    """One query's serial measurement under one configuration."""
+
+    query_id: str
+    elapsed_ms: float
+    offloaded: bool
+
+
+class WorkloadDriver:
+    """Profiles workload queries and replays them serially or concurrently."""
+
+    # Profiles are always collected at the widest degree of the Table-3
+    # sweep and clamped down for narrower runs.
+    PROFILE_DEGREE = 64
+
+    def __init__(self, catalog, config: SystemConfig,
+                 degree: int = 48) -> None:
+        self.catalog = catalog
+        self.config = config
+        self.degree = degree
+        self.gpu_engine = GpuAcceleratedEngine(catalog, config=config,
+                                               default_degree=degree)
+        self.cpu_engine = BluEngine(catalog, config=cpu_only_testbed(),
+                                    default_degree=degree)
+        self._profiles: dict[tuple[str, bool], QueryProfile] = {}
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+
+    def profile(self, query: WorkloadQuery, gpu: bool) -> QueryProfile:
+        """Execute (once) and cache the cost profile of ``query``."""
+        key = (query.query_id, gpu)
+        if key not in self._profiles:
+            engine = self.gpu_engine if gpu else self.cpu_engine
+            result = engine.execute_sql(query.sql, query_id=query.query_id,
+                                        degree=self.PROFILE_DEGREE)
+            self._profiles[key] = result.profile
+        return self._profiles[key]
+
+    def elapsed_ms(self, query: WorkloadQuery, gpu: bool,
+                   degree: Optional[int] = None) -> float:
+        """Stand-alone elapsed milliseconds at ``degree`` (driver default)."""
+        degree = degree or self.degree
+        profile = self._profile_at_degree(query, gpu, degree)
+        return profile.elapsed_serial(degree, self.config.host) * 1e3
+
+    # ------------------------------------------------------------------
+    # Run modes
+    # ------------------------------------------------------------------
+
+    def run_serial(self, queries: Sequence[WorkloadQuery],
+                   gpu: bool, repeats: int = 1) -> list[SerialRun]:
+        """Serial one-user run; ``repeats`` mimics the paper's 5x averaging
+        (deterministic simulation makes repeats identical, but the API keeps
+        the shape of the paper's methodology)."""
+        out = []
+        for query in queries:
+            profile = self.profile(query, gpu)
+            elapsed = sum(
+                profile.elapsed_serial(self.degree, self.config.host)
+                for _ in range(repeats)
+            ) / repeats
+            out.append(SerialRun(query.query_id, elapsed * 1e3,
+                                 profile.offloaded))
+        return out
+
+    def simulate_streams(self, queries: Sequence[WorkloadQuery],
+                         streams: int, degree: int, gpu: bool,
+                         loops: int = 2) -> SimulationResult:
+        """Table-3 mode: ``streams`` users each cycling through all queries."""
+        profiles = [self._profile_at_degree(q, gpu, degree) for q in queries]
+        users = [
+            UserScript(user_id=f"stream{i + 1}", profiles=list(profiles),
+                       loops=loops)
+            for i in range(streams)
+        ]
+        simulator = WorkloadSimulator(self._sim_config(gpu))
+        return simulator.run(users)
+
+    def simulate_groups(self, groups: Sequence[tuple[str, int,
+                                                     Sequence[WorkloadQuery]]],
+                        gpu: bool, loops: int = 1) -> SimulationResult:
+        """Figure-8 mode: (name, thread_count, query list) thread groups."""
+        users = []
+        for name, threads, queries in groups:
+            profiles = [self.profile(q, gpu) for q in queries]
+            for t in range(threads):
+                users.append(UserScript(
+                    user_id=f"{name}-{t + 1}", profiles=list(profiles),
+                    loops=loops,
+                ))
+        simulator = WorkloadSimulator(self._sim_config(gpu))
+        return simulator.run(users)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _profile_at_degree(self, query: WorkloadQuery, gpu: bool,
+                           degree: int) -> QueryProfile:
+        """Profiles are degree-independent in work terms (cost events carry
+        core-seconds and their own max_degree caps); the run degree only
+        matters to the simulator via max_degree clamping, so we clamp here."""
+        base = self.profile(query, gpu)
+        if degree >= self.PROFILE_DEGREE:
+            return base
+        from repro.timing import CostEvent
+
+        events = [
+            CostEvent(
+                op=e.op, rows=e.rows, cpu_seconds=e.cpu_seconds,
+                max_degree=min(e.max_degree, degree) if e.max_degree > 1
+                else e.max_degree,
+                gpu_seconds=e.gpu_seconds,
+                gpu_memory_bytes=e.gpu_memory_bytes,
+                device_id=e.device_id,
+            )
+            for e in base.events
+        ]
+        return QueryProfile(base.query_id, base.gpu_enabled, events)
+
+    def _sim_config(self, gpu: bool) -> SystemConfig:
+        if gpu:
+            return self.config
+        import dataclasses
+
+        return dataclasses.replace(self.config, gpus=())

@@ -1,0 +1,25 @@
+"""Workload query descriptors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class QueryCategory(enum.Enum):
+    """BD Insights user classes (section 5.1.1)."""
+
+    SIMPLE = "simple"              # Returns Dashboard Analysts
+    INTERMEDIATE = "intermediate"  # Sales Report Analysts
+    COMPLEX = "complex"            # Data Scientists
+    ROLAP = "rolap"                # Cognos ROLAP analytical queries
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One benchmark query: id, class, SQL text, and intent."""
+
+    query_id: str
+    category: QueryCategory
+    sql: str
+    description: str = ""

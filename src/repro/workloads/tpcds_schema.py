@@ -1,0 +1,336 @@
+"""The TPC-DS-derived star schema (Figure 4, section 5.1.1).
+
+"The data generator and database schema itself are derived from the
+industry TPC-DS Benchmark Standard ... There are seven fact tables in total
+and seventeen dimension tables in the schema."
+
+Each table is declared as a :class:`TableSpec`: base row count at scale 1.0
+plus table-driven column generators that :mod:`repro.workloads.datagen`
+interprets.  Column subsets are trimmed to what the workload queries touch,
+keeping generation fast while preserving TPC-DS naming and key structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.blu.datatypes import DataType, decimal, float64, int32, int64, varchar
+
+
+# ---------------------------------------------------------------------------
+# Generator-hint column specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column plus how to synthesise it.
+
+    kind:
+      serial            1..n surrogate key
+      fk                uniform foreign key into ``ref`` table
+      skewed_fk         Zipf-skewed foreign key into ``ref`` (hot items)
+      int_uniform       uniform integer in [lo, hi]
+      money             two-decimal currency in [lo, hi]
+      float_uniform     float in [lo, hi]
+      choice            categorical draw from ``vocab`` (optionally skewed)
+      derived_serial    lo + (serial % span) — e.g. day-of-month from key
+    """
+
+    name: str
+    dtype: DataType
+    kind: str
+    lo: float = 0.0
+    hi: float = 1.0
+    ref: Optional[str] = None
+    vocab: tuple[str, ...] = ()
+    skew: float = 0.0
+    span: int = 1
+    null_fraction: float = 0.0     # TPC-DS facts have nullable FKs
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    name: str
+    base_rows: int
+    columns: tuple[ColumnSpec, ...]
+    is_fact: bool = False
+
+
+def _c(*args, **kwargs) -> ColumnSpec:
+    return ColumnSpec(*args, **kwargs)
+
+
+# Categorical vocabularies (small, deterministic).
+_CATEGORIES = ("Books", "Electronics", "Home", "Jewelry", "Men", "Music",
+               "Shoes", "Sports", "Toys", "Women")
+_CLASSES = tuple(f"class{i:02d}" for i in range(1, 41))
+_BRANDS = tuple(f"brand{i:03d}" for i in range(1, 201))
+_STATES = ("AL", "CA", "CO", "FL", "GA", "IL", "MI", "NC", "NY", "OH",
+           "PA", "TN", "TX", "VA", "WA", "WI")
+_COUNTIES = tuple(f"county{i:02d}" for i in range(1, 31))
+_EDUCATION = ("Primary", "Secondary", "College", "2 yr Degree",
+              "4 yr Degree", "Advanced Degree", "Unknown")
+_MARITAL = ("S", "M", "D", "W", "U")
+_GENDER = ("M", "F")
+_CREDIT = ("Low Risk", "High Risk", "Good", "Unknown")
+_BUY_POTENTIAL = (">10000", "5001-10000", "1001-5000", "501-1000",
+                  "0-500", "Unknown")
+_SHIP_MODES = ("EXPRESS", "NEXT DAY", "OVERNIGHT", "REGULAR", "TWO DAY",
+               "LIBRARY")
+_REASONS = tuple(f"reason{i:02d}" for i in range(1, 36))
+_PROMO_CHANNELS = ("mail", "tv", "radio", "press", "event", "demo")
+_WEEKDAYS = ("Sunday", "Monday", "Tuesday", "Wednesday", "Thursday",
+             "Friday", "Saturday")
+
+
+# ---------------------------------------------------------------------------
+# Dimension tables (17)
+# ---------------------------------------------------------------------------
+
+_DATE_DAYS = 1826        # five years of days
+
+DIMENSIONS: tuple[TableSpec, ...] = (
+    TableSpec("date_dim", _DATE_DAYS, (
+        _c("d_date_sk", int32(), "serial"),
+        _c("d_year", int32(), "derived_serial", lo=2010, span=365),
+        _c("d_moy", int32(), "derived_serial", lo=1, span=12),
+        _c("d_dom", int32(), "derived_serial", lo=1, span=28),
+        _c("d_qoy", int32(), "derived_serial", lo=1, span=4),
+        _c("d_day_name", varchar(9), "choice", vocab=_WEEKDAYS),
+        _c("d_month_seq", int32(), "derived_serial", lo=0, span=60),
+    )),
+    TableSpec("time_dim", 86400 // 60, (   # one row per minute
+        _c("t_time_sk", int32(), "serial"),
+        _c("t_hour", int32(), "derived_serial", lo=0, span=24),
+        _c("t_minute", int32(), "derived_serial", lo=0, span=60),
+        _c("t_am_pm", varchar(2), "choice", vocab=("AM", "PM")),
+    )),
+    TableSpec("item", 18000, (
+        _c("i_item_sk", int32(), "serial"),
+        _c("i_brand", varchar(20), "choice", vocab=_BRANDS, skew=1.1),
+        _c("i_class", varchar(10), "choice", vocab=_CLASSES),
+        _c("i_category", varchar(12), "choice", vocab=_CATEGORIES),
+        _c("i_current_price", decimal(7, 2), "money", lo=0.5, hi=300.0),
+        _c("i_wholesale_cost", decimal(7, 2), "money", lo=0.2, hi=180.0),
+        _c("i_manufact_id", int32(), "int_uniform", lo=1, hi=1000),
+    )),
+    TableSpec("customer", 100000, (
+        _c("c_customer_sk", int32(), "serial"),
+        _c("c_current_addr_sk", int32(), "fk", ref="customer_address"),
+        _c("c_current_cdemo_sk", int32(), "fk", ref="customer_demographics"),
+        _c("c_current_hdemo_sk", int32(), "fk", ref="household_demographics"),
+        _c("c_birth_year", int32(), "int_uniform", lo=1930, hi=2000),
+        _c("c_birth_month", int32(), "int_uniform", lo=1, hi=12),
+        _c("c_preferred_cust_flag", varchar(1), "choice", vocab=("Y", "N")),
+    )),
+    TableSpec("customer_address", 50000, (
+        _c("ca_address_sk", int32(), "serial"),
+        _c("ca_state", varchar(2), "choice", vocab=_STATES, skew=0.8),
+        _c("ca_county", varchar(10), "choice", vocab=_COUNTIES),
+        _c("ca_gmt_offset", int32(), "int_uniform", lo=-10, hi=-5),
+        _c("ca_zip", int32(), "int_uniform", lo=10000, hi=99999),
+    )),
+    TableSpec("customer_demographics", 19600, (
+        _c("cd_demo_sk", int32(), "serial"),
+        _c("cd_gender", varchar(1), "choice", vocab=_GENDER),
+        _c("cd_marital_status", varchar(1), "choice", vocab=_MARITAL),
+        _c("cd_education_status", varchar(16), "choice", vocab=_EDUCATION),
+        _c("cd_credit_rating", varchar(10), "choice", vocab=_CREDIT),
+        _c("cd_dep_count", int32(), "int_uniform", lo=0, hi=6),
+    )),
+    TableSpec("household_demographics", 7200, (
+        _c("hd_demo_sk", int32(), "serial"),
+        _c("hd_income_band_sk", int32(), "fk", ref="income_band"),
+        _c("hd_buy_potential", varchar(12), "choice", vocab=_BUY_POTENTIAL),
+        _c("hd_dep_count", int32(), "int_uniform", lo=0, hi=9),
+        _c("hd_vehicle_count", int32(), "int_uniform", lo=0, hi=4),
+    )),
+    TableSpec("store", 120, (
+        _c("s_store_sk", int32(), "serial"),
+        _c("s_state", varchar(2), "choice", vocab=_STATES),
+        _c("s_county", varchar(10), "choice", vocab=_COUNTIES),
+        _c("s_number_employees", int32(), "int_uniform", lo=50, hi=300),
+        _c("s_floor_space", int32(), "int_uniform", lo=5000, hi=9999999),
+    )),
+    TableSpec("promotion", 450, (
+        _c("p_promo_sk", int32(), "serial"),
+        _c("p_channel", varchar(8), "choice", vocab=_PROMO_CHANNELS),
+        _c("p_cost", decimal(9, 2), "money", lo=500.0, hi=5000.0),
+        _c("p_response_target", int32(), "int_uniform", lo=1, hi=3),
+    )),
+    TableSpec("warehouse", 12, (
+        _c("w_warehouse_sk", int32(), "serial"),
+        _c("w_state", varchar(2), "choice", vocab=_STATES),
+        _c("w_warehouse_sq_ft", int32(), "int_uniform", lo=50000, hi=999999),
+    )),
+    TableSpec("web_site", 24, (
+        _c("web_site_sk", int32(), "serial"),
+        _c("web_class", varchar(10), "choice", vocab=("Unknown", "business",
+                                                      "consumer")),
+        _c("web_tax_percentage", float64(), "float_uniform", lo=0.0, hi=0.12),
+    )),
+    TableSpec("web_page", 120, (
+        _c("wp_web_page_sk", int32(), "serial"),
+        _c("wp_char_count", int32(), "int_uniform", lo=300, hi=8000),
+        _c("wp_link_count", int32(), "int_uniform", lo=2, hi=25),
+    )),
+    TableSpec("catalog_page", 1200, (
+        _c("cp_catalog_page_sk", int32(), "serial"),
+        _c("cp_catalog_number", int32(), "int_uniform", lo=1, hi=12),
+        _c("cp_type", varchar(10), "choice", vocab=("bi-annual", "monthly",
+                                                    "quarterly")),
+    )),
+    TableSpec("call_center", 6, (
+        _c("cc_call_center_sk", int32(), "serial"),
+        _c("cc_class", varchar(6), "choice", vocab=("small", "medium",
+                                                    "large")),
+        _c("cc_employees", int32(), "int_uniform", lo=50, hi=500),
+    )),
+    TableSpec("ship_mode", 20, (
+        _c("sm_ship_mode_sk", int32(), "serial"),
+        _c("sm_type", varchar(10), "choice", vocab=_SHIP_MODES),
+        _c("sm_code", varchar(8), "choice", vocab=("AIR", "SURFACE", "SEA")),
+    )),
+    TableSpec("reason", 35, (
+        _c("r_reason_sk", int32(), "serial"),
+        _c("r_reason_desc", varchar(10), "choice", vocab=_REASONS),
+    )),
+    TableSpec("income_band", 20, (
+        _c("ib_income_band_sk", int32(), "serial"),
+        _c("ib_lower_bound", int32(), "derived_serial", lo=0, span=20),
+        _c("ib_upper_bound", int32(), "derived_serial", lo=10000, span=20),
+    )),
+)
+
+
+# ---------------------------------------------------------------------------
+# Fact tables (7)
+# ---------------------------------------------------------------------------
+
+
+def _sales_measures(prefix: str) -> tuple[ColumnSpec, ...]:
+    return (
+        _c(f"{prefix}_quantity", int32(), "int_uniform", lo=1, hi=100),
+        _c(f"{prefix}_wholesale_cost", decimal(7, 2), "money", lo=1.0, hi=100.0),
+        _c(f"{prefix}_list_price", decimal(7, 2), "money", lo=1.0, hi=300.0),
+        _c(f"{prefix}_sales_price", decimal(7, 2), "money", lo=0.5, hi=300.0),
+        _c(f"{prefix}_ext_sales_price", decimal(7, 2), "money", lo=1.0, hi=29000.0),
+        _c(f"{prefix}_ext_discount_amt", decimal(7, 2), "money", lo=0.0, hi=1000.0),
+        _c(f"{prefix}_net_paid", decimal(7, 2), "money", lo=0.5, hi=29000.0),
+        _c(f"{prefix}_net_profit", decimal(7, 2), "money", lo=-5000.0, hi=12000.0),
+    )
+
+
+FACTS: tuple[TableSpec, ...] = (
+    TableSpec("store_sales", 4_000_000, (
+        _c("ss_sold_date_sk", int32(), "fk", ref="date_dim"),
+        _c("ss_sold_time_sk", int32(), "fk", ref="time_dim"),
+        _c("ss_item_sk", int32(), "skewed_fk", ref="item", skew=1.05),
+        # Walk-in sales have no registered customer (TPC-DS nullable FK).
+        _c("ss_customer_sk", int32(), "fk", ref="customer",
+           null_fraction=0.03),
+        _c("ss_cdemo_sk", int32(), "fk", ref="customer_demographics"),
+        _c("ss_hdemo_sk", int32(), "fk", ref="household_demographics"),
+        _c("ss_addr_sk", int32(), "fk", ref="customer_address"),
+        _c("ss_store_sk", int32(), "fk", ref="store"),
+        _c("ss_promo_sk", int32(), "fk", ref="promotion"),
+        _c("ss_ticket_number", int64(), "serial"),
+    ) + _sales_measures("ss"), is_fact=True),
+    TableSpec("store_returns", 400_000, (
+        _c("sr_returned_date_sk", int32(), "fk", ref="date_dim"),
+        _c("sr_item_sk", int32(), "skewed_fk", ref="item", skew=1.05),
+        _c("sr_customer_sk", int32(), "fk", ref="customer"),
+        _c("sr_store_sk", int32(), "fk", ref="store"),
+        _c("sr_reason_sk", int32(), "fk", ref="reason"),
+        _c("sr_ticket_number", int64(), "serial"),
+        _c("sr_return_quantity", int32(), "int_uniform", lo=1, hi=100),
+        _c("sr_return_amt", decimal(7, 2), "money", lo=0.5, hi=18000.0),
+        _c("sr_net_loss", decimal(7, 2), "money", lo=0.5, hi=9000.0),
+    ), is_fact=True),
+    TableSpec("catalog_sales", 2_000_000, (
+        _c("cs_sold_date_sk", int32(), "fk", ref="date_dim"),
+        _c("cs_item_sk", int32(), "skewed_fk", ref="item", skew=1.05),
+        _c("cs_bill_customer_sk", int32(), "fk", ref="customer"),
+        _c("cs_catalog_page_sk", int32(), "fk", ref="catalog_page"),
+        _c("cs_ship_mode_sk", int32(), "fk", ref="ship_mode"),
+        _c("cs_call_center_sk", int32(), "fk", ref="call_center"),
+        _c("cs_warehouse_sk", int32(), "fk", ref="warehouse"),
+        _c("cs_promo_sk", int32(), "fk", ref="promotion"),
+    ) + _sales_measures("cs"), is_fact=True),
+    TableSpec("catalog_returns", 200_000, (
+        _c("cr_returned_date_sk", int32(), "fk", ref="date_dim"),
+        _c("cr_item_sk", int32(), "skewed_fk", ref="item", skew=1.05),
+        _c("cr_returning_customer_sk", int32(), "fk", ref="customer",
+           null_fraction=0.05),
+        _c("cr_reason_sk", int32(), "fk", ref="reason"),
+        _c("cr_return_quantity", int32(), "int_uniform", lo=1, hi=100),
+        _c("cr_return_amount", decimal(7, 2), "money", lo=0.5, hi=18000.0),
+        _c("cr_net_loss", decimal(7, 2), "money", lo=0.5, hi=9000.0),
+    ), is_fact=True),
+    TableSpec("web_sales", 1_000_000, (
+        _c("ws_sold_date_sk", int32(), "fk", ref="date_dim"),
+        _c("ws_item_sk", int32(), "skewed_fk", ref="item", skew=1.05),
+        _c("ws_bill_customer_sk", int32(), "fk", ref="customer"),
+        _c("ws_web_site_sk", int32(), "fk", ref="web_site"),
+        _c("ws_web_page_sk", int32(), "fk", ref="web_page"),
+        _c("ws_ship_mode_sk", int32(), "fk", ref="ship_mode"),
+        _c("ws_promo_sk", int32(), "fk", ref="promotion"),
+    ) + _sales_measures("ws"), is_fact=True),
+    TableSpec("web_returns", 100_000, (
+        _c("wr_returned_date_sk", int32(), "fk", ref="date_dim"),
+        _c("wr_item_sk", int32(), "skewed_fk", ref="item", skew=1.05),
+        _c("wr_returning_customer_sk", int32(), "fk", ref="customer",
+           null_fraction=0.05),
+        _c("wr_reason_sk", int32(), "fk", ref="reason"),
+        _c("wr_return_quantity", int32(), "int_uniform", lo=1, hi=100),
+        _c("wr_return_amt", decimal(7, 2), "money", lo=0.5, hi=18000.0),
+        _c("wr_net_loss", decimal(7, 2), "money", lo=0.5, hi=9000.0),
+    ), is_fact=True),
+    TableSpec("inventory", 800_000, (
+        _c("inv_date_sk", int32(), "fk", ref="date_dim"),
+        _c("inv_item_sk", int32(), "fk", ref="item"),
+        _c("inv_warehouse_sk", int32(), "fk", ref="warehouse"),
+        _c("inv_quantity_on_hand", int32(), "int_uniform", lo=0, hi=1000),
+    ), is_fact=True),
+)
+
+ALL_TABLES: tuple[TableSpec, ...] = DIMENSIONS + FACTS
+
+_SPEC_BY_NAME = {spec.name: spec for spec in ALL_TABLES}
+
+
+def table_spec(name: str) -> TableSpec:
+    return _SPEC_BY_NAME[name]
+
+
+def column_owner(column_name: str) -> Optional[str]:
+    """Which table declares ``column_name`` (TPC-DS prefixes are unique)."""
+    needle = column_name.lower()
+    for spec in ALL_TABLES:
+        for col in spec.columns:
+            if col.name.lower() == needle:
+                return spec.name
+    return None
+
+
+# Calendar-shaped dimensions never shrink: a 5-year workload always has a
+# 5-year calendar, whatever the data volume.
+_FIXED_DIMENSIONS = frozenset({"date_dim", "time_dim"})
+
+
+def dimension_rows(name: str, scale: float) -> int:
+    """Dimensions scale sub-linearly, like TPC-DS's dbgen."""
+    spec = table_spec(name)
+    if spec.is_fact:
+        raise ValueError(f"{name} is a fact table")
+    if spec.base_rows <= 500 or name in _FIXED_DIMENSIONS:
+        return spec.base_rows
+    scaled = int(spec.base_rows * scale ** 0.5)
+    return max(min(spec.base_rows, 100), min(scaled, spec.base_rows))
+
+
+def fact_rows(name: str, scale: float) -> int:
+    spec = table_spec(name)
+    return max(1000, int(spec.base_rows * scale))

@@ -1,0 +1,76 @@
+"""Unit tests for the catalog and its statistics."""
+
+import pytest
+
+from repro.blu.catalog import Catalog
+from repro.blu.datatypes import int32, varchar
+from repro.blu.table import Schema, Table
+from repro.errors import SchemaError
+
+
+@pytest.fixture()
+def catalog() -> Catalog:
+    schema = Schema.of(("k", int32()), ("tag", varchar(3)))
+    table = Table.from_pydict("items", schema, {
+        "k": [1, 2, 2, 3, None],
+        "tag": ["a", "b", "a", "c", "a"],
+    })
+    cat = Catalog()
+    cat.register(table)
+    return cat
+
+
+class TestRegistration:
+    def test_lookup_case_insensitive(self, catalog):
+        assert catalog.table("ITEMS").name == "items"
+        assert "Items" in catalog
+
+    def test_duplicate_rejected(self, catalog):
+        schema = Schema.of(("k", int32()))
+        dup = Table.from_pydict("items", schema, {"k": [1]})
+        with pytest.raises(SchemaError):
+            catalog.register(dup)
+
+    def test_drop(self, catalog):
+        catalog.drop("items")
+        assert "items" not in catalog
+        with pytest.raises(SchemaError):
+            catalog.table("items")
+
+    def test_drop_unknown(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.drop("ghost")
+
+    def test_totals(self, catalog):
+        assert catalog.total_rows == 5
+        assert catalog.total_encoded_nbytes > 0
+        assert catalog.table_names() == ["items"]
+
+
+class TestStatistics:
+    def test_distinct_counts(self, catalog):
+        stats = catalog.column_stats("items", "k")
+        assert stats.rows == 5
+        assert stats.distinct == 4   # 1, 2, 3 and the NULL placeholder 0
+        assert stats.null_count == 1
+
+    def test_string_stats(self, catalog):
+        stats = catalog.column_stats("items", "tag")
+        assert stats.distinct == 3
+        assert stats.min_value == "a"
+        assert stats.max_value == "c"
+
+    def test_selectivity(self, catalog):
+        stats = catalog.column_stats("items", "tag")
+        assert stats.selectivity_equals == pytest.approx(1 / 3)
+
+    def test_unknown_table_stats(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.column_stats("ghost", "k")
+
+    def test_register_without_stats(self):
+        cat = Catalog()
+        schema = Schema.of(("k", int32()))
+        cat.register(Table.from_pydict("t", schema, {"k": [1]}),
+                     collect_stats=False)
+        assert cat.column_stats("t", "k") is None

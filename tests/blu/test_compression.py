@@ -1,0 +1,69 @@
+"""Unit tests for frequency-based dictionary compression."""
+
+import numpy as np
+
+from repro.blu.compression import (
+    build_dictionary,
+    compression_stats,
+    packed_width_bits,
+)
+
+
+class TestBuildDictionary:
+    def test_roundtrip(self):
+        values = ["b", "a", "c", "a", "a", "b"]
+        dictionary, codes = build_dictionary(values)
+        assert list(dictionary.decode(codes)) == values
+
+    def test_most_frequent_value_gets_code_zero(self):
+        values = ["rare", "hot", "hot", "hot", "warm", "warm"]
+        dictionary, codes = build_dictionary(values)
+        assert dictionary.values[0] == "hot"
+        assert dictionary.values[1] == "warm"
+        assert dictionary.values[2] == "rare"
+
+    def test_frequency_ties_break_by_value(self):
+        dictionary, _ = build_dictionary(["b", "a"])
+        assert list(dictionary.values[:2]) == ["a", "b"]
+
+    def test_deterministic(self):
+        values = list("abcabcababab")
+        d1, c1 = build_dictionary(values)
+        d2, c2 = build_dictionary(values)
+        assert np.array_equal(c1, c2)
+        assert list(d1.values) == list(d2.values)
+
+    def test_sort_rank_matches_collation(self):
+        values = ["pear", "apple", "plum", "apple"]
+        dictionary, codes = build_dictionary(values)
+        ranks = dictionary.sort_rank[codes]
+        order = np.argsort(ranks, kind="stable")
+        decoded = dictionary.decode(codes)
+        assert list(decoded[order]) == sorted(values)
+
+    def test_single_value(self):
+        dictionary, codes = build_dictionary(["only"] * 5)
+        assert dictionary.cardinality == 1
+        assert (codes == 0).all()
+
+
+class TestPackedWidth:
+    def test_width_bits(self):
+        assert packed_width_bits(1) == 1
+        assert packed_width_bits(2) == 1
+        assert packed_width_bits(3) == 2
+        assert packed_width_bits(256) == 8
+        assert packed_width_bits(257) == 9
+
+    def test_stats_ratio_improves_with_low_cardinality(self):
+        tight = compression_stats(rows=10_000, cardinality=4, value_bytes=20)
+        loose = compression_stats(rows=10_000, cardinality=5000,
+                                  value_bytes=20)
+        assert tight.ratio > loose.ratio
+        assert tight.compressed_bytes < tight.logical_bytes
+
+    def test_stats_accounting(self):
+        stats = compression_stats(rows=8, cardinality=2, value_bytes=10)
+        assert stats.packed_bits_per_value == 1
+        assert stats.packed_bytes == 1
+        assert stats.dictionary_bytes == 20

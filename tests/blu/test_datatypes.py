@@ -1,0 +1,107 @@
+"""Unit tests for the column type system."""
+
+import numpy as np
+import pytest
+
+from repro.blu.datatypes import (
+    AtomicSupport,
+    DataType,
+    TypeKind,
+    char,
+    common_numeric_type,
+    date,
+    decimal,
+    float64,
+    int32,
+    int64,
+    int128,
+    varchar,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestWidths:
+    def test_int_widths(self):
+        assert int32().bytes == 4
+        assert int64().bytes == 8
+        assert int128().bytes == 16
+
+    def test_decimal_width_follows_precision(self):
+        assert decimal(7, 2).bits == 64
+        assert decimal(18, 2).bits == 64
+        assert decimal(19, 2).bits == 128
+        assert decimal(31, 4).bits == 128
+
+    def test_char_width_is_padded_length(self):
+        assert char(10).bits == 80
+        assert varchar(4).bits == 32
+
+    def test_date_is_int32_days(self):
+        assert date().numpy_dtype == np.dtype(np.int32)
+
+
+class TestAtomicSupport:
+    """Section 4.4's three update regimes."""
+
+    def test_small_numerics_have_native_atomics(self):
+        for t in (int32(), int64(), float64(), date(), decimal(7, 2)):
+            assert t.atomic_support is AtomicSupport.NATIVE
+
+    def test_128bit_numerics_need_cas_loops(self):
+        assert int128().atomic_support is AtomicSupport.CAS_LOOP
+        assert decimal(31, 2).atomic_support is AtomicSupport.CAS_LOOP
+
+    def test_strings_need_locks(self):
+        assert char(20).atomic_support is AtomicSupport.LOCK_ONLY
+        assert varchar(2).atomic_support is AtomicSupport.LOCK_ONLY
+
+
+class TestNumpyMapping:
+    def test_strings_store_codes(self):
+        assert varchar(30).numpy_dtype == np.dtype(np.int32)
+
+    def test_int128_stored_as_int64(self):
+        # Physical storage narrows at our scale; logical width is kept.
+        assert int128().numpy_dtype == np.dtype(np.int64)
+        assert int128().bits == 128
+
+    def test_float_is_double(self):
+        assert float64().numpy_dtype == np.dtype(np.float64)
+
+
+class TestTypeAlgebra:
+    def test_sum_widens_integers(self):
+        assert int32().result_type_for_sum() == int64()
+        assert int64().result_type_for_sum() == int128()
+
+    def test_sum_of_decimal_goes_wide(self):
+        result = decimal(7, 2).result_type_for_sum()
+        assert result.bits == 128
+        assert result.scale == 2
+
+    def test_sum_of_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            varchar(5).result_type_for_sum()
+
+    def test_common_type_float_wins(self):
+        assert common_numeric_type(int32(), float64()) == float64()
+
+    def test_common_type_decimal_beats_int(self):
+        combined = common_numeric_type(decimal(7, 2), int64())
+        assert combined.kind is TypeKind.DECIMAL
+
+    def test_common_type_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            common_numeric_type(varchar(3), int32())
+
+    def test_comparable_validation(self):
+        with pytest.raises(TypeMismatchError):
+            varchar(3).validate_comparable(int32())
+        int32().validate_comparable(int64())  # no raise
+
+
+def test_str_rendering():
+    assert str(decimal(7, 2)) == "DECIMAL(7,2)"
+    assert str(varchar(8)) == "VARCHAR(8)"
+    assert str(char(8)) == "CHAR(8)"
+    assert str(int64()) == "INT64"

@@ -1,0 +1,92 @@
+"""Unit tests for the BLU engine end to end (CPU paths)."""
+
+import numpy as np
+import pytest
+
+from repro.blu.engine import BluEngine
+from repro.errors import SchemaError, SqlError
+
+
+class TestExecuteSql:
+    def test_filter_group_order_limit(self, cpu_engine, sales_table):
+        result = cpu_engine.execute_sql(
+            "SELECT s_store, COUNT(*) AS cnt, SUM(s_qty) AS qty "
+            "FROM sales WHERE s_item < 1000 "
+            "GROUP BY s_store ORDER BY qty DESC LIMIT 3")
+        table = result.table
+        assert table.num_rows == 3
+        qty = table.to_pydict()["qty"]
+        assert qty == sorted(qty, reverse=True)
+
+    def test_matches_numpy_reference(self, cpu_engine, sales_table):
+        result = cpu_engine.execute_sql(
+            "SELECT s_store, SUM(s_paid) AS paid FROM sales "
+            "GROUP BY s_store")
+        d = result.table.to_pydict()
+        raw = sales_table.to_pydict()
+        ref = {}
+        for store, paid in zip(raw["s_store"], raw["s_paid"]):
+            ref[store] = ref.get(store, 0.0) + paid
+        assert len(d["s_store"]) == len(ref)
+        for store, paid in zip(d["s_store"], d["paid"]):
+            assert paid == pytest.approx(ref[store])
+
+    def test_join_query(self, cpu_engine):
+        result = cpu_engine.execute_sql(
+            "SELECT st_state, COUNT(*) AS c FROM sales "
+            "JOIN stores ON s_store = st_id "
+            "WHERE st_state = 'CA' GROUP BY st_state")
+        d = result.table.to_pydict()
+        assert d["st_state"] == ["CA"]
+        assert d["c"][0] > 0
+
+    def test_profile_attached(self, cpu_engine):
+        result = cpu_engine.execute_sql(
+            "SELECT COUNT(*) AS c FROM sales", query_id="probe")
+        assert result.profile.query_id == "probe"
+        assert result.profile.cpu_core_seconds > 0
+        assert not result.profile.offloaded
+        assert result.elapsed_ms > 0
+
+    def test_degree_changes_elapsed(self, cpu_engine):
+        sql = ("SELECT s_item, SUM(s_qty) AS q FROM sales GROUP BY s_item")
+        narrow = cpu_engine.execute_sql(sql, degree=4)
+        wide = cpu_engine.execute_sql(sql, degree=48)
+        assert narrow.profile.elapsed_serial(4) > \
+            wide.profile.elapsed_serial(48)
+
+    def test_unknown_table(self, cpu_engine):
+        with pytest.raises(SchemaError):
+            cpu_engine.execute_sql("SELECT x FROM ghost")
+
+    def test_bad_sql(self, cpu_engine):
+        with pytest.raises(SqlError):
+            cpu_engine.execute_sql("SELEC x FROM sales")
+
+    def test_query_ids_autogenerate(self, cpu_engine):
+        r1 = cpu_engine.execute_sql("SELECT COUNT(*) AS c FROM sales")
+        r2 = cpu_engine.execute_sql("SELECT COUNT(*) AS c FROM sales")
+        assert r1.profile.query_id != r2.profile.query_id
+
+    def test_gpu_flag_false_without_accelerator(self, cpu_engine):
+        assert not cpu_engine.gpu_enabled
+
+
+class TestFilterNodeExecution:
+    def test_residual_filter_applies_after_join(self, cpu_engine):
+        result = cpu_engine.execute_sql(
+            "SELECT s_qty, st_size FROM sales "
+            "JOIN stores ON s_store = st_id WHERE s_qty > st_size")
+        d = result.table.to_pydict()
+        assert all(q > s for q, s in zip(d["s_qty"], d["st_size"]))
+
+
+class TestRankSql:
+    def test_rank_over_grouped_output(self, cpu_engine):
+        result = cpu_engine.execute_sql(
+            "SELECT s_store, SUM(s_paid) AS rev, "
+            "RANK() OVER (ORDER BY rev DESC) AS rnk "
+            "FROM sales GROUP BY s_store ORDER BY rnk")
+        d = result.table.to_pydict()
+        assert d["rnk"][0] == 1
+        assert d["rev"] == sorted(d["rev"], reverse=True)

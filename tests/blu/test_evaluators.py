@@ -1,0 +1,92 @@
+"""Unit tests for the Figure-1 / Figure-2 evaluator chains."""
+
+import pytest
+
+from repro.blu.evaluators import (
+    build_cpu_groupby_chain,
+    build_gpu_host_chain,
+)
+from repro.config import CostModel
+
+
+@pytest.fixture()
+def cost():
+    return CostModel()
+
+
+class TestCpuChain:
+    def test_stage_names_match_figure1(self, cost):
+        chain = build_cpu_groupby_chain(rows=1000, num_keys=2, num_aggs=3,
+                                        groups=10, cost=cost)
+        assert chain.stage_names() == [
+            "LCOG", "LCOV", "CCAT", "HASH", "LGHT", "AGGD", "SUM", "CNT",
+            "MERGE",
+        ]
+
+    def test_single_key_skips_ccat(self, cost):
+        chain = build_cpu_groupby_chain(rows=1000, num_keys=1, num_aggs=1,
+                                        groups=10, cost=cost)
+        assert "CCAT" not in chain.stage_names()
+
+    def test_many_aggs_get_numbered_evaluators(self, cost):
+        chain = build_cpu_groupby_chain(rows=100, num_keys=1, num_aggs=5,
+                                        groups=10, cost=cost)
+        assert "AGG3" in chain.stage_names()
+        assert "AGG4" in chain.stage_names()
+
+    def test_cost_monotone_in_rows(self, cost):
+        small = build_cpu_groupby_chain(1000, 1, 2, 10, cost)
+        large = build_cpu_groupby_chain(100_000, 1, 2, 10, cost)
+        assert large.total_cpu_seconds > small.total_cpu_seconds
+
+    def test_cost_monotone_in_aggs(self, cost):
+        few = build_cpu_groupby_chain(10_000, 1, 1, 10, cost)
+        many = build_cpu_groupby_chain(10_000, 1, 8, 10, cost)
+        assert many.total_cpu_seconds > few.total_cpu_seconds
+
+    def test_merge_scales_with_groups(self, cost):
+        few = build_cpu_groupby_chain(10_000, 1, 1, 10, cost)
+        many = build_cpu_groupby_chain(10_000, 1, 1, 10_000, cost)
+        merge_few = few.evaluators[-1].cpu_seconds
+        merge_many = many.evaluators[-1].cpu_seconds
+        assert merge_many > 100 * merge_few
+
+
+class TestGpuHostChain:
+    def test_stage_names_match_figure2(self, cost):
+        chain = build_gpu_host_chain(rows=1000, num_keys=2, num_aggs=3,
+                                     staged_bytes=16_000, cost=cost)
+        assert chain.stage_names() == [
+            "LCOG", "LCOV", "CCAT", "HASH", "KMV", "MEMCPY",
+        ]
+
+    def test_no_lght_or_agg_stages(self, cost):
+        chain = build_gpu_host_chain(rows=1000, num_keys=1, num_aggs=6,
+                                     staged_bytes=1000, cost=cost)
+        names = chain.stage_names()
+        assert "LGHT" not in names
+        assert not any(n.startswith("AGG") or n in ("SUM", "CNT")
+                       for n in names)
+
+    def test_memcpy_scales_with_staged_bytes(self, cost):
+        thin = build_gpu_host_chain(1000, 1, 1, 8_000, cost)
+        wide = build_gpu_host_chain(1000, 1, 1, 8_000_000, cost)
+        assert wide.evaluators[-1].cpu_seconds > \
+            100 * thin.evaluators[-1].cpu_seconds
+
+    def test_host_chain_cheaper_than_cpu_chain(self, cost):
+        """The whole point of Figure 2: the host does less."""
+        cpu = build_cpu_groupby_chain(100_000, 2, 4, 5_000, cost)
+        gpu = build_gpu_host_chain(100_000, 2, 4, 100_000 * 20, cost)
+        assert gpu.total_cpu_seconds < cpu.total_cpu_seconds / 2
+
+
+class TestCostEvents:
+    def test_degree_cap_applied(self, cost):
+        chain = build_cpu_groupby_chain(1000, 1, 1, 10, cost)
+        events = chain.cost_events(degree_cap=4)
+        assert all(e.max_degree <= 4 for e in events)
+
+    def test_describe(self, cost):
+        chain = build_gpu_host_chain(10, 1, 1, 80, cost)
+        assert "MEMCPY" in chain.describe()

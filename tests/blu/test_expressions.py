@@ -1,0 +1,195 @@
+"""Unit tests for scalar expressions and predicates."""
+
+import numpy as np
+import pytest
+
+from repro.blu.datatypes import float64, int32, int64, varchar
+from repro.blu.expressions import (
+    AggFunc,
+    AggSpec,
+    And,
+    Arithmetic,
+    ArithOp,
+    Between,
+    CmpOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    conjuncts,
+)
+from repro.blu.table import Schema, Table
+from repro.errors import TypeMismatchError
+
+
+@pytest.fixture()
+def table() -> Table:
+    schema = Schema.of(("n", int32()), ("f", float64()), ("s", varchar(8)),
+                       ("m", int64()))
+    return Table.from_pydict("t", schema, {
+        "n": [1, 2, 3, 4, 5],
+        "f": [1.0, 2.0, 0.5, 4.0, 2.5],
+        "s": ["apple", "banana", "apple", "cherry", "date"],
+        "m": [10, None, 30, 40, None],
+    })
+
+
+def mask(expr, table):
+    return list(expr.evaluate(table).values.astype(bool))
+
+
+class TestComparisons:
+    def test_numeric_ops(self, table):
+        n = ColumnRef("n")
+        assert mask(Comparison(CmpOp.EQ, n, Literal(3)), table) == \
+            [False, False, True, False, False]
+        assert mask(Comparison(CmpOp.LT, n, Literal(3)), table) == \
+            [True, True, False, False, False]
+        assert mask(Comparison(CmpOp.GE, n, Literal(4)), table) == \
+            [False, False, False, True, True]
+        assert mask(Comparison(CmpOp.NE, n, Literal(1)), table) == \
+            [False, True, True, True, True]
+
+    def test_string_equality_runs_on_codes(self, table):
+        expr = Comparison(CmpOp.EQ, ColumnRef("s"), Literal("apple"))
+        assert mask(expr, table) == [True, False, True, False, False]
+
+    def test_string_equality_absent_value(self, table):
+        expr = Comparison(CmpOp.EQ, ColumnRef("s"), Literal("kiwi"))
+        assert mask(expr, table) == [False] * 5
+
+    def test_string_range_on_collation(self, table):
+        expr = Comparison(CmpOp.LT, ColumnRef("s"), Literal("banana"))
+        assert mask(expr, table) == [True, False, True, False, False]
+        expr = Comparison(CmpOp.GE, ColumnRef("s"), Literal("banana"))
+        assert mask(expr, table) == [False, True, False, True, True]
+
+    def test_string_range_boundary_absent(self, table):
+        expr = Comparison(CmpOp.LE, ColumnRef("s"), Literal("babble"))
+        assert mask(expr, table) == [True, False, True, False, False]
+
+    def test_nulls_compare_false(self, table):
+        expr = Comparison(CmpOp.GT, ColumnRef("m"), Literal(5))
+        assert mask(expr, table) == [True, False, True, True, False]
+
+    def test_string_vs_number_rejected(self, table):
+        expr = Comparison(CmpOp.EQ, ColumnRef("s"), ColumnRef("n"))
+        with pytest.raises(TypeMismatchError):
+            expr.evaluate(table)
+
+    def test_column_to_column(self, table):
+        expr = Comparison(CmpOp.GT, ColumnRef("f"), ColumnRef("n"))
+        assert mask(expr, table) == [False, False, False, False, False]
+
+
+class TestCompoundPredicates:
+    def test_between(self, table):
+        expr = Between(ColumnRef("n"), Literal(2), Literal(4))
+        assert mask(expr, table) == [False, True, True, True, False]
+
+    def test_in_list_numeric(self, table):
+        expr = InList(ColumnRef("n"), (1, 4, 9))
+        assert mask(expr, table) == [True, False, False, True, False]
+
+    def test_in_list_strings_on_codes(self, table):
+        expr = InList(ColumnRef("s"), ("apple", "date", "kiwi"))
+        assert mask(expr, table) == [True, False, True, False, True]
+
+    def test_like_prefix_suffix_contains(self, table):
+        assert mask(Like(ColumnRef("s"), "ba%"), table) == \
+            [False, True, False, False, False]
+        assert mask(Like(ColumnRef("s"), "%rry"), table) == \
+            [False, False, False, True, False]
+        assert mask(Like(ColumnRef("s"), "%an%"), table) == \
+            [False, True, False, False, False]
+        assert mask(Like(ColumnRef("s"), "date"), table) == \
+            [False, False, False, False, True]
+
+    def test_like_on_number_rejected(self, table):
+        with pytest.raises(TypeMismatchError):
+            Like(ColumnRef("n"), "1%").evaluate(table)
+
+    def test_is_null(self, table):
+        assert mask(IsNull(ColumnRef("m")), table) == \
+            [False, True, False, False, True]
+
+    def test_is_not_null(self, table):
+        assert mask(IsNull(ColumnRef("m"), negated=True), table) == \
+            [True, False, True, True, False]
+
+    def test_and_or_not(self, table):
+        n = ColumnRef("n")
+        low = Comparison(CmpOp.LE, n, Literal(2))
+        high = Comparison(CmpOp.GE, n, Literal(4))
+        assert mask(Or((low, high)), table) == [True, True, False, True, True]
+        assert mask(And((low, high)), table) == [False] * 5
+        assert mask(Not(low), table) == [False, False, True, True, True]
+
+
+class TestArithmetic:
+    def test_add_mul(self, table):
+        expr = Arithmetic(ArithOp.ADD, ColumnRef("n"),
+                          Arithmetic(ArithOp.MUL, ColumnRef("n"), Literal(10)))
+        assert list(expr.evaluate(table).values) == [11, 22, 33, 44, 55]
+
+    def test_float_promotion(self, table):
+        expr = Arithmetic(ArithOp.MUL, ColumnRef("n"), ColumnRef("f"))
+        result = expr.evaluate(table)
+        assert result.dtype == float64()
+        assert list(result.values) == [1.0, 4.0, 1.5, 16.0, 12.5]
+
+    def test_integer_division(self, table):
+        expr = Arithmetic(ArithOp.DIV, ColumnRef("n"), Literal(2))
+        assert list(expr.evaluate(table).values) == [0, 1, 1, 2, 2]
+
+    def test_division_by_zero_yields_null(self, table):
+        expr = Arithmetic(ArithOp.DIV, ColumnRef("n"), Literal(0))
+        result = expr.evaluate(table)
+        assert result.nulls is not None and result.nulls.all()
+
+    def test_sub_with_nulls(self, table):
+        expr = Arithmetic(ArithOp.SUB, ColumnRef("m"), Literal(1))
+        result = expr.evaluate(table)
+        assert list(result.nulls) == [False, True, False, False, True]
+
+
+class TestAggSpecs:
+    def test_output_types(self, table):
+        assert AggSpec(AggFunc.COUNT, None, "c").output_type(table) == int64()
+        assert AggSpec(AggFunc.AVG, ColumnRef("n"), "a") \
+            .output_type(table) == float64()
+        assert AggSpec(AggFunc.SUM, ColumnRef("n"), "s") \
+            .output_type(table) == int64()
+        assert AggSpec(AggFunc.MIN, ColumnRef("f"), "m") \
+            .output_type(table) == float64()
+
+    def test_columns(self):
+        assert AggSpec(AggFunc.COUNT, None, "c").columns() == []
+        assert AggSpec(AggFunc.SUM, ColumnRef("x"), "s").columns() == ["x"]
+
+
+class TestConjuncts:
+    def test_flattening(self):
+        a = Comparison(CmpOp.EQ, ColumnRef("x"), Literal(1))
+        b = Comparison(CmpOp.EQ, ColumnRef("y"), Literal(2))
+        c = Comparison(CmpOp.EQ, ColumnRef("z"), Literal(3))
+        nested = And((a, And((b, c))))
+        assert conjuncts(nested) == [a, b, c]
+
+    def test_none(self):
+        assert conjuncts(None) == []
+
+    def test_or_is_opaque(self):
+        a = Comparison(CmpOp.EQ, ColumnRef("x"), Literal(1))
+        either = Or((a, a))
+        assert conjuncts(either) == [either]
+
+
+def test_complexity_counts_grow():
+    simple = Comparison(CmpOp.EQ, ColumnRef("x"), Literal(1))
+    compound = And((simple, Between(ColumnRef("y"), Literal(0), Literal(9))))
+    assert compound.complexity() > simple.complexity() > 0

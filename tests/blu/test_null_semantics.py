@@ -1,0 +1,120 @@
+"""SQL NULL semantics: grouping, sorting, keyless aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.blu import BluEngine, Catalog, Schema, Table
+from repro.blu.datatypes import float64, int32, varchar
+from tests.conftest import tables_equal
+
+
+@pytest.fixture(scope="module")
+def nullable_catalog() -> Catalog:
+    schema = Schema.of(("k", int32()), ("tag", varchar(4)),
+                       ("v", int32()), ("f", float64()))
+    table = Table.from_pydict("t", schema, {
+        "k": [1, None, 2, None, 1, 0, None, 2],
+        "tag": ["a", "b", None, "a", None, "b", "b", "a"],
+        "v": [10, 20, 30, 40, 50, 60, 70, 80],
+        "f": [1.0, None, 3.0, 4.0, None, 6.0, 7.0, 8.0],
+    })
+    catalog = Catalog()
+    catalog.register(table)
+    return catalog
+
+
+@pytest.fixture()
+def engine(nullable_catalog):
+    return BluEngine(nullable_catalog)
+
+
+class TestNullGrouping:
+    def test_nulls_form_their_own_group(self, engine):
+        result = engine.execute_sql(
+            "SELECT k, COUNT(*) AS c, SUM(v) AS s FROM t GROUP BY k")
+        d = result.table.to_pydict()
+        groups = {k: (c, s) for k, c, s in zip(d["k"], d["c"], d["s"])}
+        assert groups[None] == (3, 20 + 40 + 70)
+        assert groups[1] == (2, 60)
+        assert groups[2] == (2, 110)
+        assert groups[0] == (1, 60)      # 0 is NOT merged with NULL
+
+    def test_null_group_distinct_from_zero_placeholder(self, engine):
+        result = engine.execute_sql(
+            "SELECT k, COUNT(*) AS c FROM t GROUP BY k")
+        keys = result.table.to_pydict()["k"]
+        assert None in keys and 0 in keys
+        assert len(keys) == 4
+
+    def test_string_null_group(self, engine):
+        result = engine.execute_sql(
+            "SELECT tag, COUNT(*) AS c FROM t GROUP BY tag")
+        d = result.table.to_pydict()
+        groups = dict(zip(d["tag"], d["c"]))
+        assert groups[None] == 2
+        assert groups["a"] == 3
+        assert groups["b"] == 3
+
+    def test_aggregates_skip_null_inputs(self, engine):
+        result = engine.execute_sql(
+            "SELECT k, COUNT(*) AS c, AVG(f) AS af FROM t GROUP BY k")
+        d = result.table.to_pydict()
+        by_key = {k: af for k, af in zip(d["k"], d["af"])}
+        # k=1 rows have f = 1.0 and NULL -> AVG over the single non-null.
+        assert by_key[1] == pytest.approx(1.0)
+
+    def test_gpu_matches_cpu_with_null_keys(self, nullable_catalog):
+        import dataclasses
+
+        from repro.config import paper_testbed
+        from repro.core import GpuAcceleratedEngine
+
+        config = paper_testbed()
+        thresholds = dataclasses.replace(config.thresholds, t1_min_rows=4,
+                                         t2_min_groups=2, sort_min_rows=4)
+        config = dataclasses.replace(config, thresholds=thresholds)
+        gpu = GpuAcceleratedEngine(nullable_catalog, config=config)
+        cpu = BluEngine(nullable_catalog)
+        sql = "SELECT k, COUNT(*) AS c, SUM(v) AS s FROM t GROUP BY k"
+        gpu_result = gpu.execute_sql(sql)
+        assert gpu_result.profile.offloaded
+        assert tables_equal(gpu_result.table, cpu.execute_sql(sql).table)
+
+
+class TestNullSorting:
+    def test_nulls_sort_last_ascending(self, engine):
+        result = engine.execute_sql("SELECT k, v FROM t ORDER BY k, v")
+        keys = result.table.to_pydict()["k"]
+        assert keys[-3:] == [None, None, None]
+        assert keys[:5] == [0, 1, 1, 2, 2]
+
+    def test_nulls_sort_first_descending(self, engine):
+        result = engine.execute_sql("SELECT k, v FROM t ORDER BY k DESC, v")
+        keys = result.table.to_pydict()["k"]
+        assert keys[:3] == [None, None, None]
+
+    def test_float_nulls_sort_last(self, engine):
+        result = engine.execute_sql("SELECT f FROM t ORDER BY f")
+        values = result.table.to_pydict()["f"]
+        assert values[-2:] == [None, None]
+        non_null = [v for v in values if v is not None]
+        assert non_null == sorted(non_null)
+
+
+class TestKeylessAggregates:
+    def test_count_over_empty_input_is_zero_one_row(self, engine):
+        result = engine.execute_sql(
+            "SELECT COUNT(*) AS c FROM t WHERE v > 1000")
+        d = result.table.to_pydict()
+        assert d["c"] == [0]
+
+    def test_sum_over_empty_input(self, engine):
+        result = engine.execute_sql(
+            "SELECT SUM(v) AS s, COUNT(*) AS c FROM t WHERE v > 1000")
+        d = result.table.to_pydict()
+        assert d["c"] == [0]
+        assert d["s"] == [0]            # engine convention: empty SUM is 0
+
+    def test_normal_keyless_aggregate(self, engine):
+        result = engine.execute_sql("SELECT SUM(v) AS s FROM t")
+        assert result.table.to_pydict()["s"] == [360]

@@ -1,0 +1,363 @@
+"""Unit tests for the CPU physical operators, cross-checked against
+brute-force python reference implementations."""
+
+import collections
+import math
+
+import numpy as np
+import pytest
+
+from repro.blu.datatypes import float64, int32, int64, varchar
+from repro.blu.expressions import (
+    AggFunc,
+    AggSpec,
+    CmpOp,
+    ColumnRef,
+    Comparison,
+    Literal,
+)
+from repro.blu.operators import (
+    execute_groupby_cpu,
+    execute_join,
+    execute_limit,
+    execute_project,
+    execute_rank,
+    execute_scan,
+    execute_sort_cpu,
+    group_encode,
+)
+from repro.blu.plan import RankNode, ScanNode, SortKey
+from repro.blu.table import Schema, Table
+from repro.config import CostModel
+from repro.timing import CostLedger
+
+
+@pytest.fixture()
+def cost():
+    return CostModel()
+
+
+@pytest.fixture()
+def ledger():
+    return CostLedger()
+
+
+@pytest.fixture()
+def fact() -> Table:
+    rng = np.random.default_rng(3)
+    n = 5000
+    schema = Schema.of(("k", int32()), ("g", int32()), ("v", int64()),
+                       ("f", float64()), ("tag", varchar(4)))
+    return Table.from_pydict("fact", schema, {
+        "k": rng.integers(1, 40, n).tolist(),
+        "g": rng.integers(1, 9, n).tolist(),
+        "v": rng.integers(-50, 50, n).tolist(),
+        "f": np.round(rng.random(n) * 10, 3).tolist(),
+        "tag": rng.choice(np.array(list("abcd"), dtype=object), n).tolist(),
+    })
+
+
+@pytest.fixture()
+def dim() -> Table:
+    schema = Schema.of(("d_id", int32()), ("d_name", varchar(8)))
+    return Table.from_pydict("dim", schema, {
+        "d_id": list(range(1, 41)),
+        "d_name": [f"name{i:02d}" for i in range(1, 41)],
+    })
+
+
+class TestScan:
+    def test_no_predicate_is_identity(self, fact, cost, ledger):
+        out = execute_scan(fact, None, cost, ledger)
+        assert out is fact
+        assert ledger.events[0].op == "SCAN"
+
+    def test_predicate_filters(self, fact, cost, ledger):
+        pred = Comparison(CmpOp.GT, ColumnRef("v"), Literal(0))
+        out = execute_scan(fact, pred, cost, ledger)
+        assert all(v > 0 for v in out.to_pydict()["v"])
+        expected = sum(1 for v in fact.to_pydict()["v"] if v > 0)
+        assert out.num_rows == expected
+
+    def test_cost_scales_with_complexity(self, fact, cost):
+        simple, complex_ = CostLedger(), CostLedger()
+        p1 = Comparison(CmpOp.GT, ColumnRef("v"), Literal(0))
+        from repro.blu.expressions import And
+        p3 = And((p1, Comparison(CmpOp.LT, ColumnRef("k"), Literal(30)),
+                  Comparison(CmpOp.GT, ColumnRef("f"), Literal(1.0))))
+        execute_scan(fact, p1, cost, simple)
+        execute_scan(fact, p3, cost, complex_)
+        assert complex_.events[0].cpu_seconds > simple.events[0].cpu_seconds
+
+
+class TestJoin:
+    def test_fk_join_matches_reference(self, fact, dim, cost, ledger):
+        out = execute_join(fact, dim, "k", "d_id", cost, ledger)
+        assert out.num_rows == fact.num_rows     # every k in 1..40 matches
+        d = out.to_pydict()
+        for k, name in zip(d["k"], d["d_name"]):
+            assert name == f"name{k:02d}"
+
+    def test_partial_match(self, fact, cost, ledger):
+        schema = Schema.of(("d_id", int32()), ("w", int32()))
+        small_dim = Table.from_pydict("d2", schema, {
+            "d_id": [1, 2, 3], "w": [10, 20, 30]})
+        out = execute_join(fact, small_dim, "k", "d_id", cost, ledger)
+        expected = sum(1 for k in fact.to_pydict()["k"] if k <= 3)
+        assert out.num_rows == expected
+
+    def test_empty_build_side(self, fact, cost, ledger):
+        schema = Schema.of(("d_id", int32()))
+        empty = Table.from_pydict("d3", schema, {"d_id": []})
+        out = execute_join(fact, empty, "k", "d_id", cost, ledger)
+        assert out.num_rows == 0
+
+    def test_string_key_join(self, cost, ledger):
+        left = Table.from_pydict("l", Schema.of(("tag", varchar(4)),
+                                                ("x", int32())),
+                                 {"tag": ["a", "b", "c"], "x": [1, 2, 3]})
+        right = Table.from_pydict("r", Schema.of(("rtag", varchar(4)),
+                                                 ("y", int32())),
+                                  {"rtag": ["b", "c", "d"], "y": [20, 30, 40]})
+        out = execute_join(left, right, "tag", "rtag", cost, ledger)
+        d = out.to_pydict()
+        assert d["tag"] == ["b", "c"]
+        assert d["y"] == [20, 30]
+
+    def test_many_to_many_expansion(self, cost, ledger):
+        left = Table.from_pydict("l", Schema.of(("k", int32())),
+                                 {"k": [1, 2]})
+        right = Table.from_pydict("r", Schema.of(("k2", int32()),
+                                                 ("v", int32())),
+                                  {"k2": [1, 1, 2], "v": [10, 11, 20]})
+        out = execute_join(left, right, "k", "k2", cost, ledger)
+        assert sorted(out.to_pydict()["v"]) == [10, 11, 20]
+
+
+class TestGroupEncode:
+    def test_single_key(self):
+        keys = [np.array([5, 3, 5, 7, 3], dtype=np.int64)]
+        index, first, n = group_encode(keys)
+        assert n == 3
+        assert list(index) == [0, 1, 0, 2, 1]      # appearance order
+        assert list(first) == [0, 1, 3]
+
+    def test_multi_key(self):
+        a = np.array([1, 1, 2, 2, 1], dtype=np.int64)
+        b = np.array([1, 2, 1, 1, 1], dtype=np.int64)
+        index, first, n = group_encode([a, b])
+        assert n == 3
+        assert list(index) == [0, 1, 2, 2, 0]
+
+    def test_empty(self):
+        index, first, n = group_encode([np.array([], dtype=np.int64)])
+        assert n == 0 and len(index) == 0
+
+
+class TestGroupByCpu:
+    def test_matches_bruteforce(self, fact, cost, ledger):
+        aggs = [
+            AggSpec(AggFunc.COUNT, None, "cnt"),
+            AggSpec(AggFunc.SUM, ColumnRef("v"), "sv"),
+            AggSpec(AggFunc.MIN, ColumnRef("v"), "mn"),
+            AggSpec(AggFunc.MAX, ColumnRef("f"), "mx"),
+            AggSpec(AggFunc.AVG, ColumnRef("f"), "av"),
+        ]
+        out = execute_groupby_cpu(fact, ["g"], aggs, cost, ledger)
+        data = fact.to_pydict()
+        ref = collections.defaultdict(lambda: {"cnt": 0, "sv": 0,
+                                               "mn": 10**9, "mx": -1e18,
+                                               "fsum": 0.0})
+        for g, v, f in zip(data["g"], data["v"], data["f"]):
+            r = ref[g]
+            r["cnt"] += 1
+            r["sv"] += v
+            r["mn"] = min(r["mn"], v)
+            r["mx"] = max(r["mx"], f)
+            r["fsum"] += f
+        result = out.to_pydict()
+        assert out.num_rows == len(ref)
+        for i, g in enumerate(result["g"]):
+            r = ref[g]
+            assert result["cnt"][i] == r["cnt"]
+            assert result["sv"][i] == r["sv"]
+            assert result["mn"][i] == r["mn"]
+            assert result["mx"][i] == pytest.approx(r["mx"])
+            assert result["av"][i] == pytest.approx(r["fsum"] / r["cnt"])
+
+    def test_string_min_max(self, fact, cost, ledger):
+        aggs = [AggSpec(AggFunc.MIN, ColumnRef("tag"), "lo"),
+                AggSpec(AggFunc.MAX, ColumnRef("tag"), "hi")]
+        out = execute_groupby_cpu(fact, ["g"], aggs, cost, ledger)
+        data = fact.to_pydict()
+        ref_lo, ref_hi = {}, {}
+        for g, tag in zip(data["g"], data["tag"]):
+            ref_lo[g] = min(ref_lo.get(g, "zzz"), tag)
+            ref_hi[g] = max(ref_hi.get(g, ""), tag)
+        result = out.to_pydict()
+        for i, g in enumerate(result["g"]):
+            assert result["lo"][i] == ref_lo[g]
+            assert result["hi"][i] == ref_hi[g]
+
+    def test_multi_key_grouping(self, fact, cost, ledger):
+        aggs = [AggSpec(AggFunc.COUNT, None, "c")]
+        out = execute_groupby_cpu(fact, ["g", "tag"], aggs, cost, ledger)
+        data = fact.to_pydict()
+        ref = collections.Counter(zip(data["g"], data["tag"]))
+        assert out.num_rows == len(ref)
+        result = out.to_pydict()
+        for g, tag, c in zip(result["g"], result["tag"], result["c"]):
+            assert ref[(g, tag)] == c
+
+    def test_global_aggregate_no_keys(self, fact, cost, ledger):
+        aggs = [AggSpec(AggFunc.SUM, ColumnRef("v"), "total")]
+        out = execute_groupby_cpu(fact, [], aggs, cost, ledger)
+        assert out.num_rows == 1
+        assert out.to_pydict()["total"][0] == sum(fact.to_pydict()["v"])
+
+    def test_chain_cost_events_match_figure1(self, fact, cost):
+        ledger = CostLedger()
+        aggs = [AggSpec(AggFunc.SUM, ColumnRef("v"), "s"),
+                AggSpec(AggFunc.COUNT, None, "c")]
+        execute_groupby_cpu(fact, ["g", "k"], aggs, cost, ledger)
+        ops = [e.op for e in ledger.events]
+        assert ops == ["LCOG", "LCOV", "CCAT", "HASH", "LGHT", "AGGD",
+                       "SUM", "MERGE"]
+
+
+class TestSort:
+    def test_single_key_asc(self, fact, cost, ledger):
+        out = execute_sort_cpu(fact, [SortKey("v")], cost, ledger)
+        values = out.to_pydict()["v"]
+        assert values == sorted(values)
+
+    def test_desc(self, fact, cost, ledger):
+        out = execute_sort_cpu(fact, [SortKey("v", ascending=False)],
+                               cost, ledger)
+        values = out.to_pydict()["v"]
+        assert values == sorted(values, reverse=True)
+
+    def test_multi_key_with_strings(self, fact, cost, ledger):
+        out = execute_sort_cpu(
+            fact, [SortKey("tag"), SortKey("v", ascending=False)],
+            cost, ledger)
+        d = out.to_pydict()
+        pairs = list(zip(d["tag"], [-v for v in d["v"]]))
+        assert pairs == sorted(pairs)
+
+    def test_stability(self, cost, ledger):
+        schema = Schema.of(("k", int32()), ("pos", int32()))
+        t = Table.from_pydict("t", schema, {
+            "k": [1, 1, 1, 0, 0], "pos": [0, 1, 2, 3, 4]})
+        out = execute_sort_cpu(t, [SortKey("k")], cost, ledger)
+        assert out.to_pydict()["pos"] == [3, 4, 0, 1, 2]
+
+    def test_float_sort(self, fact, cost, ledger):
+        out = execute_sort_cpu(fact, [SortKey("f", ascending=False)],
+                               cost, ledger)
+        values = out.to_pydict()["f"]
+        assert values == sorted(values, reverse=True)
+
+
+class TestRank:
+    def test_rank_semantics_with_ties(self, cost, ledger):
+        schema = Schema.of(("p", int32()), ("v", int32()))
+        t = Table.from_pydict("t", schema, {
+            "p": [1, 1, 1, 1, 2, 2],
+            "v": [10, 10, 5, 1, 7, 7],
+        })
+        node = RankNode(ScanNode("t"), ["p"], "v", ascending=False,
+                        alias="rnk")
+        out = execute_rank(t, node, cost, ledger)
+        d = out.to_pydict()
+        got = {(p, v): r for p, v, r in zip(d["p"], d["v"], d["rnk"])}
+        assert got[(1, 10)] == 1       # two rows tie at rank 1
+        assert got[(1, 5)] == 3        # rank skips after ties
+        assert got[(1, 1)] == 4
+        assert got[(2, 7)] == 1
+
+    def test_rank_no_partition(self, cost, ledger):
+        schema = Schema.of(("v", int32()),)
+        t = Table.from_pydict("t", schema, {"v": [3, 1, 2]})
+        node = RankNode(ScanNode("t"), [], "v", ascending=True, alias="r")
+        out = execute_rank(t, node, cost, ledger)
+        d = out.to_pydict()
+        assert {v: r for v, r in zip(d["v"], d["r"])} == {1: 1, 2: 2, 3: 3}
+
+
+class TestProjectLimit:
+    def test_project_computed(self, fact, cost, ledger):
+        from repro.blu.expressions import Arithmetic, ArithOp
+        items = [("v2", Arithmetic(ArithOp.MUL, ColumnRef("v"), Literal(2))),
+                 ("g", ColumnRef("g"))]
+        out = execute_project(fact, items, cost, ledger)
+        d = out.to_pydict()
+        assert d["v2"][:5] == [2 * v for v in fact.to_pydict()["v"][:5]]
+
+    def test_limit(self, fact, cost, ledger):
+        assert execute_limit(fact, 10, cost, ledger).num_rows == 10
+        assert execute_limit(fact, 10**9, cost, ledger).num_rows == \
+            fact.num_rows
+
+
+class TestDistinctAggregates:
+    def test_count_distinct_matches_bruteforce(self, fact, cost, ledger):
+        aggs = [AggSpec(AggFunc.COUNT, ColumnRef("k"), "cd", distinct=True),
+                AggSpec(AggFunc.COUNT, ColumnRef("k"), "c")]
+        out = execute_groupby_cpu(fact, ["g"], aggs, cost, ledger)
+        data = fact.to_pydict()
+        ref = collections.defaultdict(set)
+        plain = collections.Counter()
+        for g, k in zip(data["g"], data["k"]):
+            ref[g].add(k)
+            plain[g] += 1
+        result = out.to_pydict()
+        for g, cd, c in zip(result["g"], result["cd"], result["c"]):
+            assert cd == len(ref[g])
+            assert c == plain[g]
+
+    def test_sum_distinct(self, fact, cost, ledger):
+        aggs = [AggSpec(AggFunc.SUM, ColumnRef("k"), "sd", distinct=True)]
+        out = execute_groupby_cpu(fact, ["g"], aggs, cost, ledger)
+        data = fact.to_pydict()
+        ref = collections.defaultdict(set)
+        for g, k in zip(data["g"], data["k"]):
+            ref[g].add(k)
+        result = out.to_pydict()
+        for g, sd in zip(result["g"], result["sd"]):
+            assert sd == sum(ref[g])
+
+    def test_distinct_is_noop_for_min_max(self, fact, cost, ledger):
+        aggs = [AggSpec(AggFunc.MIN, ColumnRef("v"), "m", distinct=True),
+                AggSpec(AggFunc.MIN, ColumnRef("v"), "m2")]
+        out = execute_groupby_cpu(fact, ["g"], aggs, cost, ledger)
+        result = out.to_pydict()
+        assert result["m"] == result["m2"]
+
+    def test_sql_count_distinct(self, cost):
+        from repro.blu import BluEngine, Catalog
+
+        catalog = Catalog()
+        schema = Schema.of(("g", int32()), ("x", int32()))
+        catalog.register(Table.from_pydict("d", schema, {
+            "g": [1, 1, 1, 2, 2], "x": [5, 5, 7, 9, 9]}))
+        engine = BluEngine(catalog)
+        result = engine.execute_sql(
+            "SELECT g, COUNT(DISTINCT x) AS cd FROM d GROUP BY g")
+        d = result.table.to_pydict()
+        assert dict(zip(d["g"], d["cd"])) == {1: 2, 2: 1}
+
+    def test_count_over_string_column(self, fact, cost, ledger):
+        aggs = [AggSpec(AggFunc.COUNT, ColumnRef("tag"), "c"),
+                AggSpec(AggFunc.COUNT, ColumnRef("tag"), "cd",
+                        distinct=True)]
+        out = execute_groupby_cpu(fact, ["g"], aggs, cost, ledger)
+        data = fact.to_pydict()
+        totals = collections.Counter(data["g"])
+        distincts = collections.defaultdict(set)
+        for g, tag in zip(data["g"], data["tag"]):
+            distincts[g].add(tag)
+        result = out.to_pydict()
+        for g, c, cd in zip(result["g"], result["c"], result["cd"]):
+            assert c == totals[g]
+            assert cd == len(distincts[g])

@@ -1,0 +1,133 @@
+"""Unit tests for cardinality estimation."""
+
+import pytest
+
+from repro.blu.optimizer import Optimizer
+from repro.blu.plan import GroupByNode, JoinNode, ScanNode
+from repro.blu.sql import parse_query
+
+
+@pytest.fixture()
+def optimizer(small_catalog):
+    return Optimizer(small_catalog)
+
+
+def annotate(optimizer, small_catalog, sql):
+    plan = parse_query(sql, catalog=small_catalog)
+    optimizer.annotate(plan)
+    return plan
+
+
+def node_of(plan, node_type):
+    return [n for n in plan.walk() if isinstance(n, node_type)]
+
+
+class TestScanEstimates:
+    def test_unfiltered_scan_is_table_size(self, optimizer, small_catalog):
+        plan = annotate(optimizer, small_catalog, "SELECT s_item FROM sales")
+        assert plan.estimates.rows == small_catalog.table("sales").num_rows
+
+    def test_equality_uses_distinct(self, optimizer, small_catalog):
+        plan = annotate(optimizer, small_catalog,
+                        "SELECT s_item FROM sales WHERE s_store = 3")
+        stats = small_catalog.column_stats("sales", "s_store")
+        expected = small_catalog.table("sales").num_rows / stats.distinct
+        assert plan.estimates.rows == pytest.approx(expected, rel=0.01)
+
+    def test_range_interpolates(self, optimizer, small_catalog):
+        low = annotate(optimizer, small_catalog,
+                       "SELECT s_item FROM sales WHERE s_item < 100")
+        high = annotate(optimizer, small_catalog,
+                        "SELECT s_item FROM sales WHERE s_item < 1500")
+        assert low.estimates.rows < high.estimates.rows
+
+    def test_conjunction_multiplies(self, optimizer, small_catalog):
+        one = annotate(optimizer, small_catalog,
+                       "SELECT s_item FROM sales WHERE s_store = 3")
+        both = annotate(optimizer, small_catalog,
+                        "SELECT s_item FROM sales "
+                        "WHERE s_store = 3 AND s_qty < 50")
+        assert both.estimates.rows < one.estimates.rows
+
+    def test_in_list_scales_with_length(self, optimizer, small_catalog):
+        short = annotate(optimizer, small_catalog,
+                         "SELECT s_item FROM sales WHERE s_store IN (1, 2)")
+        long = annotate(optimizer, small_catalog,
+                        "SELECT s_item FROM sales "
+                        "WHERE s_store IN (1, 2, 3, 4, 5, 6)")
+        assert long.estimates.rows == pytest.approx(
+            3 * short.estimates.rows, rel=0.01)
+
+    def test_floor_of_one_row(self, optimizer, small_catalog):
+        plan = annotate(optimizer, small_catalog,
+                        "SELECT s_item FROM sales "
+                        "WHERE s_ticket = 1 AND s_item = 1 AND s_store = 1")
+        assert plan.estimates.rows >= 1.0
+
+
+class TestJoinEstimates:
+    def test_fk_join_keeps_probe_rows(self, optimizer, small_catalog):
+        plan = annotate(optimizer, small_catalog,
+                        "SELECT s_item FROM sales "
+                        "JOIN stores ON s_store = st_id")
+        join = node_of(plan, JoinNode)[0]
+        assert join.estimates.rows == pytest.approx(
+            small_catalog.table("sales").num_rows, rel=0.01)
+
+    def test_filtered_dimension_scales_join(self, optimizer, small_catalog):
+        plan = annotate(optimizer, small_catalog,
+                        "SELECT s_item FROM sales "
+                        "JOIN stores ON s_store = st_id "
+                        "WHERE st_state = 'CA'")
+        join = node_of(plan, JoinNode)[0]
+        fraction = join.estimates.rows / small_catalog.table("sales").num_rows
+        assert 0.05 < fraction < 0.5
+
+
+class TestGroupEstimates:
+    def test_groups_from_distinct(self, optimizer, small_catalog):
+        plan = annotate(optimizer, small_catalog,
+                        "SELECT s_store, COUNT(*) AS c FROM sales "
+                        "GROUP BY s_store")
+        gb = node_of(plan, GroupByNode)[0]
+        assert gb.estimates.groups == pytest.approx(12, rel=0.01)
+
+    def test_groups_capped_by_rows(self, optimizer, small_catalog):
+        plan = annotate(optimizer, small_catalog,
+                        "SELECT s_ticket, COUNT(*) AS c FROM sales "
+                        "WHERE s_store = 1 GROUP BY s_ticket")
+        gb = node_of(plan, GroupByNode)[0]
+        assert gb.estimates.groups <= gb.child.estimates.rows
+
+    def test_multikey_product_damped(self, optimizer, small_catalog):
+        plan = annotate(optimizer, small_catalog,
+                        "SELECT s_store, s_channel, COUNT(*) AS c "
+                        "FROM sales GROUP BY s_store, s_channel")
+        gb = node_of(plan, GroupByNode)[0]
+        assert gb.estimates.groups <= 12 * 4
+        assert gb.estimates.groups >= 12
+
+    def test_group_output_rows_equal_groups(self, optimizer, small_catalog):
+        plan = annotate(optimizer, small_catalog,
+                        "SELECT s_store, COUNT(*) AS c FROM sales "
+                        "GROUP BY s_store ORDER BY c")
+        assert plan.estimates.rows == pytest.approx(12, rel=0.01)
+
+    def test_limit_caps_rows(self, optimizer, small_catalog):
+        plan = annotate(optimizer, small_catalog,
+                        "SELECT s_item FROM sales LIMIT 10")
+        assert plan.estimates.rows == 10
+
+
+class TestExplain:
+    def test_explain_renders(self, small_catalog):
+        from repro.blu.engine import BluEngine
+
+        engine = BluEngine(small_catalog)
+        text = engine.explain_sql(
+            "SELECT s_store, COUNT(*) AS c FROM sales "
+            "JOIN stores ON s_store = st_id GROUP BY s_store")
+        assert "GROUPBY" in text
+        assert "HASHJOIN" in text
+        assert "SCAN sales" in text
+        assert "groups~" in text

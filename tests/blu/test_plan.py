@@ -1,0 +1,97 @@
+"""Unit tests for plan nodes, walking, and EXPLAIN rendering."""
+
+import pytest
+
+from repro.blu.expressions import AggFunc, AggSpec, ColumnRef
+from repro.blu.plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    RankNode,
+    ScanNode,
+    SortKey,
+    SortNode,
+    explain,
+)
+from repro.errors import PlanError
+
+
+def small_tree() -> PlanNode:
+    scan = ScanNode("fact")
+    dim = ScanNode("dim")
+    join = JoinNode(scan, dim, "fk", "pk")
+    group = GroupByNode(join, ["g"],
+                        [AggSpec(AggFunc.SUM, ColumnRef("v"), "s")])
+    sort = SortNode(group, [SortKey("s", ascending=False)])
+    return LimitNode(sort, 10)
+
+
+class TestValidation:
+    def test_groupby_requires_keys_or_aggs(self):
+        with pytest.raises(PlanError):
+            GroupByNode(ScanNode("t"), [], [])
+
+    def test_sort_requires_keys(self):
+        with pytest.raises(PlanError):
+            SortNode(ScanNode("t"), [])
+
+    def test_project_requires_items(self):
+        with pytest.raises(PlanError):
+            ProjectNode(ScanNode("t"), [])
+
+    def test_limit_rejects_negative(self):
+        with pytest.raises(PlanError):
+            LimitNode(ScanNode("t"), -1)
+
+
+class TestWalk:
+    def test_bottom_up_order(self):
+        plan = small_tree()
+        kinds = [type(n).__name__ for n in plan.walk()]
+        assert kinds == ["ScanNode", "ScanNode", "JoinNode", "GroupByNode",
+                         "SortNode", "LimitNode"]
+
+    def test_children(self):
+        plan = small_tree()
+        assert len(plan.children) == 1
+        join = [n for n in plan.walk() if isinstance(n, JoinNode)][0]
+        assert len(join.children) == 2
+
+    def test_scan_is_leaf(self):
+        assert ScanNode("t").children == ()
+
+
+class TestDescribe:
+    def test_descriptions(self):
+        plan = small_tree()
+        described = {type(n).__name__: n.describe() for n in plan.walk()}
+        assert described["ScanNode"].startswith("SCAN")
+        assert "fk = pk" in described["JoinNode"]
+        assert "keys=['g']" in described["GroupByNode"]
+        assert "s DESC" in described["SortNode"]
+        assert described["LimitNode"] == "LIMIT 10"
+
+    def test_filter_and_rank_describe(self):
+        from repro.blu.expressions import CmpOp, Comparison, Literal
+
+        f = FilterNode(ScanNode("t"),
+                       Comparison(CmpOp.GT, ColumnRef("x"), Literal(1)))
+        assert f.describe() == "FILTER"
+        r = RankNode(ScanNode("t"), ["p"], "o", True, "rnk")
+        assert "PARTITION BY ['p']" in r.describe()
+
+    def test_explain_indents_and_shows_estimates(self):
+        plan = small_tree()
+        plan.estimates.rows = 10
+        inner = [n for n in plan.walk() if isinstance(n, GroupByNode)][0]
+        inner.estimates.rows = 500
+        inner.estimates.groups = 500
+        text = explain(plan)
+        lines = text.splitlines()
+        assert lines[0].startswith("LIMIT")
+        # Scans sit four levels deep: LIMIT > SORT > GROUPBY > JOIN > SCAN.
+        assert any(line.startswith("        SCAN") for line in lines)
+        assert "groups~500" in text

@@ -1,0 +1,195 @@
+"""Unit tests for the SQL subset parser."""
+
+import pytest
+
+from repro.blu.expressions import (
+    And,
+    Between,
+    CmpOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    Like,
+    Literal,
+    Or,
+)
+from repro.blu.plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    ProjectNode,
+    RankNode,
+    ScanNode,
+    SortNode,
+)
+from repro.blu.sql import parse_query, tokenize
+from repro.errors import SqlError
+
+
+def find(plan, node_type):
+    return [n for n in plan.walk() if isinstance(n, node_type)]
+
+
+class TestTokenizer:
+    def test_basic_stream(self):
+        tokens = tokenize("SELECT a FROM t WHERE b = 1")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["KEYWORD", "IDENT", "KEYWORD", "IDENT", "KEYWORD",
+                         "IDENT", "CMP", "NUMBER", "EOF"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].kind == "STRING"
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT a ; b")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select A from T")
+        assert tokens[0].text == "SELECT"
+        assert tokens[1].text == "A"          # identifiers keep their case
+
+
+class TestSelectShapes:
+    def test_plain_select(self):
+        plan = parse_query("SELECT a, b FROM t")
+        assert isinstance(plan, ScanNode)
+
+    def test_aggregates_build_groupby(self):
+        plan = parse_query(
+            "SELECT g, SUM(x) AS sx, COUNT(*) AS c FROM t GROUP BY g")
+        groupbys = find(plan, GroupByNode)
+        assert len(groupbys) == 1
+        assert groupbys[0].keys == ["g"]
+        assert [a.alias for a in groupbys[0].aggs] == ["sx", "c"]
+
+    def test_default_agg_aliases(self):
+        plan = parse_query("SELECT SUM(x), COUNT(*), AVG(y) FROM t")
+        gb = find(plan, GroupByNode)[0]
+        assert [a.alias for a in gb.aggs] == ["sum_x", "count_star", "avg_y"]
+
+    def test_order_limit(self):
+        plan = parse_query("SELECT a FROM t ORDER BY a DESC, b LIMIT 7")
+        assert isinstance(plan, LimitNode)
+        assert plan.limit == 7
+        sort = plan.child
+        assert isinstance(sort, SortNode)
+        assert [(k.column, k.ascending) for k in sort.keys] == \
+            [("a", False), ("b", True)]
+
+    def test_joins_chain_left_deep(self):
+        plan = parse_query(
+            "SELECT a FROM f JOIN d1 ON k1 = r1 JOIN d2 ON k2 = r2")
+        joins = find(plan, JoinNode)
+        assert len(joins) == 2
+        scans = find(plan, ScanNode)
+        assert {s.table_name for s in scans} == {"f", "d1", "d2"}
+
+    def test_inner_join_keyword(self):
+        plan = parse_query("SELECT a FROM f INNER JOIN d ON x = y")
+        assert len(find(plan, JoinNode)) == 1
+
+    def test_rank_over(self):
+        plan = parse_query(
+            "SELECT g, SUM(x) AS s, "
+            "RANK() OVER (PARTITION BY g ORDER BY s DESC) AS r "
+            "FROM t GROUP BY g")
+        ranks = find(plan, RankNode)
+        assert len(ranks) == 1
+        assert ranks[0].partition_keys == ["g"]
+        assert ranks[0].order_key == "s"
+        assert not ranks[0].ascending
+        assert ranks[0].alias == "r"
+
+    def test_qualified_names_drop_prefix(self):
+        plan = parse_query("SELECT t.a FROM t WHERE t.a > 1")
+        filters = find(plan, FilterNode)
+        assert isinstance(filters[0].predicate, Comparison)
+        assert filters[0].predicate.left == ColumnRef("a")
+
+    def test_computed_projection(self):
+        plan = parse_query("SELECT a + b AS s FROM t")
+        projects = find(plan, ProjectNode)
+        assert len(projects) == 1
+        assert projects[0].items[0][0] == "s"
+
+    def test_having_becomes_filter_above_groupby(self):
+        plan = parse_query(
+            "SELECT g, SUM(x) AS s FROM t GROUP BY g HAVING s > 10")
+        filters = find(plan, FilterNode)
+        assert len(filters) == 1
+        assert isinstance(filters[0].child, GroupByNode)
+
+
+class TestPredicates:
+    def test_where_combinators(self):
+        plan = parse_query(
+            "SELECT a FROM t WHERE a = 1 AND (b < 2 OR c >= 3) AND NOT d <> 4")
+        predicate = find(plan, FilterNode)[0].predicate
+        assert isinstance(predicate, And)
+
+    def test_between_in_like(self):
+        plan = parse_query(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 "
+            "AND b IN (1, 2, 3) AND c LIKE 'x%'")
+        terms = find(plan, FilterNode)[0].predicate.terms
+        assert isinstance(terms[0], Between)
+        assert isinstance(terms[1], InList)
+        assert terms[1].values == (1, 2, 3)
+        assert isinstance(terms[2], Like)
+
+    def test_is_null(self):
+        plan = parse_query("SELECT a FROM t WHERE b IS NOT NULL")
+        predicate = find(plan, FilterNode)[0].predicate
+        assert predicate.negated
+
+    def test_string_literals(self):
+        plan = parse_query("SELECT a FROM t WHERE s = 'it''s'")
+        predicate = find(plan, FilterNode)[0].predicate
+        assert predicate.right == Literal("it's")
+
+    def test_arithmetic_in_predicate(self):
+        plan = parse_query("SELECT a FROM t WHERE a * 2 + 1 > 10")
+        assert find(plan, FilterNode)
+
+
+class TestPushdown:
+    def test_pushdown_with_catalog(self, small_catalog):
+        plan = parse_query(
+            "SELECT s_store, COUNT(*) AS c FROM sales "
+            "JOIN stores ON s_store = st_id "
+            "WHERE s_qty > 50 AND st_state = 'CA' GROUP BY s_store",
+            catalog=small_catalog)
+        scans = {s.table_name: s for s in find(plan, ScanNode)}
+        assert scans["sales"].predicate is not None
+        assert scans["stores"].predicate is not None
+        assert not find(plan, FilterNode)
+
+    def test_cross_table_conjunct_stays_residual(self, small_catalog):
+        plan = parse_query(
+            "SELECT s_store FROM sales JOIN stores ON s_store = st_id "
+            "WHERE s_qty > st_size",
+            catalog=small_catalog)
+        assert len(find(plan, FilterNode)) == 1
+
+    def test_no_catalog_no_pushdown(self):
+        plan = parse_query("SELECT a FROM t WHERE a = 1")
+        assert find(plan, FilterNode)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT FROM t",
+        "SELECT a",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t GROUP",
+        "SELECT a FROM t LIMIT x",
+        "SELECT SUM( FROM t",
+        "SELECT a FROM t JOIN u ON a",
+        "SELECT a FROM t trailing garbage",
+    ])
+    def test_rejects(self, sql):
+        with pytest.raises(SqlError):
+            parse_query(sql)

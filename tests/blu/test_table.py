@@ -1,0 +1,91 @@
+"""Unit tests for tables and schemas."""
+
+import numpy as np
+import pytest
+
+from repro.blu.column import column_from_values
+from repro.blu.datatypes import float64, int32, varchar
+from repro.blu.table import Field, Schema, Table
+from repro.errors import SchemaError
+
+
+@pytest.fixture()
+def simple_table() -> Table:
+    schema = Schema.of(("a", int32()), ("b", float64()), ("c", varchar(4)))
+    return Table.from_pydict("t", schema, {
+        "a": [1, 2, 3, 4],
+        "b": [1.5, 2.5, 3.5, 4.5],
+        "c": ["w", "x", "y", "z"],
+    })
+
+
+class TestSchema:
+    def test_lookup_case_insensitive(self):
+        schema = Schema.of(("Alpha", int32()))
+        assert "alpha" in schema
+        assert schema.field("ALPHA").name == "Alpha"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("x", int32()), ("X", int32()))
+
+    def test_unknown_column(self):
+        schema = Schema.of(("x", int32()))
+        with pytest.raises(SchemaError):
+            schema.position("nope")
+
+    def test_select_preserves_order(self):
+        schema = Schema.of(("a", int32()), ("b", int32()), ("c", int32()))
+        assert schema.select(["c", "a"]).names() == ["c", "a"]
+
+
+class TestTableValidation:
+    def test_ragged_columns_rejected(self):
+        schema = Schema.of(("a", int32()), ("b", int32()))
+        cols = [column_from_values(int32(), [1, 2]),
+                column_from_values(int32(), [1, 2, 3])]
+        with pytest.raises(SchemaError):
+            Table("bad", schema, cols)
+
+    def test_type_mismatch_rejected(self):
+        schema = Schema.of(("a", int32()))
+        cols = [column_from_values(float64(), [1.0])]
+        with pytest.raises(SchemaError):
+            Table("bad", schema, cols)
+
+    def test_missing_data_rejected(self):
+        schema = Schema.of(("a", int32()), ("b", int32()))
+        with pytest.raises(SchemaError):
+            Table.from_pydict("bad", schema, {"a": [1]})
+
+    def test_column_count_mismatch(self):
+        schema = Schema.of(("a", int32()))
+        with pytest.raises(SchemaError):
+            Table("bad", schema, [])
+
+
+class TestTransforms:
+    def test_take(self, simple_table):
+        taken = simple_table.take(np.array([3, 0]))
+        assert taken.to_pydict()["a"] == [4, 1]
+        assert taken.to_pydict()["c"] == ["z", "w"]
+
+    def test_filter(self, simple_table):
+        kept = simple_table.filter(np.array([1, 2]))
+        assert kept.to_pydict()["b"] == [2.5, 3.5]
+
+    def test_select(self, simple_table):
+        projected = simple_table.select(["c", "a"])
+        assert projected.schema.names() == ["c", "a"]
+        assert projected.num_rows == 4
+
+    def test_head(self, simple_table):
+        assert simple_table.head(2).num_rows == 2
+        assert simple_table.head(10).num_rows == 4
+
+    def test_getitem(self, simple_table):
+        assert list(simple_table["a"].decoded()) == [1, 2, 3, 4]
+
+    def test_sizes(self, simple_table):
+        assert simple_table.num_columns == 3
+        assert simple_table.encoded_nbytes > 0

@@ -1,0 +1,117 @@
+"""Tests for the GPU join extension (the paper's future-work item)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.blu import BluEngine
+from repro.config import CostModel, GpuSpec, paper_testbed
+from repro.core import GpuAcceleratedEngine
+from repro.errors import GpuError
+from repro.gpu.kernels.join import HashJoinKernel
+from tests.conftest import tables_equal
+
+
+JOIN_SQL = ("SELECT st_state, SUM(s_paid) AS rev, COUNT(*) AS c "
+            "FROM sales JOIN stores ON s_store = st_id "
+            "GROUP BY st_state ORDER BY rev DESC")
+
+
+@pytest.fixture()
+def join_engine(small_catalog):
+    config = paper_testbed()
+    thresholds = dataclasses.replace(config.thresholds, t1_min_rows=5_000,
+                                     sort_min_rows=5_000)
+    config = dataclasses.replace(config, thresholds=thresholds)
+    return GpuAcceleratedEngine(small_catalog, config=config,
+                                enable_join_offload=True)
+
+
+class TestJoinKernel:
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(31)
+        build = np.arange(1, 501, dtype=np.int64)
+        probe = rng.integers(1, 701, 50_000).astype(np.int64)
+        result = HashJoinKernel(CostModel()).run(build, probe)
+        expected_matches = int((probe <= 500).sum())
+        assert len(result.left_idx) == expected_matches
+        # Every matched pair really joins.
+        assert np.array_equal(probe[result.left_idx],
+                              build[result.right_idx])
+        # Misses really miss.
+        missed = np.setdiff1d(np.arange(len(probe)), result.left_idx)
+        assert (probe[missed] > 500).all()
+
+    def test_probe_order_preserved(self):
+        build = np.array([10, 20, 30], dtype=np.int64)
+        probe = np.array([20, 99, 10, 30, 20], dtype=np.int64)
+        result = HashJoinKernel(CostModel()).run(build, probe)
+        assert list(result.left_idx) == [0, 2, 3, 4]
+        assert list(build[result.right_idx]) == [20, 10, 30, 20]
+
+    def test_duplicate_build_keys_rejected(self):
+        with pytest.raises(GpuError):
+            HashJoinKernel(CostModel()).run(
+                np.array([1, 1, 2], dtype=np.int64),
+                np.array([1], dtype=np.int64))
+
+    def test_cost_scales_with_probe_side(self):
+        kernel = HashJoinKernel(CostModel())
+        build = np.arange(1000, dtype=np.int64)
+        small = kernel.run(build, np.arange(10_000, dtype=np.int64) % 1000)
+        large = kernel.run(build, np.arange(200_000, dtype=np.int64) % 1000)
+        assert large.kernel_seconds > 5 * small.kernel_seconds
+
+    def test_stats(self):
+        kernel = HashJoinKernel(CostModel())
+        result = kernel.run(np.arange(100, dtype=np.int64),
+                            np.arange(200, dtype=np.int64))
+        assert result.stats["matches"] == 100
+        assert result.table_bytes > 0
+
+
+class TestHybridJoinExecutor:
+    def test_offloaded_join_matches_cpu(self, join_engine, small_catalog):
+        cpu = BluEngine(small_catalog)
+        gpu_result = join_engine.execute_sql(JOIN_SQL, query_id="j1")
+        cpu_result = cpu.execute_sql(JOIN_SQL)
+        assert tables_equal(gpu_result.table, cpu_result.table)
+        assert any(e.op == "GPU-JOIN" for e in gpu_result.profile.events)
+        decisions = [d for d in join_engine.monitor.decisions_for("j1")
+                     if d.operator == "join"]
+        assert decisions and decisions[0].path == "gpu"
+
+    def test_small_probe_stays_on_cpu(self, join_engine):
+        result = join_engine.execute_sql(
+            "SELECT st_state, COUNT(*) AS c FROM sales "
+            "JOIN stores ON s_store = st_id "
+            "WHERE s_item = 3 GROUP BY st_state", query_id="j2")
+        assert not any(e.op == "GPU-JOIN" for e in result.profile.events)
+
+    def test_disabled_by_default(self, gpu_engine):
+        result = gpu_engine.execute_sql(JOIN_SQL)
+        assert not any(e.op == "GPU-JOIN" for e in result.profile.events)
+
+    def test_reservation_failure_falls_back(self, small_catalog):
+        config = paper_testbed()
+        tiny = dataclasses.replace(GpuSpec(), device_memory_bytes=32 * 1024)
+        thresholds = dataclasses.replace(config.thresholds,
+                                         t1_min_rows=1000,
+                                         sort_min_rows=10**9)
+        config = dataclasses.replace(config, gpus=(tiny,),
+                                     thresholds=thresholds)
+        engine = GpuAcceleratedEngine(small_catalog, config=config,
+                                      enable_join_offload=True)
+        cpu = BluEngine(small_catalog)
+        gpu_result = engine.execute_sql(JOIN_SQL, query_id="j3")
+        assert not any(e.op == "GPU-JOIN"
+                       for e in gpu_result.profile.events)
+        assert tables_equal(gpu_result.table,
+                            cpu.execute_sql(JOIN_SQL).table)
+
+    def test_memory_released(self, join_engine):
+        join_engine.execute_sql(JOIN_SQL)
+        for device in join_engine.devices:
+            assert device.memory.reserved == 0
+        assert join_engine.pinned.used == 0

@@ -1,0 +1,53 @@
+"""Unit tests for the runtime metadata record (section 4.2)."""
+
+import pytest
+
+from repro.blu.datatypes import int64, varchar
+from repro.blu.expressions import AggFunc
+from repro.core.metadata import RuntimeMetadata
+from repro.gpu.kernels.request import PayloadSpec
+
+
+def make(rows=100_000, optimizer=500.0, kmv=None, num_aggs=2, num_keys=1):
+    return RuntimeMetadata(
+        rows=rows, optimizer_groups=optimizer, kmv_groups=kmv,
+        num_keys=num_keys,
+        payloads=[PayloadSpec(int64(), AggFunc.SUM)] * num_aggs,
+    )
+
+
+class TestEstimatePrecedence:
+    def test_kmv_beats_optimizer(self):
+        assert make(optimizer=500.0, kmv=720).estimated_groups == 720
+
+    def test_optimizer_when_no_kmv(self):
+        assert make(optimizer=500.0, kmv=None).estimated_groups == 500
+
+    def test_rows_when_nothing_known(self):
+        """No estimate -> size at rows, 'much larger than number of groups
+        in most queries' — the case the metadata plumbing avoids."""
+        metadata = make(optimizer=0.0, kmv=None)
+        assert metadata.estimated_groups == metadata.rows
+
+    def test_estimate_never_below_one(self):
+        assert make(optimizer=0.3, kmv=None).estimated_groups == 1
+
+
+class TestDerived:
+    def test_rows_per_group(self):
+        metadata = make(rows=10_000, kmv=100)
+        assert metadata.rows_per_group == pytest.approx(100.0)
+
+    def test_staged_bytes_scale_with_columns(self):
+        thin = make(num_aggs=1, num_keys=1)
+        wide = make(num_aggs=6, num_keys=3)
+        assert wide.staged_input_bytes() > 3 * thin.staged_input_bytes()
+        assert thin.staged_input_bytes() == thin.rows * 4 * 2
+
+    def test_result_bytes_scale_with_groups(self):
+        small = make(kmv=10)
+        large = make(kmv=100_000)
+        assert large.result_bytes() > 1000 * small.result_bytes()
+
+    def test_num_aggs(self):
+        assert make(num_aggs=4).num_aggs == 4

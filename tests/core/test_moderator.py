@@ -1,0 +1,131 @@
+"""Unit tests for the GPU moderator: kernel choice, racing, learning."""
+
+import numpy as np
+import pytest
+
+from repro.blu.datatypes import int64
+from repro.blu.expressions import AggFunc
+from repro.config import CostModel, Thresholds
+from repro.core.metadata import RuntimeMetadata
+from repro.core.moderator import GpuModerator, LearningModerator
+from repro.gpu.kernels.request import GroupByRequest, PayloadSpec
+
+
+@pytest.fixture()
+def moderator():
+    return GpuModerator(CostModel(), Thresholds())
+
+
+def metadata(rows=200_000, groups=5000, num_aggs=2):
+    return RuntimeMetadata(
+        rows=rows, optimizer_groups=float(groups), kmv_groups=groups,
+        payloads=[PayloadSpec(int64(), AggFunc.SUM)] * num_aggs,
+    )
+
+
+def request_for(meta, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, meta.estimated_groups, meta.rows).astype(np.int64)
+    return GroupByRequest(keys=keys, key_bits=meta.key_bits,
+                          payloads=meta.payloads,
+                          estimated_groups=meta.estimated_groups)
+
+
+class TestChoice:
+    def test_small_groups_pick_shared_kernel(self, moderator):
+        kernel, reason = moderator.choose(metadata(groups=12))
+        assert kernel.name == "groupby_shared"
+        assert "shared memory" in reason
+
+    def test_many_aggs_pick_biglock(self, moderator):
+        kernel, reason = moderator.choose(metadata(num_aggs=7))
+        assert kernel.name == "groupby_biglock"
+
+    def test_regular_default(self, moderator):
+        kernel, _ = moderator.choose(metadata(groups=5000, num_aggs=2))
+        assert kernel.name == "groupby_regular"
+
+    def test_low_contention_many_aggs_pick_biglock(self, moderator):
+        meta = metadata(rows=12_000, groups=6000, num_aggs=5)
+        kernel, _ = moderator.choose(meta)
+        assert kernel.name == "groupby_biglock"
+
+    def test_wide_entries_exclude_shared_kernel(self, moderator):
+        """Few groups but a huge entry cannot fit 48 KB shared memory."""
+        meta = RuntimeMetadata(
+            rows=200_000, optimizer_groups=900.0, kmv_groups=900,
+            payloads=[PayloadSpec(int64(), AggFunc.SUM)] * 12,
+        )
+        kernel, _ = moderator.choose(meta)
+        assert kernel.name != "groupby_shared"
+
+    def test_decisions_logged(self, moderator):
+        moderator.choose(metadata())
+        moderator.choose(metadata(groups=12))
+        assert len(moderator.decisions) == 2
+
+
+class TestRun:
+    def test_single_run_matches_choice(self, moderator):
+        meta = metadata(groups=300)
+        outcome = moderator.run(request_for(meta), meta, race=False)
+        assert outcome.winner.kernel == "groupby_shared"
+        assert not outcome.raced
+        assert outcome.winner.n_groups == 300
+
+    def test_regrow_on_bad_estimate(self, moderator):
+        """The estimate said 3000 groups, reality has ~60000: the error
+        path grows the table, retries, and charges the wasted attempt.
+        (3000 routes to the regular kernel — the shared kernel absorbs
+        bad estimates through flushes instead.)"""
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 60_000, 200_000).astype(np.int64)
+        true_groups = len(np.unique(keys))
+        meta = RuntimeMetadata(
+            rows=200_000, optimizer_groups=3000.0, kmv_groups=3000,
+            payloads=[PayloadSpec(int64(), AggFunc.SUM)],
+        )
+        request = GroupByRequest(keys=keys, key_bits=64,
+                                 payloads=meta.payloads,
+                                 estimated_groups=3000)
+        outcome = moderator.run(request, meta, race=False)
+        assert outcome.winner.n_groups == true_groups
+        assert outcome.wasted_device_seconds > 0
+
+    def test_race_returns_fastest(self, moderator):
+        meta = metadata(groups=12, num_aggs=1)
+        outcome = moderator.run(request_for(meta), meta, race=True)
+        assert outcome.raced
+        assert outcome.winner.kernel == "groupby_shared"
+        assert set(outcome.cancelled) == {"groupby_regular",
+                                          "groupby_biglock"}
+        assert outcome.wasted_device_seconds > 0
+
+    def test_race_counts_cancelled_occupancy(self, moderator):
+        meta = metadata(groups=2000, num_aggs=2)
+        outcome = moderator.run(request_for(meta), meta, race=True)
+        # Each cancelled kernel occupied the device for at most the
+        # winner's duration.
+        assert outcome.wasted_device_seconds <= \
+            len(outcome.cancelled) * outcome.winner.kernel_seconds + 1e-12
+
+
+class TestLearningModerator:
+    def test_explores_then_exploits(self):
+        moderator = LearningModerator(CostModel(), Thresholds())
+        meta = metadata(groups=5000, num_aggs=2)
+        seen = []
+        for i in range(6):
+            outcome = moderator.run(request_for(meta, seed=i), meta)
+            seen.append(outcome.winner.kernel)
+        # Exploration tries both global-table kernels...
+        assert {"groupby_regular", "groupby_biglock"} <= set(seen)
+        # ...then settles on the regular kernel (fastest at 2 aggs).
+        assert seen[-1] == "groupby_regular"
+        assert seen[-2] == "groupby_regular"
+
+    def test_buckets_isolate_query_shapes(self):
+        moderator = LearningModerator(CostModel(), Thresholds())
+        a = metadata(rows=200_000, groups=5000)
+        b = metadata(rows=2_000, groups=50)
+        assert moderator.bucket_of(a) != moderator.bucket_of(b)

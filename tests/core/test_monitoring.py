@@ -1,0 +1,101 @@
+"""Unit tests for the integrated performance monitor (section 2.3)."""
+
+import pytest
+
+from repro.config import GpuSpec
+from repro.core.monitoring import (
+    Counters,
+    OffloadDecision,
+    PerformanceMonitor,
+)
+from repro.gpu.device import GpuDevice
+from repro.timing import CostEvent, QueryProfile
+
+
+def profile(qid="q", cpu=1.0, gpu=0.0):
+    return QueryProfile(qid, gpu_enabled=gpu > 0, events=[
+        CostEvent(op="SCAN", cpu_seconds=cpu, max_degree=24),
+        CostEvent(op="GPU-GROUPBY", gpu_seconds=gpu, max_degree=1,
+                  gpu_memory_bytes=1024, device_id=0),
+    ])
+
+
+class TestRecording:
+    def test_counters_follow_decisions(self):
+        monitor = PerformanceMonitor()
+        for path in ("gpu", "gpu", "cpu-small", "cpu-large", "cpu-fallback"):
+            monitor.record_decision(OffloadDecision(
+                query_id="q", operator="groupby", path=path, reason=""))
+        c = monitor.counters
+        assert c.gpu_offloads == 2
+        assert c.cpu_small == 1
+        assert c.cpu_large == 1
+        assert c.reservation_fallbacks == 1
+
+    def test_profiles_accumulate(self):
+        monitor = PerformanceMonitor()
+        monitor.record_profile(profile(cpu=2.0, gpu=0.5))
+        monitor.record_profile(profile(cpu=1.0))
+        assert monitor.total_cpu_core_seconds == pytest.approx(3.0)
+        assert monitor.total_gpu_seconds == pytest.approx(0.5)
+
+    def test_decisions_for_query(self):
+        monitor = PerformanceMonitor()
+        monitor.record_decision(OffloadDecision("a", "groupby", "gpu", ""))
+        monitor.record_decision(OffloadDecision("b", "sort", "cpu-small", ""))
+        assert len(monitor.decisions_for("a")) == 1
+        assert monitor.decisions_for("a")[0].operator == "groupby"
+
+
+class TestViews:
+    def test_operator_breakdown_sums_across_queries(self):
+        monitor = PerformanceMonitor()
+        monitor.record_profile(profile(cpu=1.0, gpu=0.25))
+        monitor.record_profile(profile(cpu=1.0, gpu=0.25))
+        breakdown = monitor.operator_breakdown()
+        assert breakdown["GPU-GROUPBY"] == pytest.approx(0.5)
+        assert breakdown["SCAN"] > 0
+
+    def test_report_renders_devices(self):
+        device = GpuDevice(0, GpuSpec())
+        r = device.memory.reserve(1 << 20)
+        device.launch("groupby_regular", 0.001, r, rows=10, bytes_in=4096)
+        device.memory.release(r)
+        monitor = PerformanceMonitor([device])
+        monitor.record_profile(profile())
+        report = monitor.report()
+        assert "performance monitor" in report
+        assert "groupby_regular" in report
+        assert "operator breakdown" in report
+
+    def test_empty_report(self):
+        assert "queries=0" in PerformanceMonitor().report()
+
+
+class TestExportEvents:
+    def test_export_covers_all_record_kinds(self):
+        from repro.config import GpuSpec
+        from repro.gpu.device import GpuDevice
+
+        device = GpuDevice(0, GpuSpec())
+        r = device.memory.reserve(1 << 20)
+        device.launch("groupby_regular", 0.001, r, rows=10, bytes_in=4096)
+        device.memory.release(r)
+        monitor = PerformanceMonitor([device])
+        monitor.record_profile(profile(cpu=1.0, gpu=0.25))
+        monitor.record_decision(OffloadDecision("q", "groupby", "gpu", "r",
+                                                kernel="groupby_regular",
+                                                device_id=0))
+        events = monitor.export_events()
+        kinds = {e["kind"] for e in events}
+        assert kinds == {"query", "decision", "kernel"}
+        query = next(e for e in events if e["kind"] == "query")
+        assert query["offloaded"]
+        assert query["events"][1]["op"] == "GPU-GROUPBY"
+
+    def test_export_is_json_serialisable(self):
+        import json
+
+        monitor = PerformanceMonitor()
+        monitor.record_profile(profile())
+        json.dumps(monitor.export_events())

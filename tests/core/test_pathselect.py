@@ -1,0 +1,59 @@
+"""Unit tests for Figure-3 path selection."""
+
+import pytest
+
+from repro.config import Thresholds
+from repro.core.pathselect import (
+    ExecutionPath,
+    select_groupby_path,
+    select_sort_offload,
+)
+
+
+@pytest.fixture()
+def thresholds():
+    return Thresholds(t1_min_rows=1000, t2_min_groups=8,
+                      t3_max_rows=1_000_000, sort_min_rows=1000)
+
+
+class TestGroupByRouting:
+    def test_small_rows_stay_on_cpu(self, thresholds):
+        decision = select_groupby_path(500, 100, thresholds)
+        assert decision.path is ExecutionPath.CPU_SMALL
+        assert not decision.use_gpu
+        assert "T1" in decision.reason
+
+    def test_tiny_group_counts_stay_on_cpu(self, thresholds):
+        decision = select_groupby_path(50_000, 3, thresholds)
+        assert decision.path is ExecutionPath.CPU_SMALL
+        assert "T2" in decision.reason
+
+    def test_sweet_spot_goes_to_gpu(self, thresholds):
+        decision = select_groupby_path(50_000, 500, thresholds)
+        assert decision.path is ExecutionPath.GPU
+        assert decision.use_gpu
+
+    def test_oversized_goes_back_to_cpu(self, thresholds):
+        decision = select_groupby_path(2_000_000, 10_000, thresholds)
+        assert decision.path is ExecutionPath.CPU_LARGE
+        assert "T3" in decision.reason
+
+    def test_boundaries_inclusive(self, thresholds):
+        at_t1 = select_groupby_path(1000, 100, thresholds)
+        assert at_t1.path is ExecutionPath.GPU
+        at_t2 = select_groupby_path(50_000, 8, thresholds)
+        assert at_t2.path is ExecutionPath.GPU
+        at_t3 = select_groupby_path(1_000_000, 100, thresholds)
+        assert at_t3.path is ExecutionPath.GPU
+
+    def test_t3_checked_before_t1(self, thresholds):
+        """An enormous input routes to CPU_LARGE even with many groups."""
+        decision = select_groupby_path(10**9, 10**6, thresholds)
+        assert decision.path is ExecutionPath.CPU_LARGE
+
+
+class TestSortRouting:
+    def test_threshold(self, thresholds):
+        assert not select_sort_offload(999, thresholds)
+        assert select_sort_offload(1000, thresholds)
+        assert select_sort_offload(10**6, thresholds)

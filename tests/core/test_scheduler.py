@@ -1,0 +1,87 @@
+"""Unit tests for the multi-GPU scheduler (section 2.2)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GpuSpec
+from repro.errors import SchedulerError
+from repro.core.scheduler import MultiGpuScheduler
+from repro.gpu.device import make_devices
+
+
+def make_scheduler(memories=(1000, 1000)):
+    specs = [dataclasses.replace(GpuSpec(), device_memory_bytes=m)
+             for m in memories]
+    return MultiGpuScheduler(make_devices(specs))
+
+
+class TestAcquire:
+    def test_lease_reserves_and_counts_job(self):
+        scheduler = make_scheduler()
+        lease = scheduler.try_acquire(400, tag="q1")
+        assert lease is not None
+        assert lease.device.outstanding_jobs == 1
+        assert lease.device.memory.reserved == 400
+        scheduler.release(lease)
+        assert lease.device.outstanding_jobs == 0
+        assert lease.device.memory.reserved == 0
+
+    def test_balances_by_outstanding_jobs(self):
+        scheduler = make_scheduler()
+        l1 = scheduler.try_acquire(100)
+        l2 = scheduler.try_acquire(100)
+        assert l1.device.device_id != l2.device.device_id
+
+    def test_skips_full_device(self):
+        scheduler = make_scheduler()
+        big = scheduler.try_acquire(900)
+        next_lease = scheduler.try_acquire(900)
+        assert next_lease.device.device_id != big.device.device_id
+        assert scheduler.try_acquire(900) is None    # both busy now
+
+    def test_heterogeneous_devices(self):
+        """Devices 'do not need to be homogeneous in their specifications'."""
+        scheduler = make_scheduler(memories=(500, 4000))
+        lease = scheduler.try_acquire(2000)
+        assert lease.device.device_id == 1
+
+    def test_acquire_raises_when_hopeless(self):
+        scheduler = make_scheduler(memories=(100,))
+        with pytest.raises(SchedulerError):
+            scheduler.acquire(5000)
+
+    def test_grant_and_rejection_counters(self):
+        scheduler = make_scheduler(memories=(100, 100))
+        scheduler.try_acquire(50)
+        scheduler.try_acquire(500)
+        assert scheduler.grants == 1
+        assert scheduler.rejections == 1
+
+    def test_no_devices(self):
+        scheduler = MultiGpuScheduler([])
+        assert scheduler.try_acquire(1) is None
+        assert scheduler.device_count == 0
+
+
+class TestLifecycle:
+    def test_double_release_rejected(self):
+        scheduler = make_scheduler()
+        lease = scheduler.try_acquire(10)
+        scheduler.release(lease)
+        with pytest.raises(SchedulerError):
+            scheduler.release(lease)
+
+    def test_fits_any_device(self):
+        scheduler = make_scheduler(memories=(100, 2000))
+        assert scheduler.fits_any_device(1500)
+        assert not scheduler.fits_any_device(5000)
+
+    def test_snapshot(self):
+        scheduler = make_scheduler()
+        scheduler.try_acquire(250)
+        snap = scheduler.snapshot()
+        assert len(snap) == 2
+        total_jobs = sum(s["outstanding_jobs"] for s in snap)
+        assert total_jobs == 1
+        assert any(s["free_bytes"] == 750 for s in snap)

@@ -1,0 +1,104 @@
+"""Unit tests for the atomics/locks aggregation cost model (section 4.4)."""
+
+import pytest
+
+from repro.blu.datatypes import decimal, float64, int32, int64, varchar
+from repro.blu.expressions import AggFunc
+from repro.config import CostModel
+from repro.gpu.kernels.atomics import AtomicsModel
+from repro.gpu.kernels.request import PayloadSpec
+
+
+@pytest.fixture()
+def model():
+    return AtomicsModel(CostModel())
+
+
+def payloads(n, dtype=None):
+    return [PayloadSpec(dtype or int64(), AggFunc.SUM)] * n
+
+
+class TestContention:
+    def test_floor_at_one(self, model):
+        assert model.contention_factor(100, 100) == pytest.approx(1.0)
+        assert model.contention_factor(0, 10) == pytest.approx(1.0)
+
+    def test_grows_with_rows_per_group(self, model):
+        low = model.contention_factor(1000, 1000)
+        mid = model.contention_factor(100_000, 1000)
+        high = model.contention_factor(10_000_000, 1000)
+        assert low < mid < high
+
+
+class TestUpdateRegimes:
+    def test_native_cheapest(self, model):
+        native = model.update_seconds(PayloadSpec(int64(), AggFunc.SUM), 1.0)
+        cas = model.update_seconds(PayloadSpec(decimal(31, 2), AggFunc.SUM),
+                                   1.0)
+        lock = model.update_seconds(PayloadSpec(varchar(40), AggFunc.MAX),
+                                    1.0)
+        assert native < cas
+        assert native < lock
+
+    def test_cas_penalty_factor(self, model):
+        native = model.update_seconds(PayloadSpec(float64(), AggFunc.MAX), 2.0)
+        cas = model.update_seconds(PayloadSpec(decimal(31, 2), AggFunc.MAX),
+                                   2.0)
+        assert cas == pytest.approx(2.5 * native)
+
+    def test_contention_scales_native(self, model):
+        calm = model.update_seconds(PayloadSpec(int32(), AggFunc.SUM), 1.0)
+        busy = model.update_seconds(PayloadSpec(int32(), AggFunc.SUM), 3.0)
+        assert busy == pytest.approx(3 * calm)
+
+
+class TestKernelStrategies:
+    def test_row_lock_beats_atomics_for_many_aggs(self, model):
+        """Section 4.3.3: kernel 3 wins past ~5 aggregation functions."""
+        rows, groups = 100_000, 1000
+        many = payloads(8)
+        atomic = model.total_aggregation_seconds(many, rows, groups,
+                                                 row_lock=False)
+        locked = model.total_aggregation_seconds(many, rows, groups,
+                                                 row_lock=True)
+        assert locked < atomic
+
+    def test_atomics_beat_row_lock_for_few_aggs(self, model):
+        rows, groups = 100_000, 1000
+        few = payloads(2)
+        atomic = model.total_aggregation_seconds(few, rows, groups,
+                                                 row_lock=False)
+        locked = model.total_aggregation_seconds(few, rows, groups,
+                                                 row_lock=True)
+        assert atomic < locked
+
+    def test_crossover_near_paper_threshold(self, model):
+        """The break-even sits in the 4-7 agg range (paper: 'more than 5')."""
+        rows, groups = 200_000, 2000
+        crossover = None
+        for n in range(1, 12):
+            atomic = model.total_aggregation_seconds(payloads(n), rows,
+                                                     groups, row_lock=False)
+            locked = model.total_aggregation_seconds(payloads(n), rows,
+                                                     groups, row_lock=True)
+            if locked < atomic:
+                crossover = n
+                break
+        assert crossover is not None
+        assert 4 <= crossover <= 7
+
+    def test_string_payloads_always_pay_locks(self, model):
+        rows, groups = 10_000, 100
+        strings = [PayloadSpec(varchar(20), AggFunc.MIN)]
+        ints = [PayloadSpec(int64(), AggFunc.MIN)]
+        assert model.total_aggregation_seconds(strings, rows, groups,
+                                               row_lock=False) > \
+            model.total_aggregation_seconds(ints, rows, groups,
+                                            row_lock=False)
+
+    def test_total_scales_with_rows(self, model):
+        small = model.total_aggregation_seconds(payloads(3), 1000, 10,
+                                                row_lock=False)
+        large = model.total_aggregation_seconds(payloads(3), 100_000, 10,
+                                                row_lock=False)
+        assert large > 50 * small

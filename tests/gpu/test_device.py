@@ -1,0 +1,87 @@
+"""Unit tests for the simulated device, transfers and profiler."""
+
+import pytest
+
+from repro.config import GpuSpec
+from repro.errors import GpuError
+from repro.gpu.device import GpuDevice, SharedMemoryConfig, make_devices
+from repro.gpu.transfer import transfer_seconds
+
+
+@pytest.fixture()
+def device():
+    return GpuDevice(0, GpuSpec())
+
+
+class TestTransferModel:
+    def test_pinned_is_at_least_4x_faster(self):
+        """Section 2.1.2: 'more than 4X faster'."""
+        spec = GpuSpec()
+        nbytes = 100 * 1024 * 1024
+        pinned = transfer_seconds(nbytes, spec, pinned=True)
+        unpinned = transfer_seconds(nbytes, spec, pinned=False)
+        assert unpinned / pinned > 4.0
+
+    def test_zero_bytes_is_free(self):
+        assert transfer_seconds(0, GpuSpec()) == 0.0
+
+    def test_setup_overhead_dominates_tiny_transfers(self):
+        spec = GpuSpec()
+        tiny = transfer_seconds(64, spec)
+        assert tiny == pytest.approx(spec.transfer_setup_overhead, rel=0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(-1, GpuSpec())
+
+
+class TestSharedMemoryConfig:
+    def test_prefer_shared_is_48_16(self, device):
+        config = SharedMemoryConfig.prefer_shared()
+        assert config.shared_bytes == 48 * 1024
+        assert config.l1_bytes == 16 * 1024
+        device.configure_shared_memory(config)
+        assert device.shared_bytes_per_smx == 48 * 1024
+
+    def test_invalid_split_rejected(self, device):
+        with pytest.raises(GpuError):
+            device.configure_shared_memory(
+                SharedMemoryConfig(shared_bytes=50 * 1024, l1_bytes=16 * 1024))
+
+
+class TestLaunch:
+    def test_launch_requires_live_reservation(self, device):
+        r = device.memory.reserve(1024)
+        device.memory.release(r)
+        with pytest.raises(GpuError):
+            device.launch("k", 0.001, r)
+
+    def test_launch_records_profile(self, device):
+        r = device.memory.reserve(1 << 20)
+        result = device.launch("groupby_regular", 0.002, r, rows=1000,
+                               bytes_in=1 << 20, bytes_out=1 << 10)
+        device.memory.release(r)
+        assert result.total_seconds > 0.002
+        assert len(device.profiler.records) == 1
+        record = device.profiler.records[0]
+        assert record.kernel == "groupby_regular"
+        assert record.kernel_seconds > 0.002     # includes launch overhead
+        assert record.transfer_seconds > 0
+
+    def test_profiler_aggregates(self, device):
+        r = device.memory.reserve(1 << 20)
+        for _ in range(3):
+            device.launch("k1", 0.001, r, rows=10, bytes_in=1024)
+        device.launch("k2", 0.002, r, rows=20, bytes_in=1024)
+        device.memory.release(r)
+        agg = device.profiler.by_kernel()
+        assert agg["k1"].invocations == 3
+        assert agg["k1"].rows == 30
+        assert agg["k2"].invocations == 1
+        assert device.profiler.total_seconds > 0
+        report = device.profiler.report()
+        assert "k1" in report and "k2" in report
+
+    def test_make_devices(self):
+        devices = make_devices((GpuSpec(), GpuSpec()))
+        assert [d.device_id for d in devices] == [0, 1]

@@ -1,0 +1,181 @@
+"""Unit tests for the GPU hash table: layout, mask (Table 1), insertion."""
+
+import numpy as np
+import pytest
+
+from repro.blu.datatypes import decimal, float64, int32, int64, varchar
+from repro.blu.expressions import AggFunc
+from repro.blu.operators.aggregate import group_encode
+from repro.errors import HashTableOverflowError
+from repro.gpu.kernels.hashtable import (
+    GpuHashTable,
+    HashTableLayout,
+    combine_keys,
+)
+from repro.gpu.kernels.request import PayloadSpec
+
+
+class TestTable1Mask:
+    def test_paper_example_mask(self):
+        """Table 1: SELECT SUM(C1), MAX(C2), MIN(C3) ... GROUP BY C1 with
+        C1, C2 64-bit and C3 32-bit integers."""
+        layout = HashTableLayout.build(64, [
+            PayloadSpec(int64(), AggFunc.SUM),
+            PayloadSpec(int64(), AggFunc.MAX),
+            PayloadSpec(int32(), AggFunc.MIN),
+        ])
+        mask = layout.mask_row()
+        assert mask[0] == "F" * 16
+        assert mask[1] == 0
+        assert mask[2] == -9223372036854775808
+        assert mask[3] == 2147483647
+        assert mask[4] == 0                   # padding
+        assert layout.padding_bytes == 4
+
+    def test_alignment_is_power_of_two(self):
+        for payloads in ([PayloadSpec(int32(), AggFunc.SUM)],
+                         [PayloadSpec(int64(), AggFunc.MAX)] * 3,
+                         [PayloadSpec(float64(), AggFunc.MIN)] * 5):
+            layout = HashTableLayout.build(64, payloads)
+            assert layout.entry_bytes % 4 == 0
+            raw = sum(f.width_bytes for f in layout.fields)
+            assert layout.entry_bytes == raw
+
+    def test_float_init_values(self):
+        layout = HashTableLayout.build(32, [
+            PayloadSpec(float64(), AggFunc.MAX),
+            PayloadSpec(float64(), AggFunc.MIN),
+        ])
+        mask = layout.mask_row()
+        assert mask[1] == -np.inf
+        assert mask[2] == np.inf
+
+    def test_count_initialises_to_zero(self):
+        layout = HashTableLayout.build(32,
+                                       [PayloadSpec(int64(), AggFunc.COUNT)])
+        assert layout.mask_row()[1] == 0
+
+    def test_decimal128_width(self):
+        layout = HashTableLayout.build(
+            64, [PayloadSpec(decimal(31, 2), AggFunc.SUM)])
+        field = layout.fields[1]
+        assert field.width_bytes == 16
+
+    def test_table_bytes(self):
+        layout = HashTableLayout.build(64,
+                                       [PayloadSpec(int64(), AggFunc.SUM)])
+        assert layout.table_bytes(100) == layout.entry_bytes * 100
+
+
+class TestCombineKeys:
+    def test_single_key_passthrough(self):
+        arr = np.array([5, 6, 7], dtype=np.int64)
+        combined, exact = combine_keys([arr])
+        assert exact
+        assert np.array_equal(combined, arr)
+
+    def test_exact_packing_matches_group_encode(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 1000, 5000)
+        b = rng.integers(-50, 50, 5000)
+        c = rng.integers(0, 12, 5000)
+        combined, exact = combine_keys([a, b, c])
+        assert exact
+        gi1, _, n1 = group_encode([combined])
+        gi2, _, n2 = group_encode([a, b, c])
+        assert n1 == n2
+        assert np.array_equal(gi1, gi2)
+
+    def test_wide_keys_fall_back_to_murmur(self):
+        rng = np.random.default_rng(6)
+        a = rng.integers(0, 2**40, 1000)
+        b = rng.integers(0, 2**40, 1000)
+        combined, exact = combine_keys([a, b])
+        assert not exact
+        gi1, _, n1 = group_encode([combined])
+        gi2, _, n2 = group_encode([a, b])
+        assert n1 == n2                      # no collision at this scale
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_keys([])
+
+
+class TestInsertion:
+    def _payloads(self):
+        return [PayloadSpec(int64(), AggFunc.SUM)]
+
+    def test_groups_match_reference(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 300, 20_000).astype(np.int64)
+        table = GpuHashTable.sized_for(300, 64, self._payloads())
+        row_slot, stats = table.insert(keys)
+        assert stats.groups == len(np.unique(keys))
+        # Same slot iff same key.
+        gi, _, n = group_encode([row_slot])
+        gi_ref, _, n_ref = group_encode([keys])
+        assert n == n_ref
+        assert np.array_equal(gi, gi_ref)
+
+    def test_probe_count_grows_with_fill_ratio(self):
+        rng = np.random.default_rng(8)
+        keys = rng.integers(0, 10_000, 50_000).astype(np.int64)
+        roomy = GpuHashTable.sized_for(10_000, 64, self._payloads(),
+                                       headroom=4.0)
+        tight = GpuHashTable.sized_for(10_000, 64, self._payloads(),
+                                       headroom=1.15)
+        _, stats_roomy = roomy.insert(keys)
+        _, stats_tight = tight.insert(keys)
+        assert stats_tight.probes > stats_roomy.probes
+
+    def test_overflow_when_estimate_too_small(self):
+        """Section 4.2's error-detection code path."""
+        keys = np.arange(5000, dtype=np.int64)
+        table = GpuHashTable.sized_for(100, 64, self._payloads())
+        with pytest.raises(HashTableOverflowError):
+            table.insert(keys)
+
+    def test_exact_fit_does_not_overflow(self):
+        keys = np.arange(64, dtype=np.int64)
+        table = GpuHashTable(slots=64, key_bits=64,
+                             layout=HashTableLayout.build(64, self._payloads()))
+        row_slot, stats = table.insert(keys)
+        assert stats.groups == 64
+        assert stats.fill_ratio == 1.0
+
+    def test_sentinel_key_remapped(self):
+        keys = np.array([np.iinfo(np.int64).min, 0, 1], dtype=np.int64)
+        table = GpuHashTable.sized_for(8, 64, self._payloads())
+        row_slot, stats = table.insert(keys)
+        assert stats.groups == 3
+
+    def test_sequential_keys_spread_uniformly(self):
+        """Serial surrogate keys (ticket numbers, item ids) must not
+        collapse onto a slot subgroup — the join-kernel pathology found
+        during development."""
+        keys = np.arange(1, 2546, dtype=np.int64)
+        table = GpuHashTable.sized_for(2545, 64, self._payloads())
+        slots = table._slot_of(keys)
+        distinct = len(np.unique(slots))
+        assert distinct > 0.6 * len(keys)       # near-uniform occupancy
+        _, stats = table.insert(keys)
+        assert stats.probes < 3 * len(keys)
+
+    def test_structured_keys_no_probe_explosion(self):
+        """Packed composite keys must not cluster (the C4 pathology)."""
+        date = np.repeat(np.arange(2000), 100)
+        store = np.tile(np.arange(100), 2000)
+        combined, _ = combine_keys([date, store])
+        table = GpuHashTable.sized_for(200_000, 64,
+                                       self._payloads(), headroom=1.5)
+        _, stats = table.insert(combined)
+        assert stats.probes < 5 * len(combined)
+
+    def test_deterministic(self):
+        keys = np.random.default_rng(10).integers(0, 99, 1000).astype(np.int64)
+        t1 = GpuHashTable.sized_for(99, 64, self._payloads())
+        t2 = GpuHashTable.sized_for(99, 64, self._payloads())
+        s1, st1 = t1.insert(keys)
+        s2, st2 = t2.insert(keys)
+        assert np.array_equal(s1, s2)
+        assert st1.probes == st2.probes

@@ -1,0 +1,102 @@
+"""Unit tests for the device memory reservation unit (section 2.1.1)."""
+
+import pytest
+
+from repro.errors import DeviceMemoryError, ReservationError
+from repro.gpu.memory import DeviceMemoryManager
+
+
+@pytest.fixture()
+def mm():
+    return DeviceMemoryManager(capacity_bytes=1000)
+
+
+class TestReservation:
+    def test_reserve_and_release(self, mm):
+        r = mm.reserve(400, tag="job1")
+        assert mm.reserved == 400
+        assert mm.free == 600
+        mm.release(r)
+        assert mm.free == 1000
+
+    def test_try_reserve_fails_over_capacity(self, mm):
+        assert mm.try_reserve(1001) is None
+        assert mm.reserved == 0
+
+    def test_concurrent_reservations_respect_capacity(self, mm):
+        r1 = mm.reserve(600)
+        assert mm.try_reserve(600) is None       # would overcommit
+        r2 = mm.reserve(400)
+        assert mm.free == 0
+        mm.release(r1)
+        assert mm.can_reserve(600)
+        mm.release(r2)
+
+    def test_reserve_raises_with_detail(self, mm):
+        mm.reserve(900)
+        with pytest.raises(ReservationError, match="only 100"):
+            mm.reserve(200)
+
+    def test_negative_rejected(self, mm):
+        with pytest.raises(ValueError):
+            mm.try_reserve(-1)
+
+    def test_double_release_rejected(self, mm):
+        r = mm.reserve(10)
+        mm.release(r)
+        with pytest.raises(ReservationError):
+            mm.release(r)
+
+    def test_peak_tracking(self, mm):
+        r1 = mm.reserve(700)
+        mm.release(r1)
+        mm.reserve(100)
+        assert mm.peak_reserved == 700
+
+
+class TestAllocationWithinReservation:
+    def test_allocate_up_to_reservation(self, mm):
+        r = mm.reserve(100)
+        mm.allocate(r, 60)
+        mm.allocate(r, 40)
+        assert r.available == 0
+
+    def test_exceeding_reservation_is_the_oom_path(self, mm):
+        """Allocating past the reservation is exactly the mid-kernel OOM
+        the reservation discipline exists to prevent."""
+        r = mm.reserve(100)
+        with pytest.raises(DeviceMemoryError):
+            mm.allocate(r, 101)
+
+    def test_allocate_against_released_reservation(self, mm):
+        r = mm.reserve(100)
+        mm.release(r)
+        with pytest.raises(ReservationError):
+            mm.allocate(r, 10)
+
+
+class TestGrow:
+    def test_grow_succeeds_with_free_memory(self, mm):
+        r = mm.reserve(100)
+        assert mm.grow(r, 200)
+        assert r.nbytes == 300
+        assert mm.reserved == 300
+
+    def test_grow_fails_when_full(self, mm):
+        r = mm.reserve(900)
+        assert not mm.grow(r, 200)
+        assert r.nbytes == 900
+
+
+class TestUsageLog:
+    def test_samples_record_reserved_bytes(self, mm):
+        mm.record_usage(0.0)
+        r = mm.reserve(500)
+        mm.record_usage(1.0)
+        mm.release(r)
+        mm.record_usage(2.0)
+        assert mm.usage_log == [(0.0, 0), (1.0, 500), (2.0, 0)]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DeviceMemoryManager(0)

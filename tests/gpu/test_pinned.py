@@ -1,0 +1,62 @@
+"""Unit tests for the pinned host-memory pool (section 2.1.2)."""
+
+import pytest
+
+from repro.errors import PinnedMemoryError
+from repro.gpu.pinned import PinnedMemoryPool, REGISTRATION_RATE
+
+
+class TestPool:
+    def test_allocate_release(self):
+        pool = PinnedMemoryPool(1000)
+        buf = pool.allocate(300)
+        assert pool.used == 300
+        pool.release(buf)
+        assert pool.used == 0
+
+    def test_exhaustion(self):
+        pool = PinnedMemoryPool(1000)
+        pool.allocate(800)
+        with pytest.raises(PinnedMemoryError):
+            pool.allocate(300)
+
+    def test_double_release(self):
+        pool = PinnedMemoryPool(100)
+        buf = pool.allocate(10)
+        pool.release(buf)
+        with pytest.raises(PinnedMemoryError):
+            pool.release(buf)
+
+    def test_peak_and_requests_tracked(self):
+        pool = PinnedMemoryPool(1000)
+        a = pool.allocate(400)
+        b = pool.allocate(500)
+        pool.release(a)
+        pool.release(b)
+        assert pool.peak_used == 900
+        assert pool.total_requests == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PinnedMemoryPool(0)
+
+    def test_negative_allocation(self):
+        pool = PinnedMemoryPool(10)
+        with pytest.raises(ValueError):
+            pool.allocate(-5)
+
+
+class TestRegistrationEconomics:
+    def test_one_time_registration_cost_scales_with_capacity(self):
+        small = PinnedMemoryPool(1_000_000)
+        large = PinnedMemoryPool(100_000_000)
+        assert large.registration_seconds > small.registration_seconds
+        assert small.registration_seconds >= 1_000_000 / REGISTRATION_RATE
+
+    def test_saved_registration_grows_with_use(self):
+        pool = PinnedMemoryPool(10_000_000)
+        before = pool.saved_registration_seconds()
+        for _ in range(10):
+            buf = pool.allocate(1_000_000)
+            pool.release(buf)
+        assert pool.saved_registration_seconds() > before

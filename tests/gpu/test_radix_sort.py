@@ -1,0 +1,64 @@
+"""Unit tests for the simulated Merrill radix sort kernel (section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.config import CostModel
+from repro.gpu.kernels.radix_sort import RadixSortKernel, _find_duplicate_ranges
+
+
+@pytest.fixture()
+def kernel():
+    return RadixSortKernel(CostModel())
+
+
+class TestSorting:
+    def test_sorts(self, kernel):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**32, 50_000, dtype=np.uint32)
+        result = kernel.run(keys)
+        assert np.array_equal(keys[result.order], np.sort(keys))
+
+    def test_stable(self, kernel):
+        keys = np.array([5, 1, 5, 1, 5], dtype=np.uint32)
+        result = kernel.run(keys)
+        # Equal keys keep their original relative order.
+        assert list(result.order) == [1, 3, 0, 2, 4]
+
+    def test_empty(self, kernel):
+        result = kernel.run(np.array([], dtype=np.uint32))
+        assert len(result.order) == 0
+        assert result.duplicate_ranges == []
+        assert result.kernel_seconds == 0.0
+
+    def test_cost_scales_linearly(self, kernel):
+        small = kernel.run(np.arange(10_000, dtype=np.uint32))
+        large = kernel.run(np.arange(100_000, dtype=np.uint32))
+        assert large.kernel_seconds == pytest.approx(
+            10 * small.kernel_seconds, rel=0.05)
+
+    def test_device_bytes_double_buffer(self, kernel):
+        assert kernel.device_bytes(1000) == 16_000
+
+
+class TestDuplicateRanges:
+    def test_found_in_sorted_keys(self, kernel):
+        keys = np.array([3, 1, 3, 2, 3, 2], dtype=np.uint32)
+        result = kernel.run(keys)
+        ranges = {(d.start, d.length) for d in result.duplicate_ranges}
+        # sorted: 1 2 2 3 3 3 -> (1,2) and (3,3)
+        assert ranges == {(1, 2), (3, 3)}
+
+    def test_no_duplicates(self, kernel):
+        result = kernel.run(np.arange(100, dtype=np.uint32)[::-1].copy())
+        assert result.duplicate_ranges == []
+
+    def test_all_equal_is_one_range(self, kernel):
+        result = kernel.run(np.full(50, 7, dtype=np.uint32))
+        assert len(result.duplicate_ranges) == 1
+        assert result.duplicate_ranges[0].length == 50
+
+    def test_helper_on_presorted(self):
+        ranges = _find_duplicate_ranges(np.array([1, 1, 2, 3, 3, 3],
+                                                 dtype=np.uint32))
+        assert [(r.start, r.length) for r in ranges] == [(0, 2), (3, 3)]

@@ -1,0 +1,101 @@
+"""Conservation and determinism properties of the workload simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import paper_testbed
+from repro.sim import UserScript, WorkloadSimulator
+from repro.timing import CostEvent, QueryProfile
+
+
+def build_profile(spec: list[tuple[float, float]], qid="q") -> QueryProfile:
+    """spec: list of (cpu_core_seconds, gpu_seconds) stages."""
+    events = []
+    for cpu, gpu in spec:
+        if cpu > 0:
+            events.append(CostEvent(op="C", cpu_seconds=cpu, max_degree=24))
+        if gpu > 0:
+            events.append(CostEvent(op="G", gpu_seconds=gpu,
+                                    gpu_memory_bytes=1 << 20, max_degree=1))
+    return QueryProfile(qid, gpu_enabled=True, events=events)
+
+
+stage_lists = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=5.0),
+              st.floats(min_value=0.0, max_value=1.0)),
+    min_size=1, max_size=4,
+)
+
+
+class TestConservation:
+    @given(specs=st.lists(stage_lists, min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, specs):
+        """Makespan is at least the critical path of any one user and at
+        least total-CPU-work / peak capacity; and at most the fully
+        serialised sum."""
+        config = paper_testbed()
+        host = config.host
+        users = [UserScript(f"u{i}", [build_profile(s, qid=f"q{i}")])
+                 for i, s in enumerate(specs)]
+        sim = WorkloadSimulator(config)
+        result = sim.run(users)
+
+        total_cpu = sum(c for s in specs for c, _g in s)
+        total_gpu = sum(g for s in specs for _c, g in s)
+        peak_capacity = host.effective_capacity(host.hardware_threads)
+
+        lower_cpu = total_cpu / peak_capacity
+        lower_gpu = total_gpu / (2 * 1.0)     # two devices, rate 1 each
+        per_user = [
+            sum(c / host.effective_capacity(24) + g for c, g in s)
+            for s in specs
+        ]
+        lower = max([lower_cpu, lower_gpu] + per_user) if specs else 0.0
+        upper = sum(per_user) + 1e-9
+
+        assert result.makespan >= lower - 1e-6
+        assert result.makespan <= upper + 1e-6
+        assert result.queries_completed == len(users)
+
+    @given(specs=st.lists(stage_lists, min_size=1, max_size=4),
+           loops=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, specs, loops):
+        config = paper_testbed()
+        users = [UserScript(f"u{i}", [build_profile(s, qid=f"q{i}")],
+                            loops=loops)
+                 for i, s in enumerate(specs)]
+        r1 = WorkloadSimulator(config).run(users)
+        r2 = WorkloadSimulator(config).run(users)
+        assert r1.makespan == pytest.approx(r2.makespan, abs=1e-12)
+        assert [c.end for c in r1.completions] == \
+            pytest.approx([c.end for c in r2.completions], abs=1e-12)
+
+    @given(specs=st.lists(stage_lists, min_size=2, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_memory_never_overcommitted(self, specs):
+        config = paper_testbed()
+        users = [UserScript(f"u{i}", [build_profile(s)])
+                 for i, s in enumerate(specs)]
+        result = WorkloadSimulator(config).run(users)
+        capacity = config.gpus[0].device_memory_bytes
+        for log in result.device_memory_logs.values():
+            for _t, reserved in log:
+                assert 0 <= reserved <= capacity
+            if log:
+                assert log[-1][1] == 0          # all memory returned
+
+    @given(specs=st.lists(stage_lists, min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_completions_ordered_per_user(self, specs):
+        config = paper_testbed()
+        users = [UserScript(f"u{i}", [build_profile(s, qid=f"a{i}"),
+                                      build_profile(s, qid=f"b{i}")])
+                 for i, s in enumerate(specs)]
+        result = WorkloadSimulator(config).run(users)
+        for i in range(len(specs)):
+            mine = [c for c in result.completions
+                    if c.user_id == f"u{i}"]
+            assert [c.query_id for c in mine] == [f"a{i}", f"b{i}"]
+            assert all(c.start <= c.end for c in mine)

@@ -1,0 +1,94 @@
+"""Tests for parallel-group (multi-GPU data-parallel) stage execution."""
+
+import pytest
+
+from repro.config import paper_testbed
+from repro.sim import UserScript, WorkloadSimulator
+from repro.timing import CostEvent, QueryProfile
+
+
+def profile_with_waves(qid="q", waves=((0.5, 0.5),), mem=1 << 20):
+    """Build a profile whose GPU events form parallel waves."""
+    events = []
+    for group_id, wave in enumerate(waves):
+        for gpu_seconds in wave:
+            events.append(CostEvent(
+                op="GPU-GROUPBY", gpu_seconds=gpu_seconds,
+                gpu_memory_bytes=mem, max_degree=1,
+                parallel_group=group_id,
+            ))
+    return QueryProfile(qid, gpu_enabled=True, events=events)
+
+
+class TestElapsedSerial:
+    def test_group_members_overlap(self):
+        profile = profile_with_waves(waves=((0.5, 0.5),))
+        assert profile.elapsed_serial(48) == pytest.approx(0.5)
+
+    def test_waves_are_sequential(self):
+        profile = profile_with_waves(waves=((0.5, 0.3), (0.4, 0.2)))
+        assert profile.elapsed_serial(48) == pytest.approx(0.5 + 0.4)
+
+    def test_mixed_sequential_and_parallel(self):
+        events = [
+            CostEvent(op="SCAN", cpu_seconds=4.8, max_degree=48),
+            CostEvent(op="GPU-GROUPBY", gpu_seconds=0.5, max_degree=1,
+                      parallel_group=7),
+            CostEvent(op="GPU-GROUPBY", gpu_seconds=0.2, max_degree=1,
+                      parallel_group=7),
+            CostEvent(op="SORT", cpu_seconds=2.4, max_degree=24),
+        ]
+        profile = QueryProfile("q", True, events)
+        expected = 4.8 / 48 + 0.5 + 2.4 / 24
+        assert profile.elapsed_serial(48) == pytest.approx(expected)
+
+
+class TestSimulatorParallelism:
+    def test_wave_runs_on_both_devices(self):
+        sim = WorkloadSimulator(paper_testbed())
+        result = sim.run([UserScript(
+            "u", [profile_with_waves(waves=((1.0, 1.0),))])])
+        # Two 1-second kernels on two devices: one second, not two.
+        assert result.makespan == pytest.approx(1.0)
+        used_devices = [d for d, log in result.device_memory_logs.items()
+                        if log]
+        assert len(used_devices) == 2
+
+    def test_oversubscribed_wave_shares_devices(self):
+        sim = WorkloadSimulator(paper_testbed())
+        result = sim.run([UserScript(
+            "u", [profile_with_waves(waves=((1.0, 1.0, 1.0, 1.0),))])])
+        # Four kernels on two devices, two resident each at half rate.
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_waves_serialise(self):
+        sim = WorkloadSimulator(paper_testbed())
+        result = sim.run([UserScript(
+            "u", [profile_with_waves(waves=((1.0, 1.0), (0.5, 0.5)))])])
+        assert result.makespan == pytest.approx(1.5)
+
+    def test_wave_waits_for_memory(self):
+        config = paper_testbed()
+        capacity = config.gpus[0].device_memory_bytes
+        sim = WorkloadSimulator(config)
+        result = sim.run([UserScript(
+            "u", [profile_with_waves(waves=((1.0, 1.0, 1.0),),
+                                     mem=capacity)])])
+        # Three whole-device kernels, two devices: third waits.
+        assert result.makespan == pytest.approx(2.0)
+        assert result.gpu_waits >= 1
+
+    def test_parallel_query_vs_sequential_query(self):
+        parallel = profile_with_waves(waves=((1.0, 1.0),))
+        sequential = QueryProfile("s", True, events=[
+            CostEvent(op="G", gpu_seconds=1.0, gpu_memory_bytes=1 << 20,
+                      max_degree=1),
+            CostEvent(op="G", gpu_seconds=1.0, gpu_memory_bytes=1 << 20,
+                      max_degree=1),
+        ])
+        sim1 = WorkloadSimulator(paper_testbed())
+        sim2 = WorkloadSimulator(paper_testbed())
+        t_par = sim1.run([UserScript("u", [parallel])]).makespan
+        t_seq = sim2.run([UserScript("u", [sequential])]).makespan
+        assert t_par == pytest.approx(1.0)
+        assert t_seq == pytest.approx(2.0)

@@ -1,0 +1,122 @@
+"""Unit tests for the processor-sharing pool and GPU device states."""
+
+import pytest
+
+from repro.config import GpuSpec, HostSpec
+from repro.sim.resources import (
+    CpuTask,
+    GpuDeviceState,
+    GpuKernelTask,
+    ProcessorSharingPool,
+)
+
+
+@pytest.fixture()
+def host():
+    return HostSpec()
+
+
+@pytest.fixture()
+def pool(host):
+    return ProcessorSharingPool(host)
+
+
+class TestEffectiveCapacity:
+    def test_linear_up_to_cores(self, host):
+        assert host.effective_capacity(1) == 1.0
+        assert host.effective_capacity(24) == 24.0
+
+    def test_smt_bonus_diminishes(self, host):
+        c24 = host.effective_capacity(24)
+        c48 = host.effective_capacity(48)
+        c96 = host.effective_capacity(96)
+        assert c24 < c48 < c96
+        assert c48 - c24 > c96 - c48           # diminishing returns
+        assert c96 < 24 * (1 + host.smt_efficiency) + 1e-9
+
+    def test_clamped_at_hardware_threads(self, host):
+        assert host.effective_capacity(1000) == \
+            host.effective_capacity(host.hardware_threads)
+
+
+class TestWaterFilling:
+    def test_single_task_gets_its_cap(self, pool):
+        pool.add(CpuTask(1, remaining=10.0, max_rate=8.0, threads=8))
+        assert pool.tasks[1].rate == pytest.approx(8.0)
+
+    def test_fair_share_when_contended(self, pool, host):
+        for i in range(4):
+            pool.add(CpuTask(i, remaining=10.0, max_rate=24.0, threads=24))
+        capacity = host.effective_capacity(96)
+        for task in pool.tasks.values():
+            assert task.rate == pytest.approx(capacity / 4)
+
+    def test_capped_tasks_release_surplus(self, pool, host):
+        pool.add(CpuTask(1, remaining=10.0, max_rate=1.0, threads=1))
+        pool.add(CpuTask(2, remaining=10.0, max_rate=48.0, threads=48))
+        assert pool.tasks[1].rate == pytest.approx(1.0)
+        capacity = host.effective_capacity(49)
+        assert pool.tasks[2].rate == pytest.approx(capacity - 1.0)
+
+    def test_total_never_exceeds_capacity(self, pool):
+        for i in range(10):
+            pool.add(CpuTask(i, remaining=5.0, max_rate=16.0, threads=16))
+        total = sum(t.rate for t in pool.tasks.values())
+        assert total <= pool.capacity + 1e-9
+
+    def test_capacity_grows_with_threads(self, pool):
+        pool.add(CpuTask(1, remaining=1.0, max_rate=24.0, threads=24))
+        c1 = pool.capacity
+        pool.add(CpuTask(2, remaining=1.0, max_rate=24.0, threads=24))
+        assert pool.capacity > c1
+
+    def test_progress_and_completion(self, pool):
+        pool.add(CpuTask(1, remaining=10.0, max_rate=5.0, threads=5))
+        eta = pool.earliest_completion()
+        assert eta == pytest.approx(2.0)
+        pool.progress(1.0)
+        assert pool.tasks[1].remaining == pytest.approx(5.0)
+        pool.remove(1)
+        assert pool.earliest_completion() is None
+
+    def test_utilisation(self, pool):
+        pool.add(CpuTask(1, remaining=1.0, max_rate=24.0, threads=24))
+        assert pool.utilisation == pytest.approx(1.0)
+
+
+class TestGpuDeviceState:
+    def test_admission_respects_memory(self):
+        device = GpuDeviceState(0, GpuSpec())
+        big = GpuKernelTask(1, remaining=1.0,
+                            memory_bytes=10 * 1024**3)
+        device.admit(big, now=0.0)
+        assert not device.can_admit(5 * 1024**3)
+        assert device.can_admit(1 * 1024**3)
+
+    def test_kernel_slot_limit(self):
+        spec = GpuSpec()
+        device = GpuDeviceState(0, spec)
+        for i in range(spec.max_concurrent_kernels):
+            device.admit(GpuKernelTask(i, 1.0, 1024), now=0.0)
+        assert not device.can_admit(1024)
+
+    def test_sharing_slows_kernels(self):
+        device = GpuDeviceState(0, GpuSpec())
+        device.admit(GpuKernelTask(1, remaining=1.0, memory_bytes=0), 0.0)
+        assert device.earliest_completion() == pytest.approx(1.0)
+        device.admit(GpuKernelTask(2, remaining=1.0, memory_bytes=0), 0.0)
+        assert device.earliest_completion() == pytest.approx(2.0)
+
+    def test_memory_log_records_transitions(self):
+        device = GpuDeviceState(0, GpuSpec())
+        device.admit(GpuKernelTask(1, 1.0, 500), now=1.0)
+        device.release(1, now=2.0)
+        assert device.memory_log == [(1.0, 500), (2.0, 0)]
+
+    def test_progress(self):
+        device = GpuDeviceState(0, GpuSpec())
+        device.admit(GpuKernelTask(1, remaining=1.0, memory_bytes=0), 0.0)
+        device.admit(GpuKernelTask(2, remaining=0.5, memory_bytes=0), 0.0)
+        device.progress(0.5)                   # each gets rate 1/2
+        assert device.kernels[1].remaining == pytest.approx(0.75)
+        assert device.kernels[2].remaining == pytest.approx(0.25)

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface (run in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+SCALE = ["--scale", "0.01", "--seed", "3"]
+
+
+class TestSqlCommand:
+    def test_runs_and_prints_rows(self, capsys):
+        code = main(SCALE + ["sql",
+                             "SELECT ss_store_sk, COUNT(*) AS c "
+                             "FROM store_sales GROUP BY ss_store_sk "
+                             "ORDER BY c DESC LIMIT 3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ss_store_sk" in out
+        assert "simulated ms" in out
+
+    def test_no_gpu_flag(self, capsys):
+        code = main(SCALE + ["sql", "--no-gpu",
+                             "SELECT COUNT(*) AS c FROM store_sales"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CPU-only" in out
+
+    def test_limit_truncates(self, capsys):
+        main(SCALE + ["sql", "--limit", "2",
+                      "SELECT ss_item_sk FROM store_sales LIMIT 50"])
+        out = capsys.readouterr().out
+        assert "more rows" in out
+
+
+class TestOtherCommands:
+    def test_explain(self, capsys):
+        code = main(SCALE + ["explain",
+                             "SELECT i_category, SUM(ss_net_paid) AS rev "
+                             "FROM store_sales "
+                             "JOIN item ON ss_item_sk = i_item_sk "
+                             "GROUP BY i_category"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GROUPBY" in out and "HASHJOIN" in out
+
+    def test_schema(self, capsys):
+        code = main(SCALE + ["schema"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "store_sales" in out
+        assert "date_dim" in out
+        assert "simulated GPUs" in out
+
+    def test_workload_complex(self, capsys):
+        code = main(SCALE + ["workload", "complex"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "C1" in out and "TOTAL" in out
+
+    def test_monitor(self, capsys):
+        code = main(SCALE + ["monitor"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "performance monitor" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestInspectCommand:
+    def test_inspect(self, capsys):
+        code = main(SCALE + ["inspect",
+                             "SELECT ss_store_sk, COUNT(*) AS c "
+                             "FROM store_sales GROUP BY ss_store_sk"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== plan ==" in out
+        assert "== offload decisions ==" in out
+
+
+class TestMonitorJson:
+    def test_json_export(self, capsys, tmp_path):
+        out_path = str(tmp_path / "events.json")
+        code = main(SCALE + ["monitor", "--json", out_path])
+        assert code == 0
+        import json
+
+        with open(out_path) as f:
+            events = json.load(f)
+        kinds = {e["kind"] for e in events}
+        assert "query" in kinds and "decision" in kinds

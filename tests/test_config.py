@@ -1,0 +1,53 @@
+"""Unit tests for the hardware presets."""
+
+import pytest
+
+from repro.config import (
+    GpuSpec,
+    HostSpec,
+    SystemConfig,
+    cpu_only_testbed,
+    paper_testbed,
+    single_gpu_testbed,
+)
+
+
+class TestPresets:
+    def test_paper_testbed_matches_section5(self):
+        config = paper_testbed()
+        assert config.host.cores == 24
+        assert config.host.hardware_threads == 96
+        assert config.gpu_count == 2
+        for spec in config.gpus:
+            assert spec.cuda_cores == 2880
+            assert spec.device_memory_bytes == 12 * 1024**3
+            assert spec.smx_count == 15
+
+    def test_variants(self):
+        assert single_gpu_testbed().gpu_count == 1
+        assert cpu_only_testbed().gpu_count == 0
+
+    def test_pcie_ratio_exceeds_4x(self):
+        spec = GpuSpec()
+        assert spec.pcie_pinned_bw / spec.pcie_unpinned_bw > 4.0
+
+    def test_shared_memory_per_smx(self):
+        assert GpuSpec().shared_mem_per_smx == 64 * 1024
+
+
+class TestHostCapacity:
+    def test_monotone(self):
+        host = HostSpec()
+        values = [host.effective_capacity(n) for n in (1, 12, 24, 48, 96)]
+        assert values == sorted(values)
+
+    def test_zero_threads(self):
+        assert HostSpec().effective_capacity(0) == 0.0
+
+
+class TestThresholds:
+    def test_defaults_ordered(self):
+        t = paper_testbed().thresholds
+        assert t.t1_min_rows < t.t3_max_rows
+        assert t.t2_min_groups >= 1
+        assert t.many_aggs_threshold == 5

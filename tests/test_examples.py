@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example's ``main`` is imported and executed at a tiny scale so the
+suite stays fast; stdout is checked for the landmark lines a reader would
+look for.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Top items by revenue" in out
+        assert "performance monitor" in out
+
+    def test_bd_insights_day(self, capsys):
+        load_example("bd_insights_day").main(scale=0.01)
+        out = capsys.readouterr().out
+        assert "complex" in out and "simple" in out
+        assert "kernel profile" in out
+
+    def test_rolap_concurrent(self, capsys):
+        load_example("rolap_concurrent").main(scale=0.01)
+        out = capsys.readouterr().out
+        assert "memory screen" in out
+        assert "throughput sweep" in out
+        assert "serial totals" in out
+
+    def test_kernel_selection_tour(self, capsys):
+        load_example("kernel_selection_tour").main()
+        out = capsys.readouterr().out
+        assert "groupby_shared" in out
+        assert "winner:" in out
+        assert "recovered" in out
+        assert "learning moderator" in out

@@ -1,0 +1,94 @@
+"""Golden-fingerprint regression tests.
+
+Every workload query's result on the deterministic scale-0.02/seed-11
+database is reduced to a stable fingerprint (row count + per-column
+checksums).  Any change to the data generator, the operators, the SQL
+front end, or the GPU kernels that alters query *answers* breaks these
+tests loudly — while cost-model recalibrations do not.
+
+To regenerate after an intentional change:
+    python -m tests.test_golden_results
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.workloads.bdinsights import bd_insights_queries
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__),
+                           "golden_fingerprints.json")
+SCALE, SEED = 0.02, 11
+# One representative query per template family keeps the file reviewable.
+QUERY_IDS = [
+    "C1", "C2", "C3", "C4", "C5",
+    "I01", "I06", "I11", "I16", "I21",
+    "S01", "S11", "S21", "S31", "S41", "S51", "S61",
+]
+
+
+def fingerprint(table) -> dict:
+    """Order-insensitive, type-stable digest of a result table."""
+    data = table.to_pydict()
+    columns = {}
+    for name in table.schema.names():
+        values = data[name]
+        rendered = sorted(
+            "NULL" if v is None
+            else f"{v:.6f}" if isinstance(v, float)
+            else str(v)
+            for v in values
+        )
+        digest = hashlib.sha256("\x1f".join(rendered).encode()).hexdigest()
+        columns[name] = digest[:16]
+    return {"rows": table.num_rows, "columns": columns}
+
+
+def compute_fingerprints() -> dict:
+    from repro.blu.engine import BluEngine
+    from repro.workloads.datagen import generate_database
+
+    catalog = generate_database(scale=SCALE, seed=SEED)
+    engine = BluEngine(catalog)
+    queries = {q.query_id: q for q in bd_insights_queries()}
+    return {
+        qid: fingerprint(engine.execute_sql(queries[qid].sql).table)
+        for qid in QUERY_IDS
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if not os.path.exists(GOLDEN_PATH):
+        pytest.skip("golden file missing; run "
+                    "`python -m tests.test_golden_results` to create it")
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+@pytest.fixture(scope="module")
+def current() -> dict:
+    return compute_fingerprints()
+
+
+@pytest.mark.parametrize("qid", QUERY_IDS)
+def test_fingerprint_stable(qid, golden, current):
+    assert current[qid] == golden[qid], (
+        f"{qid}: result changed — if intentional, regenerate the golden "
+        f"file with `python -m tests.test_golden_results`"
+    )
+
+
+def test_golden_file_covers_all_tracked_queries(golden):
+    assert sorted(golden) == sorted(QUERY_IDS)
+
+
+if __name__ == "__main__":
+    with open(GOLDEN_PATH, "w") as f:
+        json.dump(compute_fingerprints(), f, indent=1, sort_keys=True)
+    print(f"wrote {GOLDEN_PATH}")

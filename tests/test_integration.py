@@ -1,0 +1,107 @@
+"""End-to-end integration: the GPU prototype must be functionally
+indistinguishable from stock BLU across the whole workload surface."""
+
+import pytest
+
+from repro.blu import BluEngine
+from repro.config import cpu_only_testbed
+from repro.core import GpuAcceleratedEngine
+from repro.workloads.bdinsights import bd_insights_queries
+from repro.workloads.cognos_rolap import cognos_rolap_queries
+from repro.workloads.query import QueryCategory
+from tests.conftest import tables_equal
+
+
+@pytest.fixture(scope="module")
+def engines():
+    from repro.workloads.datagen import generate_database, scaled_config
+
+    catalog = generate_database(scale=0.02, seed=11)
+    config = scaled_config(catalog)
+    return (GpuAcceleratedEngine(catalog, config=config),
+            BluEngine(catalog, config=cpu_only_testbed()))
+
+
+class TestWorkloadParity:
+    """Every benchmark query returns identical results with and without
+    the GPU — the baseline requirement of the whole demonstration."""
+
+    @pytest.mark.parametrize("query", [
+        q for q in bd_insights_queries()
+        if q.category is QueryCategory.COMPLEX
+    ], ids=lambda q: q.query_id)
+    def test_bd_complex(self, engines, query):
+        gpu, cpu = engines
+        assert tables_equal(gpu.execute_sql(query.sql).table,
+                            cpu.execute_sql(query.sql).table)
+
+    @pytest.mark.parametrize("query", [
+        q for q in bd_insights_queries()
+        if q.category is QueryCategory.INTERMEDIATE
+    ][:10], ids=lambda q: q.query_id)
+    def test_bd_intermediate(self, engines, query):
+        gpu, cpu = engines
+        assert tables_equal(gpu.execute_sql(query.sql).table,
+                            cpu.execute_sql(query.sql).table)
+
+    @pytest.mark.parametrize("query", [
+        q for q in bd_insights_queries()
+        if q.category is QueryCategory.SIMPLE
+    ][::7], ids=lambda q: q.query_id)
+    def test_bd_simple(self, engines, query):
+        gpu, cpu = engines
+        assert tables_equal(gpu.execute_sql(query.sql).table,
+                            cpu.execute_sql(query.sql).table)
+
+    @pytest.mark.parametrize("query", cognos_rolap_queries()[::5],
+                             ids=lambda q: q.query_id)
+    def test_rolap(self, engines, query):
+        gpu, cpu = engines
+        assert tables_equal(gpu.execute_sql(query.sql).table,
+                            cpu.execute_sql(query.sql).table)
+
+
+class TestSystemHygiene:
+    def test_no_leaked_device_memory_after_workload(self, engines):
+        gpu, _ = engines
+        for query in cognos_rolap_queries()[:6]:
+            gpu.execute_sql(query.sql)
+        for device in gpu.devices:
+            assert device.memory.reserved == 0
+            assert device.outstanding_jobs == 0
+        assert gpu.pinned.used == 0
+
+    def test_monitor_saw_every_query(self, engines):
+        gpu, _ = engines
+        before = len(gpu.monitor.profiles)
+        gpu.execute_sql("SELECT COUNT(*) AS c FROM store_sales")
+        assert len(gpu.monitor.profiles) == before + 1
+
+    def test_monitor_report_renders_after_workload(self, engines):
+        gpu, _ = engines
+        report = gpu.monitor.report()
+        assert "gpu_offloads" in report
+
+
+class TestNullableColumnsThroughGpuPaths:
+    def test_hybrid_sort_on_nullable_key_matches_cpu(self, engines):
+        gpu, cpu = engines
+        sql = ("SELECT ss_customer_sk, ss_net_paid FROM store_sales "
+               "ORDER BY ss_customer_sk, ss_ticket_number")
+        a = gpu.execute_sql(sql)
+        b = cpu.execute_sql(sql)
+        assert tables_equal(a.table, b.table)
+        # NULL customers collate last.
+        keys = a.table.to_pydict()["ss_customer_sk"]
+        first_null = keys.index(None)
+        assert all(k is None for k in keys[first_null:])
+
+    def test_groupby_nullable_key_offloads_and_matches(self, engines):
+        gpu, cpu = engines
+        sql = ("SELECT ss_customer_sk, SUM(ss_net_paid) AS paid, "
+               "COUNT(*) AS c FROM store_sales GROUP BY ss_customer_sk")
+        a = gpu.execute_sql(sql)
+        b = cpu.execute_sql(sql)
+        assert a.profile.offloaded
+        assert tables_equal(a.table, b.table)
+        assert None in a.table.to_pydict()["ss_customer_sk"]

@@ -1,0 +1,167 @@
+"""Unit tests for the TPC-DS-derived schema and data generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datagen import generate_database, scaled_config
+from repro.workloads.tpcds_schema import (
+    ALL_TABLES,
+    DIMENSIONS,
+    FACTS,
+    column_owner,
+    dimension_rows,
+    fact_rows,
+    table_spec,
+)
+
+
+class TestSchemaShape:
+    def test_seven_facts_seventeen_dimensions(self):
+        """Section 5.1.1's headline schema shape."""
+        assert len(FACTS) == 7
+        assert len(DIMENSIONS) == 17
+
+    def test_store_sales_star_arms_exist(self):
+        """Figure 4: the store_sales star touches its dimensions."""
+        names = {spec.name for spec in ALL_TABLES}
+        ss = table_spec("store_sales")
+        refs = {c.ref for c in ss.columns if c.ref}
+        assert refs <= names
+        assert {"date_dim", "item", "customer", "store", "promotion",
+                "customer_demographics", "household_demographics",
+                "customer_address", "time_dim"} <= refs
+
+    def test_column_prefixes_unique_per_table(self):
+        seen = {}
+        for spec in ALL_TABLES:
+            for col in spec.columns:
+                assert col.name not in seen, \
+                    f"{col.name} in both {seen.get(col.name)} and {spec.name}"
+                seen[col.name] = spec.name
+
+    def test_column_owner(self):
+        assert column_owner("ss_item_sk") == "store_sales"
+        assert column_owner("d_year") == "date_dim"
+        assert column_owner("nope") is None
+
+    def test_row_scaling(self):
+        assert fact_rows("store_sales", 0.1) == 400_000
+        assert dimension_rows("customer", 0.25) == 50_000
+        assert dimension_rows("date_dim", 0.01) == \
+            dimension_rows("date_dim", 1.0)      # calendar never shrinks
+        assert dimension_rows("store", 0.01) == 120  # tiny dims fixed
+        with pytest.raises(ValueError):
+            dimension_rows("store_sales", 0.1)
+
+
+class TestDatagen:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return generate_database(scale=0.01, seed=3)
+
+    def test_all_tables_generated(self, catalog):
+        assert len(catalog.table_names()) == 24
+
+    def test_deterministic(self):
+        a = generate_database(scale=0.01, seed=3)
+        b = generate_database(scale=0.01, seed=3)
+        ta, tb = a.table("store_sales"), b.table("store_sales")
+        for ca, cb in zip(ta.columns, tb.columns):
+            assert np.array_equal(ca.data, cb.data)
+
+    def test_seed_changes_data(self):
+        a = generate_database(scale=0.01, seed=3)
+        b = generate_database(scale=0.01, seed=4)
+        assert not np.array_equal(a.table("store_sales").column("ss_item_sk").data,
+                                  b.table("store_sales").column("ss_item_sk").data)
+
+    def test_foreign_keys_resolve(self, catalog):
+        ss = catalog.table("store_sales")
+        for fk, dim, key in (("ss_store_sk", "store", "s_store_sk"),
+                             ("ss_item_sk", "item", "i_item_sk"),
+                             ("ss_sold_date_sk", "date_dim", "d_date_sk")):
+            values = ss.column(fk).data
+            dim_rows = catalog.table(dim).num_rows
+            assert values.min() >= 1
+            assert values.max() <= dim_rows
+
+    def test_item_keys_are_skewed(self, catalog):
+        items = catalog.table("store_sales").column("ss_item_sk").data
+        counts = np.bincount(items)
+        top = np.sort(counts)[::-1]
+        # Zipf: the hottest item is far above the median item.
+        assert top[0] > 5 * np.median(counts[counts > 0])
+
+    def test_date_dim_is_coherent(self, catalog):
+        dd = catalog.table("date_dim")
+        d = dd.to_pydict()
+        assert d["d_year"][0] == 2010
+        assert d["d_year"][-1] >= 2014
+        assert set(d["d_qoy"]) <= {1, 2, 3, 4}
+        assert all(1 <= m <= 12 for m in d["d_moy"])
+
+    def test_money_columns_positive_scaled(self, catalog):
+        paid = catalog.table("store_sales").column("ss_net_paid").data
+        assert paid.min() >= 50                  # >= 0.5 currency in cents
+        assert paid.dtype == np.int64
+
+    def test_stats_collected(self, catalog):
+        stats = catalog.column_stats("store_sales", "ss_store_sk")
+        assert stats is not None
+        assert stats.distinct <= catalog.table("store").num_rows
+
+    def test_bad_scale_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            generate_database(scale=0)
+
+
+class TestScaledConfig:
+    def test_proportions(self):
+        catalog = generate_database(scale=0.01, seed=3)
+        config = scaled_config(catalog)
+        ss_rows = catalog.table("store_sales").num_rows
+        assert config.gpu_count == 2
+        assert config.gpus[0].device_memory_bytes >= 4 * 1024 * 1024
+        assert config.thresholds.t1_min_rows < ss_rows
+        assert config.thresholds.t3_max_rows > config.thresholds.t1_min_rows
+
+    def test_single_gpu_variant(self):
+        catalog = generate_database(scale=0.01, seed=3)
+        config = scaled_config(catalog, gpus=1)
+        assert config.gpu_count == 1
+
+
+class TestNullableForeignKeys:
+    def test_fact_fk_nulls_generated(self):
+        catalog = generate_database(scale=0.01, seed=3)
+        col = catalog.table("store_sales").column("ss_customer_sk")
+        assert col.null_mask is not None
+        fraction = col.null_mask.mean()
+        assert 0.01 < fraction < 0.06        # declared 3%
+
+    def test_null_customers_form_a_group(self):
+        from repro.blu.engine import BluEngine
+
+        catalog = generate_database(scale=0.01, seed=3)
+        engine = BluEngine(catalog)
+        result = engine.execute_sql(
+            "SELECT ss_customer_sk, COUNT(*) AS c FROM store_sales "
+            "GROUP BY ss_customer_sk ORDER BY c DESC LIMIT 1")
+        d = result.table.to_pydict()
+        # The NULL (walk-in) group is by far the largest single "customer".
+        assert d["ss_customer_sk"][0] is None
+
+    def test_inner_join_drops_null_fks(self):
+        from repro.blu.engine import BluEngine
+
+        catalog = generate_database(scale=0.01, seed=3)
+        engine = BluEngine(catalog)
+        joined = engine.execute_sql(
+            "SELECT COUNT(*) AS c FROM store_sales "
+            "JOIN customer ON ss_customer_sk = c_customer_sk")
+        total = catalog.table("store_sales").num_rows
+        nulls = int(catalog.table("store_sales")
+                    .column("ss_customer_sk").null_mask.sum())
+        assert joined.table.to_pydict()["c"][0] == total - nulls
