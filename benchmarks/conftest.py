@@ -4,6 +4,10 @@ The database scale is controlled by ``REPRO_BENCH_SCALE`` (default 0.05,
 about 200k store_sales rows — large enough for every offload decision to
 match the paper's regime, small enough to run the whole suite in a couple
 of minutes).
+
+Pass ``--emit-traces DIR`` to also write one Chrome trace-event JSON file
+per figure benchmark module (a representative complex BD Insights query
+run on the traced GPU engine) into ``DIR``.
 """
 
 from __future__ import annotations
@@ -18,6 +22,33 @@ from repro.workloads.driver import WorkloadDriver
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--emit-traces", metavar="DIR", default=None,
+        help="write one Chrome trace per figure benchmark module into DIR")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_module_trace(request):
+    """Opt-in: one Chrome trace per ``test_fig*`` benchmark module."""
+    out_dir = request.config.getoption("--emit-traces")
+    module = request.module.__name__.rsplit(".", 1)[-1]
+    if not out_dir or not module.startswith("test_fig"):
+        yield
+        return
+    from repro.bench.runner import emit_chrome_trace
+    from repro.workloads.bdinsights import queries_by_category
+    from repro.workloads.query import QueryCategory
+
+    driver = request.getfixturevalue("driver")
+    query = queries_by_category(QueryCategory.COMPLEX)[0]
+    os.makedirs(out_dir, exist_ok=True)
+    out = os.path.join(out_dir, f"{module}.trace.json")
+    emit_chrome_trace(driver.gpu_engine, query.sql,
+                      query_id=f"{module}:{query.query_id}", out_path=out)
+    yield
 
 
 @pytest.fixture(scope="session")

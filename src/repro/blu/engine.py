@@ -42,7 +42,8 @@ from repro.blu.plan import (
 from repro.blu.table import Table
 from repro.config import SystemConfig, cpu_only_testbed
 from repro.errors import ExecutionError
-from repro.timing import CostLedger, QueryProfile, TimedResult
+from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.timing import CostEvent, CostLedger, QueryProfile, TimedResult
 
 
 @dataclass
@@ -108,6 +109,7 @@ class BluEngine:
         sort_executor: Optional[SortExecutor] = None,
         join_executor: Optional[JoinExecutor] = None,
         default_degree: int = 48,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.catalog = catalog
         self.config = config or cpu_only_testbed()
@@ -116,6 +118,7 @@ class BluEngine:
         self.sort_executor = sort_executor or cpu_sort_executor
         self.join_executor = join_executor or cpu_join_executor
         self.default_degree = default_degree
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._query_counter = itertools.count(1)
 
     @property
@@ -135,18 +138,39 @@ class BluEngine:
     ) -> TimedResult:
         """Annotate, execute, and time one plan."""
         qid = query_id or f"q{next(self._query_counter)}"
-        self.optimizer.annotate(plan)
-        ledger = CostLedger()
+        degree_used = degree or self.default_degree
+        ledger = CostLedger(
+            on_add=self._make_trace_hook(degree_used)
+            if self.tracer.enabled else None
+        )
         ctx = OperatorContext(
             config=self.config,
             ledger=ledger,
-            degree=degree or self.default_degree,
+            degree=degree_used,
         )
-        table = self._execute(plan, ctx)
+        with self.tracer.span("query", query_id=qid, degree=degree_used,
+                              gpu_enabled=self.gpu_enabled):
+            with self.tracer.span("plan", query_id=qid):
+                self.optimizer.annotate(plan)
+            table = self._execute(plan, ctx)
         profile = QueryProfile(
             query_id=qid, gpu_enabled=self.gpu_enabled, events=ledger.events
         )
         return TimedResult(table=table, profile=profile)
+
+    def _make_trace_hook(self, degree: int):
+        """Ledger callback that replays event costs onto the trace clock.
+
+        GPU-resident time is advanced by the device's own launch spans
+        (transfer in / kernel / transfer out), so only the CPU portion of
+        a GPU event is added here — otherwise it would count twice.
+        """
+        def advance(event: CostEvent) -> None:
+            elapsed = event.elapsed(degree)
+            if event.uses_gpu:
+                elapsed -= event.gpu_seconds
+            self.tracer.advance(elapsed)
+        return advance
 
     def execute_sql(
         self,
@@ -173,6 +197,11 @@ class BluEngine:
     # ------------------------------------------------------------------
 
     def _execute(self, node: PlanNode, ctx: OperatorContext) -> Table:
+        """Execute one node inside its operator span (children nest)."""
+        with self.tracer.span(_span_name(node), **_span_attributes(node)):
+            return self._execute_node(node, ctx)
+
+    def _execute_node(self, node: PlanNode, ctx: OperatorContext) -> Table:
         if isinstance(node, ScanNode):
             base = self.catalog.table(node.table_name)
             return execute_scan(base, node.predicate, ctx.config.cost,
@@ -203,3 +232,33 @@ class BluEngine:
             child = self._execute(node.child, ctx)
             return execute_limit(child, node.limit, ctx.config.cost, ctx.ledger)
         raise ExecutionError(f"no executor for {type(node).__name__}")
+
+
+_SPAN_NAMES = {
+    ScanNode: "op.scan",
+    JoinNode: "op.join",
+    FilterNode: "op.filter",
+    GroupByNode: "op.groupby",
+    SortNode: "op.sort",
+    ProjectNode: "op.project",
+    RankNode: "op.rank",
+    LimitNode: "op.limit",
+}
+
+
+def _span_name(node: PlanNode) -> str:
+    return _SPAN_NAMES.get(type(node), f"op.{type(node).__name__.lower()}")
+
+
+def _span_attributes(node: PlanNode) -> dict:
+    if isinstance(node, ScanNode):
+        return {"table": node.table_name}
+    if isinstance(node, JoinNode):
+        return {"left_key": node.left_key, "right_key": node.right_key}
+    if isinstance(node, GroupByNode):
+        return {"keys": ",".join(node.keys)}
+    if isinstance(node, SortNode):
+        return {"keys": ",".join(k.column for k in node.keys)}
+    if isinstance(node, LimitNode):
+        return {"limit": node.limit}
+    return {}

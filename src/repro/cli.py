@@ -9,6 +9,11 @@ Commands
                with and without GPU and print the comparison
 ``schema``     print the generated database's tables and sizes
 ``monitor``    run a workload slice and dump the integrated monitor report
+               (``--json`` dumps the raw event list instead)
+``trace``      run one SQL statement and export its span tree as a Chrome
+               trace-event JSON file (open in chrome://tracing or Perfetto)
+``metrics``    run the complex queries and print the metrics registry in
+               Prometheus text format (or JSON)
 
 Examples::
 
@@ -18,6 +23,10 @@ Examples::
     python -m repro explain "SELECT i_category, SUM(ss_net_paid) AS rev \
         FROM store_sales JOIN item ON ss_item_sk = i_item_sk \
         GROUP BY i_category"
+    python -m repro trace "SELECT i_category, SUM(ss_net_paid) AS rev \
+        FROM store_sales JOIN item ON ss_item_sk = i_item_sk \
+        GROUP BY i_category" --out trace.json
+    python -m repro metrics --format prom
 """
 
 from __future__ import annotations
@@ -69,8 +78,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "monitor", help="run the complex queries and dump the monitor")
     p_monitor.add_argument("--race", action="store_true",
                            help="race group-by kernels")
-    p_monitor.add_argument("--json", metavar="PATH",
-                           help="also write the raw event dump as JSON")
+    p_monitor.add_argument("--json", metavar="PATH", nargs="?", const="-",
+                           help="dump the raw event list as JSON to PATH "
+                                "(bare --json prints it to stdout instead "
+                                "of the text report)")
+
+    p_trace = sub.add_parser(
+        "trace", help="run one SQL statement and export a Chrome trace")
+    p_trace.add_argument("statement")
+    p_trace.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="Chrome trace-event output file "
+                              "(default trace.json)")
+    p_trace.add_argument("--jsonl", metavar="PATH",
+                         help="also append raw spans as JSON lines")
+    p_trace.add_argument("--query-id", default="trace",
+                         help="query id stamped on the root span")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run the complex queries and print the metrics")
+    p_metrics.add_argument("--format", choices=["prom", "json"],
+                           default="prom",
+                           help="Prometheus text (default) or JSON")
+    p_metrics.add_argument("--race", action="store_true",
+                           help="race group-by kernels")
     return parser
 
 
@@ -182,6 +212,11 @@ def cmd_monitor(args) -> int:
                                   race_kernels=args.race)
     for query in queries_by_category(QueryCategory.COMPLEX):
         engine.execute_sql(query.sql, query_id=query.query_id)
+    if args.json == "-":
+        import json
+
+        print(json.dumps(engine.monitor.export_events(), indent=1))
+        return 0
     print(engine.monitor.report())
     if args.json:
         import json
@@ -192,6 +227,43 @@ def cmd_monitor(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.core.accelerator import GpuAcceleratedEngine
+    from repro.obs.export import TraceLog, write_chrome_trace
+
+    catalog, config = _make_database(args)
+    engine = GpuAcceleratedEngine(catalog, config=config)
+    result = engine.execute_sql(args.statement, query_id=args.query_id)
+    write_chrome_trace(engine.tracer.spans, args.out)
+    if args.jsonl:
+        TraceLog(args.jsonl).write(engine.tracer.spans)
+        print(f"wrote {len(engine.tracer.spans)} spans to {args.jsonl}")
+    print(f"wrote {args.out}: {len(engine.tracer.spans)} spans, "
+          f"{result.elapsed_ms:.3f} simulated ms "
+          f"(offloaded: {result.profile.offloaded})")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.core.accelerator import GpuAcceleratedEngine
+    from repro.workloads.bdinsights import queries_by_category
+    from repro.workloads.query import QueryCategory
+
+    catalog, config = _make_database(args)
+    engine = GpuAcceleratedEngine(catalog, config=config,
+                                  race_kernels=args.race)
+    for query in queries_by_category(QueryCategory.COMPLEX):
+        engine.execute_sql(query.sql, query_id=query.query_id)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(engine.registry.to_dict(), indent=1))
+    else:
+        print(engine.prometheus(), end="")
+    return 0
+
+
 _COMMANDS = {
     "sql": cmd_sql,
     "explain": cmd_explain,
@@ -199,6 +271,8 @@ _COMMANDS = {
     "workload": cmd_workload,
     "schema": cmd_schema,
     "monitor": cmd_monitor,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
 }
 
 

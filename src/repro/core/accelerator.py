@@ -32,6 +32,9 @@ from repro.core.monitoring import PerformanceMonitor
 from repro.core.scheduler import MultiGpuScheduler
 from repro.gpu.device import GpuDevice, make_devices
 from repro.gpu.pinned import PinnedMemoryPool
+from repro.obs.export import chrome_trace, prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.timing import TimedResult
 
 _DEFAULT_PINNED_POOL = 2 * 1024**3      # registered once at start-up
@@ -58,9 +61,14 @@ class GpuAcceleratedEngine:
                 "use BluEngine (or make_engine(gpu=False)) for the baseline"
             )
         self.devices: list[GpuDevice] = make_devices(self.config.gpus)
-        self.scheduler = MultiGpuScheduler(self.devices)
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.scheduler = MultiGpuScheduler(self.devices,
+                                           metrics=self.registry)
         self.pinned = PinnedMemoryPool(pinned_pool_bytes)
-        self.monitor = PerformanceMonitor(self.devices)
+        self.monitor = PerformanceMonitor(self.devices,
+                                          registry=self.registry,
+                                          tracer=self.tracer)
         if learning_moderator:
             from repro.core.moderator import LearningModerator
             self.moderator: GpuModerator = LearningModerator(
@@ -72,6 +80,7 @@ class GpuAcceleratedEngine:
                 self.config.cost, self.config.thresholds,
                 smx_count=self.config.gpus[0].smx_count,
             )
+        self.moderator.tracer = self.tracer
         self._groupby = HybridGroupByExecutor(
             scheduler=self.scheduler,
             moderator=self.moderator,
@@ -100,6 +109,7 @@ class GpuAcceleratedEngine:
             sort_executor=self._route_sort,
             join_executor=self._route_join if enable_join_offload else None,
             default_degree=default_degree,
+            tracer=self.tracer,
         )
 
     # Route through bound methods so the executors see the current query id.
@@ -177,6 +187,18 @@ class GpuAcceleratedEngine:
         self._sort.query_id = query_id
         if self._join is not None:
             self._join.query_id = query_id
+
+    # ------------------------------------------------------------------
+    # Observability exports
+    # ------------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """Every span recorded so far as Chrome trace-event JSON."""
+        return chrome_trace(self.tracer.spans)
+
+    def prometheus(self) -> str:
+        """The metrics registry in Prometheus text exposition format."""
+        return prometheus_text(self.registry)
 
 
 def make_engine(catalog: Catalog, config: Optional[SystemConfig] = None,

@@ -88,7 +88,8 @@ class HybridGroupByExecutor:
             return cpu_groupby_executor(table, node, ctx)
 
         decision = select_groupby_path(rows, optimizer_groups,
-                                       self.thresholds)
+                                       self.thresholds,
+                                       tracer=self._tracer)
         if decision.path is ExecutionPath.CPU_LARGE and self.partition_large:
             return self._run_partitioned(table, node, ctx, optimizer_groups)
         if not decision.use_gpu:
@@ -173,13 +174,10 @@ class HybridGroupByExecutor:
             outcome = self.moderator.run(request, metadata,
                                          race=self.race_kernels)
             winner = outcome.winner
-            if outcome.wasted_device_seconds and self.monitor is not None:
-                self.monitor.counters.overflow_retries += \
-                    0 if outcome.raced else 1
-            if outcome.raced and self.monitor is not None:
-                self.monitor.counters.kernels_raced += 1
-                self.monitor.counters.kernels_cancelled += \
-                    len(outcome.cancelled)
+            if self.monitor is not None:
+                self.monitor.record_overflow_retries(outcome.overflow_retries)
+                if outcome.raced:
+                    self.monitor.record_race(outcome.cancelled)
 
             launch = lease.device.launch(
                 kernel=winner.kernel,
@@ -301,6 +299,9 @@ class HybridGroupByExecutor:
             try:
                 outcome = self.moderator.run(request, metadata, race=False)
                 winner = outcome.winner
+                if self.monitor is not None:
+                    self.monitor.record_overflow_retries(
+                        outcome.overflow_retries)
                 launch = lease.device.launch(
                     kernel=winner.kernel,
                     kernel_seconds=(winner.kernel_seconds
@@ -349,10 +350,18 @@ class HybridGroupByExecutor:
             specs.append(PayloadSpec(dtype=dtype, func=agg.func))
         return specs
 
+    @property
+    def _tracer(self):
+        return self.monitor.tracer if self.monitor is not None else None
+
     def _record(self, path: str, reason: str, kernel: Optional[str] = None,
                 device_id: int = -1) -> None:
         if self.monitor is None:
             return
+        self.monitor.tracer.instant(
+            "offload.decision", operator="groupby", path=path,
+            reason=reason, kernel=kernel or "", query_id=self.query_id,
+        )
         self.monitor.record_decision(OffloadDecision(
             query_id=self.query_id, operator="groupby", path=path,
             reason=reason, kernel=kernel, device_id=device_id,

@@ -120,6 +120,10 @@ class HybridJoinExecutor:
     def _record(self, path: str, reason: str) -> None:
         if self.monitor is None:
             return
+        self.monitor.tracer.instant(
+            "offload.decision", operator="join", path=path, reason=reason,
+            query_id=self.query_id,
+        )
         self.monitor.record_decision(OffloadDecision(
             query_id=self.query_id, operator="join", path=path,
             reason=reason,

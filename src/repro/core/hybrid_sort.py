@@ -38,6 +38,7 @@ from repro.core.monitoring import OffloadDecision, PerformanceMonitor
 from repro.core.pathselect import select_sort_offload
 from repro.core.scheduler import MultiGpuScheduler
 from repro.errors import PinnedMemoryError
+from repro.obs.tracing import NULL_TRACER
 from repro.gpu.kernels.radix_sort import RadixSortKernel
 from repro.gpu.pinned import PinnedMemoryPool
 from repro.timing import CostEvent
@@ -145,7 +146,8 @@ class HybridSortExecutor:
     def __call__(self, table: Table, node: SortNode,
                  ctx: OperatorContext) -> Table:
         rows = table.num_rows
-        if not select_sort_offload(rows, self.thresholds) \
+        if not select_sort_offload(rows, self.thresholds,
+                                   tracer=self._tracer) \
                 or self.scheduler.device_count == 0:
             self._record("cpu-small",
                          f"{rows} rows below sort offload threshold")
@@ -155,6 +157,8 @@ class HybridSortExecutor:
         self.last_stats = stats
         self._record("gpu", f"hybrid sort: {stats.jobs_gpu} GPU / "
                             f"{stats.jobs_cpu} CPU jobs")
+        if self.monitor is not None:
+            self.monitor.record_sort_stats(stats)
         return table.take(order, name=f"{table.name}_sorted")
 
     # ------------------------------------------------------------------
@@ -169,6 +173,7 @@ class HybridSortExecutor:
         order = np.arange(n, dtype=np.int64)
         stats = SortRunStats()
 
+        tracer = self._tracer or NULL_TRACER
         queue: list[SortJob] = [SortJob(0, n, 0)]
         while queue:
             job = queue.pop()
@@ -176,22 +181,27 @@ class HybridSortExecutor:
             rows_idx = order[job.start:job.start + job.length]
             partial = extract_partial_keys(encoded, rows_idx, job.key_offset)
 
-            # Host threads generate partial keys and payloads in parallel.
-            ctx.ledger.add(CostEvent(
-                op="PARTIALKEY", rows=job.length,
-                cpu_seconds=job.length / cost.cpu_partialkey_rate,
-                max_degree=min(ctx.degree, 48),
-            ))
+            with tracer.span("sort.job", length=job.length,
+                             key_offset=job.key_offset) as span:
+                # Host threads generate partial keys and payloads in
+                # parallel.
+                ctx.ledger.add(CostEvent(
+                    op="PARTIALKEY", rows=job.length,
+                    cpu_seconds=job.length / cost.cpu_partialkey_rate,
+                    max_degree=min(ctx.degree, 48),
+                ))
 
-            if job.length >= cost.cpu_sort_job_threshold:
-                result = self._gpu_sort_job(partial, radix, ctx, stats)
-            else:
-                result = None
-            if result is None:
-                sub_order, duplicate_ranges = _cpu_sort_job(
-                    partial, cost, ctx, stats)
-            else:
-                sub_order, duplicate_ranges = result
+                if job.length >= cost.cpu_sort_job_threshold:
+                    result = self._gpu_sort_job(partial, radix, ctx, stats)
+                else:
+                    result = None
+                if result is None:
+                    sub_order, duplicate_ranges = _cpu_sort_job(
+                        partial, cost, ctx, stats)
+                    span.attributes["target"] = "cpu"
+                else:
+                    sub_order, duplicate_ranges = result
+                    span.attributes["target"] = "gpu"
 
             order[job.start:job.start + job.length] = rows_idx[sub_order]
 
@@ -244,9 +254,17 @@ class HybridSortExecutor:
         ranges = [(d.start, d.length) for d in result.duplicate_ranges]
         return result.order, ranges
 
+    @property
+    def _tracer(self):
+        return self.monitor.tracer if self.monitor is not None else None
+
     def _record(self, path: str, reason: str) -> None:
         if self.monitor is None:
             return
+        self.monitor.tracer.instant(
+            "offload.decision", operator="sort", path=path, reason=reason,
+            query_id=self.query_id,
+        )
         self.monitor.record_decision(OffloadDecision(
             query_id=self.query_id, operator="sort", path=path,
             reason=reason,

@@ -30,6 +30,7 @@ import numpy as np
 from repro.config import CostModel, Thresholds
 from repro.core.metadata import RuntimeMetadata
 from repro.errors import HashTableOverflowError
+from repro.obs.tracing import NULL_TRACER
 from repro.gpu.kernels.groupby_biglock import GlobalLockGroupByKernel
 from repro.gpu.kernels.groupby_regular import RegularGroupByKernel
 from repro.gpu.kernels.groupby_shared import SharedMemoryGroupByKernel
@@ -43,6 +44,7 @@ class RaceOutcome:
     winner: GroupByKernelResult
     cancelled: list[str] = field(default_factory=list)
     wasted_device_seconds: float = 0.0
+    overflow_retries: int = 0      # hash-table regrow attempts, all kernels
 
     @property
     def raced(self) -> bool:
@@ -62,6 +64,7 @@ class GpuModerator:
         )
         self.kernel_biglock = GlobalLockGroupByKernel(cost)
         self.decisions: list[tuple[str, str]] = []   # (kernel, reason) log
+        self.tracer = NULL_TRACER       # wired in by the accelerated engine
 
     # ------------------------------------------------------------------
     # Selection
@@ -119,15 +122,21 @@ class GpuModerator:
         retrying; the failed attempt's device time is charged as waste.
         """
         if not race:
-            kernel, _reason = self.choose(metadata)
-            result, wasted = _run_with_regrow(kernel, request)
-            return RaceOutcome(winner=result, wasted_device_seconds=wasted)
+            kernel, reason = self.choose(metadata)
+            result, wasted, retries = _run_with_regrow(kernel, request)
+            self.tracer.instant("moderator.run", kernel=result.kernel,
+                                reason=reason, raced=False,
+                                overflow_retries=retries)
+            return RaceOutcome(winner=result, wasted_device_seconds=wasted,
+                               overflow_retries=retries)
 
         outcomes: list[GroupByKernelResult] = []
         wasted = 0.0
+        retries = 0
         for kernel in self.candidates(metadata):
-            result, retried = _run_with_regrow(kernel, request)
+            result, retried, kernel_retries = _run_with_regrow(kernel, request)
             wasted += retried
+            retries += kernel_retries
             outcomes.append(result)
         winner = min(outcomes, key=lambda r: r.kernel_seconds)
         cancelled = []
@@ -138,17 +147,26 @@ class GpuModerator:
             # A cancelled kernel occupied the device until the winner
             # finished (then it was stopped).
             wasted += min(result.kernel_seconds, winner.kernel_seconds)
+        self.tracer.instant("moderator.run", kernel=winner.kernel,
+                            raced=True, cancelled=",".join(cancelled),
+                            overflow_retries=retries)
         return RaceOutcome(winner=winner, cancelled=cancelled,
-                           wasted_device_seconds=wasted)
+                           wasted_device_seconds=wasted,
+                           overflow_retries=retries)
 
 
-def _run_with_regrow(kernel, request: GroupByRequest,
-                     max_attempts: int = 8) -> tuple[GroupByKernelResult, float]:
-    """The error-detection code path: grow the table and retry on overflow."""
+def _run_with_regrow(
+    kernel, request: GroupByRequest, max_attempts: int = 8,
+) -> tuple[GroupByKernelResult, float, int]:
+    """The error-detection code path: grow the table and retry on overflow.
+
+    Returns (result, wasted device seconds, retry count) so callers can
+    account both the occupied-device waste and the retry events.
+    """
     wasted = 0.0
     headroom = 1.5
     request_groups = max(1, request.estimated_groups)
-    for _attempt in range(max_attempts):
+    for attempt in range(max_attempts):
         try:
             grown = GroupByRequest(
                 keys=request.keys, key_bits=request.key_bits,
@@ -156,7 +174,7 @@ def _run_with_regrow(kernel, request: GroupByRequest,
                 exact_keys=request.exact_keys,
             )
             result = kernel.run(grown, headroom=headroom)
-            return result, wasted
+            return result, wasted, attempt
         except HashTableOverflowError:
             # Charge the aborted attempt: it initialised and partially
             # filled the undersized table before detecting overflow.

@@ -6,6 +6,14 @@ it collects per-query profiles from the engine, offload decisions from the
 hybrid executors, and kernel records from every device's
 :class:`~repro.gpu.profiler.GpuProfiler`, and renders the combined view
 used for kernel tuning.
+
+Since the observability layer landed, the monitor is a *facade* over
+:mod:`repro.obs`: every counter in :class:`Counters` is backed by a metric
+in a :class:`~repro.obs.metrics.MetricsRegistry` (attribute reads/writes
+proxy through), decisions additionally feed the labelled
+``repro_offload_decisions_total`` counter, and profiles feed the query
+latency histogram.  The public recording/report API and its output are
+unchanged; ``prometheus()`` and ``chrome_trace()`` expose the new exports.
 """
 
 from __future__ import annotations
@@ -14,6 +22,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.gpu.device import GpuDevice
+from repro.obs.export import chrome_trace, prometheus_text
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.timing import QueryProfile
 
 
@@ -29,27 +40,83 @@ class OffloadDecision:
     device_id: int = -1
 
 
-@dataclass
-class Counters:
-    """Engine-wide offload accounting."""
+# Legacy counter attribute -> (registry counter name, help).
+_COUNTER_SPECS: dict[str, tuple[str, str]] = {
+    "gpu_offloads": (
+        "repro_gpu_offloads_total",
+        "Operators routed to the GPU path"),
+    "cpu_small": (
+        "repro_cpu_small_total",
+        "Operators kept on the CPU below T1/T2"),
+    "cpu_large": (
+        "repro_cpu_large_total",
+        "Operators kept on the CPU above T3"),
+    "reservation_fallbacks": (
+        "repro_reservation_fallbacks_total",
+        "GPU-path operators that fell back: no device could reserve"),
+    "overflow_retries": (
+        "repro_overflow_retries_total",
+        "Hash-table overflow regrow-and-retry attempts"),
+    "kernels_raced": (
+        "repro_kernels_raced_total",
+        "Group-bys whose kernels were raced"),
+    "kernels_cancelled": (
+        "repro_kernels_cancelled_total",
+        "Raced kernels cancelled after losing"),
+}
 
-    gpu_offloads: int = 0
-    cpu_small: int = 0
-    cpu_large: int = 0
-    reservation_fallbacks: int = 0
-    overflow_retries: int = 0
-    kernels_raced: int = 0
-    kernels_cancelled: int = 0
+
+class Counters:
+    """Engine-wide offload accounting, backed by the metrics registry.
+
+    Keeps the original dataclass-style attribute API (``c.gpu_offloads``,
+    ``c.kernels_raced += 1``) while every value lives in a registry
+    counter, so the Prometheus export and the legacy report always agree.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        object.__setattr__(self, "_registry", registry or MetricsRegistry())
+        for field in _COUNTER_SPECS:     # zero samples appear in exports
+            self._counter(field)
+
+    def _counter(self, field: str):
+        name, help = _COUNTER_SPECS[field]
+        return self._registry.counter(name, help)
+
+    def __getattr__(self, field: str) -> int:
+        if field in _COUNTER_SPECS:
+            return int(self._counter(field).value)
+        raise AttributeError(field)
+
+    def __setattr__(self, field: str, value: int) -> None:
+        if field not in _COUNTER_SPECS:
+            raise AttributeError(f"Counters has no counter {field!r}")
+        self._counter(field).set(value)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{f}={getattr(self, f)}" for f in _COUNTER_SPECS)
+        return f"Counters({body})"
 
 
 class PerformanceMonitor:
     """Collects everything the tuning loop needs in one place."""
 
-    def __init__(self, devices: Sequence[GpuDevice] = ()) -> None:
+    def __init__(self, devices: Sequence[GpuDevice] = (),
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.devices = list(devices)
+        self.registry = registry or MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.profiles: list[QueryProfile] = []
         self.decisions: list[OffloadDecision] = []
-        self.counters = Counters()
+        self.counters = Counters(self.registry)
+        for device in self.devices:
+            # Wire the observability sinks into the GPU substrate so kernel
+            # launches feed the latency histograms and device trace lanes.
+            if getattr(device, "metrics", None) is None:
+                device.metrics = self.registry
+            if not getattr(device, "tracer", NULL_TRACER).enabled:
+                device.tracer = self.tracer
 
     # ------------------------------------------------------------------
     # Recording
@@ -57,9 +124,29 @@ class PerformanceMonitor:
 
     def record_profile(self, profile: QueryProfile) -> None:
         self.profiles.append(profile)
+        self.registry.counter(
+            "repro_queries_total", "Queries executed").inc()
+        self.registry.histogram(
+            "repro_query_latency_seconds",
+            "Simulated serial query latency (24 threads)",
+            buckets=LATENCY_BUCKETS,
+        ).observe(profile.elapsed_serial(cores=24))
+        self.registry.counter(
+            "repro_query_cpu_core_seconds_total",
+            "CPU core-seconds across all queries",
+        ).inc(profile.cpu_core_seconds)
+        self.registry.counter(
+            "repro_query_gpu_seconds_total",
+            "GPU device-seconds across all queries",
+        ).inc(profile.gpu_seconds)
 
     def record_decision(self, decision: OffloadDecision) -> None:
         self.decisions.append(decision)
+        self.registry.counter(
+            "repro_offload_decisions_total",
+            "Path-selection outcomes by operator and path",
+            labelnames=("operator", "path"),
+        ).labels(operator=decision.operator, path=decision.path).inc()
         if decision.path == "gpu":
             self.counters.gpu_offloads += 1
         elif decision.path == "cpu-small":
@@ -68,6 +155,32 @@ class PerformanceMonitor:
             self.counters.cpu_large += 1
         elif decision.path == "cpu-fallback":
             self.counters.reservation_fallbacks += 1
+
+    def record_race(self, cancelled: Sequence[str]) -> None:
+        """One raced group-by: the losers were cancelled mid-flight."""
+        self.counters.kernels_raced += 1
+        self.counters.kernels_cancelled += len(cancelled)
+
+    def record_overflow_retries(self, retries: int) -> None:
+        """Hash-table regrow attempts the error path performed."""
+        if retries > 0:
+            self.counters.overflow_retries += retries
+
+    def record_sort_stats(self, stats) -> None:
+        """Feed one hybrid-sort run's job accounting into the registry."""
+        jobs = self.registry.counter(
+            "repro_sort_jobs_total", "Hybrid sort jobs by execution target",
+            labelnames=("target",))
+        jobs.labels(target="gpu").inc(stats.jobs_gpu)
+        jobs.labels(target="cpu").inc(stats.jobs_cpu)
+        self.registry.counter(
+            "repro_sort_duplicate_jobs_total",
+            "Sort jobs re-queued for duplicate partial-key ranges",
+        ).inc(stats.duplicate_jobs)
+        self.registry.counter(
+            "repro_sort_fallbacks_total",
+            "GPU sort jobs that fell back to the CPU",
+        ).inc(stats.fallbacks)
 
     # ------------------------------------------------------------------
     # Aggregate views
@@ -91,6 +204,18 @@ class PerformanceMonitor:
 
     def decisions_for(self, query_id: str) -> list[OffloadDecision]:
         return [d for d in self.decisions if d.query_id == query_id]
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+
+    def prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return prometheus_text(self.registry)
+
+    def chrome_trace(self) -> dict:
+        """Every recorded span as a Chrome trace-event JSON object."""
+        return chrome_trace(self.tracer.spans)
 
     def export_events(self) -> list[dict]:
         """Machine-readable dump of everything the monitor collected.

@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.config import Thresholds
+from repro.obs.tracing import Tracer
 
 
 class ExecutionPath(enum.Enum):
@@ -42,8 +44,31 @@ def select_groupby_path(
     rows: float,
     estimated_groups: float,
     thresholds: Thresholds,
+    tracer: Optional[Tracer] = None,
 ) -> PathDecision:
-    """Apply the Figure 3 decision tree to one group-by."""
+    """Apply the Figure 3 decision tree to one group-by.
+
+    A tracer, when supplied, receives a zero-duration ``pathselect.groupby``
+    mark carrying the inputs and the outcome — the observability layer's
+    view of every routing decision.
+    """
+    decision = _groupby_decision(rows, estimated_groups, thresholds)
+    if tracer is not None:
+        tracer.instant(
+            "pathselect.groupby",
+            rows=int(rows), groups=int(estimated_groups),
+            t1=thresholds.t1_min_rows, t2=thresholds.t2_min_groups,
+            t3=thresholds.t3_max_rows,
+            path=decision.path.value, reason=decision.reason,
+        )
+    return decision
+
+
+def _groupby_decision(
+    rows: float,
+    estimated_groups: float,
+    thresholds: Thresholds,
+) -> PathDecision:
     if rows > thresholds.t3_max_rows:
         return PathDecision(
             ExecutionPath.CPU_LARGE,
@@ -68,6 +93,11 @@ def select_groupby_path(
     )
 
 
-def select_sort_offload(rows: int, thresholds: Thresholds) -> bool:
+def select_sort_offload(rows: int, thresholds: Thresholds,
+                        tracer: Optional[Tracer] = None) -> bool:
     """Is a sort large enough that GPU jobs pay for their transfers?"""
-    return rows >= thresholds.sort_min_rows
+    offload = rows >= thresholds.sort_min_rows
+    if tracer is not None:
+        tracer.instant("pathselect.sort", rows=int(rows),
+                       threshold=thresholds.sort_min_rows, offload=offload)
+    return offload

@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 from repro.errors import SchedulerError
 from repro.gpu.device import GpuDevice
 from repro.gpu.memory import Reservation
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -31,10 +32,33 @@ class MultiGpuScheduler:
     """Distributes kernel jobs across the available (possibly
     heterogeneous) devices."""
 
-    def __init__(self, devices: Sequence[GpuDevice]) -> None:
+    def __init__(self, devices: Sequence[GpuDevice],
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.devices = list(devices)
         self.grants = 0
         self.rejections = 0
+        self.metrics = metrics
+        for device in self.devices:
+            self._observe_device(device)
+
+    def _observe_device(self, device: GpuDevice) -> None:
+        """Publish one device's queue depth and reserved memory."""
+        if self.metrics is None:
+            return
+        label = str(device.device_id)
+        self.metrics.gauge(
+            "repro_gpu_queue_depth", "Outstanding kernel jobs per device",
+            labelnames=("device",),
+        ).labels(device=label).set(device.outstanding_jobs)
+        self.metrics.gauge(
+            "repro_gpu_memory_reserved_bytes",
+            "Currently reserved device memory",
+            labelnames=("device",),
+        ).labels(device=label).set(device.memory.reserved)
+
+    def _count(self, name: str, help: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, help).inc()
 
     @property
     def device_count(self) -> int:
@@ -52,6 +76,8 @@ class MultiGpuScheduler:
         ]
         if not candidates:
             self.rejections += 1
+            self._count("repro_scheduler_rejections_total",
+                        "Lease requests no device could satisfy")
             return None
         best = min(
             candidates,
@@ -60,9 +86,14 @@ class MultiGpuScheduler:
         reservation = best.memory.try_reserve(memory_bytes, tag)
         if reservation is None:          # raced by a concurrent reserver
             self.rejections += 1
+            self._count("repro_scheduler_rejections_total",
+                        "Lease requests no device could satisfy")
             return None
         best.outstanding_jobs += 1
         self.grants += 1
+        self._count("repro_scheduler_grants_total",
+                    "Lease requests granted a device")
+        self._observe_device(best)
         return GpuLease(device=best, reservation=reservation)
 
     def acquire(self, memory_bytes: int, tag: str = "") -> GpuLease:
@@ -79,6 +110,7 @@ class MultiGpuScheduler:
         lease.device.memory.release(lease.reservation)
         lease.device.outstanding_jobs -= 1
         lease.released = True
+        self._observe_device(lease.device)
 
     def fits_any_device(self, memory_bytes: int) -> bool:
         """Could an idle system ever run this job?  (The 12-of-46 ROLAP

@@ -8,6 +8,8 @@ from repro.errors import GpuError
 from repro.gpu.memory import DeviceMemoryManager, Reservation
 from repro.gpu.profiler import GpuProfiler, KernelRecord
 from repro.gpu.transfer import transfer_seconds
+from repro.obs.metrics import BYTES_BUCKETS, LATENCY_BUCKETS
+from repro.obs.tracing import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -58,6 +60,9 @@ class GpuDevice:
         self.profiler = GpuProfiler(device_id)
         self.outstanding_jobs = 0
         self.shared_config = SharedMemoryConfig.prefer_shared()
+        # Observability sinks, wired in by the PerformanceMonitor.
+        self.tracer = NULL_TRACER
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Geometry helpers the kernels use
@@ -104,6 +109,22 @@ class GpuDevice:
         t_in = transfer_seconds(bytes_in, self.spec, pinned)
         t_out = transfer_seconds(bytes_out, self.spec, pinned)
         total_kernel = self.spec.kernel_launch_overhead + kernel_seconds
+        with self.tracer.span("gpu.launch", device_id=self.device_id,
+                              kernel=kernel, rows=rows,
+                              device_bytes=reservation.nbytes):
+            with self.tracer.timed_span("gpu.transfer_in", t_in,
+                                        device_id=self.device_id,
+                                        bytes=bytes_in, pinned=pinned):
+                pass
+            with self.tracer.timed_span("gpu.kernel", total_kernel,
+                                        device_id=self.device_id,
+                                        kernel=kernel, rows=rows):
+                pass
+            with self.tracer.timed_span("gpu.transfer_out", t_out,
+                                        device_id=self.device_id,
+                                        bytes=bytes_out, pinned=pinned):
+                pass
+        self._observe_launch(kernel, total_kernel, t_in, t_out)
         record = KernelRecord(
             kernel=kernel,
             device_id=self.device_id,
@@ -123,6 +144,36 @@ class GpuDevice:
             transfer_out_seconds=t_out,
             device_bytes=reservation.nbytes,
         )
+
+
+    def _observe_launch(self, kernel: str, kernel_seconds: float,
+                        t_in: float, t_out: float) -> None:
+        """Feed one launch into the metrics registry (when wired)."""
+        if self.metrics is None:
+            return
+        device = str(self.device_id)
+        self.metrics.histogram(
+            "repro_kernel_latency_seconds",
+            "Simulated kernel-resident seconds per launch",
+            labelnames=("kernel", "device"), buckets=LATENCY_BUCKETS,
+        ).labels(kernel=kernel, device=device).observe(kernel_seconds)
+        transfers = self.metrics.histogram(
+            "repro_transfer_latency_seconds",
+            "Simulated PCIe transfer seconds per direction",
+            labelnames=("direction",), buckets=LATENCY_BUCKETS,
+        )
+        transfers.labels(direction="in").observe(t_in)
+        transfers.labels(direction="out").observe(t_out)
+        self.metrics.histogram(
+            "repro_launch_device_bytes",
+            "Device memory reserved per kernel launch",
+            labelnames=("kernel",), buckets=BYTES_BUCKETS,
+        ).labels(kernel=kernel).observe(self.memory.reserved)
+        self.metrics.gauge(
+            "repro_gpu_memory_highwater_bytes",
+            "Peak reserved device memory",
+            labelnames=("device",),
+        ).labels(device=device).set_max(self.memory.peak_reserved)
 
 
 def make_devices(specs) -> list[GpuDevice]:

@@ -1,0 +1,50 @@
+"""Observability layer: span tracing, a metrics registry, and exporters.
+
+The paper's section-2.3 monitor exists because nvidia-smi cannot see inside
+a host application.  This package generalises that idea into the three
+standard observability primitives:
+
+- :mod:`repro.obs.tracing` — causal span trees over *simulated* time: every
+  query yields one trace (plan -> operator -> offload decision -> transfer
+  -> kernel) with trace/span/parent ids;
+- :mod:`repro.obs.metrics` — a Counter/Gauge/Histogram registry with fixed
+  bucket boundaries (no wall-clock dependence anywhere);
+- :mod:`repro.obs.export` — Chrome trace-event JSON (open in
+  ``chrome://tracing`` or https://ui.perfetto.dev), Prometheus text
+  exposition, and a JSONL span log.
+
+The engine wires these in through :class:`repro.core.monitoring.
+PerformanceMonitor`; library users reach them as ``engine.tracer`` and
+``engine.registry`` on :class:`repro.core.accelerator.GpuAcceleratedEngine`.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.export import (
+    TraceLog,
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceLog",
+    "Tracer",
+    "chrome_trace",
+    "prometheus_text",
+    "write_chrome_trace",
+]

@@ -1,0 +1,283 @@
+"""Counter / Gauge / Histogram primitives and the metrics registry.
+
+Prometheus-shaped but dependency-free: metrics carry a name, a help
+string, and optional label names; observations land in per-label-value
+children.  Histogram bucket boundaries are fixed at metric creation (the
+defaults below cover simulated kernel/query latencies), so two runs of the
+same workload produce byte-identical exports — nothing here reads a wall
+clock.
+
+The registry is get-or-create: instrumentation sites ask for a metric by
+name every time and the first call wins, which keeps call sites free of
+"was this registered yet?" bookkeeping.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Optional
+
+from repro.errors import ReproError
+
+# Simulated seconds: 25 us kernels up to multi-second queries.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+    1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+# Bytes: 4 KB staging buffers up to multi-GB device reservations.
+BYTES_BUCKETS: tuple[float, ...] = tuple(
+    4.0 * 1024 * 4 ** i for i in range(12)
+)
+
+
+class MetricError(ReproError):
+    """Metric misuse: type/label mismatches, unknown labels."""
+
+
+def _check_labels(labelnames: tuple[str, ...], labels: dict) -> tuple:
+    if set(labels) != set(labelnames):
+        raise MetricError(
+            f"expected labels {labelnames}, got {tuple(labels)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class Counter:
+    """Monotonically increasing count (``.set`` exists only so legacy
+    ``Counters`` attribute assignment can rewire onto the registry)."""
+
+    typename = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._values: dict[tuple, float] = {}
+
+    def labels(self, **labels) -> "_CounterChild":
+        key = _check_labels(self.labelnames, labels)
+        return _CounterChild(self, key)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    @property
+    def value(self) -> float:
+        return self._values.get((), 0.0)
+
+    def samples(self) -> Iterable[tuple[dict, float]]:
+        for key, value in sorted(self._values.items()):
+            yield dict(zip(self.labelnames, key)), value
+
+
+class _CounterChild:
+    def __init__(self, parent: Counter, key: tuple) -> None:
+        self._parent = parent
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self._parent.name} cannot decrease")
+        values = self._parent._values
+        values[self._key] = values.get(self._key, 0.0) + amount
+
+    def set(self, value: float) -> None:
+        self._parent._values[self._key] = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._parent._values.get(self._key, 0.0)
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, memory levels)."""
+
+    typename = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._values: dict[tuple, float] = {}
+
+    def labels(self, **labels) -> "_GaugeChild":
+        key = _check_labels(self.labelnames, labels)
+        return _GaugeChild(self, key)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def set_max(self, value: float) -> None:
+        self.labels().set_max(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._values.get((), 0.0)
+
+    def samples(self) -> Iterable[tuple[dict, float]]:
+        for key, value in sorted(self._values.items()):
+            yield dict(zip(self.labelnames, key)), value
+
+
+class _GaugeChild:
+    def __init__(self, parent: Gauge, key: tuple) -> None:
+        self._parent = parent
+        self._key = key
+
+    def set(self, value: float) -> None:
+        self._parent._values[self._key] = float(value)
+
+    def set_max(self, value: float) -> None:
+        """High-water update: keep the larger of current and ``value``."""
+        values = self._parent._values
+        values[self._key] = max(values.get(self._key, 0.0), float(value))
+
+    def inc(self, amount: float = 1.0) -> None:
+        values = self._parent._values
+        values[self._key] = values.get(self._key, 0.0) + amount
+
+    @property
+    def value(self) -> float:
+        return self._parent._values.get(self._key, 0.0)
+
+
+class _HistogramState:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)   # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative buckets on export)."""
+
+    typename = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = (),
+                 buckets: tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise MetricError(f"{name}: bucket bounds must be sorted")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(float(b) for b in buckets)
+        self._states: dict[tuple, _HistogramState] = {}
+
+    def labels(self, **labels) -> "_HistogramChild":
+        key = _check_labels(self.labelnames, labels)
+        return _HistogramChild(self, key)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def _state(self, key: tuple) -> _HistogramState:
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState(len(self.buckets))
+        return state
+
+    def samples(self) -> Iterable[tuple[dict, _HistogramState]]:
+        for key, state in sorted(self._states.items()):
+            yield dict(zip(self.labelnames, key)), state
+
+    def bucket_counts(self, **labels) -> list[int]:
+        """Per-bucket (non-cumulative) counts, +Inf last — for tests."""
+        key = _check_labels(self.labelnames, labels)
+        return list(self._state(key).counts)
+
+
+class _HistogramChild:
+    def __init__(self, parent: Histogram, key: tuple) -> None:
+        self._parent = parent
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        state = self._parent._state(self._key)
+        state.counts[bisect.bisect_left(self._parent.buckets, value)] += 1
+        state.sum += value
+        state.count += 1
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric the engine emits."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help=help, **kwargs)
+        elif not isinstance(metric, cls):
+            raise MetricError(
+                f"{name} already registered as {metric.typename}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> Counter:
+        return self._get(Counter, name, help, labelnames=labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> Gauge:
+        return self._get(Gauge, name, help, labelnames=labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = LATENCY_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help, labelnames=labelnames,
+                         buckets=buckets)
+
+    def collect(self) -> list:
+        """All metrics, sorted by name (export order)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot of every metric."""
+        out: dict[str, dict] = {}
+        for metric in self.collect():
+            if isinstance(metric, Histogram):
+                series = [
+                    {
+                        "labels": labels,
+                        "buckets": list(state.counts),
+                        "sum": state.sum,
+                        "count": state.count,
+                    }
+                    for labels, state in metric.samples()
+                ]
+                out[metric.name] = {
+                    "type": metric.typename,
+                    "help": metric.help,
+                    "bounds": list(metric.buckets),
+                    "series": series,
+                }
+            else:
+                out[metric.name] = {
+                    "type": metric.typename,
+                    "help": metric.help,
+                    "series": [
+                        {"labels": labels, "value": value}
+                        for labels, value in metric.samples()
+                    ],
+                }
+        return out

@@ -1,0 +1,180 @@
+"""Span tracing over simulated time.
+
+A :class:`Tracer` records a tree of :class:`Span` objects per query.  The
+timestamps come from a :class:`repro.sim.clock.SimClock` that the engine's
+instrumentation advances as cost events are accounted, so a trace is a
+causal, zero-jitter replay of the simulated execution — the same numbers
+the serial timing model reports, laid out on a timeline.
+
+Two span flavours exist:
+
+- *enclosing* spans (:meth:`Tracer.span`) close at whatever simulated time
+  the clock has reached when the ``with`` block exits — operators use
+  these, and nested ledger events advance the clock inside them;
+- *timed* spans (:meth:`Tracer.timed_span`) advance the clock by an
+  explicit duration — the GPU substrate uses these for transfer-in /
+  kernel / transfer-out windows whose lengths it just computed.
+
+Instants (:meth:`Tracer.instant`) are zero-duration marks for decisions.
+
+:data:`NULL_TRACER` is a shared no-op used wherever tracing is not wired,
+so instrumented code never branches on "is tracing on?".
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.sim.clock import SimClock
+
+
+@dataclass
+class Span:
+    """One named, timed node of a trace tree (times in simulated seconds)."""
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    end: float = 0.0
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Collects spans; one trace id per root span, deterministic ids."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock or SimClock()
+        self.spans: list[Span] = []        # in start order
+        self._stack: list[Span] = []
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def advance(self, seconds: float) -> None:
+        """Move simulated time forward (negative deltas are clamped)."""
+        self.clock.advance(max(0.0, seconds))
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def _open(self, name: str, attributes: dict) -> Span:
+        parent = self.current
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id if parent else next(self._trace_ids),
+            span_id=next(self._span_ids),
+            parent_id=parent.span_id if parent else None,
+            start=self.clock.now,
+            end=self.clock.now,
+            attributes=attributes,
+        )
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Enclosing span: ends at the clock's position on block exit."""
+        span = self._open(name, attributes)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end = max(span.start, self.clock.now)
+
+    @contextmanager
+    def timed_span(self, name: str, seconds: float,
+                   **attributes: Any) -> Iterator[Span]:
+        """Span of a known duration: advances the clock by ``seconds``."""
+        with self.span(name, **attributes) as span:
+            self.advance(seconds)
+            yield span
+
+    def instant(self, name: str, **attributes: Any) -> Span:
+        """Zero-duration mark (decision points, errors, fallbacks)."""
+        return self._open(name, attributes)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def trace(self, trace_id: int) -> list[Span]:
+        """All spans of one trace, in start order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def children_of(self, span_id: int) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def clear(self) -> None:
+        """Drop recorded spans (open spans, if any, stay on the stack)."""
+        self.spans.clear()
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing and never advances time.
+
+    Shared default for every instrumentation point so that hot paths do
+    not branch on whether observability is wired in.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_span = Span(name="", trace_id=0, span_id=0,
+                               parent_id=None, start=0.0)
+
+    def advance(self, seconds: float) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        yield self._null_span
+
+    @contextmanager
+    def timed_span(self, name: str, seconds: float,
+                   **attributes: Any) -> Iterator[Span]:
+        yield self._null_span
+
+    def instant(self, name: str, **attributes: Any) -> Span:
+        return self._null_span
+
+
+NULL_TRACER = NullTracer()

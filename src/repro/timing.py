@@ -77,20 +77,29 @@ class CostEvent:
 
 
 class CostLedger:
-    """Accumulates cost events during one query execution."""
+    """Accumulates cost events during one query execution.
 
-    def __init__(self) -> None:
+    ``on_add`` is the observability hook: the tracing layer registers a
+    callback that advances the simulated trace clock as each event lands,
+    so span boundaries line up with the accounted costs.
+    """
+
+    def __init__(self, on_add=None) -> None:
         self.events: list[CostEvent] = []
+        self._on_add = on_add
 
     def add(self, event: CostEvent) -> None:
         self.events.append(event)
+        if self._on_add is not None:
+            self._on_add(event)
 
     def cpu(self, op: str, rows: int, cpu_seconds: float, max_degree: int) -> None:
         self.add(CostEvent(op=op, rows=rows, cpu_seconds=cpu_seconds,
                            max_degree=max_degree))
 
     def extend(self, events: Iterable[CostEvent]) -> None:
-        self.events.extend(events)
+        for event in events:
+            self.add(event)
 
 
 @dataclass

@@ -32,6 +32,31 @@ class TestRecording:
         assert c.cpu_large == 1
         assert c.reservation_fallbacks == 1
 
+    def test_race_counters_follow_outcomes(self):
+        monitor = PerformanceMonitor()
+        monitor.record_race(cancelled=("groupby_biglock",))
+        monitor.record_race(cancelled=())
+        c = monitor.counters
+        assert c.kernels_raced == 2
+        assert c.kernels_cancelled == 1
+
+    def test_overflow_retries_counter(self):
+        monitor = PerformanceMonitor()
+        monitor.record_overflow_retries(2)
+        monitor.record_overflow_retries(0)      # no-op
+        monitor.record_overflow_retries(1)
+        assert monitor.counters.overflow_retries == 3
+
+    def test_counters_proxy_is_registry_backed(self):
+        monitor = PerformanceMonitor()
+        c = monitor.counters
+        c.kernels_raced += 1
+        c.kernels_raced += 1
+        assert c.kernels_raced == 2
+        assert monitor.registry.get("repro_kernels_raced_total").value == 2
+        with pytest.raises(AttributeError):
+            c.no_such_counter
+
     def test_profiles_accumulate(self):
         monitor = PerformanceMonitor()
         monitor.record_profile(profile(cpu=2.0, gpu=0.5))

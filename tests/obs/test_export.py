@@ -1,0 +1,145 @@
+"""Tests for the Chrome-trace, Prometheus, and JSONL exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TraceLog,
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def make_spans():
+    tracer = Tracer()
+    with tracer.span("query", query_id="q1"):
+        with tracer.timed_span("op.scan", 0.1):
+            pass
+        with tracer.timed_span("gpu.kernel", 0.05, device_id=1,
+                               kernel="groupby_shared"):
+            pass
+    return tracer.spans
+
+
+class TestChromeTrace:
+    def test_every_event_has_required_fields(self):
+        doc = chrome_trace(make_spans())
+        assert doc["traceEvents"]
+        for event in doc["traceEvents"]:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+            assert event["ph"] in ("X", "M")
+
+    def test_lanes_split_cpu_and_gpu(self):
+        doc = chrome_trace(make_spans())
+        events = {e["name"]: e for e in doc["traceEvents"]
+                  if e["ph"] == "X"}
+        assert events["query"]["tid"] == 0
+        assert events["op.scan"]["tid"] == 0
+        assert events["gpu.kernel"]["tid"] == 2     # 1 + device_id
+        thread_names = {e["tid"]: e["args"]["name"]
+                        for e in doc["traceEvents"]
+                        if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert thread_names[0] == "CPU pool"
+        assert thread_names[2] == "GPU 1"
+
+    def test_timestamps_are_simulated_microseconds(self):
+        doc = chrome_trace(make_spans())
+        kernel = next(e for e in doc["traceEvents"]
+                      if e["name"] == "gpu.kernel")
+        assert kernel["ts"] == pytest.approx(0.1 * 1e6)
+        assert kernel["dur"] == pytest.approx(0.05 * 1e6)
+
+    def test_args_carry_span_identity(self):
+        doc = chrome_trace(make_spans())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        root = next(e for e in events if e["name"] == "query")
+        child = next(e for e in events if e["name"] == "op.scan")
+        assert root["args"]["parent_id"] is None
+        assert child["args"]["parent_id"] == root["args"]["span_id"]
+        assert child["args"]["trace_id"] == root["args"]["trace_id"]
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert write_chrome_trace(make_spans(), path) == path
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["displayTimeUnit"] == "ms"
+        assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) == 3
+
+
+class TestPrometheusText:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "an x counter",
+                    labelnames=("path",)).labels(path="gpu").inc(3)
+        reg.gauge("repro_depth", "queue depth").set(2)
+        h = reg.histogram("repro_lat_seconds", "latency",
+                          buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        return reg
+
+    def test_structure_parses_line_by_line(self):
+        text = prometheus_text(self.make_registry())
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP") or line.startswith("# TYPE"):
+                assert len(line.split(maxsplit=3)) >= 3
+                continue
+            name_and_labels, value = line.rsplit(" ", 1)
+            float(value)            # every sample value is numeric
+            assert name_and_labels.startswith("repro_")
+
+    def test_histogram_is_cumulative_with_inf(self):
+        text = prometheus_text(self.make_registry())
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_seconds_count 3" in text
+        assert "repro_lat_seconds_sum 5.55" in text
+
+    def test_type_lines_match_metric_kind(self):
+        text = prometheus_text(self.make_registry())
+        assert "# TYPE repro_x_total counter" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "# TYPE repro_lat_seconds histogram" in text
+
+    def test_empty_counter_emits_zero_sample(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_nothing_total", "never incremented")
+        assert "repro_nothing_total 0" in prometheus_text(reg)
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_e_total", "",
+                    labelnames=("why",)).labels(why='a "quoted" \\ reason') \
+            .inc()
+        text = prometheus_text(reg)
+        assert 'why="a \\"quoted\\" \\\\ reason"' in text
+
+
+class TestTraceLog:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        spans = make_spans()
+        assert TraceLog(path).write(spans) == len(spans)
+        TraceLog(path).write(spans)          # appends
+        records = TraceLog.read(path)
+        assert len(records) == 2 * len(spans)
+        assert records[0]["name"] == "query"
+        assert records[0]["attributes"] == {"query_id": "q1"}
+
+    def test_writes_to_file_object(self):
+        import io
+
+        buf = io.StringIO()
+        TraceLog(buf).write(make_spans())
+        lines = [json.loads(line) for line in
+                 buf.getvalue().strip().splitlines()]
+        assert [r["name"] for r in lines] == \
+            ["query", "op.scan", "gpu.kernel"]

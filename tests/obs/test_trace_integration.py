@@ -1,0 +1,93 @@
+"""End-to-end trace of a BD Insights query through the hybrid engine.
+
+The golden check of the observability stack: one complex query must
+produce a single span tree covering plan, operators, offload decisions,
+transfers and kernels, all sharing one trace id — and the registry must
+expose the kernel latency histogram the paper's monitoring view needs.
+"""
+
+import pytest
+
+from repro.core.accelerator import GpuAcceleratedEngine
+from repro.workloads.bdinsights import queries_by_category
+from repro.workloads.query import QueryCategory
+
+
+@pytest.fixture(scope="module")
+def traced_engine(bd_catalog, bd_config):
+    engine = GpuAcceleratedEngine(bd_catalog, config=bd_config)
+    for query in queries_by_category(QueryCategory.COMPLEX)[:2]:
+        engine.execute_sql(query.sql, query_id=query.query_id)
+    return engine
+
+
+class TestSpanTree:
+    def test_one_root_per_query(self, traced_engine):
+        roots = traced_engine.tracer.roots()
+        assert len(roots) == 2
+        assert [r.name for r in roots] == ["query", "query"]
+        assert roots[0].trace_id != roots[1].trace_id
+        assert {r.attributes["query_id"] for r in roots} == {"C1", "C2"}
+
+    def test_parent_child_integrity(self, traced_engine):
+        spans = traced_engine.tracer.spans
+        by_id = {s.span_id: s for s in spans}
+        assert len(by_id) == len(spans)         # span ids unique
+        for span in spans:
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]
+            assert parent.trace_id == span.trace_id
+            assert parent.start <= span.start
+            assert span.end <= parent.end
+
+    def test_covers_every_layer(self, traced_engine):
+        tracer = traced_engine.tracer
+        trace = tracer.trace(tracer.roots()[0].trace_id)
+        names = {s.name for s in trace}
+        for expected in ("query", "plan", "op.scan", "op.groupby",
+                         "pathselect.groupby", "offload.decision",
+                         "moderator.run", "gpu.launch", "gpu.transfer_in",
+                         "gpu.kernel", "gpu.transfer_out"):
+            assert expected in names, f"missing span {expected}"
+
+    def test_kernel_span_sits_on_a_device_lane(self, traced_engine):
+        kernels = [s for s in traced_engine.tracer.spans
+                   if s.name == "gpu.kernel"]
+        assert kernels
+        for span in kernels:
+            assert span.attributes["device_id"] >= 0
+            assert span.attributes["kernel"]
+            assert span.duration > 0
+
+    def test_offload_decision_names_operator_and_path(self, traced_engine):
+        decisions = [s for s in traced_engine.tracer.spans
+                     if s.name == "offload.decision"]
+        assert decisions
+        operators = {s.attributes["operator"] for s in decisions}
+        assert "groupby" in operators
+        assert all(s.attributes["path"] for s in decisions)
+        assert any(s.attributes["path"] == "gpu" for s in decisions)
+
+
+class TestExports:
+    def test_chrome_trace_schema(self, traced_engine):
+        doc = traced_engine.chrome_trace()
+        events = doc["traceEvents"]
+        assert all({"name", "ph", "ts", "pid", "tid"} <= set(e)
+                   for e in events)
+        lanes = {e["tid"] for e in events if e["ph"] == "X"}
+        assert 0 in lanes                       # CPU pool
+        assert any(tid >= 1 for tid in lanes)   # at least one GPU lane
+
+    def test_prometheus_has_kernel_latency_histogram(self, traced_engine):
+        text = traced_engine.prometheus()
+        assert "# TYPE repro_kernel_latency_seconds histogram" in text
+        assert "repro_kernel_latency_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+        assert "repro_queries_total 2" in text
+
+    def test_monitor_report_still_renders(self, traced_engine):
+        report = traced_engine.monitor.report()
+        assert "performance monitor" in report
+        assert "queries=2" in report

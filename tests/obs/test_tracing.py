@@ -1,0 +1,108 @@
+"""Unit tests for the simulated-time span tracer."""
+
+import pytest
+
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class TestSpanTree:
+    def test_root_gets_fresh_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.spans
+        assert a.parent_id is None and b.parent_id is None
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_children_inherit_trace_id_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                grandchild = tracer.instant("mark")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert grandchild.trace_id == root.trace_id
+        assert grandchild.parent_id == child.span_id
+        assert tracer.roots() == [root]
+        assert tracer.children_of(root.span_id) == [child]
+        assert tracer.trace(root.trace_id) == [root, child, grandchild]
+
+    def test_attributes_are_stored(self):
+        tracer = Tracer()
+        with tracer.span("op.scan", table="store_sales", rows=7) as span:
+            pass
+        assert span.attributes == {"table": "store_sales", "rows": 7}
+
+    def test_clear_drops_spans(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.spans == []
+
+
+class TestClock:
+    def test_enclosing_span_ends_at_clock_position(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            tracer.advance(0.5)
+        assert outer.start == 0.0
+        assert outer.end == pytest.approx(0.5)
+        assert outer.duration == pytest.approx(0.5)
+
+    def test_timed_span_advances_by_duration(self):
+        tracer = Tracer()
+        with tracer.timed_span("kernel", 0.25) as span:
+            pass
+        assert span.duration == pytest.approx(0.25)
+        assert tracer.now == pytest.approx(0.25)
+
+    def test_sibling_spans_do_not_overlap(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.timed_span("a", 0.1) as a:
+                pass
+            with tracer.timed_span("b", 0.2) as b:
+                pass
+        assert a.end == pytest.approx(b.start)
+        assert b.end == pytest.approx(0.3)
+
+    def test_negative_advance_is_clamped(self):
+        tracer = Tracer()
+        tracer.advance(-1.0)
+        assert tracer.now == 0.0
+
+    def test_instant_has_zero_duration(self):
+        tracer = Tracer()
+        tracer.advance(0.125)
+        mark = tracer.instant("decision")
+        assert mark.start == pytest.approx(0.125)
+        assert mark.duration == 0.0
+
+    def test_span_to_dict_round_trips(self):
+        tracer = Tracer()
+        with tracer.timed_span("kernel", 0.5, device_id=1) as span:
+            pass
+        d = span.to_dict()
+        assert d["name"] == "kernel"
+        assert d["attributes"] == {"device_id": 1}
+        assert Span(**d).duration == pytest.approx(0.5)
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("a"):
+            tracer.advance(1.0)
+        with tracer.timed_span("b", 2.0):
+            pass
+        tracer.instant("c")
+        assert tracer.spans == []
+        assert tracer.now == 0.0
+
+    def test_shared_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True

@@ -91,3 +91,65 @@ class TestMonitorJson:
             events = json.load(f)
         kinds = {e["kind"] for e in events}
         assert "query" in kinds and "decision" in kinds
+
+    def test_bare_json_prints_events_instead_of_report(self, capsys):
+        import json
+
+        code = main(SCALE + ["monitor", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "performance monitor" not in out
+        events = json.loads(out)
+        assert {e["kind"] for e in events} >= {"query", "decision"}
+
+
+class TestTraceCommand:
+    def test_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "trace.json")
+        code = main(SCALE + ["trace",
+                             "SELECT i_category, SUM(ss_net_paid) AS rev "
+                             "FROM store_sales "
+                             "JOIN item ON ss_item_sk = i_item_sk "
+                             "GROUP BY i_category",
+                             "--out", out_path])
+        assert code == 0
+        assert "spans" in capsys.readouterr().out
+        with open(out_path) as f:
+            doc = json.load(f)
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in events}
+        assert {"query", "plan", "op.groupby"} <= names
+        roots = [e for e in events if e["args"]["parent_id"] is None]
+        assert len(roots) == 1
+
+    def test_jsonl_sidecar(self, tmp_path, capsys):
+        from repro.obs.export import TraceLog
+
+        out_path = str(tmp_path / "trace.json")
+        jsonl_path = str(tmp_path / "spans.jsonl")
+        code = main(SCALE + ["trace",
+                             "SELECT COUNT(*) AS c FROM store_sales",
+                             "--out", out_path, "--jsonl", jsonl_path])
+        assert code == 0
+        records = TraceLog.read(jsonl_path)
+        assert records and records[0]["name"] == "query"
+
+
+class TestMetricsCommand:
+    def test_prometheus_output(self, capsys):
+        code = main(SCALE + ["metrics"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE repro_queries_total counter" in out
+        assert "repro_kernel_latency_seconds_bucket" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = main(SCALE + ["metrics", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        snapshot = json.loads(out)
+        assert "repro_queries_total" in snapshot
