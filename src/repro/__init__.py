@@ -13,6 +13,9 @@ The package layers:
   the kernel moderator, hybrid sort/group-by executors, the multi-GPU
   scheduler, integrated monitoring;
 - :mod:`repro.sim` — a discrete-event simulator for multi-user runs;
+- :mod:`repro.faults` — deterministic fault injection over the GPU
+  substrate plus the recovery policies (retry, CPU fallback, circuit
+  breaker) that keep results correct under failure;
 - :mod:`repro.workloads` — TPC-DS-derived schema/data plus the BD Insights
   and Cognos ROLAP benchmark query sets.
 
@@ -31,11 +34,13 @@ Quickstart::
 from repro.blu import BluEngine, Catalog, Schema, Table
 from repro.config import (
     SystemConfig,
+    chaos_testbed,
     cpu_only_testbed,
     paper_testbed,
     single_gpu_testbed,
 )
 from repro.core import GpuAcceleratedEngine, make_engine
+from repro.faults import FaultPlan
 from repro.timing import CostEvent, QueryProfile, TimedResult
 
 __version__ = "1.0.0"
@@ -44,12 +49,14 @@ __all__ = [
     "BluEngine",
     "Catalog",
     "CostEvent",
+    "FaultPlan",
     "GpuAcceleratedEngine",
     "QueryProfile",
     "Schema",
     "SystemConfig",
     "Table",
     "TimedResult",
+    "chaos_testbed",
     "cpu_only_testbed",
     "load_bd_insights",
     "make_engine",

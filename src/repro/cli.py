@@ -14,6 +14,9 @@ Commands
                trace-event JSON file (open in chrome://tracing or Perfetto)
 ``metrics``    run the complex queries and print the metrics registry in
                Prometheus text format (or JSON)
+``faults``     chaos run: execute a query class under an injected fault
+               plan, verify results stay bit-identical to the CPU-only
+               baseline, and print the injection/recovery summary
 
 Examples::
 
@@ -27,6 +30,9 @@ Examples::
         FROM store_sales JOIN item ON ss_item_sk = i_item_sk \
         GROUP BY i_category" --out trace.json
     python -m repro metrics --format prom
+    python -m repro faults --plan lossy --category complex
+    python -m repro faults --plan "launch@0:p=1.0;reserve:p=0.5" \
+        --trace chaos.json
 """
 
 from __future__ import annotations
@@ -101,6 +107,22 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="Prometheus text (default) or JSON")
     p_metrics.add_argument("--race", action="store_true",
                            help="race group-by kernels")
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="chaos run: inject faults, verify CPU-baseline parity")
+    p_faults.add_argument(
+        "--plan", default="lossy",
+        help='fault plan spec: "lossy", or rules like '
+             '"launch@0:p=0.5;reserve:p=0.25;device_loss@1:nth=3" '
+             '(see docs/fault_injection.md; default lossy)')
+    p_faults.add_argument("--fault-seed", type=int, default=None,
+                          help="injector RNG seed (default: plan default)")
+    p_faults.add_argument("--category", default="complex",
+                          choices=["simple", "intermediate", "complex"],
+                          help="query class to run (default complex)")
+    p_faults.add_argument("--trace", metavar="PATH",
+                          help="also export the chaos run's Chrome trace")
     return parser
 
 
@@ -264,6 +286,58 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    import dataclasses
+
+    from repro.faults import FaultPlan
+    from repro.workloads.bdinsights import queries_by_category
+    from repro.workloads.driver import WorkloadDriver
+    from repro.workloads.query import QueryCategory
+
+    plan = FaultPlan.parse(args.plan)
+    if args.fault_seed is not None:
+        plan = plan.with_seed(args.fault_seed)
+    catalog, config = _make_database(args)
+    driver = WorkloadDriver(catalog,
+                            dataclasses.replace(config, faults=plan))
+    queries = queries_by_category(QueryCategory(args.category))
+    mismatched = driver.verify_parity(queries)
+    engine = driver.gpu_engine
+
+    print(f"fault plan: {plan.spec() or '(empty)'}  seed={plan.seed}")
+    if engine.injector is not None:
+        total = engine.injector.total_injected()
+        print(f"faults injected: {total}")
+        for site, count in sorted(engine.injector.injected.items()):
+            print(f"  {site:12} x{count}")
+    quarantined = engine.scheduler.quarantined_devices()
+    if quarantined:
+        print(f"quarantined devices: {quarantined}")
+    print("\n-- recovery metrics --")
+    interesting = ("repro_faults_injected_total",
+                   "repro_fault_fallbacks_total",
+                   "repro_reservation_retries_total",
+                   "repro_gpu_failures_total",
+                   "repro_gpu_quarantine_trips_total",
+                   "repro_gpu_quarantined")
+    for line in engine.prometheus().splitlines():
+        if line.startswith(interesting):
+            print(f"  {line}")
+    if args.trace:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(engine.tracer.spans, args.trace)
+        print(f"\nwrote {args.trace}: {len(engine.tracer.spans)} spans")
+    print()
+    if mismatched:
+        print(f"PARITY FAILED for {len(mismatched)}/{len(queries)} "
+              f"queries: {', '.join(mismatched)}")
+        return 1
+    print(f"parity OK: {len(queries)} {args.category} queries match the "
+          f"CPU-only baseline under the fault plan")
+    return 0
+
+
 _COMMANDS = {
     "sql": cmd_sql,
     "explain": cmd_explain,
@@ -273,6 +347,7 @@ _COMMANDS = {
     "monitor": cmd_monitor,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "faults": cmd_faults,
 }
 
 

@@ -19,6 +19,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:   # runtime import would cycle: faults -> obs -> sim -> here
+    from repro.faults.plan import FaultPlan
 
 
 # ---------------------------------------------------------------------------
@@ -156,12 +160,19 @@ class Thresholds:
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """Complete simulated-system description: host + GPUs + calibration."""
+    """Complete simulated-system description: host + GPUs + calibration.
+
+    ``faults`` optionally attaches a :class:`repro.faults.plan.FaultPlan`;
+    when set, the accelerated engine arms a fault injector over the GPU
+    substrate and enables the recovery policies (reservation retry,
+    circuit breaker) described in ``docs/fault_injection.md``.
+    """
 
     host: HostSpec = field(default_factory=HostSpec)
     gpus: tuple[GpuSpec, ...] = field(default_factory=lambda: (GpuSpec(), GpuSpec()))
     cost: CostModel = field(default_factory=CostModel)
     thresholds: Thresholds = field(default_factory=Thresholds)
+    faults: Optional["FaultPlan"] = None
 
     @property
     def gpu_count(self) -> int:
@@ -181,3 +192,10 @@ def single_gpu_testbed() -> SystemConfig:
 def cpu_only_testbed() -> SystemConfig:
     """Baseline DB2 BLU configuration: no GPUs installed."""
     return SystemConfig(gpus=())
+
+
+def chaos_testbed(plan: Optional["FaultPlan"] = None) -> SystemConfig:
+    """The paper testbed under a lossy fault plan (chaos-run default)."""
+    from repro.faults.plan import FaultPlan
+
+    return SystemConfig(faults=plan or FaultPlan.lossy())

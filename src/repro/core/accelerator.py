@@ -30,6 +30,9 @@ from repro.core.hybrid_sort import HybridSortExecutor
 from repro.core.moderator import GpuModerator
 from repro.core.monitoring import PerformanceMonitor
 from repro.core.scheduler import MultiGpuScheduler
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.policies import RetryPolicy
 from repro.gpu.device import GpuDevice, make_devices
 from repro.gpu.pinned import PinnedMemoryPool
 from repro.obs.export import chrome_trace, prometheus_text
@@ -53,6 +56,7 @@ class GpuAcceleratedEngine:
         partition_large_groupby: bool = False,
         pinned_pool_bytes: int = _DEFAULT_PINNED_POOL,
         default_degree: int = 48,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config or paper_testbed()
         if self.config.gpu_count == 0:
@@ -69,6 +73,24 @@ class GpuAcceleratedEngine:
         self.monitor = PerformanceMonitor(self.devices,
                                           registry=self.registry,
                                           tracer=self.tracer)
+        # Fault injection (docs/fault_injection.md): an explicit ``faults``
+        # kwarg wins over the plan on the config; an empty plan disarms.
+        plan = faults if faults is not None else self.config.faults
+        self.faults: Optional[FaultPlan] = \
+            plan if plan is not None and plan.active else None
+        self.injector: Optional[FaultInjector] = None
+        self.scheduler.tracer = self.tracer
+        if self.faults is not None:
+            self.injector = FaultInjector(self.faults,
+                                          metrics=self.registry,
+                                          tracer=self.tracer)
+            for device in self.devices:
+                device.attach_injector(self.injector)
+            self.pinned.injector = self.injector
+            # §2.1.1 option 1 ("wait until the resources become free"):
+            # transient reservation failures retry with backoff before the
+            # executors take option 2, the CPU fallback.
+            self.scheduler.retry_policy = RetryPolicy()
         if learning_moderator:
             from repro.core.moderator import LearningModerator
             self.moderator: GpuModerator = LearningModerator(

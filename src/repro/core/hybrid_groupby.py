@@ -42,7 +42,7 @@ from repro.core.moderator import GpuModerator
 from repro.core.monitoring import OffloadDecision, PerformanceMonitor
 from repro.core.pathselect import ExecutionPath, select_groupby_path
 from repro.core.scheduler import MultiGpuScheduler
-from repro.errors import PinnedMemoryError
+from repro.errors import GpuError, PinnedMemoryError
 from repro.gpu.kernels.hashtable import combine_keys
 from repro.gpu.kernels.request import GroupByRequest, PayloadSpec
 from repro.gpu.pinned import PinnedMemoryPool
@@ -165,8 +165,10 @@ class HybridGroupByExecutor:
             ctx.ledger.add(event)
         try:
             buffer = self.pinned.allocate(staged_bytes)
-        except PinnedMemoryError:
+        except PinnedMemoryError as exc:
             self.scheduler.release(lease)
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback("groupby", exc)
             self._record("cpu-fallback", "pinned staging pool exhausted")
             return cpu_groupby_executor(table, node, ctx)
 
@@ -198,6 +200,19 @@ class HybridGroupByExecutor:
                 gpu_memory_bytes=lease.reservation.nbytes,
                 device_id=lease.device.device_id,
             ))
+        except GpuError as exc:
+            # Launch failure / device loss / allocation fault: feed the
+            # circuit breaker and redo the whole operator on the CPU chain
+            # (guaranteed degradation — results must not change).
+            self.scheduler.record_failure(lease)
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback(
+                    "groupby", exc, lease.device.device_id)
+            self._record("cpu-fallback", f"gpu failure: {exc}",
+                         device_id=lease.device.device_id)
+            return cpu_groupby_executor(table, node, ctx)
+        else:
+            self.scheduler.record_success(lease)
         finally:
             self.pinned.release(buffer)
             self.scheduler.release(lease)
@@ -248,6 +263,22 @@ class HybridGroupByExecutor:
 
         group_index = np.empty(rows, dtype=np.int64)
         offset = 0
+
+        def cpu_partition(rows_p, keys_p):
+            """One partition on the CPU chain — the no-lease / fault
+            fallback target; returns (dense group index, group count)."""
+            sub_index, _, n_sub = group_encode([keys_p])
+            chain_events = build_gpu_host_chain(
+                rows=len(rows_p), num_keys=len(node.keys),
+                num_aggs=max(1, len(payloads)),
+                staged_bytes=0, cost=cost,
+            ).cost_events(ctx.degree)
+            ctx.ledger.extend(chain_events)
+            ctx.ledger.cpu(
+                "LGHT", len(rows_p),
+                len(rows_p) / cost.cpu_groupby_rate, ctx.degree)
+            return sub_index, n_sub
+
         for p in range(partitions):
             rows_p = np.nonzero(part_of_row == p)[0]
             if not len(rows_p):
@@ -279,23 +310,22 @@ class HybridGroupByExecutor:
                                                tag="groupby-part")
             if lease is None:
                 # Partition runs on the CPU chain instead (truly hybrid).
-                sub = table.take(rows_p)
-                sub_result_index, _, n_sub = group_encode([keys_p])
-                chain_events = build_gpu_host_chain(
-                    rows=len(rows_p), num_keys=len(node.keys),
-                    num_aggs=max(1, len(payloads)),
-                    staged_bytes=0, cost=cost,
-                ).cost_events(ctx.degree)
-                ctx.ledger.extend(chain_events)
-                ctx.ledger.cpu(
-                    "LGHT", len(rows_p),
-                    len(rows_p) / cost.cpu_groupby_rate, ctx.degree)
-                group_index[rows_p] = sub_result_index + offset
+                sub_index, n_sub = cpu_partition(rows_p, keys_p)
+                group_index[rows_p] = sub_index + offset
                 offset += n_sub
                 continue
             for event in host_chain.cost_events(ctx.degree):
                 ctx.ledger.add(event)
-            buffer = self.pinned.allocate(staged)
+            try:
+                buffer = self.pinned.allocate(staged)
+            except PinnedMemoryError as exc:
+                self.scheduler.release(lease)
+                if self.monitor is not None:
+                    self.monitor.record_fault_fallback("groupby", exc)
+                sub_index, n_sub = cpu_partition(rows_p, keys_p)
+                group_index[rows_p] = sub_index + offset
+                offset += n_sub
+                continue
             try:
                 outcome = self.moderator.run(request, metadata, race=False)
                 winner = outcome.winner
@@ -322,6 +352,17 @@ class HybridGroupByExecutor:
                     device_id=lease.device.device_id,
                     parallel_group=group_base + p // devices,
                 ))
+            except GpuError as exc:
+                self.scheduler.record_failure(lease)
+                if self.monitor is not None:
+                    self.monitor.record_fault_fallback(
+                        "groupby", exc, lease.device.device_id)
+                sub_index, n_sub = cpu_partition(rows_p, keys_p)
+                group_index[rows_p] = sub_index + offset
+                offset += n_sub
+                continue
+            else:
+                self.scheduler.record_success(lease)
             finally:
                 self.pinned.release(buffer)
                 self.scheduler.release(lease)

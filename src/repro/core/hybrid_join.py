@@ -74,8 +74,10 @@ class HybridJoinExecutor:
 
         try:
             buffer = self.pinned.allocate(staged)
-        except PinnedMemoryError:
+        except PinnedMemoryError as exc:
             self.scheduler.release(lease)
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback("join", exc)
             self._record("cpu-fallback", "pinned staging pool exhausted")
             return cpu_join_executor(left, right, node, ctx)
 
@@ -109,6 +111,17 @@ class HybridJoinExecutor:
                            / ctx.config.cost.cpu_decode_rate)
             ctx.ledger.cpu("JOIN-MAT", len(result.left_idx), materialise,
                            max_degree=ctx.degree)
+        except GpuError as exc:
+            # Launch failure or device loss on the leased device: feed the
+            # breaker and redo the join on the stock CPU operator.
+            self.scheduler.record_failure(lease)
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback(
+                    "join", exc, lease.device.device_id)
+            self._record("cpu-fallback", f"gpu failure: {exc}")
+            return cpu_join_executor(left, right, node, ctx)
+        else:
+            self.scheduler.record_success(lease)
         finally:
             self.pinned.release(buffer)
             self.scheduler.release(lease)

@@ -37,7 +37,7 @@ from repro.config import Thresholds
 from repro.core.monitoring import OffloadDecision, PerformanceMonitor
 from repro.core.pathselect import select_sort_offload
 from repro.core.scheduler import MultiGpuScheduler
-from repro.errors import PinnedMemoryError
+from repro.errors import GpuError, PinnedMemoryError
 from repro.obs.tracing import NULL_TRACER
 from repro.gpu.kernels.radix_sort import RadixSortKernel
 from repro.gpu.pinned import PinnedMemoryPool
@@ -225,8 +225,10 @@ class HybridSortExecutor:
             return None
         try:
             buffer = self.pinned.allocate(staged)
-        except PinnedMemoryError:
+        except PinnedMemoryError as exc:
             self.scheduler.release(lease)
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback("sort", exc)
             stats.fallbacks += 1
             return None
         try:
@@ -247,6 +249,17 @@ class HybridSortExecutor:
                 gpu_memory_bytes=lease.reservation.nbytes,
                 device_id=lease.device.device_id,
             ))
+        except GpuError as exc:
+            # The job falls back to the CPU sort path (None); the breaker
+            # hears about the device that failed it.
+            self.scheduler.record_failure(lease)
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback(
+                    "sort", exc, lease.device.device_id)
+            stats.fallbacks += 1
+            return None
+        else:
+            self.scheduler.record_success(lease)
         finally:
             self.pinned.release(buffer)
             self.scheduler.release(lease)

@@ -166,6 +166,21 @@ class PerformanceMonitor:
         if retries > 0:
             self.counters.overflow_retries += retries
 
+    def record_fault_fallback(self, operator: str, error: Exception,
+                              device_id: int = -1) -> None:
+        """A GPU-path operator hit a (possibly injected) fault mid-flight
+        and re-ran on the CPU chain — the guaranteed-degradation path of
+        ``docs/fault_injection.md``."""
+        self.tracer.instant(
+            "fault.fallback", operator=operator, device_id=device_id,
+            error=type(error).__name__, detail=str(error),
+        )
+        self.registry.counter(
+            "repro_fault_fallbacks_total",
+            "GPU-path operators that recovered from a fault on the CPU",
+            labelnames=("operator", "error"),
+        ).labels(operator=operator, error=type(error).__name__).inc()
+
     def record_sort_stats(self, stats) -> None:
         """Feed one hybrid-sort run's job accounting into the registry."""
         jobs = self.registry.counter(

@@ -1,11 +1,35 @@
-"""Multi-GPU task scheduler (section 2.2).
+"""Multi-GPU task scheduler (section 2.2) with degradation machinery.
 
 "After calculating the total memory size that a kernel invocation needs, we
 consult the GPUs to see if any of them has enough free resources to execute
 the given kernel call."  The scheduler tracks outstanding jobs and free
 memory per device, supports heterogeneous device specs, and hands back a
-(device, reservation) lease.  When no device qualifies the caller chooses:
-wait, or fall back to the CPU (section 2.1.1's two options).
+(device, reservation) lease.
+
+Contract
+--------
+
+``try_acquire`` **returns None** for every flavour of "no device right
+now" — all devices full, all devices quarantined or lost, an injected
+reservation failure, a request larger than every device.  That is a
+normal runtime state (section 2.1.1's fork: the caller chooses to wait or
+fall back to the CPU), never an exception.  :class:`~repro.errors.
+SchedulerError` is raised **only for misuse**: a negative memory request,
+or releasing a lease twice.  Callers that cannot handle ``None`` are
+wrong by construction — there is no raising acquire variant.
+
+Degradation
+-----------
+
+Each device carries a :class:`~repro.faults.breaker.CircuitBreaker`.
+Executors report launch outcomes through :meth:`record_success` /
+:meth:`record_failure`; a device that fails repeatedly (or is lost
+outright) is quarantined — excluded from candidate ranking — and probed
+again after a cool-down measured in scheduling rounds.  With a
+:class:`~repro.faults.policies.RetryPolicy` armed (the engine sets one
+whenever a fault plan is active), ``try_acquire`` retries transient
+reservation failures with exponential backoff before giving up, charging
+the wait to the simulated clock as ``fault.backoff`` spans.
 """
 
 from __future__ import annotations
@@ -14,9 +38,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.errors import SchedulerError
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.policies import RetryPolicy
 from repro.gpu.device import GpuDevice
 from repro.gpu.memory import Reservation
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER
 
 
 @dataclass
@@ -30,16 +57,26 @@ class GpuLease:
 
 class MultiGpuScheduler:
     """Distributes kernel jobs across the available (possibly
-    heterogeneous) devices."""
+    heterogeneous) devices, quarantining the ones that misbehave."""
 
     def __init__(self, devices: Sequence[GpuDevice],
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: int = 8) -> None:
         self.devices = list(devices)
         self.grants = 0
         self.rejections = 0
         self.metrics = metrics
+        self.tracer = NULL_TRACER          # wired in by the engine
+        self.retry_policy: Optional[RetryPolicy] = None
+        self.breakers: dict[int, CircuitBreaker] = {
+            d.device_id: CircuitBreaker(failure_threshold=breaker_threshold,
+                                        cooldown_calls=breaker_cooldown)
+            for d in self.devices
+        }
         for device in self.devices:
             self._observe_device(device)
+            self._observe_breaker(device.device_id)
 
     def _observe_device(self, device: GpuDevice) -> None:
         """Publish one device's queue depth and reserved memory."""
@@ -56,6 +93,18 @@ class MultiGpuScheduler:
             labelnames=("device",),
         ).labels(device=label).set(device.memory.reserved)
 
+    def _observe_breaker(self, device_id: int) -> None:
+        """Publish one device's quarantine flag (1 = quarantined)."""
+        if self.metrics is None:
+            return
+        breaker = self.breakers[device_id]
+        self.metrics.gauge(
+            "repro_gpu_quarantined",
+            "1 while a device is quarantined by its circuit breaker",
+            labelnames=("device",),
+        ).labels(device=str(device_id)).set(
+            1.0 if breaker.quarantined else 0.0)
+
     def _count(self, name: str, help: str) -> None:
         if self.metrics is not None:
             self.metrics.counter(name, help).inc()
@@ -64,30 +113,64 @@ class MultiGpuScheduler:
     def device_count(self) -> int:
         return len(self.devices)
 
-    def try_acquire(self, memory_bytes: int, tag: str = "") -> Optional[GpuLease]:
-        """Lease the least-loaded device that can reserve ``memory_bytes``.
+    def quarantined_devices(self) -> list[int]:
+        """Device ids currently excluded by their circuit breaker."""
+        return [i for i, b in sorted(self.breakers.items())
+                if b.quarantined]
 
-        Ranking: fewest outstanding jobs first, then most free memory — the
-        "resources required by the task and the resources currently
-        available by each of the GPUs".
+    # ------------------------------------------------------------------
+    # Acquire / release
+    # ------------------------------------------------------------------
+
+    def try_acquire(self, memory_bytes: int, tag: str = "",
+                    retry: Optional[RetryPolicy] = None
+                    ) -> Optional[GpuLease]:
+        """Lease the least-loaded admissible device, or return ``None``.
+
+        Ranking: fewest outstanding jobs first, then most free memory —
+        the "resources required by the task and the resources currently
+        available by each of the GPUs".  Lost and quarantined devices are
+        not candidates.  ``retry`` (default: the scheduler-wide
+        ``retry_policy``) bounds how many backoff-spaced attempts are
+        made before conceding ``None``.
         """
+        if memory_bytes < 0:
+            raise SchedulerError(
+                f"cannot acquire a negative amount ({memory_bytes} bytes)"
+            )
+        policy = retry if retry is not None else self.retry_policy
+        lease = self._acquire_once(memory_bytes, tag)
+        if lease is not None or policy is None:
+            return lease
+        for delay in policy.delays():
+            self._count("repro_reservation_retries_total",
+                        "Reservation retries after a transient failure")
+            with self.tracer.timed_span("fault.backoff", delay, tag=tag,
+                                        memory_bytes=memory_bytes):
+                pass
+            lease = self._acquire_once(memory_bytes, tag)
+            if lease is not None:
+                return lease
+        return None
+
+    def _acquire_once(self, memory_bytes: int,
+                      tag: str) -> Optional[GpuLease]:
+        self._tick_breakers()
         candidates = [
-            d for d in self.devices if d.memory.can_reserve(memory_bytes)
+            d for d in self.devices
+            if d.alive and self.breakers[d.device_id].allows()
+            and d.memory.can_reserve(memory_bytes)
         ]
         if not candidates:
-            self.rejections += 1
-            self._count("repro_scheduler_rejections_total",
-                        "Lease requests no device could satisfy")
+            self._reject()
             return None
         best = min(
             candidates,
             key=lambda d: (d.outstanding_jobs, -d.memory.free),
         )
         reservation = best.memory.try_reserve(memory_bytes, tag)
-        if reservation is None:          # raced by a concurrent reserver
-            self.rejections += 1
-            self._count("repro_scheduler_rejections_total",
-                        "Lease requests no device could satisfy")
+        if reservation is None:          # raced or injected failure
+            self._reject()
             return None
         best.outstanding_jobs += 1
         self.grants += 1
@@ -96,21 +179,70 @@ class MultiGpuScheduler:
         self._observe_device(best)
         return GpuLease(device=best, reservation=reservation)
 
-    def acquire(self, memory_bytes: int, tag: str = "") -> GpuLease:
-        lease = self.try_acquire(memory_bytes, tag)
-        if lease is None:
-            raise SchedulerError(
-                f"no GPU can reserve {memory_bytes} bytes for {tag or 'job'}"
-            )
-        return lease
+    def _reject(self) -> None:
+        self.rejections += 1
+        self._count("repro_scheduler_rejections_total",
+                    "Lease requests no device could satisfy")
 
     def release(self, lease: GpuLease) -> None:
+        """Return the lease; raises :class:`SchedulerError` on a double
+        release (misuse).  Quarantined/lost devices release normally —
+        an in-flight lease always comes back to the pool."""
         if lease.released:
             raise SchedulerError("lease already released")
         lease.device.memory.release(lease.reservation)
         lease.device.outstanding_jobs -= 1
         lease.released = True
         self._observe_device(lease.device)
+
+    # ------------------------------------------------------------------
+    # Circuit breaker feed (called by the hybrid executors)
+    # ------------------------------------------------------------------
+
+    def record_success(self, lease: GpuLease) -> None:
+        """The launch under ``lease`` completed; may close a breaker."""
+        breaker = self.breakers[lease.device.device_id]
+        was_quarantined = breaker.quarantined
+        breaker.record_success()
+        if was_quarantined != breaker.quarantined:
+            self._observe_breaker(lease.device.device_id)
+
+    def record_failure(self, lease: GpuLease) -> bool:
+        """The launch under ``lease`` failed; returns True if the device
+        is now quarantined.  Whole-device loss trips immediately."""
+        device = lease.device
+        breaker = self.breakers[device.device_id]
+        trips_before = breaker.trips
+        if device.alive:
+            breaker.record_failure()
+        else:
+            breaker.trip()
+        self._count("repro_gpu_failures_total",
+                    "Launch failures reported to the scheduler")
+        if breaker.trips > trips_before:      # newly opened this call
+            self._observe_breaker(device.device_id)
+            self._count("repro_gpu_quarantine_trips_total",
+                        "Times a device's circuit breaker opened")
+            self.tracer.instant("scheduler.quarantine",
+                                device_id=device.device_id,
+                                alive=device.alive,
+                                failures=breaker.consecutive_failures)
+        return breaker.quarantined
+
+    def _tick_breakers(self) -> None:
+        for device in self.devices:
+            # A lost device can never serve the half-open probe, so its
+            # breaker stays OPEN (quarantined) for good.
+            if not device.alive:
+                continue
+            if self.breakers[device.device_id].tick():
+                self._observe_breaker(device.device_id)
+                self.tracer.instant("scheduler.readmit",
+                                    device_id=device.device_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
 
     def fits_any_device(self, memory_bytes: int) -> bool:
         """Could an idle system ever run this job?  (The 12-of-46 ROLAP
@@ -127,6 +259,8 @@ class MultiGpuScheduler:
                 "outstanding_jobs": d.outstanding_jobs,
                 "free_bytes": d.memory.free,
                 "capacity_bytes": d.memory.capacity,
+                "alive": d.alive,
+                "breaker": self.breakers[d.device_id].state.value,
             }
             for d in self.devices
         ]

@@ -6,6 +6,21 @@ substrate mirrors the error surface the paper's prototype has to handle: out
 of device memory (the expensive "error code path" of section 2.1.1), failed
 reservations, and hash-table overflow when the KMV group estimate was too low
 (section 4.2's "error detection code-path").
+
+Errors split into two families with different contracts:
+
+- *recoverable device failures* — every :class:`GpuError` subclass.  The
+  hybrid executors catch these at the offload boundary and fall back to the
+  CPU operator chain, so a query's **result** never depends on device
+  health.  The fault-injection layer (:mod:`repro.faults`) raises exactly
+  these classes from the substrate seams.
+- *misuse and malformed input* — :class:`SchemaError`, :class:`SqlError`,
+  :class:`PlanError`, :class:`SchedulerError`, :class:`FaultPlanError` and
+  friends.  Nothing catches these internally; they indicate a caller bug or
+  bad configuration and propagate out.
+
+``docs/api.md`` has the full table of which subsystem raises each class and
+which handler (if any) recovers it.
 """
 
 from __future__ import annotations
@@ -65,8 +80,28 @@ class KernelAbortedError(GpuError):
     """A racing kernel was cancelled because a sibling finished first."""
 
 
+class KernelLaunchError(GpuError):
+    """A kernel launch failed on the device (cudaErrorLaunchFailure
+    analogue).  Injected by :mod:`repro.faults`; the hybrid executors
+    recover by falling back to the CPU operator chain."""
+
+
+class DeviceLostError(GpuError):
+    """The device dropped off the bus (cudaErrorDeviceUnavailable
+    analogue).  Once raised, the device stays dead: the scheduler's
+    circuit breaker quarantines it and every in-flight task falls back
+    to the CPU."""
+
+
 class SchedulerError(ReproError):
-    """No GPU device can satisfy a job's resource requirements."""
+    """The multi-GPU scheduler was *misused* (double release, negative
+    request).  Note: "no device available right now" is NOT an error —
+    :meth:`~repro.core.scheduler.MultiGpuScheduler.try_acquire` returns
+    ``None`` for that (the caller chooses to wait or fall back)."""
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan spec could not be parsed or validated."""
 
 
 class SimulationError(ReproError):

@@ -1,0 +1,38 @@
+"""repro.faults — deterministic fault injection + degradation machinery.
+
+The simulated CUDA substrate exposes the same error surface the paper's
+prototype had to survive; this package makes those errors *happen on
+demand* and supplies the recovery policies the paper implies:
+
+- :class:`FaultPlan` / :class:`FaultRule` (:mod:`repro.faults.plan`) —
+  declarative, seedable descriptions of which substrate seams fail
+  (reservations, allocations, launches, transfers, the pinned pool,
+  whole devices) and when (per-call probability, "fail the Nth call",
+  every-k modulus);
+- :class:`FaultInjector` (:mod:`repro.faults.injector`) — the armed plan:
+  deterministic trigger evaluation with per-site metrics
+  (``repro_faults_injected_total``) and ``fault.injected`` trace spans;
+- :class:`CircuitBreaker` (:mod:`repro.faults.breaker`) — the per-device
+  quarantine state machine the multi-GPU scheduler runs;
+- :class:`RetryPolicy` (:mod:`repro.faults.policies`) — bounded
+  exponential backoff for transient reservation failures.
+
+See ``docs/fault_injection.md`` for the full story and a worked chaos
+run.
+"""
+
+from repro.faults.breaker import BreakerState, CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_SITES, FaultPlan, FaultRule
+from repro.faults.policies import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "FAULT_SITES",
+    "BreakerState",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "NO_RETRY",
+    "RetryPolicy",
+]

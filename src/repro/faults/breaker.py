@@ -1,0 +1,114 @@
+"""Per-device circuit breaker: quarantine a repeatedly-failing GPU.
+
+The classic three-state machine, counted in *scheduler decisions* rather
+than wall time (the engine runs on simulated time, so a call-based
+cool-down is deterministic and testable):
+
+::
+
+    CLOSED ──(failure_threshold consecutive failures)──► OPEN
+      ▲                                                    │
+      │ success                         (cooldown_calls    │
+      │                                  try_acquire       │
+      └────────────── HALF_OPEN ◄────────  rounds) ────────┘
+                        │
+                        └──(failure)──► OPEN  (cool-down restarts)
+
+- ``CLOSED``: the device is a scheduling candidate; failures accumulate,
+  any success resets the streak.
+- ``OPEN`` (quarantined): the device is skipped by
+  :meth:`~repro.core.scheduler.MultiGpuScheduler.try_acquire`.  Each
+  scheduling round ticks the cool-down.
+- ``HALF_OPEN``: the cool-down elapsed; the device may take exactly one
+  probe lease.  Success closes the breaker, failure re-opens it.
+
+Whole-device loss (:class:`~repro.errors.DeviceLostError`) trips the
+breaker immediately via :meth:`CircuitBreaker.trip` — there is no point
+counting to the threshold when the device is gone.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BreakerState(enum.Enum):
+    """Where one device's breaker is in the quarantine cycle."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure accounting for one device; owns no device state itself."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown_calls: int = 8) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_calls < 1:
+            raise ValueError("cooldown_calls must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_calls = cooldown_calls
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0                    # times the breaker opened
+        self._cooldown_remaining = 0
+
+    # ------------------------------------------------------------------
+    # Scheduler-facing queries
+    # ------------------------------------------------------------------
+
+    def allows(self) -> bool:
+        """May the scheduler hand this device a lease right now?"""
+        return self.state is not BreakerState.OPEN
+
+    @property
+    def quarantined(self) -> bool:
+        return self.state is BreakerState.OPEN
+
+    # ------------------------------------------------------------------
+    # Event feed
+    # ------------------------------------------------------------------
+
+    def record_success(self) -> None:
+        """A lease on this device completed its launch cleanly."""
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.CLOSED
+
+    def record_failure(self) -> bool:
+        """A launch on this device failed; returns True if now OPEN."""
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._open()
+        elif self.state is BreakerState.CLOSED \
+                and self.consecutive_failures >= self.failure_threshold:
+            self._open()
+        return self.quarantined
+
+    def trip(self) -> None:
+        """Open immediately (device loss: no threshold counting)."""
+        if self.state is not BreakerState.OPEN:
+            self._open()
+
+    def tick(self) -> bool:
+        """One scheduling round passed; returns True on OPEN→HALF_OPEN."""
+        if self.state is not BreakerState.OPEN:
+            return False
+        self._cooldown_remaining -= 1
+        if self._cooldown_remaining <= 0:
+            self.state = BreakerState.HALF_OPEN
+            return True
+        return False
+
+    def _open(self) -> None:
+        self.state = BreakerState.OPEN
+        self.trips += 1
+        self._cooldown_remaining = self.cooldown_calls
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state.value}, "
+                f"failures={self.consecutive_failures}, "
+                f"trips={self.trips})")

@@ -1,0 +1,106 @@
+"""The armed fault injector: deterministic trigger evaluation + accounting.
+
+One :class:`FaultInjector` is shared by every seam of one engine.  Each
+``decide()`` call increments a per-(site, device) call counter, evaluates
+the plan's rules against it, and — when a rule fires — counts the
+injection in the ``repro_faults_injected_total`` metric and drops a
+``fault.injected`` instant on the trace, so every chaos run documents
+exactly what it did to the substrate.
+
+Determinism: probabilities draw from one ``random.Random(plan.seed)``
+shared across sites in call order.  The engine is single-threaded over
+simulated hardware, so call order — and therefore the injected fault
+sequence — is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.obs.tracing import NULL_TRACER
+
+
+class FaultInjector:
+    """Evaluates a :class:`~repro.faults.plan.FaultPlan` at the seams.
+
+    The substrate holds a reference to one injector (or ``None``) and
+    asks ``decide(site, device_id)`` before the guarded operation; a
+    returned :class:`~repro.faults.plan.FaultRule` means "fail this call
+    the way the rule says".
+    """
+
+    def __init__(self, plan: FaultPlan, metrics=None,
+                 tracer=None) -> None:
+        self.plan = plan
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._rng = random.Random(plan.seed)
+        self._calls: dict[tuple[str, int], int] = {}
+        self.injected: dict[str, int] = {}
+        if metrics is not None:
+            # Register up front so a zero-fault run still exports the
+            # family (grafana dashboards key off its presence).
+            metrics.counter(*_INJECTED_METRIC, labelnames=("site",))
+
+    # ------------------------------------------------------------------
+    # Trigger evaluation
+    # ------------------------------------------------------------------
+
+    def decide(self, site: str, device_id: int = -1) -> Optional[FaultRule]:
+        """Advance the (site, device) call counter; return a firing rule.
+
+        Exactly one counter increment happens per call regardless of how
+        many rules match, so ``nth`` triggers refer to the call index a
+        CUDA API trace would show.
+        """
+        key = (site, device_id)
+        count = self._calls.get(key, 0) + 1
+        self._calls[key] = count
+        for rule in self.plan.for_site(site):
+            if not rule.matches_device(device_id):
+                continue
+            if self._fires(rule, count):
+                self._account(rule, device_id, count)
+                return rule
+        return None
+
+    def calls(self, site: str, device_id: int = -1) -> int:
+        """How many times ``site`` has been evaluated for ``device_id``."""
+        return self._calls.get((site, device_id), 0)
+
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def _fires(self, rule: FaultRule, count: int) -> bool:
+        if rule.unconditional:
+            return True
+        if count in rule.nth:
+            return True
+        if rule.every and count % rule.every == 0:
+            return True
+        if rule.probability and self._rng.random() < rule.probability:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _account(self, rule: FaultRule, device_id: int, count: int) -> None:
+        self.injected[rule.site] = self.injected.get(rule.site, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                *_INJECTED_METRIC, labelnames=("site",),
+            ).labels(site=rule.site).inc()
+        self.tracer.instant(
+            "fault.injected", site=rule.site, device_id=device_id,
+            call=count, rule=rule.spec(),
+        )
+
+
+_INJECTED_METRIC = (
+    "repro_faults_injected_total",
+    "Faults the repro.faults injector fired, by site",
+)

@@ -1,0 +1,50 @@
+"""Recovery policies layered over the injector: retry with backoff.
+
+§2.1.1 gives a task whose reservation fails two options: "wait until the
+requested amount of memory becomes available ... or fall back and run
+the task on the CPU".  :class:`RetryPolicy` models a bounded version of
+option 1 — retry the reservation a few times with exponential backoff —
+before the executors take option 2 (CPU fallback).  The backoff windows
+advance the *simulated* clock through the scheduler's tracer
+(``fault.backoff`` spans), so retries show up on the trace timeline and
+in the elapsed numbers, exactly like real waiting would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient reservation failures.
+
+    ``attempts`` counts total tries (1 = no retries).  The k-th failed
+    attempt sleeps ``backoff_seconds * multiplier**k`` simulated seconds
+    before the next, so the default is 200 us, 400 us — comparable to a
+    couple of kernel launches, cheap next to a wrongly-taken CPU path.
+    """
+
+    attempts: int = 3
+    backoff_seconds: float = 200e-6
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff before each retry (``attempts - 1`` values)."""
+        delay = self.backoff_seconds
+        for _ in range(self.attempts - 1):
+            yield delay
+            delay *= self.multiplier
+
+
+#: Retries disabled: one attempt, no waiting.
+NO_RETRY = RetryPolicy(attempts=1)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from repro.config import GpuSpec
-from repro.errors import GpuError
+from repro.errors import DeviceLostError, GpuError, KernelLaunchError
 from repro.gpu.memory import DeviceMemoryManager, Reservation
 from repro.gpu.profiler import GpuProfiler, KernelRecord
 from repro.gpu.transfer import transfer_seconds
@@ -56,13 +56,24 @@ class GpuDevice:
     def __init__(self, device_id: int, spec: GpuSpec) -> None:
         self.device_id = device_id
         self.spec = spec
-        self.memory = DeviceMemoryManager(spec.device_memory_bytes)
+        self.memory = DeviceMemoryManager(spec.device_memory_bytes,
+                                          device_id=device_id)
         self.profiler = GpuProfiler(device_id)
         self.outstanding_jobs = 0
         self.shared_config = SharedMemoryConfig.prefer_shared()
         # Observability sinks, wired in by the PerformanceMonitor.
         self.tracer = NULL_TRACER
         self.metrics = None
+        # Fault injection (repro.faults): armed by the engine.  A device
+        # that suffers whole-device loss flips ``alive`` and stays dead.
+        self.injector = None
+        self.alive = True
+
+    def attach_injector(self, injector) -> None:
+        """Arm a :class:`~repro.faults.injector.FaultInjector` on this
+        device and its memory manager."""
+        self.injector = injector
+        self.memory.injector = injector
 
     # ------------------------------------------------------------------
     # Geometry helpers the kernels use
@@ -106,12 +117,21 @@ class GpuDevice:
         """
         if reservation.released:
             raise GpuError("launch requires a live memory reservation")
+        self._check_faults(kernel)
         t_in = transfer_seconds(bytes_in, self.spec, pinned)
         t_out = transfer_seconds(bytes_out, self.spec, pinned)
+        stall = self._transfer_stall()
         total_kernel = self.spec.kernel_launch_overhead + kernel_seconds
         with self.tracer.span("gpu.launch", device_id=self.device_id,
                               kernel=kernel, rows=rows,
                               device_bytes=reservation.nbytes):
+            if stall > 0.0:
+                # Injected PCIe stall: degrades the inbound copy without
+                # failing it; accounted into transfer_in_seconds below.
+                with self.tracer.timed_span("gpu.transfer_stall", stall,
+                                            device_id=self.device_id,
+                                            injected=True):
+                    pass
             with self.tracer.timed_span("gpu.transfer_in", t_in,
                                         device_id=self.device_id,
                                         bytes=bytes_in, pinned=pinned):
@@ -124,6 +144,7 @@ class GpuDevice:
                                         device_id=self.device_id,
                                         bytes=bytes_out, pinned=pinned):
                 pass
+        t_in += stall
         self._observe_launch(kernel, total_kernel, t_in, t_out)
         record = KernelRecord(
             kernel=kernel,
@@ -145,6 +166,39 @@ class GpuDevice:
             device_bytes=reservation.nbytes,
         )
 
+
+    def _check_faults(self, kernel: str) -> None:
+        """Evaluate the launch-time fault sites (repro.faults).
+
+        Raises :class:`~repro.errors.DeviceLostError` for a dead (or
+        newly-dying) device and :class:`~repro.errors.KernelLaunchError`
+        for an injected launch failure; the hybrid executors catch both
+        and fall back to the CPU chain.
+        """
+        if not self.alive:
+            raise DeviceLostError(
+                f"device {self.device_id} was lost and is unavailable"
+            )
+        if self.injector is None:
+            return
+        if self.injector.decide("device_loss", self.device_id):
+            self.alive = False
+            raise DeviceLostError(
+                f"device {self.device_id} dropped off the bus "
+                f"launching {kernel}"
+            )
+        if self.injector.decide("launch", self.device_id):
+            raise KernelLaunchError(
+                f"injected launch failure for {kernel} "
+                f"on device {self.device_id}"
+            )
+
+    def _transfer_stall(self) -> float:
+        """Injected extra PCIe latency for this launch (0.0 = none)."""
+        if self.injector is None:
+            return 0.0
+        rule = self.injector.decide("transfer", self.device_id)
+        return rule.stall_seconds if rule is not None else 0.0
 
     def _observe_launch(self, kernel: str, kernel_seconds: float,
                         t_in: float, t_out: float) -> None:

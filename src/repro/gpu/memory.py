@@ -39,16 +39,19 @@ class Reservation:
 class DeviceMemoryManager:
     """Tracks all consumers of one GPU device's memory."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int, device_id: int = -1) -> None:
         if capacity_bytes <= 0:
             raise ValueError("device memory capacity must be positive")
         self.capacity = capacity_bytes
+        self.device_id = device_id
         self._reservations: dict[int, Reservation] = {}
         self._ids = itertools.count(1)
         self.peak_reserved = 0
         # (timestamp, reserved_bytes) samples appended by whoever owns the
         # clock (the DES during concurrency runs, callers in serial runs).
         self.usage_log: list[tuple[float, int]] = []
+        # Fault-injection seam (repro.faults), armed by the engine.
+        self.injector = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -74,9 +77,17 @@ class DeviceMemoryManager:
     # ------------------------------------------------------------------
 
     def try_reserve(self, nbytes: int, tag: str = "") -> Optional[Reservation]:
-        """Reserve ``nbytes`` up front, or return None if they aren't free."""
+        """Reserve ``nbytes`` up front, or return None if they aren't free.
+
+        An armed fault injector can fail the reservation even when memory
+        is free — the transient contention §2.1.1 answers with "wait ...
+        or fall back"; callers already handle None for the organic case.
+        """
         if nbytes < 0:
             raise ValueError("cannot reserve a negative amount")
+        if self.injector is not None \
+                and self.injector.decide("reserve", self.device_id):
+            return None
         if nbytes > self.free:
             return None
         reservation = Reservation(next(self._ids), nbytes, tag)
@@ -102,6 +113,13 @@ class DeviceMemoryManager:
         :class:`~repro.errors.DeviceMemoryError` — the expensive error path.
         """
         self._check_live(reservation)
+        if self.injector is not None \
+                and self.injector.decide("alloc", self.device_id):
+            raise DeviceMemoryError(
+                f"injected allocation failure on device {self.device_id} "
+                f"({nbytes} bytes against reservation "
+                f"{reservation.reservation_id})"
+            )
         if nbytes > reservation.available:
             raise DeviceMemoryError(
                 f"allocation of {nbytes} bytes exceeds reservation "

@@ -46,6 +46,8 @@ class PinnedMemoryPool:
         self._ids = itertools.count(1)
         self.peak_used = 0
         self.total_requests = 0
+        # Fault-injection seam (repro.faults), armed by the engine.
+        self.injector = None
 
     @property
     def used(self) -> int:
@@ -59,6 +61,10 @@ class PinnedMemoryPool:
         """Sub-allocate a staging buffer from the registered segment."""
         if nbytes < 0:
             raise ValueError("cannot allocate a negative amount")
+        if self.injector is not None and self.injector.decide("pinned"):
+            raise PinnedMemoryError(
+                f"injected pinned-pool exhaustion: requested {nbytes}"
+            )
         if nbytes > self.free:
             raise PinnedMemoryError(
                 f"pinned pool exhausted: requested {nbytes}, free {self.free}"

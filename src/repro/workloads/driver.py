@@ -33,6 +33,28 @@ class SerialRun:
     offloaded: bool
 
 
+def tables_match(a, b, float_tol: float = 1e-9) -> bool:
+    """Structural + value equality of two result tables.
+
+    Floats compare with a tolerance (aggregation order may differ between
+    the CPU and GPU operator chains); everything else must be identical.
+    """
+    import numpy as np
+
+    if a.schema.names() != b.schema.names() or a.num_rows != b.num_rows:
+        return False
+    da, db = a.to_pydict(), b.to_pydict()
+    for name in a.schema.names():
+        for x, y in zip(da[name], db[name]):
+            if isinstance(x, float) or isinstance(y, float):
+                if not np.isclose(x, y, rtol=float_tol, atol=1e-6,
+                                  equal_nan=True):
+                    return False
+            elif x != y:
+                return False
+    return True
+
+
 class WorkloadDriver:
     """Profiles workload queries and replays them serially or concurrently."""
 
@@ -71,6 +93,24 @@ class WorkloadDriver:
         degree = degree or self.degree
         profile = self._profile_at_degree(query, gpu, degree)
         return profile.elapsed_serial(degree, self.config.host) * 1e3
+
+    def verify_parity(self, queries: Sequence[WorkloadQuery]) -> list[str]:
+        """Run each query on both engines and compare the result tables.
+
+        Returns the ids of queries whose GPU-engine results differ from
+        the CPU baseline (empty list = full parity).  This is the chaos
+        run's acceptance check: under any fault plan the accelerated
+        engine must still produce the baseline answers.
+        """
+        mismatched = []
+        for query in queries:
+            got = self.gpu_engine.execute_sql(
+                query.sql, query_id=f"{query.query_id}-parity-gpu").table
+            want = self.cpu_engine.execute_sql(
+                query.sql, query_id=f"{query.query_id}-parity-cpu").table
+            if not tables_match(got, want):
+                mismatched.append(query.query_id)
+        return mismatched
 
     # ------------------------------------------------------------------
     # Run modes

@@ -46,10 +46,13 @@ class TestAcquire:
         lease = scheduler.try_acquire(2000)
         assert lease.device.device_id == 1
 
-    def test_acquire_raises_when_hopeless(self):
+    def test_hopeless_request_returns_none(self):
+        """"No device" — even permanently — is not an error (the caller
+        falls back to the CPU); only misuse raises."""
         scheduler = make_scheduler(memories=(100,))
+        assert scheduler.try_acquire(5000) is None
         with pytest.raises(SchedulerError):
-            scheduler.acquire(5000)
+            scheduler.try_acquire(-1)
 
     def test_grant_and_rejection_counters(self):
         scheduler = make_scheduler(memories=(100, 100))

@@ -1,0 +1,76 @@
+"""Circuit-breaker state machine (CLOSED -> OPEN -> HALF_OPEN -> ...)."""
+
+import pytest
+
+from repro.faults import BreakerState, CircuitBreaker
+
+
+def test_starts_closed_and_allowing():
+    breaker = CircuitBreaker()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allows()
+    assert not breaker.quarantined
+
+
+def test_opens_at_threshold():
+    breaker = CircuitBreaker(failure_threshold=3)
+    assert not breaker.record_failure()
+    assert not breaker.record_failure()
+    assert breaker.record_failure()          # third consecutive failure
+    assert breaker.quarantined
+    assert not breaker.allows()
+    assert breaker.trips == 1
+
+
+def test_success_resets_the_streak():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    assert not breaker.record_failure()      # streak restarted
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_trip_opens_immediately():
+    breaker = CircuitBreaker(failure_threshold=5)
+    breaker.trip()
+    assert breaker.quarantined
+    breaker.trip()                           # idempotent while open
+    assert breaker.trips == 1
+
+
+def test_cooldown_reaches_half_open_then_closes_on_success():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_calls=3)
+    breaker.record_failure()
+    assert breaker.quarantined
+    assert not breaker.tick()
+    assert not breaker.tick()
+    assert breaker.tick()                    # third round: probe allowed
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.allows()
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_half_open_probe_failure_reopens():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_calls=1)
+    breaker.record_failure()
+    breaker.tick()
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.record_failure()
+    assert breaker.quarantined
+    assert breaker.trips == 2
+    # The cool-down restarted in full.
+    assert not breaker.tick() or breaker.cooldown_calls == 1
+
+
+def test_tick_is_noop_when_not_open():
+    breaker = CircuitBreaker()
+    assert not breaker.tick()
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_calls=0)

@@ -1,0 +1,152 @@
+"""Each substrate seam honours an armed injector, deterministically."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GpuSpec
+from repro.errors import (
+    DeviceLostError,
+    DeviceMemoryError,
+    KernelLaunchError,
+    PinnedMemoryError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+from repro.gpu.device import GpuDevice
+from repro.gpu.pinned import PinnedMemoryPool
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def make_device(device_id=0, memory=10_000_000):
+    spec = dataclasses.replace(GpuSpec(), device_memory_bytes=memory)
+    return GpuDevice(device_id, spec)
+
+
+def arm(device, spec, **kwargs):
+    injector = FaultInjector(FaultPlan.parse(spec), **kwargs)
+    device.attach_injector(injector)
+    return injector
+
+
+def launch_once(device, nbytes=1000):
+    reservation = device.memory.reserve(nbytes, "test")
+    try:
+        return device.launch("kernel", 1e-3, reservation,
+                             bytes_in=nbytes, bytes_out=nbytes)
+    finally:
+        device.memory.release(reservation)
+
+
+class TestSites:
+    def test_reserve_site_fails_reservation(self):
+        device = make_device()
+        arm(device, "reserve:nth=1")
+        assert device.memory.try_reserve(100) is None     # injected
+        assert device.memory.try_reserve(100) is not None  # next is clean
+
+    def test_alloc_site_raises(self):
+        device = make_device()
+        arm(device, "alloc:nth=1")
+        reservation = device.memory.reserve(1000, "test")
+        with pytest.raises(DeviceMemoryError, match="injected"):
+            device.memory.allocate(reservation, 10)
+        device.memory.allocate(reservation, 10)            # next is clean
+
+    def test_launch_site_raises(self):
+        device = make_device()
+        arm(device, "launch:nth=1")
+        with pytest.raises(KernelLaunchError):
+            launch_once(device)
+        launch_once(device)                                # next is clean
+        assert device.alive
+
+    def test_transfer_site_stalls_without_failing(self):
+        clean = launch_once(make_device())
+        device = make_device()
+        arm(device, "transfer:nth=1,stall=0.5")
+        stalled = launch_once(device)
+        assert stalled.transfer_in_seconds == pytest.approx(
+            clean.transfer_in_seconds + 0.5)
+        assert launch_once(device).transfer_in_seconds == pytest.approx(
+            clean.transfer_in_seconds)
+
+    def test_pinned_site_raises(self):
+        pool = PinnedMemoryPool(1_000_000)
+        pool.injector = FaultInjector(FaultPlan.parse("pinned:nth=1"))
+        with pytest.raises(PinnedMemoryError, match="injected"):
+            pool.allocate(100)
+        buffer = pool.allocate(100)                        # next is clean
+        pool.release(buffer)
+
+    def test_device_loss_is_permanent(self):
+        device = make_device()
+        arm(device, "device_loss:nth=1")
+        with pytest.raises(DeviceLostError):
+            launch_once(device)
+        assert not device.alive
+        with pytest.raises(DeviceLostError):               # stays dead
+            launch_once(device)
+
+    def test_device_scoping(self):
+        lucky, doomed = make_device(0), make_device(1)
+        plan = FaultPlan.parse("launch@1")
+        injector = FaultInjector(plan)
+        lucky.attach_injector(injector)
+        doomed.attach_injector(injector)
+        launch_once(lucky)                                 # unaffected
+        with pytest.raises(KernelLaunchError):
+            launch_once(doomed)
+
+
+class TestTriggers:
+    def test_nth_counts_per_site_and_device(self):
+        injector = FaultInjector(FaultPlan.parse("launch:nth=2"))
+        assert injector.decide("launch", 0) is None
+        assert injector.decide("launch", 1) is None   # device 1's call #1
+        assert injector.decide("launch", 0) is not None
+        assert injector.calls("launch", 0) == 2
+
+    def test_every_trigger(self):
+        injector = FaultInjector(FaultPlan.parse("pinned:every=3"))
+        fired = [injector.decide("pinned") is not None for _ in range(9)]
+        assert fired == [False, False, True] * 3
+
+    def test_probability_is_seed_deterministic(self):
+        plan = FaultPlan.parse("launch:p=0.5", seed=7)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        seq_a = [a.decide("launch") is not None for _ in range(50)]
+        seq_b = [b.decide("launch") is not None for _ in range(50)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+        c = FaultInjector(plan.with_seed(8))
+        seq_c = [c.decide("launch") is not None for _ in range(50)]
+        assert seq_c != seq_a
+
+    def test_inactive_site_never_fires(self):
+        injector = FaultInjector(FaultPlan.parse("launch:p=1.0"))
+        assert injector.decide("reserve") is None
+        assert injector.total_injected() == 0
+
+
+class TestAccounting:
+    def test_metric_and_instant_per_injection(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        device = make_device()
+        arm(device, "launch:nth=1|2", metrics=registry, tracer=tracer)
+        for _ in range(2):
+            with pytest.raises(KernelLaunchError):
+                launch_once(device)
+        assert device.injector.injected == {"launch": 2}
+        text = prometheus_text(registry)
+        assert 'repro_faults_injected_total{site="launch"} 2' in text
+        names = [s.name for s in tracer.spans]
+        assert names.count("fault.injected") == 2
+
+    def test_zero_fault_run_still_exports_family(self):
+        registry = MetricsRegistry()
+        FaultInjector(FaultPlan.parse("launch:nth=99"), metrics=registry)
+        assert "repro_faults_injected_total" in prometheus_text(registry)

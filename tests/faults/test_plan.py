@@ -1,0 +1,97 @@
+"""FaultPlan / FaultRule: parsing, validation, round-trips."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import FAULT_SITES, FaultPlan, FaultRule
+
+
+class TestRuleValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultRule(site="warp-divergence")
+
+    def test_probability_range(self):
+        with pytest.raises(FaultPlanError):
+            FaultRule(site="launch", probability=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultRule(site="launch", probability=-0.1)
+
+    def test_nth_is_one_based(self):
+        with pytest.raises(FaultPlanError):
+            FaultRule(site="launch", nth=(0,))
+
+    def test_stall_only_for_transfer(self):
+        FaultRule(site="transfer", stall_seconds=1e-3)   # fine
+        with pytest.raises(FaultPlanError):
+            FaultRule(site="launch", stall_seconds=1e-3)
+
+    def test_unconditional_rule(self):
+        assert FaultRule(site="launch").unconditional
+        assert not FaultRule(site="launch", nth=(2,)).unconditional
+        assert not FaultRule(site="launch", probability=0.5).unconditional
+
+    def test_device_matching(self):
+        anywhere = FaultRule(site="launch")
+        only_one = FaultRule(site="launch", device_id=1)
+        assert anywhere.matches_device(0) and anywhere.matches_device(7)
+        assert only_one.matches_device(1)
+        assert not only_one.matches_device(0)
+
+
+class TestParse:
+    def test_single_rule(self):
+        plan = FaultPlan.parse("reserve:p=0.3")
+        assert plan.rules == (FaultRule(site="reserve", probability=0.3),)
+
+    def test_full_syntax(self):
+        plan = FaultPlan.parse(
+            "launch@1:nth=2|5;transfer:p=0.5,stall=0.002;pinned:every=4")
+        assert plan.rules[0] == FaultRule(site="launch", device_id=1,
+                                          nth=(2, 5))
+        assert plan.rules[1] == FaultRule(site="transfer", probability=0.5,
+                                          stall_seconds=0.002)
+        assert plan.rules[2] == FaultRule(site="pinned", every=4)
+
+    def test_lossy_keyword(self):
+        plan = FaultPlan.parse("lossy", seed=99)
+        assert plan.active
+        assert plan.seed == 99
+        assert {r.site for r in plan.rules} == set(FAULT_SITES) - {"alloc"}
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "launch:nth", "launch:p=high", "launch@gpu0",
+        "launch:frequency=2", "meteor-strike:p=1",
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(bad)
+
+    def test_spec_round_trips(self):
+        spec = "reserve:p=0.25;launch@1:nth=2|5;transfer:p=0.3,stall=0.002"
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.spec()) == plan
+
+    def test_lossy_round_trips(self):
+        plan = FaultPlan.lossy()
+        assert FaultPlan.parse(plan.spec()) == plan
+
+
+class TestPlanBasics:
+    def test_empty_plan_inactive(self):
+        assert not FaultPlan().active
+        assert FaultPlan().spec() == ""
+
+    def test_for_site(self):
+        plan = FaultPlan.parse("launch:p=0.5;reserve:p=0.2;launch:nth=9")
+        assert len(plan.for_site("launch")) == 2
+        assert plan.for_site("alloc") == ()
+
+    def test_with_seed(self):
+        plan = FaultPlan.lossy()
+        assert plan.with_seed(5).seed == 5
+        assert plan.with_seed(5).rules == plan.rules
+
+    def test_total_device_loss(self):
+        plan = FaultPlan.total_device_loss()
+        assert plan.rules == (FaultRule(site="device_loss", nth=(1,)),)

@@ -1,0 +1,173 @@
+"""Resilience properties: any single injected fault leaves results
+bit-identical to the CPU baseline, and the degradation machinery
+(retry, breaker, lease lifecycle) behaves under failure."""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import GpuSpec, paper_testbed
+from repro.core import GpuAcceleratedEngine
+from repro.core.scheduler import MultiGpuScheduler
+from repro.faults import (
+    FAULT_SITES,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+)
+from repro.gpu.device import make_devices
+from repro.obs.tracing import Tracer
+from repro.workloads.driver import tables_match
+
+QUERIES = (
+    "SELECT s_store, SUM(s_paid) AS paid, COUNT(*) AS c "
+    "FROM sales GROUP BY s_store",
+    "SELECT s_item, s_paid FROM sales ORDER BY s_paid DESC, s_item",
+    "SELECT st_state, SUM(s_paid) AS paid "
+    "FROM sales JOIN stores ON s_store = st_id GROUP BY st_state",
+)
+
+_baseline_cache: dict[str, object] = {}
+
+
+def _test_config(faults=None):
+    config = paper_testbed()
+    thresholds = dataclasses.replace(config.thresholds, t1_min_rows=5_000,
+                                     sort_min_rows=5_000)
+    return dataclasses.replace(config, thresholds=thresholds, faults=faults)
+
+
+def _baselines(small_catalog):
+    if not _baseline_cache:
+        from repro.blu import BluEngine
+
+        engine = BluEngine(small_catalog)
+        for sql in QUERIES:
+            _baseline_cache[sql] = engine.execute_sql(sql).table
+    return _baseline_cache
+
+
+single_fault_rules = st.builds(
+    lambda site, device_id, trigger: FaultRule(
+        site=site, device_id=device_id,
+        stall_seconds=2e-3 if site == "transfer" else 0.0, **trigger),
+    site=st.sampled_from(FAULT_SITES),
+    device_id=st.sampled_from([-1, 0, 1]),
+    trigger=st.one_of(
+        st.integers(1, 4).map(lambda n: {"nth": (n,)}),
+        st.sampled_from([0.3, 0.7, 1.0]).map(
+            lambda p: {"probability": p}),
+        st.integers(1, 3).map(lambda k: {"every": k}),
+    ),
+)
+
+
+@given(rule=single_fault_rules, seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_any_single_fault_preserves_results(small_catalog, rule, seed):
+    """The headline guarantee: whatever one rule does to the substrate,
+    all three hybrid executors return the CPU baseline's answers."""
+    plan = FaultPlan(rules=(rule,), seed=seed)
+    engine = GpuAcceleratedEngine(small_catalog,
+                                  config=_test_config(faults=plan),
+                                  enable_join_offload=True)
+    for sql in QUERIES:
+        got = engine.execute_sql(sql).table
+        assert tables_match(got, _baselines(small_catalog)[sql]), \
+            f"results diverged under {rule.spec()!r} (seed {seed}): {sql}"
+
+
+def make_scheduler(n=2, memory=1_000_000):
+    specs = [dataclasses.replace(GpuSpec(), device_memory_bytes=memory)
+             for _ in range(n)]
+    return MultiGpuScheduler(make_devices(specs))
+
+
+class TestQuarantineLeaseLifecycle:
+    def test_quarantined_device_releases_in_flight_lease(self):
+        """Regression: quarantining a device must not leak the lease that
+        was in flight when it failed."""
+        scheduler = make_scheduler()
+        lease = scheduler.try_acquire(1000, tag="doomed")
+        device = lease.device
+        device.alive = False                       # whole-device loss
+        assert scheduler.record_failure(lease)     # trips immediately
+        assert device.device_id in scheduler.quarantined_devices()
+        assert device.memory.reserved == 1000      # still held ...
+        scheduler.release(lease)                   # ... until released
+        assert device.memory.reserved == 0
+        assert device.outstanding_jobs == 0
+
+    def test_quarantined_device_not_a_candidate(self):
+        scheduler = make_scheduler(n=2)
+        lease = scheduler.try_acquire(10)
+        first_id = lease.device.device_id
+        for _ in range(3):                         # reach the threshold
+            scheduler.record_failure(lease)
+        scheduler.release(lease)
+        for _ in range(4):
+            other = scheduler.try_acquire(10)
+            assert other.device.device_id != first_id
+            scheduler.release(other)
+
+    def test_cooldown_readmits_then_success_closes(self):
+        scheduler = make_scheduler(n=1)
+        scheduler.breakers[0] = CircuitBreaker(failure_threshold=1,
+                                               cooldown_calls=2)
+        lease = scheduler.try_acquire(10)
+        scheduler.record_failure(lease)
+        scheduler.release(lease)
+        assert scheduler.try_acquire(10) is None   # round 1: still open
+        probe = scheduler.try_acquire(10)          # round 2: half-open
+        assert probe is not None
+        scheduler.record_success(probe)
+        scheduler.release(probe)
+        assert scheduler.quarantined_devices() == []
+
+    def test_dead_device_never_candidates_even_half_open(self):
+        scheduler = make_scheduler(n=1)
+        lease = scheduler.try_acquire(10)
+        lease.device.alive = False
+        scheduler.record_failure(lease)
+        scheduler.release(lease)
+        for _ in range(20):                        # cool-down elapses...
+            assert scheduler.try_acquire(10) is None   # ...alive gates it
+
+
+class TestReservationRetry:
+    def test_transient_reservation_failure_retries_to_success(self):
+        scheduler = make_scheduler(n=1)
+        tracer = Tracer()
+        scheduler.tracer = tracer
+        scheduler.retry_policy = RetryPolicy(attempts=3)
+        injector = FaultInjector(FaultPlan.parse("reserve:nth=1"))
+        scheduler.devices[0].attach_injector(injector)
+        lease = scheduler.try_acquire(1000, tag="retry-me")
+        assert lease is not None                   # second attempt won
+        assert injector.calls("reserve", 0) == 2
+        assert "fault.backoff" in [s.name for s in tracer.spans]
+
+    def test_exhausted_retries_concede_none(self):
+        scheduler = make_scheduler(n=1)
+        scheduler.retry_policy = RetryPolicy(attempts=2)
+        injector = FaultInjector(FaultPlan.parse("reserve:p=1.0"))
+        scheduler.devices[0].attach_injector(injector)
+        assert scheduler.try_acquire(1000) is None
+        assert injector.calls("reserve", 0) == 2
+
+    def test_no_policy_means_single_attempt(self):
+        scheduler = make_scheduler(n=1)
+        injector = FaultInjector(FaultPlan.parse("reserve:nth=1"))
+        scheduler.devices[0].attach_injector(injector)
+        assert scheduler.try_acquire(1000) is None
+        assert injector.calls("reserve", 0) == 1
+
+    def test_backoff_delays_grow_exponentially(self):
+        policy = RetryPolicy(attempts=4, backoff_seconds=1e-3,
+                             multiplier=2.0)
+        assert list(policy.delays()) == pytest.approx([1e-3, 2e-3, 4e-3])

@@ -10,8 +10,9 @@ ALL_ERRORS = [
     errors.PlanError, errors.ExecutionError, errors.GpuError,
     errors.DeviceMemoryError, errors.ReservationError,
     errors.PinnedMemoryError, errors.HashTableOverflowError,
-    errors.KernelAbortedError, errors.SchedulerError,
-    errors.SimulationError, errors.WorkloadError,
+    errors.KernelAbortedError, errors.KernelLaunchError,
+    errors.DeviceLostError, errors.SchedulerError,
+    errors.FaultPlanError, errors.SimulationError, errors.WorkloadError,
 ]
 
 
@@ -26,7 +27,8 @@ def test_gpu_errors_form_a_subfamily():
     for error_cls in (errors.DeviceMemoryError, errors.ReservationError,
                       errors.PinnedMemoryError,
                       errors.HashTableOverflowError,
-                      errors.KernelAbortedError):
+                      errors.KernelAbortedError, errors.KernelLaunchError,
+                      errors.DeviceLostError):
         assert issubclass(error_cls, errors.GpuError)
 
 
