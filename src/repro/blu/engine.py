@@ -198,8 +198,16 @@ class BluEngine:
 
     def _execute(self, node: PlanNode, ctx: OperatorContext) -> Table:
         """Execute one node inside its operator span (children nest)."""
-        with self.tracer.span(_span_name(node), **_span_attributes(node)):
-            return self._execute_node(node, ctx)
+        with self.tracer.span(_span_name(node), **_span_attributes(node)) \
+                as span:
+            table = self._execute_node(node, ctx)
+            if self.tracer.enabled and isinstance(node, GroupByNode):
+                # Estimate vs. truth on every group-by span: the hybrid
+                # executor adds its KMV refinement to the same span.
+                span.attributes["estimated_groups"] = float(
+                    node.estimates.groups or 0.0)
+                span.attributes["actual_groups"] = table.num_rows
+            return table
 
     def _execute_node(self, node: PlanNode, ctx: OperatorContext) -> Table:
         if isinstance(node, ScanNode):

@@ -17,6 +17,14 @@ Commands
 ``faults``     chaos run: execute a query class under an injected fault
                plan, verify results stay bit-identical to the CPU-only
                baseline, and print the injection/recovery summary
+``profile``    run one SQL statement and print its EXPLAIN ANALYZE
+               profile (per-operator CPU/transfer/kernel attribution,
+               path verdicts, kernel races, device occupancy); ``--json``
+               and ``--html`` export the same profile
+``bench``      run a workload's query classes through the harness;
+               ``--update`` writes the BENCH_<workload>.json baseline,
+               ``--compare`` diffs against it and exits non-zero on a
+               latency regression beyond ``--tolerance``
 
 Examples::
 
@@ -33,6 +41,11 @@ Examples::
     python -m repro faults --plan lossy --category complex
     python -m repro faults --plan "launch@0:p=1.0;reserve:p=0.5" \
         --trace chaos.json
+    python -m repro profile "SELECT i_category, SUM(ss_net_paid) AS rev \
+        FROM store_sales JOIN item ON ss_item_sk = i_item_sk \
+        GROUP BY i_category ORDER BY rev DESC" --html profile.html
+    python -m repro bench bd_insights --compare
+    python -m repro bench cognos_rolap --update
 """
 
 from __future__ import annotations
@@ -123,6 +136,44 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="query class to run (default complex)")
     p_faults.add_argument("--trace", metavar="PATH",
                           help="also export the chaos run's Chrome trace")
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one SQL statement and print its EXPLAIN ANALYZE profile")
+    p_profile.add_argument("statement")
+    p_profile.add_argument("--degree", type=int, default=None,
+                           help="intra-query parallelism (default: engine)")
+    p_profile.add_argument("--query-id", default="profile",
+                           help="query id stamped on the root span")
+    p_profile.add_argument("--json", metavar="PATH", nargs="?", const="-",
+                           help="dump the profile as JSON to PATH (bare "
+                                "--json prints JSON instead of text)")
+    p_profile.add_argument("--html", metavar="PATH",
+                           help="also write a self-contained HTML timeline")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark harness: write or compare a BENCH_* baseline")
+    p_bench.add_argument("workload", choices=["bd_insights", "cognos_rolap"])
+    p_bench.add_argument("--baseline", metavar="PATH", default=None,
+                         help="baseline file (default benchmarks/baselines/"
+                              "BENCH_<workload>.json)")
+    p_bench.add_argument("--compare", action="store_true",
+                         help="diff against the baseline; non-zero exit on "
+                              "regression beyond --tolerance")
+    p_bench.add_argument("--update", action="store_true",
+                         help="(re)write the baseline file from this run")
+    p_bench.add_argument("--tolerance", type=float, default=0.10,
+                         help="relative latency tolerance for --compare "
+                              "(default 0.10)")
+    p_bench.add_argument("--classes", default=None,
+                         help="comma-separated class subset "
+                              "(e.g. simple,complex)")
+    p_bench.add_argument("--degree", type=int, default=48,
+                         help="driver degree (default 48)")
+    p_bench.add_argument("--slowdown", type=float, default=1.0,
+                         help="multiply measured latencies — a self-test "
+                              "hook proving the gate trips (default 1.0)")
     return parser
 
 
@@ -338,6 +389,89 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.core.accelerator import GpuAcceleratedEngine
+    from repro.obs.profile import write_html
+
+    catalog, config = _make_database(args)
+    engine = GpuAcceleratedEngine(catalog, config=config)
+    _result, profile = engine.profile_sql(
+        args.statement, query_id=args.query_id, degree=args.degree)
+    if args.json == "-":
+        print(profile.to_json())
+    else:
+        print(profile.to_text())
+        if args.json:
+            with open(args.json, "w") as f:
+                f.write(profile.to_json() + "\n")
+            print(f"\nwrote {args.json}")
+    if args.html:
+        write_html(profile, args.html)
+        print(f"wrote {args.html}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.obs import bench
+    from repro.workloads.datagen import generate_database, scaled_config
+    from repro.workloads.driver import WorkloadDriver
+
+    path = args.baseline or bench.baseline_path(args.workload)
+    scale, seed = args.scale, args.seed
+    baseline = None
+    if args.compare:
+        try:
+            baseline = bench.load_baseline(path)
+        except bench.BenchError as exc:
+            print(f"FAIL  {exc}")
+            return 1
+        # Deterministic simulation: a compare only means something at the
+        # baseline's exact configuration, so adopt it.
+        if (scale, seed) != (baseline["scale"], baseline["seed"]):
+            print(f"note  using baseline config scale={baseline['scale']} "
+                  f"seed={baseline['seed']} (overrides CLI)")
+        scale, seed = baseline["scale"], baseline["seed"]
+        degree = baseline["degree"]
+    else:
+        degree = args.degree
+
+    catalog = generate_database(scale=scale, seed=seed)
+    driver = WorkloadDriver(catalog, scaled_config(catalog), degree=degree)
+    classes = args.classes.split(",") if args.classes else None
+    try:
+        result = bench.run_workload(driver, args.workload, scale=scale,
+                                    seed=seed, classes=classes,
+                                    slowdown=args.slowdown)
+    except bench.BenchError as exc:
+        print(f"FAIL  {exc}")
+        return 1
+
+    rows = [
+        (cls, stat.queries, f"{stat.p50_ms:.3f}", f"{stat.p95_ms:.3f}",
+         f"{stat.total_ms:.3f}", f"{stat.bytes_moved / 1e6:.2f}",
+         f"{stat.gpu_offload_ratio * 100:.0f}%")
+        for cls, stat in sorted(result.classes.items())
+    ]
+    print(format_table(
+        ["class", "queries", "p50 ms", "p95 ms", "total ms",
+         "MB moved", "offload"],
+        rows, title=f"{args.workload}  scale={scale} seed={seed} "
+                    f"degree={degree}"))
+    print()
+
+    if args.update:
+        result.write(path)
+        print(f"wrote baseline {path}")
+        return 0
+    if args.compare:
+        comparison = bench.compare(result, baseline,
+                                   tolerance=args.tolerance)
+        print(comparison.to_text())
+        return 0 if comparison.ok else 1
+    print(f"(dry run: --update writes {path}, --compare diffs against it)")
+    return 0
+
+
 _COMMANDS = {
     "sql": cmd_sql,
     "explain": cmd_explain,
@@ -348,6 +482,8 @@ _COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "faults": cmd_faults,
+    "profile": cmd_profile,
+    "bench": cmd_bench,
 }
 
 

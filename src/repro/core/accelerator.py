@@ -204,6 +204,30 @@ class GpuAcceleratedEngine:
                      f"(offloaded: {result.profile.offloaded})")
         return "\n".join(lines)
 
+    def profile_sql(self, sql: str, query_id: str = "profile",
+                    degree: Optional[int] = None):
+        """Run ``sql`` and build its attributed EXPLAIN ANALYZE profile.
+
+        Returns ``(result, profile)`` where ``profile`` is a
+        :class:`repro.obs.profile.QueryProfile` over the query's span
+        tree, joined with the monitor's offload-decision records.
+        """
+        from repro.obs.profile import build_profile
+
+        result = self.execute_sql(sql, query_id=query_id, degree=degree)
+        profile = build_profile(
+            self.tracer, query_id=query_id,
+            decisions=self.monitor.decisions_for(query_id),
+        )
+        return result, profile
+
+    def explain_analyze(self, sql: str, query_id: str = "profile",
+                        degree: Optional[int] = None) -> str:
+        """The EXPLAIN ANALYZE text report for one query."""
+        _result, profile = self.profile_sql(sql, query_id=query_id,
+                                            degree=degree)
+        return profile.to_text()
+
     def _set_query_id(self, query_id: str) -> None:
         self._groupby.query_id = query_id
         self._sort.query_id = query_id

@@ -154,7 +154,9 @@ class HybridGroupByExecutor:
             # the decision is recorded.
             self._record("cpu-fallback",
                          f"no GPU could reserve {memory_needed} bytes")
-            return cpu_groupby_executor(table, node, ctx)
+            out = cpu_groupby_executor(table, node, ctx)
+            self._note_kmv(kmv.groups, out.num_rows)
+            return out
 
         self._record("gpu", f"offloading {rows} rows, "
                             f"kmv groups~{metadata.estimated_groups}",
@@ -170,7 +172,9 @@ class HybridGroupByExecutor:
             if self.monitor is not None:
                 self.monitor.record_fault_fallback("groupby", exc)
             self._record("cpu-fallback", "pinned staging pool exhausted")
-            return cpu_groupby_executor(table, node, ctx)
+            out = cpu_groupby_executor(table, node, ctx)
+            self._note_kmv(kmv.groups, out.num_rows)
+            return out
 
         try:
             outcome = self.moderator.run(request, metadata,
@@ -210,13 +214,16 @@ class HybridGroupByExecutor:
                     "groupby", exc, lease.device.device_id)
             self._record("cpu-fallback", f"gpu failure: {exc}",
                          device_id=lease.device.device_id)
-            return cpu_groupby_executor(table, node, ctx)
+            out = cpu_groupby_executor(table, node, ctx)
+            self._note_kmv(kmv.groups, out.num_rows)
+            return out
         else:
             self.scheduler.record_success(lease)
         finally:
             self.pinned.release(buffer)
             self.scheduler.release(lease)
 
+        self._note_kmv(kmv.groups, winner.n_groups)
         first_row = _first_rows(winner.group_index, winner.n_groups)
         return build_group_output(
             table, node.keys, node.aggs, winner.group_index, first_row,
@@ -311,6 +318,7 @@ class HybridGroupByExecutor:
             if lease is None:
                 # Partition runs on the CPU chain instead (truly hybrid).
                 sub_index, n_sub = cpu_partition(rows_p, keys_p)
+                self._note_kmv(kmv.groups, n_sub, stamp_span=False)
                 group_index[rows_p] = sub_index + offset
                 offset += n_sub
                 continue
@@ -323,6 +331,7 @@ class HybridGroupByExecutor:
                 if self.monitor is not None:
                     self.monitor.record_fault_fallback("groupby", exc)
                 sub_index, n_sub = cpu_partition(rows_p, keys_p)
+                self._note_kmv(kmv.groups, n_sub, stamp_span=False)
                 group_index[rows_p] = sub_index + offset
                 offset += n_sub
                 continue
@@ -358,6 +367,7 @@ class HybridGroupByExecutor:
                     self.monitor.record_fault_fallback(
                         "groupby", exc, lease.device.device_id)
                 sub_index, n_sub = cpu_partition(rows_p, keys_p)
+                self._note_kmv(kmv.groups, n_sub, stamp_span=False)
                 group_index[rows_p] = sub_index + offset
                 offset += n_sub
                 continue
@@ -366,6 +376,7 @@ class HybridGroupByExecutor:
             finally:
                 self.pinned.release(buffer)
                 self.scheduler.release(lease)
+            self._note_kmv(kmv.groups, winner.n_groups, stamp_span=False)
             group_index[rows_p] = winner.group_index + offset
             offset += winner.n_groups
 
@@ -394,6 +405,26 @@ class HybridGroupByExecutor:
     @property
     def _tracer(self):
         return self.monitor.tracer if self.monitor is not None else None
+
+    def _note_kmv(self, estimated: int, actual: int,
+                  stamp_span: bool = True) -> None:
+        """Judge one KMV estimate against the actual group count.
+
+        Feeds the ``repro_kmv_relative_error`` histogram and, for the
+        whole-input path, stamps the KMV refinement onto the enclosing
+        ``op.groupby`` span (the engine stamps the optimizer estimate and
+        the actual count; partitions skip the stamp — their per-partition
+        estimates have no single span to live on).
+        """
+        if self.monitor is None:
+            return
+        error = self.monitor.record_kmv_estimate(estimated, actual)
+        if not stamp_span:
+            return
+        span = self.monitor.tracer.current
+        if span is not None and span.name == "op.groupby":
+            span.attributes["kmv_groups"] = int(estimated)
+            span.attributes["kmv_relative_error"] = error
 
     def _record(self, path: str, reason: str, kernel: Optional[str] = None,
                 device_id: int = -1) -> None:

@@ -23,7 +23,11 @@ from typing import Optional, Sequence
 
 from repro.gpu.device import GpuDevice
 from repro.obs.export import chrome_trace, prometheus_text
-from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    RELATIVE_ERROR_BUCKETS,
+    MetricsRegistry,
+)
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.timing import QueryProfile
 
@@ -155,6 +159,23 @@ class PerformanceMonitor:
             self.counters.cpu_large += 1
         elif decision.path == "cpu-fallback":
             self.counters.reservation_fallbacks += 1
+
+    def record_kmv_estimate(self, estimated: int, actual: int) -> float:
+        """One KMV group-count estimate judged against the truth.
+
+        The relative error ``|estimate - actual| / actual`` is the
+        paper's central tuning signal (it sizes the GPU hash table); it
+        feeds the ``repro_kmv_relative_error`` histogram and is returned
+        so callers can stamp it on the group-by span.
+        """
+        actual = max(1, int(actual))
+        error = abs(int(estimated) - actual) / actual
+        self.registry.histogram(
+            "repro_kmv_relative_error",
+            "Relative error of KMV group-count estimates vs actual groups",
+            buckets=RELATIVE_ERROR_BUCKETS,
+        ).observe(error)
+        return error
 
     def record_race(self, cancelled: Sequence[str]) -> None:
         """One raced group-by: the losers were cancelled mid-flight."""

@@ -136,16 +136,18 @@ class GpuDevice:
                                         device_id=self.device_id,
                                         bytes=bytes_in, pinned=pinned):
                 pass
-            with self.tracer.timed_span("gpu.kernel", total_kernel,
-                                        device_id=self.device_id,
-                                        kernel=kernel, rows=rows):
+            with self.tracer.timed_span(
+                    "gpu.kernel", total_kernel,
+                    device_id=self.device_id, kernel=kernel, rows=rows,
+                    launch_overhead=self.spec.kernel_launch_overhead):
                 pass
             with self.tracer.timed_span("gpu.transfer_out", t_out,
                                         device_id=self.device_id,
                                         bytes=bytes_out, pinned=pinned):
                 pass
         t_in += stall
-        self._observe_launch(kernel, total_kernel, t_in, t_out)
+        self._observe_launch(kernel, total_kernel, t_in, t_out,
+                             bytes_in, bytes_out)
         record = KernelRecord(
             kernel=kernel,
             device_id=self.device_id,
@@ -155,6 +157,8 @@ class GpuDevice:
             transfer_out_seconds=t_out,
             device_bytes=reservation.nbytes,
             launch_overhead=self.spec.kernel_launch_overhead,
+            bytes_in=bytes_in,
+            bytes_out=bytes_out,
         )
         self.profiler.record(record)
         return LaunchResult(
@@ -201,11 +205,38 @@ class GpuDevice:
         return rule.stall_seconds if rule is not None else 0.0
 
     def _observe_launch(self, kernel: str, kernel_seconds: float,
-                        t_in: float, t_out: float) -> None:
+                        t_in: float, t_out: float,
+                        bytes_in: int = 0, bytes_out: int = 0) -> None:
         """Feed one launch into the metrics registry (when wired)."""
         if self.metrics is None:
             return
         device = str(self.device_id)
+        # Running totals: the §2.3 per-kernel aggregates the GpuProfiler
+        # keeps, re-published as first-class registry series.
+        self.metrics.counter(
+            "repro_kernel_seconds_total",
+            "Total simulated device-resident seconds by kernel",
+            labelnames=("kernel", "device"),
+        ).labels(kernel=kernel, device=device).inc(kernel_seconds)
+        self.metrics.counter(
+            "repro_kernel_invocations_total",
+            "Kernel launches by kernel name",
+            labelnames=("kernel", "device"),
+        ).labels(kernel=kernel, device=device).inc()
+        moved = self.metrics.counter(
+            "repro_transfer_bytes_total",
+            "Total bytes moved over the simulated PCIe bus by direction",
+            labelnames=("direction",),
+        )
+        moved.labels(direction="in").inc(bytes_in)
+        moved.labels(direction="out").inc(bytes_out)
+        xfer_seconds = self.metrics.counter(
+            "repro_transfer_seconds_total",
+            "Total simulated PCIe transfer seconds by direction",
+            labelnames=("direction",),
+        )
+        xfer_seconds.labels(direction="in").inc(t_in)
+        xfer_seconds.labels(direction="out").inc(t_out)
         self.metrics.histogram(
             "repro_kernel_latency_seconds",
             "Simulated kernel-resident seconds per launch",

@@ -25,6 +25,8 @@ class KernelRecord:
     transfer_out_seconds: float
     device_bytes: int
     launch_overhead: float
+    bytes_in: int = 0
+    bytes_out: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -45,6 +47,7 @@ class KernelAggregate:
     kernel_seconds: float = 0.0
     transfer_seconds: float = 0.0
     device_bytes_peak: int = 0
+    bytes_moved: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -87,6 +90,7 @@ class GpuProfiler:
             agg.kernel_seconds += r.kernel_seconds
             agg.transfer_seconds += r.transfer_seconds
             agg.device_bytes_peak = max(agg.device_bytes_peak, r.device_bytes)
+            agg.bytes_moved += r.bytes_in + r.bytes_out
         return out
 
     def report(self) -> str:

@@ -13,6 +13,17 @@ standard observability primitives:
   ``chrome://tracing`` or https://ui.perfetto.dev), Prometheus text
   exposition, and a JSONL span log.
 
+Two consumers of the primitives live here too:
+
+- :mod:`repro.obs.profile` — the EXPLAIN ANALYZE profiler: one query's
+  span tree reduced to an attributed :class:`~repro.obs.profile.
+  QueryProfile` (per-operator CPU/transfer/kernel/launch-overhead time,
+  path-selection verdicts, kernel races, device occupancy) rendered as
+  text, JSON, or an HTML timeline;
+- :mod:`repro.obs.bench` — the benchmark baseline + regression harness
+  behind ``repro bench`` and the committed ``BENCH_<workload>.json``
+  files.
+
 The engine wires these in through :class:`repro.core.monitoring.
 PerformanceMonitor`; library users reach them as ``engine.tracer`` and
 ``engine.registry`` on :class:`repro.core.accelerator.GpuAcceleratedEngine`.
@@ -23,6 +34,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     LATENCY_BUCKETS,
+    RELATIVE_ERROR_BUCKETS,
     MetricsRegistry,
 )
 from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
@@ -32,8 +44,33 @@ from repro.obs.export import (
     prometheus_text,
     write_chrome_trace,
 )
+from repro.obs.profile import (
+    ProfileError,
+    QueryProfile,
+    build_profile,
+    write_html,
+)
+# repro.obs.bench sits above the engine (it drives WorkloadDriver), so an
+# eager import here would be circular: core.monitoring imports
+# repro.obs.metrics, which initialises this package.  Load it lazily.
+_BENCH_EXPORTS = (
+    "BenchComparison", "BenchError", "BenchResult",
+    "baseline_path", "compare", "load_baseline", "run_workload",
+)
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy re-export of the bench harness names."""
+    if name in _BENCH_EXPORTS:
+        import repro.obs.bench as _bench
+        return getattr(_bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "BenchComparison",
+    "BenchError",
+    "BenchResult",
     "Counter",
     "Gauge",
     "Histogram",
@@ -41,10 +78,19 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ProfileError",
+    "QueryProfile",
+    "RELATIVE_ERROR_BUCKETS",
     "Span",
     "TraceLog",
     "Tracer",
+    "baseline_path",
+    "build_profile",
     "chrome_trace",
+    "compare",
+    "load_baseline",
     "prometheus_text",
+    "run_workload",
     "write_chrome_trace",
+    "write_html",
 ]

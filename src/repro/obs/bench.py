@@ -1,0 +1,377 @@
+"""Benchmark baselines and the regression gate (``repro bench``).
+
+The ROADMAP's goal — "as fast as the simulated hardware allows" — is
+unenforceable without a committed trajectory.  This harness wraps
+:class:`repro.workloads.driver.WorkloadDriver` to run the named query
+classes of one workload, reduces each class to per-class p50/p95
+simulated latency, bytes moved over PCIe, and GPU-offload ratio, and
+writes the result as a ``BENCH_<workload>.json`` baseline.  Because the
+whole engine runs on simulated time, a clean re-run reproduces the
+baseline *exactly*; any drift is a real behaviour change, and
+``repro bench --compare`` turns drift beyond a configurable tolerance
+into a non-zero exit for CI.
+
+Baselines live in ``benchmarks/baselines/`` and are updated on purpose
+(see ``docs/api.md`` for the workflow), never silently.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.workloads.bdinsights import queries_by_category
+from repro.workloads.cognos_rolap import screen_queries
+from repro.workloads.driver import WorkloadDriver
+from repro.workloads.query import QueryCategory, WorkloadQuery
+
+#: Baseline file schema version (bump when the JSON shape changes).
+BASELINE_FORMAT = 1
+
+#: Workloads the harness knows how to enumerate.
+WORKLOADS = ("bd_insights", "cognos_rolap")
+
+#: Default committed-baseline location for a workload.
+BASELINE_DIR = os.path.join("benchmarks", "baselines")
+
+
+class BenchError(Exception):
+    """Unknown workload / malformed or missing baseline."""
+
+
+def baseline_path(workload: str, directory: str = BASELINE_DIR) -> str:
+    """``benchmarks/baselines/BENCH_<workload>.json``."""
+    return os.path.join(directory, f"BENCH_{workload}.json")
+
+
+def workload_classes(
+    workload: str, driver: WorkloadDriver,
+) -> dict[str, list[WorkloadQuery]]:
+    """The named query classes of ``workload``, in a stable order.
+
+    ``cognos_rolap`` is pre-screened against the driver's GPU engine the
+    way section 5.1.2 screened against the K40's memory: only the
+    queries that fit the device participate.
+    """
+    if workload == "bd_insights":
+        return {
+            category.value: queries_by_category(category)
+            for category in (QueryCategory.SIMPLE, QueryCategory.INTERMEDIATE,
+                             QueryCategory.COMPLEX)
+        }
+    if workload == "cognos_rolap":
+        runnable, _oversized = screen_queries(driver.gpu_engine)
+        return {"rolap": runnable}
+    raise BenchError(
+        f"unknown workload {workload!r} (expected one of {WORKLOADS})")
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryStat:
+    """One query's benchmark measurement."""
+
+    query_id: str
+    cls: str
+    elapsed_ms: float
+    offloaded: bool
+    bytes_moved: int
+
+    def to_dict(self) -> dict:
+        return {
+            "class": self.cls,
+            "elapsed_ms": round(self.elapsed_ms, 6),
+            "offloaded": self.offloaded,
+            "bytes_moved": self.bytes_moved,
+        }
+
+
+@dataclass(frozen=True)
+class ClassStat:
+    """Per-class aggregate: the numbers the regression gate judges."""
+
+    cls: str
+    queries: int
+    p50_ms: float
+    p95_ms: float
+    total_ms: float
+    bytes_moved: int
+    gpu_offload_ratio: float
+
+    def to_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "p50_ms": round(self.p50_ms, 6),
+            "p95_ms": round(self.p95_ms, 6),
+            "total_ms": round(self.total_ms, 6),
+            "bytes_moved": self.bytes_moved,
+            "gpu_offload_ratio": round(self.gpu_offload_ratio, 6),
+        }
+
+
+@dataclass
+class BenchResult:
+    """One full harness run over a workload's classes."""
+
+    workload: str
+    scale: float
+    seed: int
+    degree: int
+    classes: dict[str, ClassStat] = field(default_factory=dict)
+    queries: dict[str, QueryStat] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": BASELINE_FORMAT,
+            "workload": self.workload,
+            "scale": self.scale,
+            "seed": self.seed,
+            "degree": self.degree,
+            "classes": {name: stat.to_dict()
+                        for name, stat in sorted(self.classes.items())},
+            "queries": {qid: stat.to_dict()
+                        for qid, stat in sorted(self.queries.items())},
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON (sorted keys, rounded floats, trailing \\n)."""
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+
+    def write(self, path: str) -> str:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as f:
+            f.write(self.to_json())
+        return path
+
+
+def run_workload(
+    driver: WorkloadDriver,
+    workload: str,
+    scale: float,
+    seed: int,
+    classes: Optional[Sequence[str]] = None,
+    slowdown: float = 1.0,
+) -> BenchResult:
+    """Run ``workload``'s classes through the driver's GPU engine.
+
+    ``classes`` restricts the run to a subset (CI uses a small set);
+    ``slowdown`` multiplies every measured latency — a self-test hook
+    that lets CI (and the acceptance test) prove the gate actually trips
+    on a regression without planting one in the engine.
+    """
+    available = workload_classes(workload, driver)
+    if classes:
+        unknown = [c for c in classes if c not in available]
+        if unknown:
+            raise BenchError(
+                f"unknown class(es) {unknown} for {workload!r}; "
+                f"available: {sorted(available)}")
+        available = {name: available[name] for name in available
+                     if name in classes}
+
+    result = BenchResult(workload=workload, scale=scale, seed=seed,
+                         degree=driver.degree)
+    tracer = driver.gpu_engine.tracer
+    for cls, queries in available.items():
+        latencies: list[float] = []
+        cls_bytes = 0
+        offloaded = 0
+        for query in queries:
+            elapsed = driver.elapsed_ms(query, gpu=True) * slowdown
+            profile = driver.profile(query, gpu=True)
+            moved = _bytes_moved(tracer, query.query_id)
+            latencies.append(elapsed)
+            cls_bytes += moved
+            offloaded += int(profile.offloaded)
+            result.queries[query.query_id] = QueryStat(
+                query_id=query.query_id, cls=cls, elapsed_ms=elapsed,
+                offloaded=profile.offloaded, bytes_moved=moved)
+        result.classes[cls] = ClassStat(
+            cls=cls,
+            queries=len(queries),
+            p50_ms=percentile(latencies, 0.50),
+            p95_ms=percentile(latencies, 0.95),
+            total_ms=sum(latencies),
+            bytes_moved=cls_bytes,
+            gpu_offload_ratio=offloaded / len(queries) if queries else 0.0,
+        )
+    return result
+
+
+def _bytes_moved(tracer, query_id: str) -> int:
+    """PCIe bytes (in + out) of the traced run of ``query_id``."""
+    root = tracer.root_for(query_id)
+    if root is None:
+        return 0
+    return sum(
+        int(s.attributes.get("bytes", 0))
+        for s in tracer.trace(root.trace_id)
+        if s.name in ("gpu.transfer_in", "gpu.transfer_out")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Baseline IO + comparison
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: str) -> dict:
+    """Parse a committed baseline; raises :class:`BenchError` when unusable."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        raise BenchError(
+            f"no baseline at {path} — run `repro bench <workload> --update` "
+            "and commit the file") from None
+    except json.JSONDecodeError as exc:
+        raise BenchError(f"baseline {path} is not valid JSON: {exc}") from None
+    if data.get("format") != BASELINE_FORMAT:
+        raise BenchError(
+            f"baseline {path} has format {data.get('format')!r}, "
+            f"expected {BASELINE_FORMAT}")
+    return data
+
+
+@dataclass
+class BenchComparison:
+    """The verdict of one current-vs-baseline diff."""
+
+    failures: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_text(self) -> str:
+        lines = []
+        for failure in self.failures:
+            lines.append(f"FAIL  {failure}")
+        for warning in self.warnings:
+            lines.append(f"warn  {warning}")
+        for note in self.notes:
+            lines.append(f"note  {note}")
+        if self.ok:
+            lines.append("OK    within tolerance of committed baseline")
+        return "\n".join(lines)
+
+
+def compare(current: BenchResult, baseline: dict,
+            tolerance: float = 0.10) -> BenchComparison:
+    """Diff a fresh run against a committed baseline.
+
+    Latency regressions beyond ``tolerance`` (relative, per class, on
+    p50 and p95) are failures.  Bytes-moved growth and offload-ratio
+    drops are warnings — they often *explain* a latency failure but can
+    legitimately move when thresholds are retuned.  Config mismatches
+    (workload/scale/seed/degree/query set) are failures outright: the
+    simulation is deterministic, so comparing different configs is
+    comparing nothing.
+    """
+    out = BenchComparison()
+    cur = current.to_dict()
+    for key in ("workload", "scale", "seed", "degree"):
+        if cur[key] != baseline.get(key):
+            out.failures.append(
+                f"config mismatch: {key} is {cur[key]!r}, baseline has "
+                f"{baseline.get(key)!r}")
+    if out.failures:
+        return out
+
+    base_classes = baseline.get("classes", {})
+    for cls in sorted(current.classes):
+        if cls not in base_classes:
+            out.warnings.append(f"class {cls!r} has no baseline entry")
+            continue
+        stat = current.classes[cls]
+        base = base_classes[cls]
+        if stat.queries != base.get("queries"):
+            out.failures.append(
+                f"{cls}: query count {stat.queries} != baseline "
+                f"{base.get('queries')}")
+        for metric, value in (("p50_ms", stat.p50_ms),
+                              ("p95_ms", stat.p95_ms)):
+            ref = float(base.get(metric, 0.0))
+            delta = _relative_delta(value, ref)
+            if delta > tolerance:
+                out.failures.append(
+                    f"{cls}: {metric} regressed {delta * 100:.1f}% "
+                    f"({ref:.3f} -> {value:.3f} ms, tolerance "
+                    f"{tolerance * 100:.0f}%)")
+            elif delta < -tolerance:
+                out.notes.append(
+                    f"{cls}: {metric} improved {-delta * 100:.1f}% "
+                    f"({ref:.3f} -> {value:.3f} ms) — consider refreshing "
+                    "the baseline")
+        ref_bytes = int(base.get("bytes_moved", 0))
+        if _relative_delta(stat.bytes_moved, ref_bytes) > tolerance:
+            out.warnings.append(
+                f"{cls}: bytes moved grew {ref_bytes} -> {stat.bytes_moved}")
+        ref_ratio = float(base.get("gpu_offload_ratio", 0.0))
+        # Baselines store the ratio rounded; compare at the same precision
+        # so a byte-identical rerun never warns.
+        if round(stat.gpu_offload_ratio, 6) < ref_ratio - 1e-9:
+            out.warnings.append(
+                f"{cls}: GPU-offload ratio dropped "
+                f"{ref_ratio:.3f} -> {stat.gpu_offload_ratio:.3f}")
+
+    base_queries = set(baseline.get("queries", {}))
+    cur_queries = set(current.queries)
+    if base_queries != cur_queries:
+        missing = sorted(base_queries - cur_queries)
+        new = sorted(cur_queries - base_queries)
+        # A subset run (CI's small query set) is fine; a *different* set
+        # at full coverage means the workload itself changed.
+        if new:
+            out.failures.append(
+                f"query set changed: new {new}, missing {missing}")
+    else:
+        worst = _worst_query_regressions(current, baseline, tolerance)
+        for line in worst:
+            out.notes.append(line)
+    return out
+
+
+def _relative_delta(value: float, reference: float) -> float:
+    """Signed relative change, with an epsilon floor against 0-baselines."""
+    if reference <= 1e-12:
+        return 0.0 if value <= 1e-12 else float("inf")
+    return (value - reference) / reference
+
+
+def _worst_query_regressions(current: BenchResult, baseline: dict,
+                             tolerance: float, limit: int = 5) -> list[str]:
+    """Context lines: the individual queries that moved the most."""
+    rows = []
+    for qid, stat in current.queries.items():
+        base = baseline.get("queries", {}).get(qid)
+        if not base:
+            continue
+        delta = _relative_delta(stat.elapsed_ms,
+                                float(base.get("elapsed_ms", 0.0)))
+        if delta > tolerance:
+            rows.append((delta, qid, float(base["elapsed_ms"]),
+                         stat.elapsed_ms))
+    rows.sort(reverse=True)
+    return [
+        f"{qid}: {ref:.3f} -> {now:.3f} ms (+{delta * 100:.1f}%)"
+        for delta, qid, ref, now in rows[:limit]
+    ]

@@ -31,6 +31,13 @@ BYTES_BUCKETS: tuple[float, ...] = tuple(
     4.0 * 1024 * 4 ** i for i in range(12)
 )
 
+# Relative errors: 0 (exact) through 2.5x off.  The leading 0.0 bucket
+# makes "estimate was exact" directly readable from the exposition.
+RELATIVE_ERROR_BUCKETS: tuple[float, ...] = (
+    0.0, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
 
 class MetricError(ReproError):
     """Metric misuse: type/label mismatches, unknown labels."""

@@ -1,0 +1,664 @@
+"""EXPLAIN ANALYZE: attributed per-query profiles built from span trees.
+
+The paper's §2.3 monitor existed because nvidia-smi could not say where
+a query's time went *inside* the host application.  This module is that
+answer made first-class: it consumes one finished query's span tree
+(:mod:`repro.obs.tracing`) plus the decision records the path selector,
+moderator, and scheduler emitted along the way, and produces a
+deterministic hierarchical :class:`QueryProfile`:
+
+- per-operator simulated-time breakdown with CPU / transfer-in / kernel /
+  transfer-out / launch-overhead attribution (every span's *self* time is
+  charged to exactly one component of exactly one operator, so the
+  per-operator rows sum to the query total to the last bit);
+- the Figure-3 path-selection verdict with the T1/T2/T3 thresholds and
+  the KMV group-count estimate vs. the **actual** group count — the
+  estimation error the paper's engineers tuned against;
+- the moderator's kernel choice, race outcomes, and overflow retries;
+- per-device occupancy intervals (which GPU was busy when, and with what).
+
+Renderings: ``to_text()`` (EXPLAIN ANALYZE-style report), ``to_dict()``
+(JSON), and ``to_html()`` (a self-contained timeline, no external assets).
+
+Not to be confused with :class:`repro.timing.QueryProfile`, the flat cost
+event list the engine returns; this class is the *attributed* view built
+on top of the trace that the cost events drove.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.obs.tracing import Span, Tracer
+
+#: Attribution buckets, in display order.
+COMPONENTS = ("cpu", "transfer_in", "kernel", "transfer_out",
+              "launch_overhead", "stall", "backoff")
+
+# Span name -> component its self-time is charged to.  ``gpu.kernel``
+# is handled specially (it splits into launch_overhead + kernel using
+# the launch_overhead attribute the device stamps on the span).
+_SPAN_COMPONENT = {
+    "gpu.transfer_in": "transfer_in",
+    "gpu.transfer_out": "transfer_out",
+    "gpu.transfer_stall": "stall",
+    "fault.backoff": "backoff",
+}
+
+#: Span names that appear as rows of the operator tree.
+_OPERATOR_PREFIX = "op."
+_OPERATOR_EXTRA = ("query", "plan")
+
+
+def _is_operator(name: str) -> bool:
+    return name.startswith(_OPERATOR_PREFIX) or name in _OPERATOR_EXTRA
+
+
+class ProfileError(Exception):
+    """No trace (or no matching query) to profile."""
+
+
+# ---------------------------------------------------------------------------
+# Profile nodes and sections
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OperatorNode:
+    """One operator row: a span plus its attributed self-time."""
+
+    span: Span
+    depth: int
+    children: list["OperatorNode"] = field(default_factory=list)
+    self_components: dict[str, float] = field(
+        default_factory=lambda: {c: 0.0 for c in COMPONENTS})
+
+    @property
+    def name(self) -> str:
+        return self.span.name
+
+    @property
+    def duration(self) -> float:
+        return self.span.duration
+
+    @property
+    def self_seconds(self) -> float:
+        return sum(self.self_components.values())
+
+    def walk(self) -> Iterable["OperatorNode"]:
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span.span_id,
+            "start": self.span.start,
+            "end": self.span.end,
+            "duration": self.duration,
+            "attributes": dict(self.span.attributes),
+            "self_components": {
+                c: v for c, v in self.self_components.items() if v
+            },
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+@dataclass(frozen=True)
+class PathVerdict:
+    """One Figure-3 routing decision, joined with its group-by's counts."""
+
+    operator: str              # "groupby" | "sort"
+    rows: int
+    path: str                  # "gpu" / "cpu-small" / ... (sort: offload flag)
+    reason: str
+    thresholds: dict           # {"t1": ..., "t2": ..., "t3": ...} (groupby)
+    optimizer_groups: Optional[float] = None
+    kmv_groups: Optional[int] = None
+    actual_groups: Optional[int] = None
+
+    @property
+    def kmv_relative_error(self) -> Optional[float]:
+        """``|kmv - actual| / actual`` — the paper's central tuning signal."""
+        if self.kmv_groups is None or not self.actual_groups:
+            return None
+        return abs(self.kmv_groups - self.actual_groups) / self.actual_groups
+
+    def to_dict(self) -> dict:
+        return {
+            "operator": self.operator, "rows": self.rows,
+            "path": self.path, "reason": self.reason,
+            "thresholds": dict(self.thresholds),
+            "optimizer_groups": self.optimizer_groups,
+            "kmv_groups": self.kmv_groups,
+            "actual_groups": self.actual_groups,
+            "kmv_relative_error": self.kmv_relative_error,
+        }
+
+
+@dataclass(frozen=True)
+class KernelChoice:
+    """One moderator outcome: the kernel that ran, and what it beat."""
+
+    kernel: str
+    reason: str
+    raced: bool
+    cancelled: tuple[str, ...]
+    overflow_retries: int
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel, "reason": self.reason,
+            "raced": self.raced, "cancelled": list(self.cancelled),
+            "overflow_retries": self.overflow_retries,
+        }
+
+
+@dataclass(frozen=True)
+class OccupancySlice:
+    """One kernel launch window on one device (transfers included)."""
+
+    device_id: int
+    kernel: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> dict:
+        return {"device_id": self.device_id, "kernel": self.kernel,
+                "start": self.start, "end": self.end}
+
+
+# ---------------------------------------------------------------------------
+# The profile
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QueryProfile:
+    """The attributed EXPLAIN ANALYZE view of one executed query."""
+
+    query_id: str
+    trace_id: int
+    degree: int
+    gpu_enabled: bool
+    root: OperatorNode
+    verdicts: list[PathVerdict]
+    kernel_choices: list[KernelChoice]
+    occupancy: list[OccupancySlice]
+    scheduler_events: list[dict]       # quarantine / readmit / faults
+    decisions: list                    # OffloadDecision records (monitor)
+    bytes_in: int
+    bytes_out: int
+
+    @property
+    def duration(self) -> float:
+        """Total simulated seconds of the query."""
+        return self.root.duration
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.bytes_in + self.bytes_out
+
+    def operators(self) -> list[OperatorNode]:
+        """All operator rows in pre-order (root first)."""
+        return list(self.root.walk())
+
+    def component_totals(self) -> dict[str, float]:
+        """Query-wide seconds per attribution component.
+
+        The values sum to :attr:`duration` (within float rounding) — the
+        invariant the acceptance test pins.
+        """
+        totals = {c: 0.0 for c in COMPONENTS}
+        for node in self.root.walk():
+            for component, seconds in node.self_components.items():
+                totals[component] += seconds
+        return totals
+
+    def device_busy_seconds(self) -> dict[int, float]:
+        """Total occupied seconds per device id."""
+        out: dict[int, float] = {}
+        for s in self.occupancy:
+            out[s.device_id] = out.get(s.device_id, 0.0) + s.duration
+        return out
+
+    # ------------------------------------------------------------------
+    # Renderings
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable dump of the whole profile."""
+        return {
+            "query_id": self.query_id,
+            "trace_id": self.trace_id,
+            "degree": self.degree,
+            "gpu_enabled": self.gpu_enabled,
+            "duration_seconds": self.duration,
+            "component_totals": {
+                c: v for c, v in self.component_totals().items() if v
+            },
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "operators": self.root.to_dict(),
+            "path_selection": [v.to_dict() for v in self.verdicts],
+            "kernel_choices": [k.to_dict() for k in self.kernel_choices],
+            "occupancy": [s.to_dict() for s in self.occupancy],
+            "scheduler_events": list(self.scheduler_events),
+            "offload_decisions": [
+                {
+                    "operator": d.operator, "path": d.path,
+                    "reason": d.reason, "kernel": d.kernel,
+                    "device_id": d.device_id,
+                }
+                for d in self.decisions
+            ],
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        """The EXPLAIN ANALYZE report."""
+        ms = 1e3
+        lines = [
+            f"EXPLAIN ANALYZE  query={self.query_id}  degree={self.degree}  "
+            f"gpu={'on' if self.gpu_enabled else 'off'}",
+            f"simulated total: {self.duration * ms:.3f} ms",
+            "",
+        ]
+        header = (f"{'operator':40} {'total ms':>10} {'cpu':>9} "
+                  f"{'xfer-in':>9} {'kernel':>9} {'xfer-out':>9} "
+                  f"{'launch':>8} {'other':>8}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for node in self.root.walk():
+            label = ("  " * node.depth) + node.name
+            extras = _node_extras(node.span)
+            if extras:
+                label += f" [{extras}]"
+            c = node.self_components
+            other = c["stall"] + c["backoff"]
+            lines.append(
+                f"{label:40} {node.duration * ms:>10.3f} "
+                f"{c['cpu'] * ms:>9.3f} {c['transfer_in'] * ms:>9.3f} "
+                f"{c['kernel'] * ms:>9.3f} {c['transfer_out'] * ms:>9.3f} "
+                f"{c['launch_overhead'] * ms:>8.3f} {other * ms:>8.3f}"
+            )
+        totals = self.component_totals()
+        accounted = sum(totals.values())
+        lines.append("")
+        lines.append(
+            "component totals: "
+            + "  ".join(f"{name}={totals[name] * ms:.3f}ms"
+                        for name in COMPONENTS if totals[name])
+        )
+        share = (accounted / self.duration * 100.0) if self.duration else 100.0
+        lines.append(f"accounted: {accounted * ms:.3f} of "
+                     f"{self.duration * ms:.3f} ms ({share:.2f}%)")
+
+        lines.append("")
+        lines.append("-- path selection (Figure 3) --")
+        if not self.verdicts:
+            lines.append("(no offloadable operators)")
+        for v in self.verdicts:
+            thr = " ".join(f"{k.upper()}={v}" for k, v in
+                           sorted(v.thresholds.items()))
+            lines.append(f"{v.operator:8} -> {v.path:12} rows={v.rows}"
+                         + (f"  [{thr}]" if thr else ""))
+            if v.operator == "groupby":
+                parts = []
+                if v.optimizer_groups is not None:
+                    parts.append(f"optimizer~{v.optimizer_groups:.0f}")
+                if v.kmv_groups is not None:
+                    parts.append(f"kmv~{v.kmv_groups}")
+                if v.actual_groups is not None:
+                    parts.append(f"actual={v.actual_groups}")
+                error = v.kmv_relative_error
+                if error is not None:
+                    parts.append(f"kmv error {error * 100:.2f}%")
+                if parts:
+                    lines.append(f"{'':8}    groups: " + "  ".join(parts))
+            lines.append(f"{'':8}    reason: {v.reason}")
+
+        lines.append("")
+        lines.append("-- kernel moderation --")
+        if not self.kernel_choices:
+            lines.append("(no kernels launched)")
+        for k in self.kernel_choices:
+            raced = (f"raced, cancelled {', '.join(k.cancelled)}"
+                     if k.raced else "not raced")
+            lines.append(f"{k.kernel:24} {raced}; "
+                         f"overflow_retries={k.overflow_retries}"
+                         + (f"  ({k.reason})" if k.reason else ""))
+
+        lines.append("")
+        lines.append("-- device occupancy --")
+        busy = self.device_busy_seconds()
+        if not busy:
+            lines.append("(no device time)")
+        for device_id in sorted(busy):
+            slices = [s for s in self.occupancy
+                      if s.device_id == device_id]
+            share = (busy[device_id] / self.duration * 100.0
+                     if self.duration else 0.0)
+            lines.append(
+                f"GPU {device_id}: {len(slices)} launch(es), busy "
+                f"{busy[device_id] * ms:.3f} ms ({share:.1f}% of query)")
+            for s in slices:
+                lines.append(f"   [{s.start * ms:9.3f} .. {s.end * ms:9.3f}]"
+                             f" {s.kernel}")
+        if self.bytes_moved:
+            lines.append("")
+            lines.append(f"PCIe traffic: {self.bytes_in} B in, "
+                         f"{self.bytes_out} B out")
+        if self.scheduler_events:
+            lines.append("")
+            lines.append("-- scheduler / fault events --")
+            for event in self.scheduler_events:
+                detail = " ".join(f"{k}={v}" for k, v in
+                                  sorted(event.items()) if k != "name")
+                lines.append(f"{event['name']:22} {detail}")
+        return "\n".join(lines)
+
+    def to_html(self) -> str:
+        """A self-contained HTML timeline (no external assets)."""
+        return _render_html(self)
+
+
+def _node_extras(span: Span) -> str:
+    """The attribute snippet shown next to an operator row."""
+    attrs = span.attributes
+    parts = []
+    for key in ("table", "keys", "left_key", "limit", "query_id"):
+        if key in attrs and attrs[key] != "":
+            parts.append(f"{key}={attrs[key]}")
+    if "actual_groups" in attrs:
+        parts.append(f"groups={attrs['actual_groups']}")
+    return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+
+
+def build_profile(
+    source: Union[Tracer, Sequence[Span]],
+    query_id: Optional[str] = None,
+    decisions: Sequence = (),
+) -> QueryProfile:
+    """Build the profile of one query from recorded spans.
+
+    ``source`` is a :class:`Tracer` or a span list.  With ``query_id``
+    the *last* root span stamped with that query id is profiled;
+    without, the last root span wins.  ``decisions`` are the monitor's
+    :class:`~repro.core.monitoring.OffloadDecision` records for the
+    query (they carry the device id the trace instants do not).
+    """
+    spans = source.spans if isinstance(source, Tracer) else list(source)
+    root_span = _find_root(spans, query_id)
+    trace = [s for s in spans if s.trace_id == root_span.trace_id]
+    children: dict[Optional[int], list[Span]] = {}
+    for span in trace:
+        children.setdefault(span.parent_id, []).append(span)
+
+    # Map every span to its nearest operator ancestor (or itself).
+    owner: dict[int, Span] = {}
+
+    def assign_owner(span: Span, current: Span) -> None:
+        mine = span if _is_operator(span.name) else current
+        owner[span.span_id] = mine
+        for child in children.get(span.span_id, ()):
+            assign_owner(child, mine)
+
+    assign_owner(root_span, root_span)
+
+    # Build the operator tree.
+    nodes: dict[int, OperatorNode] = {}
+
+    def build_node(span: Span, depth: int) -> OperatorNode:
+        node = OperatorNode(span=span, depth=depth)
+        nodes[span.span_id] = node
+        for child in children.get(span.span_id, ()):
+            if _is_operator(child.name):
+                node.children.append(build_node(child, depth + 1))
+        return node
+
+    root = build_node(root_span, 0)
+
+    # Attribute every span's self-time to one component of its owner.
+    for span in trace:
+        child_time = sum(c.duration for c in children.get(span.span_id, ()))
+        self_time = span.duration - child_time
+        if self_time <= 0.0:
+            continue
+        target = nodes[owner[span.span_id].span_id].self_components
+        if span.name == "gpu.kernel":
+            overhead = min(self_time,
+                           float(span.attributes.get("launch_overhead", 0.0)))
+            target["launch_overhead"] += overhead
+            target["kernel"] += self_time - overhead
+        else:
+            target[_SPAN_COMPONENT.get(span.name, "cpu")] += self_time
+
+    verdicts = _collect_verdicts(trace)
+    choices = [
+        KernelChoice(
+            kernel=s.attributes.get("kernel", ""),
+            reason=s.attributes.get("reason", ""),
+            raced=bool(s.attributes.get("raced", False)),
+            cancelled=tuple(c for c in
+                            str(s.attributes.get("cancelled", "")).split(",")
+                            if c),
+            overflow_retries=int(s.attributes.get("overflow_retries", 0)),
+        )
+        for s in trace if s.name == "moderator.run"
+    ]
+    occupancy = [
+        OccupancySlice(
+            device_id=int(s.attributes.get("device_id", -1)),
+            kernel=str(s.attributes.get("kernel", "")),
+            start=s.start, end=s.end,
+        )
+        for s in trace if s.name == "gpu.launch"
+    ]
+    scheduler_events = [
+        {"name": s.name, **s.attributes}
+        for s in trace
+        if s.name in ("scheduler.quarantine", "scheduler.readmit",
+                      "fault.injected", "fault.fallback")
+        or (s.name == "fault.backoff")
+    ]
+    bytes_in = sum(int(s.attributes.get("bytes", 0)) for s in trace
+                   if s.name == "gpu.transfer_in")
+    bytes_out = sum(int(s.attributes.get("bytes", 0)) for s in trace
+                    if s.name == "gpu.transfer_out")
+
+    return QueryProfile(
+        query_id=str(root_span.attributes.get("query_id", "")),
+        trace_id=root_span.trace_id,
+        degree=int(root_span.attributes.get("degree", 0)),
+        gpu_enabled=bool(root_span.attributes.get("gpu_enabled", False)),
+        root=root,
+        verdicts=verdicts,
+        kernel_choices=choices,
+        occupancy=occupancy,
+        scheduler_events=scheduler_events,
+        decisions=list(decisions),
+        bytes_in=bytes_in,
+        bytes_out=bytes_out,
+    )
+
+
+def _find_root(spans: Sequence[Span], query_id: Optional[str]) -> Span:
+    for span in reversed(spans):
+        if span.parent_id is not None:
+            continue
+        if query_id is None or span.attributes.get("query_id") == query_id:
+            return span
+    raise ProfileError(
+        f"no trace recorded for query_id={query_id!r}"
+        if query_id else "no trace recorded"
+    )
+
+
+def _collect_verdicts(trace: Sequence[Span]) -> list[PathVerdict]:
+    """Join each ``pathselect.*`` instant with its group-by's counts.
+
+    The instant's parent is the operator span, whose attributes carry the
+    optimizer estimate and (after execution) the actual group count plus
+    the KMV refinement the hybrid executor stamped.
+    """
+    by_id = {s.span_id: s for s in trace}
+    out: list[PathVerdict] = []
+    for span in trace:
+        if span.name == "pathselect.groupby":
+            parent = by_id.get(span.parent_id or -1)
+            attrs = parent.attributes if parent is not None else {}
+            out.append(PathVerdict(
+                operator="groupby",
+                rows=int(span.attributes.get("rows", 0)),
+                path=str(span.attributes.get("path", "")),
+                reason=str(span.attributes.get("reason", "")),
+                thresholds={
+                    "t1": span.attributes.get("t1"),
+                    "t2": span.attributes.get("t2"),
+                    "t3": span.attributes.get("t3"),
+                },
+                optimizer_groups=attrs.get("estimated_groups"),
+                kmv_groups=attrs.get("kmv_groups"),
+                actual_groups=attrs.get("actual_groups"),
+            ))
+        elif span.name == "pathselect.sort":
+            offload = bool(span.attributes.get("offload", False))
+            out.append(PathVerdict(
+                operator="sort",
+                rows=int(span.attributes.get("rows", 0)),
+                path="gpu" if offload else "cpu-small",
+                reason=f"threshold={span.attributes.get('threshold')}",
+                thresholds={
+                    "threshold": span.attributes.get("threshold"),
+                },
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# HTML timeline
+# ---------------------------------------------------------------------------
+
+_HTML_COLORS = {
+    "query": "#4878a8", "plan": "#90a8c0", "op": "#4878a8",
+    "gpu.transfer_in": "#d09048", "gpu.transfer_out": "#d09048",
+    "gpu.transfer_stall": "#c05850", "gpu.kernel": "#58a068",
+    "gpu.launch": "#388048", "sort.job": "#7890b0",
+    "fault.backoff": "#c05850",
+}
+
+
+def _span_color(name: str) -> str:
+    if name in _HTML_COLORS:
+        return _HTML_COLORS[name]
+    if name.startswith("op."):
+        return _HTML_COLORS["op"]
+    return "#888888"
+
+
+def _render_html(profile: QueryProfile) -> str:
+    """Render the operator tree + device lanes as a static timeline.
+
+    One absolutely-positioned ``div`` per span, scaled to the query
+    duration; deterministic output so two runs diff clean.
+    """
+    total = profile.duration or 1e-12
+    width = 1080.0
+    row_h = 22
+
+    def box(span: Span, row: int, label: str) -> str:
+        left = (span.start - profile.root.span.start) / total * width
+        w = max(2.0, span.duration / total * width)
+        title = _html.escape(
+            f"{span.name}  {span.duration * 1e3:.3f} ms  "
+            + " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+        )
+        text = _html.escape(label)
+        return (
+            f'<div class="s" style="left:{left:.2f}px;top:{row * row_h}px;'
+            f'width:{w:.2f}px;background:{_span_color(span.name)}" '
+            f'title="{title}">{text}</div>'
+        )
+
+    rows: list[str] = []
+    labels: list[str] = []
+    row = 0
+    for node in profile.root.walk():
+        labels.append(
+            f'<div class="l" style="top:{row * row_h}px">'
+            f'{_html.escape("  " * node.depth + node.name)}</div>')
+        rows.append(box(node.span, row,
+                        f"{node.name} {node.duration * 1e3:.2f}ms"))
+        row += 1
+    for device_id in sorted({s.device_id for s in profile.occupancy}):
+        labels.append(f'<div class="l lane" style="top:{row * row_h}px">'
+                      f'GPU {device_id}</div>')
+        for s in profile.occupancy:
+            if s.device_id == device_id:
+                rows.append(box(
+                    Span(name="gpu.launch", trace_id=profile.trace_id,
+                         span_id=0, parent_id=None, start=s.start, end=s.end,
+                         attributes={"kernel": s.kernel,
+                                     "device_id": s.device_id}),
+                    row, s.kernel))
+        row += 1
+
+    height = row * row_h + 40
+    ticks = []
+    for i in range(11):
+        x = i * width / 10
+        t = total * i / 10 * 1e3
+        ticks.append(f'<div class="t" style="left:{x:.1f}px">'
+                     f'{t:.2f}ms</div>')
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>repro profile — {_html.escape(profile.query_id)}</title>
+<style>
+body {{ font: 12px/1.4 monospace; margin: 16px; color: #222; }}
+h1 {{ font-size: 15px; }}
+.wrap {{ position: relative; margin-left: 240px; width: {width:.0f}px;
+        height: {height}px; border-left: 1px solid #ccc; }}
+.s {{ position: absolute; height: {row_h - 4}px; border-radius: 2px;
+     color: #fff; overflow: hidden; white-space: nowrap;
+     font-size: 10px; padding: 1px 3px; box-sizing: border-box; }}
+.l {{ position: absolute; left: -240px; width: 232px; height: {row_h}px;
+     overflow: hidden; white-space: pre; text-align: right; }}
+.l.lane {{ font-weight: bold; }}
+.t {{ position: absolute; bottom: 0; color: #999; font-size: 10px; }}
+pre {{ background: #f6f6f6; padding: 8px; overflow-x: auto; }}
+</style></head><body>
+<h1>EXPLAIN ANALYZE — query={_html.escape(profile.query_id)}
+ ({profile.duration * 1e3:.3f} simulated ms,
+ gpu={'on' if profile.gpu_enabled else 'off'})</h1>
+<div class="wrap">
+{''.join(labels)}
+{''.join(rows)}
+{''.join(ticks)}
+</div>
+<pre>{_html.escape(profile.to_text())}</pre>
+</body></html>
+"""
+
+
+def write_html(profile: QueryProfile, path: str) -> str:
+    """Write :meth:`QueryProfile.to_html` to ``path``; returns the path."""
+    with open(path, "w") as f:
+        f.write(profile.to_html())
+    return path

@@ -82,6 +82,63 @@ class TestLaunch:
         report = device.profiler.report()
         assert "k1" in report and "k2" in report
 
+    def test_profiler_aggregates_bytes_moved(self, device):
+        r = device.memory.reserve(1 << 20)
+        device.launch("k", 0.001, r, rows=10, bytes_in=1024, bytes_out=256)
+        device.launch("k", 0.001, r, rows=10, bytes_in=512)
+        device.memory.release(r)
+        agg = device.profiler.by_kernel()["k"]
+        assert agg.bytes_moved == 1024 + 256 + 512
+        record = device.profiler.records[0]
+        assert (record.bytes_in, record.bytes_out) == (1024, 256)
+
     def test_make_devices(self):
         devices = make_devices((GpuSpec(), GpuSpec()))
         assert [d.device_id for d in devices] == [0, 1]
+
+
+class TestLaunchMetrics:
+    """Satellite of the profiler PR: the GpuProfiler's per-kernel
+    aggregates must surface as first-class registry series."""
+
+    def _launched_device(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        device = GpuDevice(0, GpuSpec())
+        device.metrics = MetricsRegistry()
+        r = device.memory.reserve(1 << 20)
+        device.launch("groupby_shared", 0.002, r, rows=100,
+                      bytes_in=4096, bytes_out=512)
+        device.launch("groupby_shared", 0.003, r, rows=100,
+                      bytes_in=2048, bytes_out=256)
+        device.memory.release(r)
+        return device
+
+    def test_kernel_seconds_total(self):
+        device = self._launched_device()
+        overhead = device.spec.kernel_launch_overhead
+        counter = device.metrics.counter(
+            "repro_kernel_seconds_total",
+            labelnames=("kernel", "device"))
+        value = counter.labels(kernel="groupby_shared", device="0").value
+        assert value == pytest.approx(0.005 + 2 * overhead)
+        invocations = device.metrics.counter(
+            "repro_kernel_invocations_total",
+            labelnames=("kernel", "device"))
+        assert invocations.labels(kernel="groupby_shared",
+                                  device="0").value == 2
+
+    def test_transfer_bytes_total(self):
+        device = self._launched_device()
+        moved = device.metrics.counter("repro_transfer_bytes_total",
+                                       labelnames=("direction",))
+        assert moved.labels(direction="in").value == 4096 + 2048
+        assert moved.labels(direction="out").value == 512 + 256
+
+    def test_transfer_seconds_total_matches_profiler(self):
+        device = self._launched_device()
+        xfer = device.metrics.counter("repro_transfer_seconds_total",
+                                      labelnames=("direction",))
+        total = (xfer.labels(direction="in").value
+                 + xfer.labels(direction="out").value)
+        assert total == pytest.approx(device.profiler.total_transfer_seconds)

@@ -1,0 +1,138 @@
+"""The benchmark harness: deterministic baselines, byte-stable files,
+and a compare gate that trips on regressions and nothing else."""
+
+import json
+
+import pytest
+
+from repro.obs import bench
+from repro.workloads.driver import WorkloadDriver
+
+
+@pytest.fixture(scope="module")
+def driver(bd_catalog, bd_config):
+    return WorkloadDriver(bd_catalog, bd_config)
+
+
+@pytest.fixture(scope="module")
+def result(driver):
+    """One complex-class run (5 queries) at the test fixture's scale."""
+    return bench.run_workload(driver, "bd_insights", scale=0.02, seed=11,
+                              classes=["complex"])
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert bench.percentile(values, 0.50) == 3.0
+        assert bench.percentile(values, 0.95) == 5.0
+        assert bench.percentile(values, 1.00) == 5.0
+
+    def test_empty_and_single(self):
+        assert bench.percentile([], 0.5) == 0.0
+        assert bench.percentile([7.0], 0.95) == 7.0
+
+
+class TestRun:
+    def test_class_stats_shape(self, result):
+        assert set(result.classes) == {"complex"}
+        stat = result.classes["complex"]
+        assert stat.queries == 5
+        assert len(result.queries) == 5
+        assert 0.0 < stat.p50_ms <= stat.p95_ms <= stat.total_ms
+        assert stat.bytes_moved > 0          # complex queries offload
+        assert stat.gpu_offload_ratio == 1.0
+
+    def test_query_stats_consistent_with_class(self, result):
+        stat = result.classes["complex"]
+        elapsed = [q.elapsed_ms for q in result.queries.values()]
+        assert sum(elapsed) == pytest.approx(stat.total_ms)
+        assert stat.bytes_moved == sum(q.bytes_moved
+                                       for q in result.queries.values())
+
+    def test_run_is_deterministic(self, bd_catalog, bd_config, result):
+        fresh = bench.run_workload(
+            WorkloadDriver(bd_catalog, bd_config), "bd_insights",
+            scale=0.02, seed=11, classes=["complex"])
+        assert fresh.to_json() == result.to_json()
+
+    def test_unknown_workload_and_class(self, driver):
+        with pytest.raises(bench.BenchError):
+            bench.workload_classes("tpch", driver)
+        with pytest.raises(bench.BenchError):
+            bench.run_workload(driver, "bd_insights", scale=0.02, seed=11,
+                               classes=["nope"])
+
+
+class TestBaselineIO:
+    def test_round_trip(self, result, tmp_path):
+        path = result.write(str(tmp_path / "BENCH_bd_insights.json"))
+        loaded = bench.load_baseline(path)
+        assert loaded == result.to_dict()
+        assert loaded["format"] == bench.BASELINE_FORMAT
+
+    def test_json_is_byte_stable(self, result):
+        assert result.to_json() == result.to_json()
+        assert result.to_json().endswith("\n")
+        # sorted keys at every level
+        doc = json.loads(result.to_json())
+        assert list(doc["queries"]) == sorted(doc["queries"])
+
+    def test_missing_and_malformed_baseline(self, tmp_path):
+        with pytest.raises(bench.BenchError, match="no baseline"):
+            bench.load_baseline(str(tmp_path / "absent.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(bench.BenchError, match="not valid JSON"):
+            bench.load_baseline(str(bad))
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"format": 99}')
+        with pytest.raises(bench.BenchError, match="format"):
+            bench.load_baseline(str(wrong))
+
+    def test_default_path(self):
+        assert bench.baseline_path("bd_insights") == \
+            "benchmarks/baselines/BENCH_bd_insights.json"
+
+
+class TestCompare:
+    def test_clean_rerun_passes(self, result):
+        comparison = bench.compare(result, result.to_dict())
+        assert comparison.ok
+        assert comparison.failures == []
+        assert "OK" in comparison.to_text()
+
+    def test_injected_slowdown_fails(self, driver, result):
+        slowed = bench.run_workload(driver, "bd_insights", scale=0.02,
+                                    seed=11, classes=["complex"],
+                                    slowdown=1.5)
+        comparison = bench.compare(slowed, result.to_dict(), tolerance=0.10)
+        assert not comparison.ok
+        assert any("p50_ms regressed" in f for f in comparison.failures)
+
+    def test_slowdown_within_tolerance_passes(self, driver, result):
+        slowed = bench.run_workload(driver, "bd_insights", scale=0.02,
+                                    seed=11, classes=["complex"],
+                                    slowdown=1.05)
+        assert bench.compare(slowed, result.to_dict(), tolerance=0.10).ok
+
+    def test_improvement_is_noted_not_failed(self, driver, result):
+        faster = bench.run_workload(driver, "bd_insights", scale=0.02,
+                                    seed=11, classes=["complex"],
+                                    slowdown=0.5)
+        comparison = bench.compare(faster, result.to_dict())
+        assert comparison.ok
+        assert any("improved" in n for n in comparison.notes)
+
+    def test_config_mismatch_fails_outright(self, result):
+        baseline = result.to_dict()
+        baseline["scale"] = 0.05
+        comparison = bench.compare(result, baseline)
+        assert not comparison.ok
+        assert any("config mismatch" in f for f in comparison.failures)
+
+    def test_new_query_in_set_fails(self, result, driver):
+        baseline = result.to_dict()
+        del baseline["queries"]["C1"]
+        comparison = bench.compare(result, baseline)
+        assert any("query set changed" in f for f in comparison.failures)

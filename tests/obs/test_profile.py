@@ -1,0 +1,201 @@
+"""The EXPLAIN ANALYZE profiler: attribution must be exact, the decision
+sections must reflect what the engine actually did, and every rendering
+must be deterministic."""
+
+import json
+
+import pytest
+
+from repro.core.accelerator import GpuAcceleratedEngine
+from repro.obs.profile import COMPONENTS, ProfileError, build_profile
+from repro.workloads.bdinsights import queries_by_category
+from repro.workloads.query import QueryCategory
+
+COMPLEX = queries_by_category(QueryCategory.COMPLEX)
+
+
+@pytest.fixture(scope="module")
+def profiled(bd_catalog, bd_config):
+    """One engine + the profiles of the first two complex queries."""
+    engine = GpuAcceleratedEngine(bd_catalog, config=bd_config)
+    profiles = {}
+    for query in COMPLEX[:2]:
+        _result, profiles[query.query_id] = engine.profile_sql(
+            query.sql, query_id=query.query_id)
+    return engine, profiles
+
+
+class TestAttribution:
+    def test_components_sum_to_query_total(self, profiled):
+        """The acceptance criterion: per-operator attributed times sum to
+        the query's total simulated time (to float rounding)."""
+        _engine, profiles = profiled
+        for profile in profiles.values():
+            accounted = sum(profile.component_totals().values())
+            assert accounted == pytest.approx(profile.duration, abs=1e-12)
+
+    def test_every_self_component_non_negative(self, profiled):
+        _engine, profiles = profiled
+        for profile in profiles.values():
+            for node in profile.operators():
+                for component, seconds in node.self_components.items():
+                    assert seconds >= 0.0, (node.name, component)
+
+    def test_gpu_components_present_on_offloaded_query(self, profiled):
+        _engine, profiles = profiled
+        profile = profiles["C1"]
+        totals = profile.component_totals()
+        assert totals["transfer_in"] > 0
+        assert totals["kernel"] > 0
+        assert totals["transfer_out"] > 0
+        assert totals["launch_overhead"] > 0
+        assert totals["cpu"] > 0
+
+    def test_launch_overhead_split_out_of_kernel_time(self, profiled):
+        """The gpu.kernel span embeds the launch overhead; the profiler
+        must report them as separate components."""
+        engine, profiles = profiled
+        overhead = engine.config.gpus[0].kernel_launch_overhead
+        profile = profiles["C1"]
+        launches = len(profile.occupancy)
+        assert profile.component_totals()["launch_overhead"] == \
+            pytest.approx(overhead * launches)
+
+    def test_operator_tree_mirrors_span_nesting(self, profiled):
+        _engine, profiles = profiled
+        profile = profiles["C1"]
+        assert profile.root.name == "query"
+        names = [n.name for n in profile.operators()]
+        assert "plan" in names
+        assert any(n.startswith("op.") for n in names)
+        for node in profile.operators():
+            for child in node.children:
+                assert child.depth == node.depth + 1
+                assert node.span.start <= child.span.start
+                assert child.span.end <= node.span.end
+
+
+class TestDecisionSections:
+    def test_groupby_verdict_carries_thresholds_and_counts(self, profiled):
+        _engine, profiles = profiled
+        verdicts = [v for v in profiles["C1"].verdicts
+                    if v.operator == "groupby"]
+        assert verdicts
+        v = verdicts[0]
+        assert v.path == "gpu"
+        assert set(v.thresholds) == {"t1", "t2", "t3"}
+        assert all(t is not None for t in v.thresholds.values())
+        assert v.rows > 0
+        assert v.actual_groups is not None and v.actual_groups > 0
+        assert v.kmv_groups is not None
+        assert v.kmv_relative_error is not None
+        assert v.kmv_relative_error >= 0.0
+
+    def test_kernel_choice_recorded(self, profiled):
+        _engine, profiles = profiled
+        choices = profiles["C1"].kernel_choices
+        assert choices
+        assert all(c.kernel for c in choices)
+
+    def test_occupancy_within_query_window(self, profiled):
+        _engine, profiles = profiled
+        profile = profiles["C1"]
+        assert profile.occupancy
+        for s in profile.occupancy:
+            assert s.device_id >= 0
+            assert profile.root.span.start <= s.start <= s.end
+            assert s.end <= profile.root.span.end
+        for device_id, busy in profile.device_busy_seconds().items():
+            assert 0 < busy <= profile.duration
+
+    def test_offload_decisions_joined_from_monitor(self, profiled):
+        engine, profiles = profiled
+        decisions = profiles["C1"].decisions
+        assert decisions == engine.monitor.decisions_for("C1")
+        assert any(d.device_id >= 0 for d in decisions)
+
+    def test_bytes_moved_totals(self, profiled):
+        _engine, profiles = profiled
+        profile = profiles["C1"]
+        assert profile.bytes_in > 0
+        assert profile.bytes_out > 0
+        assert profile.bytes_moved == profile.bytes_in + profile.bytes_out
+
+
+class TestRenderings:
+    def test_text_report_sections(self, profiled):
+        _engine, profiles = profiled
+        text = profiles["C1"].to_text()
+        assert text.startswith("EXPLAIN ANALYZE")
+        for section in ("path selection (Figure 3)", "kernel moderation",
+                        "device occupancy", "accounted:", "(100.00%)"):
+            assert section in text
+
+    def test_text_is_deterministic(self, bd_catalog, bd_config):
+        texts = []
+        for _ in range(2):
+            engine = GpuAcceleratedEngine(bd_catalog, config=bd_config)
+            _result, profile = engine.profile_sql(COMPLEX[0].sql,
+                                                  query_id="C1")
+            texts.append(profile.to_text())
+        assert texts[0] == texts[1]
+
+    def test_json_round_trips(self, profiled):
+        _engine, profiles = profiled
+        doc = json.loads(profiles["C1"].to_json())
+        assert doc["query_id"] == "C1"
+        assert doc["duration_seconds"] > 0
+        assert doc["operators"]["name"] == "query"
+        assert doc["path_selection"]
+        assert doc["kernel_choices"]
+        assert set(doc["component_totals"]) <= set(COMPONENTS)
+
+    def test_html_is_self_contained(self, profiled, tmp_path):
+        from repro.obs.profile import write_html
+
+        _engine, profiles = profiled
+        html = profiles["C1"].to_html()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http" not in html.split("</style>")[1]   # no external assets
+        assert "op.groupby" in html
+        assert "GPU 0" in html
+        path = write_html(profiles["C1"], str(tmp_path / "p.html"))
+        assert (tmp_path / "p.html").read_text() == html
+
+
+class TestEdges:
+    def test_missing_query_raises(self, profiled):
+        engine, _profiles = profiled
+        with pytest.raises(ProfileError):
+            build_profile(engine.tracer, query_id="never-ran")
+        with pytest.raises(ProfileError):
+            build_profile([], query_id=None)
+
+    def test_cpu_only_engine_profiles_too(self, bd_catalog):
+        from repro.blu.engine import BluEngine
+        from repro.obs.tracing import Tracer
+
+        engine = BluEngine(bd_catalog, tracer=Tracer())
+        engine.execute_sql(COMPLEX[0].sql, query_id="cpu")
+        profile = build_profile(engine.tracer, query_id="cpu")
+        assert not profile.gpu_enabled
+        assert profile.occupancy == []
+        totals = profile.component_totals()
+        assert sum(totals.values()) == pytest.approx(profile.duration,
+                                                     abs=1e-12)
+        assert totals["kernel"] == 0.0
+
+    def test_profile_under_faults_still_sums(self, bd_catalog, bd_config):
+        import dataclasses
+
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.parse("launch:p=1.0")
+        engine = GpuAcceleratedEngine(
+            bd_catalog, config=dataclasses.replace(bd_config, faults=plan))
+        _result, profile = engine.profile_sql(COMPLEX[0].sql,
+                                              query_id="faulty")
+        accounted = sum(profile.component_totals().values())
+        assert accounted == pytest.approx(profile.duration, abs=1e-12)
+        names = {e["name"] for e in profile.scheduler_events}
+        assert "fault.injected" in names or "fault.fallback" in names

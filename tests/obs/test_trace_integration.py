@@ -60,6 +60,22 @@ class TestSpanTree:
             assert span.attributes["kernel"]
             assert span.duration > 0
 
+    def test_groupby_spans_carry_estimate_vs_actual(self, traced_engine):
+        """Satellite of the profiler PR: every group-by span reports the
+        optimizer estimate and the actual group count; GPU-path spans add
+        the KMV refinement and its relative error."""
+        groupbys = [s for s in traced_engine.tracer.spans
+                    if s.name == "op.groupby"]
+        assert groupbys
+        for span in groupbys:
+            assert "estimated_groups" in span.attributes
+            assert span.attributes["actual_groups"] > 0
+        gpu_spans = [s for s in groupbys if "kmv_groups" in s.attributes]
+        assert gpu_spans
+        for span in gpu_spans:
+            assert span.attributes["kmv_groups"] > 0
+            assert span.attributes["kmv_relative_error"] >= 0.0
+
     def test_offload_decision_names_operator_and_path(self, traced_engine):
         decisions = [s for s in traced_engine.tracer.spans
                      if s.name == "offload.decision"]
@@ -86,6 +102,18 @@ class TestExports:
         assert "repro_kernel_latency_seconds_bucket" in text
         assert 'le="+Inf"' in text
         assert "repro_queries_total 2" in text
+
+    def test_prometheus_has_kmv_error_histogram(self, traced_engine):
+        text = traced_engine.prometheus()
+        assert "# TYPE repro_kmv_relative_error histogram" in text
+        assert 'repro_kmv_relative_error_bucket{le="0"}' in text
+        assert "repro_kmv_relative_error_count" in text
+
+    def test_prometheus_has_kernel_and_transfer_totals(self, traced_engine):
+        text = traced_engine.prometheus()
+        assert "# TYPE repro_kernel_seconds_total counter" in text
+        assert "# TYPE repro_transfer_bytes_total counter" in text
+        assert 'repro_transfer_bytes_total{direction="in"}' in text
 
     def test_monitor_report_still_renders(self, traced_engine):
         report = traced_engine.monitor.report()

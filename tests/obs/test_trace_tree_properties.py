@@ -1,0 +1,114 @@
+"""Property tests for trace-tree invariants (hypothesis).
+
+Whatever a query does — clean run, injected faults, CPU fallbacks,
+quarantined devices — its spans must form a single rooted tree with
+child intervals contained in parent intervals.  The profiler's exact
+attribution (and the Chrome export's lane nesting) both lean on these
+invariants, so they are pinned here over a randomized space of fault
+plans rather than one happy path.
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import paper_testbed
+from repro.core import GpuAcceleratedEngine
+from repro.faults import FAULT_SITES, FaultPlan, FaultRule
+
+QUERIES = (
+    "SELECT s_store, SUM(s_paid) AS paid, COUNT(*) AS c "
+    "FROM sales GROUP BY s_store",
+    "SELECT s_item, s_paid FROM sales ORDER BY s_paid DESC, s_item",
+    "SELECT st_state, SUM(s_paid) AS paid "
+    "FROM sales JOIN stores ON s_store = st_id GROUP BY st_state",
+)
+
+
+def _test_config(faults=None):
+    config = paper_testbed()
+    thresholds = dataclasses.replace(config.thresholds, t1_min_rows=5_000,
+                                     sort_min_rows=5_000)
+    return dataclasses.replace(config, thresholds=thresholds, faults=faults)
+
+
+def assert_tree_invariants(tracer, expected_queries):
+    """The contract every trace must satisfy, clean or faulty."""
+    spans = tracer.spans
+    by_id = {s.span_id: s for s in spans}
+    assert len(by_id) == len(spans), "span ids must be unique"
+
+    roots = [s for s in spans if s.parent_id is None]
+    # One rooted tree per query, stamped with its query id.
+    assert [r.attributes.get("query_id") for r in roots] == \
+        list(expected_queries)
+    assert len({r.trace_id for r in roots}) == len(roots)
+
+    children: dict[int, list] = {}
+    for span in spans:
+        assert span.duration >= 0.0
+        if span.parent_id is None:
+            continue
+        parent = by_id.get(span.parent_id)
+        assert parent is not None, f"{span.name}: dangling parent_id"
+        assert parent.trace_id == span.trace_id
+        # Containment: the child's interval sits inside the parent's.
+        assert parent.start <= span.start, (parent.name, span.name)
+        assert span.end <= parent.end, (parent.name, span.name)
+        children.setdefault(parent.span_id, []).append(span)
+
+    # Single tree: every span of a trace is reachable from its root.
+    for root in roots:
+        seen = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            seen.add(node.span_id)
+            stack.extend(children.get(node.span_id, ()))
+        trace_ids = {s.span_id for s in spans
+                     if s.trace_id == root.trace_id}
+        assert seen == trace_ids, "trace has spans unreachable from root"
+
+    # The global span list is in simulated start order.
+    starts = [s.start for s in spans]
+    assert starts == sorted(starts)
+
+
+def _run_and_check(plan):
+    engine = GpuAcceleratedEngine(_run_and_check.catalog,
+                                  config=_test_config(faults=plan),
+                                  enable_join_offload=True)
+    ids = []
+    for i, sql in enumerate(QUERIES):
+        engine.execute_sql(sql, query_id=f"q{i}")
+        ids.append(f"q{i}")
+    assert_tree_invariants(engine.tracer, ids)
+
+
+def test_clean_run_tree_invariants(small_catalog):
+    _run_and_check.catalog = small_catalog
+    _run_and_check(None)
+
+
+fault_plans = st.lists(
+    st.builds(
+        lambda site, device_id, p: FaultRule(
+            site=site, device_id=device_id, probability=p,
+            stall_seconds=1e-3 if site == "transfer" else 0.0),
+        site=st.sampled_from(FAULT_SITES),
+        device_id=st.sampled_from([-1, 0, 1]),
+        p=st.sampled_from([0.3, 0.7, 1.0]),
+    ),
+    min_size=1, max_size=3,
+).map(lambda rules: FaultPlan(rules=tuple(rules), seed=0))
+
+
+@given(plan=fault_plans, seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_fault_plan_runs_keep_tree_invariants(small_catalog, plan, seed):
+    """Faults add spans (fault.*, scheduler.*, retries) mid-flight; none
+    of them may break the tree: still one root per query, still nested."""
+    _run_and_check.catalog = small_catalog
+    _run_and_check(plan.with_seed(seed))

@@ -137,6 +137,83 @@ class TestTraceCommand:
         assert records and records[0]["name"] == "query"
 
 
+class TestProfileCommand:
+    SQL = ("SELECT i_category, SUM(ss_net_paid) AS rev "
+           "FROM store_sales "
+           "JOIN item ON ss_item_sk = i_item_sk "
+           "GROUP BY i_category")
+
+    def test_prints_explain_analyze(self, capsys):
+        code = main(SCALE + ["profile", self.SQL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "EXPLAIN ANALYZE" in out
+        assert "path selection (Figure 3)" in out
+        assert "(100.00%)" in out
+
+    def test_is_deterministic(self, capsys):
+        main(SCALE + ["profile", self.SQL])
+        first = capsys.readouterr().out
+        main(SCALE + ["profile", self.SQL])
+        assert capsys.readouterr().out == first
+
+    def test_json_and_html_export(self, capsys, tmp_path):
+        import json
+
+        json_path = str(tmp_path / "profile.json")
+        html_path = str(tmp_path / "profile.html")
+        code = main(SCALE + ["profile", self.SQL,
+                             "--json", json_path, "--html", html_path])
+        assert code == 0
+        with open(json_path) as f:
+            doc = json.load(f)
+        assert doc["query_id"] == "profile"
+        html = (tmp_path / "profile.html").read_text()
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_bare_json_prints_document(self, capsys):
+        import json
+
+        code = main(SCALE + ["profile", self.SQL, "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["operators"]["name"] == "query"
+
+
+class TestBenchCommand:
+    def test_update_then_compare_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "BENCH_bd_insights.json")
+        code = main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                             "--baseline", path, "--update"])
+        assert code == 0
+        assert "wrote baseline" in capsys.readouterr().out
+        code = main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                             "--baseline", path, "--compare"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out
+
+    def test_compare_fails_on_injected_slowdown(self, capsys, tmp_path):
+        path = str(tmp_path / "BENCH_bd_insights.json")
+        main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                      "--baseline", path, "--update"])
+        capsys.readouterr()
+        code = main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                             "--baseline", path, "--compare",
+                             "--slowdown", "1.5"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out and "regressed" in out
+
+    def test_compare_without_baseline_errors(self, capsys, tmp_path):
+        code = main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                             "--baseline", str(tmp_path / "absent.json"),
+                             "--compare"])
+        assert code == 1
+        assert "no baseline" in capsys.readouterr().out
+
+
 class TestMetricsCommand:
     def test_prometheus_output(self, capsys):
         code = main(SCALE + ["metrics"])
