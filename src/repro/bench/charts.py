@@ -26,7 +26,7 @@ def bar_chart(
     peak = max(all_values, default=0.0)
     if peak <= 0:
         peak = 1.0
-    label_width = max((len(l) for l in labels), default=0)
+    label_width = max((len(label) for label in labels), default=0)
     series_width = max((len(s) for s in series), default=0)
     glyphs = {}
     for i, name in enumerate(series):

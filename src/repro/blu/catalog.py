@@ -20,6 +20,17 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, dict[str, ColumnStats]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic DDL counter, bumped by register/drop.
+
+        Device-side caches (:mod:`repro.gpu.cache`) key their segments on
+        this, so entries cached against an older catalog generation become
+        unreachable the moment the schema changes.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Registration
@@ -30,6 +41,7 @@ class Catalog:
         if key in self._tables:
             raise SchemaError(f"table {table.name!r} already registered")
         self._tables[key] = table
+        self._version += 1
         if collect_stats:
             self._stats[key] = {
                 f.name.lower(): compute_column_stats(c)
@@ -44,6 +56,7 @@ class Catalog:
             raise SchemaError(f"unknown table {name!r}")
         del self._tables[key]
         del self._stats[key]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Lookup

@@ -23,8 +23,13 @@ Commands
                and ``--html`` export the same profile
 ``bench``      run a workload's query classes through the harness;
                ``--update`` writes the BENCH_<workload>.json baseline,
-               ``--compare`` diffs against it and exits non-zero on a
-               latency regression beyond ``--tolerance``
+               ``--compare`` diffs against it and exits non-zero on any
+               latency move beyond ``--tolerance`` (regression *or*
+               stale-baseline improvement); ``--cache-fraction``
+               overrides the device column-cache budget and ``--out``
+               saves the run's JSON without touching the baseline
+``cache-stats`` run a query class and print per-device column-cache
+               counters (hits, misses, evictions, resident bytes)
 
 Examples::
 
@@ -46,6 +51,8 @@ Examples::
         GROUP BY i_category ORDER BY rev DESC" --html profile.html
     python -m repro bench bd_insights --compare
     python -m repro bench cognos_rolap --update
+    python -m repro bench bd_insights --cache-fraction 0 --out run.json
+    python -m repro cache-stats --category complex
 """
 
 from __future__ import annotations
@@ -174,6 +181,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--slowdown", type=float, default=1.0,
                          help="multiply measured latencies — a self-test "
                               "hook proving the gate trips (default 1.0)")
+    p_bench.add_argument("--cache-fraction", type=float, default=None,
+                         metavar="F",
+                         help="device column-cache budget as a fraction of "
+                              "device memory (0 disables; default: config, "
+                              "or the baseline's value on --compare)")
+    p_bench.add_argument("--out", metavar="PATH", default=None,
+                         help="also write this run's result JSON to PATH "
+                              "(independent of --update)")
+
+    p_cache = sub.add_parser(
+        "cache-stats",
+        help="run a query class and print per-device column-cache stats")
+    p_cache.add_argument("--category", default="complex",
+                         choices=["simple", "intermediate", "complex"],
+                         help="query class to run (default complex)")
+    p_cache.add_argument("--cache-fraction", type=float, default=None,
+                         metavar="F",
+                         help="override the column-cache budget fraction "
+                              "(0 disables; default: config)")
+    p_cache.add_argument("--json", action="store_true",
+                         help="print the stats as JSON instead of a table")
     return parser
 
 
@@ -412,12 +440,15 @@ def cmd_profile(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    import dataclasses
+
     from repro.obs import bench
     from repro.workloads.datagen import generate_database, scaled_config
     from repro.workloads.driver import WorkloadDriver
 
     path = args.baseline or bench.baseline_path(args.workload)
     scale, seed = args.scale, args.seed
+    cache_fraction = args.cache_fraction
     baseline = None
     if args.compare:
         try:
@@ -432,11 +463,16 @@ def cmd_bench(args) -> int:
                   f"seed={baseline['seed']} (overrides CLI)")
         scale, seed = baseline["scale"], baseline["seed"]
         degree = baseline["degree"]
+        if cache_fraction is None and "cache_fraction" in baseline:
+            cache_fraction = baseline["cache_fraction"]
     else:
         degree = args.degree
 
     catalog = generate_database(scale=scale, seed=seed)
-    driver = WorkloadDriver(catalog, scaled_config(catalog), degree=degree)
+    config = scaled_config(catalog)
+    if cache_fraction is not None:
+        config = dataclasses.replace(config, cache_fraction=cache_fraction)
+    driver = WorkloadDriver(catalog, config, degree=degree)
     classes = args.classes.split(",") if args.classes else None
     try:
         result = bench.run_workload(driver, args.workload, scale=scale,
@@ -456,9 +492,12 @@ def cmd_bench(args) -> int:
         ["class", "queries", "p50 ms", "p95 ms", "total ms",
          "MB moved", "offload"],
         rows, title=f"{args.workload}  scale={scale} seed={seed} "
-                    f"degree={degree}"))
+                    f"degree={degree} cache={result.cache_fraction}"))
     print()
 
+    if args.out:
+        result.write(args.out)
+        print(f"wrote {args.out}")
     if args.update:
         result.write(path)
         print(f"wrote baseline {path}")
@@ -469,6 +508,48 @@ def cmd_bench(args) -> int:
         print(comparison.to_text())
         return 0 if comparison.ok else 1
     print(f"(dry run: --update writes {path}, --compare diffs against it)")
+    return 0
+
+
+def cmd_cache_stats(args) -> int:
+    import dataclasses
+
+    from repro.core.accelerator import GpuAcceleratedEngine
+    from repro.workloads.bdinsights import queries_by_category
+    from repro.workloads.query import QueryCategory
+
+    catalog, config = _make_database(args)
+    if args.cache_fraction is not None:
+        config = dataclasses.replace(config,
+                                     cache_fraction=args.cache_fraction)
+    engine = GpuAcceleratedEngine(catalog, config=config)
+    for query in queries_by_category(QueryCategory(args.category)):
+        engine.execute_sql(query.sql, query_id=query.query_id)
+    stats = engine.cache_stats()
+    if args.json:
+        import json
+
+        print(json.dumps(stats, indent=1, sort_keys=True))
+        return 0
+    if not stats:
+        print(f"column cache disabled "
+              f"(cache_fraction={config.cache_fraction})")
+        return 0
+    rows = [
+        (s["device_id"], f"{s['budget_bytes'] / 1e6:.2f}",
+         f"{s['cached_bytes'] / 1e6:.2f}", s["entries"], s["hits"],
+         s["misses"], f"{s['hit_rate'] * 100:.1f}%",
+         f"{s['hit_bytes'] / 1e6:.2f}", s["evictions"],
+         s["insert_failures"])
+        for s in stats
+    ]
+    print(format_table(
+        ["GPU", "budget MB", "cached MB", "entries", "hits", "misses",
+         "hit rate", "elided MB", "evict", "ins-fail"],
+        rows, title=f"column cache after {args.category} queries, "
+                    f"cache_fraction={config.cache_fraction}"))
+    elided = sum(s["hit_bytes"] for s in stats)
+    print(f"\ntotal host->device transfer elided: {elided} B")
     return 0
 
 
@@ -484,6 +565,7 @@ _COMMANDS = {
     "faults": cmd_faults,
     "profile": cmd_profile,
     "bench": cmd_bench,
+    "cache-stats": cmd_cache_stats,
 }
 
 

@@ -166,6 +166,12 @@ class SystemConfig:
     when set, the accelerated engine arms a fault injector over the GPU
     substrate and enables the recovery policies (reservation retry,
     circuit breaker) described in ``docs/fault_injection.md``.
+
+    ``cache_fraction`` carves that share of each device's memory out as
+    the budget for the device-resident column cache
+    (:mod:`repro.gpu.cache`, ``docs/gpu_cache.md``).  ``0.0`` disables
+    caching entirely and restores the ship-every-launch transfer
+    behaviour of the paper's prototype.
     """
 
     host: HostSpec = field(default_factory=HostSpec)
@@ -173,6 +179,7 @@ class SystemConfig:
     cost: CostModel = field(default_factory=CostModel)
     thresholds: Thresholds = field(default_factory=Thresholds)
     faults: Optional["FaultPlan"] = None
+    cache_fraction: float = 0.25
 
     @property
     def gpu_count(self) -> int:

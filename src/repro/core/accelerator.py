@@ -33,6 +33,7 @@ from repro.core.scheduler import MultiGpuScheduler
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.policies import RetryPolicy
+from repro.gpu.cache import DeviceColumnCache
 from repro.gpu.device import GpuDevice, make_devices
 from repro.gpu.pinned import PinnedMemoryPool
 from repro.obs.export import chrome_trace, prometheus_text
@@ -73,6 +74,22 @@ class GpuAcceleratedEngine:
         self.monitor = PerformanceMonitor(self.devices,
                                           registry=self.registry,
                                           tracer=self.tracer)
+        # Device-resident column cache (docs/gpu_cache.md): each device
+        # gets a budget carved from its memory as per-entry ``cache``
+        # reservations; 0 disables and restores ship-every-launch.
+        fraction = self.config.cache_fraction
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError(
+                f"cache_fraction must be in [0, 1), got {fraction}")
+        if fraction > 0.0:
+            for device in self.devices:
+                device.cache = DeviceColumnCache(
+                    device.memory,
+                    budget_bytes=int(device.memory.capacity * fraction),
+                    device_id=device.device_id,
+                    tracer=self.tracer,
+                    metrics=self.registry,
+                )
         # Fault injection (docs/fault_injection.md): an explicit ``faults``
         # kwarg wins over the plan on the config; an empty plan disarms.
         plan = faults if faults is not None else self.config.faults
@@ -111,18 +128,21 @@ class GpuAcceleratedEngine:
             monitor=self.monitor,
             race_kernels=race_kernels,
             partition_large=partition_large_groupby,
+            catalog=catalog,
         )
         self._sort = HybridSortExecutor(
             scheduler=self.scheduler,
             pinned=self.pinned,
             thresholds=self.config.thresholds,
             monitor=self.monitor,
+            catalog=catalog,
         )
         self._join = HybridJoinExecutor(
             scheduler=self.scheduler,
             pinned=self.pinned,
             thresholds=self.config.thresholds,
             monitor=self.monitor,
+            catalog=catalog,
         ) if enable_join_offload else None
         self.engine = BluEngine(
             catalog,
@@ -237,6 +257,14 @@ class GpuAcceleratedEngine:
     # ------------------------------------------------------------------
     # Observability exports
     # ------------------------------------------------------------------
+
+    def cache_stats(self) -> list[dict]:
+        """Per-device column-cache counters (empty when caching is off)."""
+        return [
+            device.cache.stats()
+            for device in self.devices
+            if device.cache is not None
+        ]
 
     def chrome_trace(self) -> dict:
         """Every span recorded so far as Chrome trace-event JSON."""

@@ -19,14 +19,17 @@ This is the paper's centrepiece.  For each group-by the executor:
 
 from __future__ import annotations
 
+import itertools as _itertools
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from repro.blu.catalog import Catalog
 from repro.blu.compression import packed_transfer_bytes
 from repro.blu.datatypes import int64 as int64_type
 from repro.blu.engine import OperatorContext, cpu_groupby_executor
+from repro.blu.expressions import ColumnRef
 from repro.blu.evaluators import build_gpu_host_chain
 from repro.blu.operators.aggregate import (
     build_group_output,
@@ -43,17 +46,17 @@ from repro.core.monitoring import OffloadDecision, PerformanceMonitor
 from repro.core.pathselect import ExecutionPath, select_groupby_path
 from repro.core.scheduler import MultiGpuScheduler
 from repro.errors import GpuError, PinnedMemoryError
+from repro.gpu.cache import SegmentKey, StagedSegment, content_digest
 from repro.gpu.kernels.hashtable import combine_keys
 from repro.gpu.kernels.request import GroupByRequest, PayloadSpec
 from repro.gpu.pinned import PinnedMemoryPool
+from repro.gpu.transfer import effective_transfer_bytes
 from repro.timing import CostEvent
 
 _DISPATCH_SECONDS = 50e-6     # the single dispatching thread's CPU work
 
 # Deterministic, widely spaced parallel-group ids: each partitioned run
 # claims a base id and numbers its device waves from there.
-import itertools as _itertools
-
 _PARALLEL_GROUP_IDS = _itertools.count(0, 1024)
 
 
@@ -77,6 +80,7 @@ class HybridGroupByExecutor:
     monitor: Optional[PerformanceMonitor] = None
     race_kernels: bool = False
     partition_large: bool = False
+    catalog: Optional[Catalog] = None
     query_id: str = ""
 
     def __call__(self, table: Table, node: GroupByNode,
@@ -126,14 +130,13 @@ class HybridGroupByExecutor:
             key_transfer_bytes=_staged_key_bytes(table, node.keys),
         )
         staged_bytes = metadata.staged_input_bytes()
-        host_chain = build_gpu_host_chain(
-            rows=rows, num_keys=len(node.keys),
-            num_aggs=max(1, len(payloads)),
-            staged_bytes=staged_bytes, cost=cost,
-        )
+        segments = self._staged_segments(table, node)
 
         # Up-front device memory reservation, sized from optimizer metadata
-        # (the KMV refinement may grow it below).
+        # (the KMV refinement may grow it below).  The reservation stays
+        # full-sized even when cached segments will elide transfers: the
+        # staged input lives on the device either way, the cache merely
+        # holds part of it already.
         request = GroupByRequest(
             keys=combined, key_bits=key_bits, payloads=payloads,
             estimated_groups=metadata.estimated_groups, exact_keys=exact,
@@ -147,7 +150,9 @@ class HybridGroupByExecutor:
                 for k in self.moderator.candidates(metadata)
                 if k is not kernel
             )
-        lease = self.scheduler.try_acquire(memory_needed, tag="groupby")
+        lease = self.scheduler.try_acquire(
+            memory_needed, tag="groupby",
+            affinity=[s.key for s in segments])
         if lease is None:
             # No device has room right now: fall back to the CPU chain
             # (section 2.1.1 option 2).  Nothing was staged yet, so only
@@ -162,11 +167,29 @@ class HybridGroupByExecutor:
                             f"kmv groups~{metadata.estimated_groups}",
                      kernel=kernel.name, device_id=lease.device.device_id)
 
+        # Column-cache probe on the leased device: resident segments skip
+        # both the MEMCPY into pinned staging and the PCIe copy.
+        cache = lease.device.cache
+        hit_bytes = 0
+        missed: list[StagedSegment] = []
+        if cache is not None and cache.enabled:
+            for segment in segments:
+                if cache.lookup(segment.key):
+                    hit_bytes += segment.nbytes
+                else:
+                    missed.append(segment)
+        transfer_bytes = effective_transfer_bytes(staged_bytes, hit_bytes)
+        host_chain = build_gpu_host_chain(
+            rows=rows, num_keys=len(node.keys),
+            num_aggs=max(1, len(payloads)),
+            staged_bytes=transfer_bytes, cost=cost,
+        )
+
         # The host chain (including MEMCPY into pinned staging) runs now.
         for event in host_chain.cost_events(ctx.degree):
             ctx.ledger.add(event)
         try:
-            buffer = self.pinned.allocate(staged_bytes)
+            buffer = self.pinned.allocate(transfer_bytes)
         except PinnedMemoryError as exc:
             self.scheduler.release(lease)
             if self.monitor is not None:
@@ -191,7 +214,7 @@ class HybridGroupByExecutor:
                                 + outcome.wasted_device_seconds),
                 reservation=lease.reservation,
                 rows=rows,
-                bytes_in=staged_bytes,
+                bytes_in=transfer_bytes,
                 bytes_out=metadata.result_bytes(),
                 pinned=True,
             )
@@ -222,6 +245,13 @@ class HybridGroupByExecutor:
         finally:
             self.pinned.release(buffer)
             self.scheduler.release(lease)
+
+        # Admit the freshly staged segments now that the query's own
+        # reservation has been returned (insert failures are harmless —
+        # the cache simply stays cold for those segments).
+        if cache is not None and cache.enabled:
+            for segment in missed:
+                cache.insert(segment.key, segment.nbytes)
 
         self._note_kmv(kmv.groups, winner.n_groups)
         first_row = _first_rows(winner.group_index, winner.n_groups)
@@ -393,6 +423,47 @@ class HybridGroupByExecutor:
     # Helpers
     # ------------------------------------------------------------------
 
+    def _staged_segments(self, table: Table,
+                         node: GroupByNode) -> list[StagedSegment]:
+        """The cacheable slices of this group-by's staged input.
+
+        Key columns stage at their packed transfer widths, plain-column
+        aggregation payloads at 4 bytes/row.  ``COUNT(*)`` and computed
+        expressions have no stable column identity, so those payload
+        slots always re-stage (they are simply absent from the list).
+        The segment token is a content digest of the encoded column, so
+        a fact column gathered unchanged through an order-preserving N:1
+        join shares entries with its base table.
+        """
+        version = self.catalog.version if self.catalog is not None else 0
+        rows = table.num_rows
+        segments = []
+        for name in node.keys:
+            col = table.column(name)
+            segments.append(StagedSegment(
+                key=SegmentKey(
+                    table=table.name, column=name,
+                    segment="key:" + content_digest(col.data,
+                                                    col.null_mask),
+                    catalog_version=version,
+                ),
+                nbytes=_packed_key_bytes(col),
+            ))
+        for agg in node.aggs:
+            if not isinstance(agg.expr, ColumnRef):
+                continue
+            col = table.column(agg.expr.name)
+            segments.append(StagedSegment(
+                key=SegmentKey(
+                    table=table.name, column=agg.expr.name,
+                    segment="agg:" + content_digest(col.data,
+                                                    col.null_mask),
+                    catalog_version=version,
+                ),
+                nbytes=rows * 4,
+            ))
+        return segments
+
     def _payload_specs(self, table: Table,
                        node: GroupByNode) -> list[PayloadSpec]:
         specs = []
@@ -440,24 +511,25 @@ class HybridGroupByExecutor:
         ))
 
 
-def _staged_key_bytes(table: Table, keys) -> int:
-    """Bytes MEMCPY stages for the key columns, at their packed widths.
+def _packed_key_bytes(col) -> int:
+    """Staged bytes of one grouping-key column at its packed width.
 
     Dictionary columns pack to their cardinality's width; plain integer
     columns pack to their value span (BLU's load-time frame-of-reference
     encoding).
     """
-    total = 0
-    for name in keys:
-        col = table.column(name)
-        if col.dictionary is not None:
-            cardinality = col.dictionary.cardinality
-        elif len(col.data):
-            cardinality = int(col.data.max()) - int(col.data.min()) + 1
-        else:
-            cardinality = 1
-        total += packed_transfer_bytes(len(col), cardinality)
-    return total
+    if col.dictionary is not None:
+        cardinality = col.dictionary.cardinality
+    elif len(col.data):
+        cardinality = int(col.data.max()) - int(col.data.min()) + 1
+    else:
+        cardinality = 1
+    return packed_transfer_bytes(len(col), cardinality)
+
+
+def _staged_key_bytes(table: Table, keys) -> int:
+    """Bytes MEMCPY stages for the key columns, at their packed widths."""
+    return sum(_packed_key_bytes(table.column(name)) for name in keys)
 
 
 def _first_rows(group_index: np.ndarray, n_groups: int) -> np.ndarray:

@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.blu.catalog import Catalog
 from repro.blu.engine import OperatorContext, cpu_join_executor
 from repro.blu.operators.join import _aligned_keys, _assemble
 from repro.blu.plan import JoinNode
@@ -24,8 +25,10 @@ from repro.config import Thresholds
 from repro.core.monitoring import OffloadDecision, PerformanceMonitor
 from repro.core.scheduler import MultiGpuScheduler
 from repro.errors import GpuError, PinnedMemoryError
+from repro.gpu.cache import SegmentKey, StagedSegment, content_digest
 from repro.gpu.kernels.join import HashJoinKernel
 from repro.gpu.pinned import PinnedMemoryPool
+from repro.gpu.transfer import effective_transfer_bytes
 from repro.timing import CostEvent
 
 _DISPATCH_SECONDS = 50e-6
@@ -39,6 +42,7 @@ class HybridJoinExecutor:
     pinned: PinnedMemoryPool
     thresholds: Thresholds
     monitor: Optional[PerformanceMonitor] = None
+    catalog: Optional[Catalog] = None
     query_id: str = ""
 
     def __call__(self, left: Table, right: Table, node: JoinNode,
@@ -66,14 +70,45 @@ class HybridJoinExecutor:
         result_bytes = probe_rows * 4
         memory_needed = staged + result_bytes \
             + kernel.table_bytes(build_rows)
-        lease = self.scheduler.try_acquire(memory_needed, tag="join")
+        version = self.catalog.version if self.catalog is not None else 0
+        segments = [
+            StagedSegment(
+                key=SegmentKey(
+                    table=right.name, column=node.right_key,
+                    segment="join-build:" + content_digest(build_keys),
+                    catalog_version=version,
+                ),
+                nbytes=build_rows * 8,
+            ),
+            StagedSegment(
+                key=SegmentKey(
+                    table=left.name, column=node.left_key,
+                    segment="join-probe:" + content_digest(probe_keys),
+                    catalog_version=version,
+                ),
+                nbytes=probe_rows * 4,
+            ),
+        ]
+        lease = self.scheduler.try_acquire(
+            memory_needed, tag="join",
+            affinity=[s.key for s in segments])
         if lease is None:
             self._record("cpu-fallback",
                          f"no GPU could reserve {memory_needed} bytes")
             return cpu_join_executor(left, right, node, ctx)
 
+        cache = lease.device.cache
+        hit_bytes = 0
+        missed: list[StagedSegment] = []
+        if cache is not None and cache.enabled:
+            for segment in segments:
+                if cache.lookup(segment.key):
+                    hit_bytes += segment.nbytes
+                else:
+                    missed.append(segment)
+        transfer = effective_transfer_bytes(staged, hit_bytes)
         try:
-            buffer = self.pinned.allocate(staged)
+            buffer = self.pinned.allocate(transfer)
         except PinnedMemoryError as exc:
             self.scheduler.release(lease)
             if self.monitor is not None:
@@ -92,7 +127,7 @@ class HybridJoinExecutor:
                 kernel_seconds=result.kernel_seconds,
                 reservation=lease.reservation,
                 rows=probe_rows,
-                bytes_in=staged,
+                bytes_in=transfer,
                 bytes_out=len(result.left_idx) * 4,
                 pinned=True,
             )
@@ -125,6 +160,10 @@ class HybridJoinExecutor:
         finally:
             self.pinned.release(buffer)
             self.scheduler.release(lease)
+
+        if cache is not None and cache.enabled:
+            for segment in missed:
+                cache.insert(segment.key, segment.nbytes)
 
         self._record("gpu", f"offloaded FK join: {probe_rows} probe rows, "
                             f"{build_rows} build rows")

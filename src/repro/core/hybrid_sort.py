@@ -30,6 +30,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.blu.catalog import Catalog
 from repro.blu.engine import OperatorContext, cpu_sort_executor
 from repro.blu.plan import SortKey, SortNode
 from repro.blu.table import Table
@@ -39,8 +40,10 @@ from repro.core.pathselect import select_sort_offload
 from repro.core.scheduler import MultiGpuScheduler
 from repro.errors import GpuError, PinnedMemoryError
 from repro.obs.tracing import NULL_TRACER
+from repro.gpu.cache import SegmentKey, StagedSegment, content_digest
 from repro.gpu.kernels.radix_sort import RadixSortKernel
 from repro.gpu.pinned import PinnedMemoryPool
+from repro.gpu.transfer import effective_transfer_bytes
 from repro.timing import CostEvent
 
 _DISPATCH_SECONDS = 50e-6
@@ -140,6 +143,7 @@ class HybridSortExecutor:
     pinned: PinnedMemoryPool
     thresholds: Thresholds
     monitor: Optional[PerformanceMonitor] = None
+    catalog: Optional[Catalog] = None
     query_id: str = ""
     last_stats: SortRunStats = field(default_factory=SortRunStats)
 
@@ -174,6 +178,9 @@ class HybridSortExecutor:
         stats = SortRunStats()
 
         tracer = self._tracer or NULL_TRACER
+        version = self.catalog.version if self.catalog is not None else 0
+        keys_label = ",".join(
+            k.column + ("+" if k.ascending else "-") for k in keys)
         queue: list[SortJob] = [SortJob(0, n, 0)]
         while queue:
             job = queue.pop()
@@ -192,7 +199,20 @@ class HybridSortExecutor:
                 ))
 
                 if job.length >= cost.cpu_sort_job_threshold:
-                    result = self._gpu_sort_job(partial, radix, ctx, stats)
+                    # A job is identified by its exact key/payload pairs:
+                    # the same slice of the same data sorted again (a
+                    # repeated ORDER BY across the query stream) hits.
+                    segment = StagedSegment(
+                        key=SegmentKey(
+                            table=table.name, column=keys_label,
+                            segment="sort:" + content_digest(partial,
+                                                             rows_idx),
+                            catalog_version=version,
+                        ),
+                        nbytes=job.length * 8,
+                    )
+                    result = self._gpu_sort_job(partial, radix, ctx,
+                                                stats, segment)
                 else:
                     result = None
                 if result is None:
@@ -214,17 +234,26 @@ class HybridSortExecutor:
         return order, stats
 
     def _gpu_sort_job(self, partial: np.ndarray, radix: RadixSortKernel,
-                      ctx: OperatorContext, stats: SortRunStats):
+                      ctx: OperatorContext, stats: SortRunStats,
+                      segment: Optional[StagedSegment] = None):
         """Dispatch one job to a GPU; None means fall back to the CPU."""
         length = len(partial)
         staged = length * 8           # key + payload pairs
         memory_needed = radix.device_bytes(length)
-        lease = self.scheduler.try_acquire(memory_needed, tag="sort")
+        affinity = [segment.key] if segment is not None else None
+        lease = self.scheduler.try_acquire(memory_needed, tag="sort",
+                                           affinity=affinity)
         if lease is None:
             stats.fallbacks += 1
             return None
+        cache = lease.device.cache
+        hit_bytes = 0
+        if segment is not None and cache is not None and cache.enabled \
+                and cache.lookup(segment.key):
+            hit_bytes = segment.nbytes
+        transfer = effective_transfer_bytes(staged, hit_bytes)
         try:
-            buffer = self.pinned.allocate(staged)
+            buffer = self.pinned.allocate(transfer)
         except PinnedMemoryError as exc:
             self.scheduler.release(lease)
             if self.monitor is not None:
@@ -238,7 +267,7 @@ class HybridSortExecutor:
                 kernel_seconds=result.kernel_seconds,
                 reservation=lease.reservation,
                 rows=length,
-                bytes_in=staged,
+                bytes_in=transfer,
                 bytes_out=staged,
                 pinned=True,
             )
@@ -263,6 +292,9 @@ class HybridSortExecutor:
         finally:
             self.pinned.release(buffer)
             self.scheduler.release(lease)
+        if segment is not None and cache is not None and cache.enabled \
+                and hit_bytes == 0:
+            cache.insert(segment.key, segment.nbytes)
         stats.jobs_gpu += 1
         ranges = [(d.start, d.length) for d in result.duplicate_ranges]
         return result.order, ranges
@@ -305,5 +337,6 @@ def _cpu_sort_job(partial: np.ndarray, cost, ctx: OperatorContext,
         change[1:] = sorted_keys[1:] != sorted_keys[:-1]
         starts = np.nonzero(change)[0]
         lengths = np.diff(np.append(starts, length))
-        ranges = [(int(s), int(l)) for s, l in zip(starts, lengths) if l > 1]
+        ranges = [(int(s), int(n)) for s, n in zip(starts, lengths)
+                  if n > 1]
     return sub_order, ranges

@@ -123,23 +123,30 @@ class MultiGpuScheduler:
     # ------------------------------------------------------------------
 
     def try_acquire(self, memory_bytes: int, tag: str = "",
-                    retry: Optional[RetryPolicy] = None
+                    retry: Optional[RetryPolicy] = None,
+                    affinity: Optional[Sequence] = None
                     ) -> Optional[GpuLease]:
         """Lease the least-loaded admissible device, or return ``None``.
 
-        Ranking: fewest outstanding jobs first, then most free memory —
+        Ranking: most affinity bytes already cached first (a device that
+        holds the caller's column segments elides that much PCIe
+        transfer), then fewest outstanding jobs, then most free memory —
         the "resources required by the task and the resources currently
-        available by each of the GPUs".  Lost and quarantined devices are
-        not candidates.  ``retry`` (default: the scheduler-wide
-        ``retry_policy``) bounds how many backoff-spaced attempts are
-        made before conceding ``None``.
+        available by each of the GPUs".  Without caching the first term
+        is identically zero and the ranking reduces to the original
+        section-2.2 heuristic.  Lost and quarantined devices are not
+        candidates.  ``affinity`` is the sequence of
+        :class:`~repro.gpu.cache.SegmentKey` the caller is about to
+        stage.  ``retry`` (default: the scheduler-wide ``retry_policy``)
+        bounds how many backoff-spaced attempts are made before
+        conceding ``None``.
         """
         if memory_bytes < 0:
             raise SchedulerError(
                 f"cannot acquire a negative amount ({memory_bytes} bytes)"
             )
         policy = retry if retry is not None else self.retry_policy
-        lease = self._acquire_once(memory_bytes, tag)
+        lease = self._acquire_once(memory_bytes, tag, affinity)
         if lease is not None or policy is None:
             return lease
         for delay in policy.delays():
@@ -148,26 +155,40 @@ class MultiGpuScheduler:
             with self.tracer.timed_span("fault.backoff", delay, tag=tag,
                                         memory_bytes=memory_bytes):
                 pass
-            lease = self._acquire_once(memory_bytes, tag)
+            lease = self._acquire_once(memory_bytes, tag, affinity)
             if lease is not None:
                 return lease
         return None
 
-    def _acquire_once(self, memory_bytes: int,
-                      tag: str) -> Optional[GpuLease]:
+    def _acquire_once(self, memory_bytes: int, tag: str,
+                      affinity: Optional[Sequence] = None
+                      ) -> Optional[GpuLease]:
         self._tick_breakers()
-        candidates = [
+        admissible = [
             d for d in self.devices
             if d.alive and self.breakers[d.device_id].allows()
-            and d.memory.can_reserve(memory_bytes)
         ]
+        candidates = [
+            d for d in admissible if d.memory.can_reserve(memory_bytes)
+        ]
+        if not candidates:
+            # Pressure path: no device has room outright, but one could
+            # make room by shrinking its column cache — queries always
+            # outrank cached segments, so try that before the caller
+            # falls back to the CPU.
+            candidates = [
+                d for d in admissible
+                if d.cache is not None and d.cache.cached_bytes > 0
+                and d.memory.free + d.cache.cached_bytes >= memory_bytes
+            ]
         if not candidates:
             self._reject()
             return None
-        best = min(
-            candidates,
-            key=lambda d: (d.outstanding_jobs, -d.memory.free),
-        )
+        segments = tuple(affinity) if affinity else ()
+        best = min(candidates, key=self._rank_key(segments))
+        if not best.memory.can_reserve(memory_bytes):
+            best.cache.shrink(memory_bytes - best.memory.free,
+                              protect=segments)
         reservation = best.memory.try_reserve(memory_bytes, tag)
         if reservation is None:          # raced or injected failure
             self._reject()
@@ -178,6 +199,15 @@ class MultiGpuScheduler:
                     "Lease requests granted a device")
         self._observe_device(best)
         return GpuLease(device=best, reservation=reservation)
+
+    def _rank_key(self, segments: tuple):
+        """Candidate ordering: cached affinity bytes desc, then load."""
+        def rank(device: GpuDevice):
+            held = 0
+            if segments and device.cache is not None:
+                held = device.cache.cached_bytes_for(segments)
+            return (-held, device.outstanding_jobs, -device.memory.free)
+        return rank
 
     def _reject(self) -> None:
         self.rejections += 1
@@ -227,6 +257,13 @@ class MultiGpuScheduler:
                                 device_id=device.device_id,
                                 alive=device.alive,
                                 failures=breaker.consecutive_failures)
+        # A lost or quarantined device's cached segments are gone (loss)
+        # or untrusted (quarantine): drop them wholesale so re-admission
+        # starts cold and the reserved bytes return to the pool.
+        if device.cache is not None \
+                and (not device.alive or breaker.quarantined):
+            device.cache.invalidate_all(
+                "device_lost" if not device.alive else "quarantined")
         return breaker.quarantined
 
     def _tick_breakers(self) -> None:
@@ -261,6 +298,8 @@ class MultiGpuScheduler:
                 "capacity_bytes": d.memory.capacity,
                 "alive": d.alive,
                 "breaker": self.breakers[d.device_id].state.value,
+                "cached_bytes": (d.cache.cached_bytes
+                                 if d.cache is not None else 0),
             }
             for d in self.devices
         ]

@@ -48,8 +48,7 @@ The string syntax (CLI ``--plan``, docs/fault_injection.md)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.errors import FaultPlanError
 

@@ -68,6 +68,9 @@ class GpuDevice:
         # that suffers whole-device loss flips ``alive`` and stays dead.
         self.injector = None
         self.alive = True
+        # Device-resident column cache (repro.gpu.cache), attached by the
+        # engine when SystemConfig.cache_fraction > 0; None = no caching.
+        self.cache = None
 
     def attach_injector(self, injector) -> None:
         """Arm a :class:`~repro.faults.injector.FaultInjector` on this

@@ -88,7 +88,7 @@ def _find_duplicate_ranges(sorted_keys: np.ndarray) -> list[DuplicateRange]:
     starts = np.nonzero(change)[0]
     lengths = np.diff(np.append(starts, n))
     return [
-        DuplicateRange(int(s), int(l))
-        for s, l in zip(starts, lengths)
-        if l > 1
+        DuplicateRange(int(s), int(length))
+        for s, length in zip(starts, lengths)
+        if length > 1
     ]

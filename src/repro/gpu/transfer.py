@@ -18,3 +18,21 @@ def transfer_seconds(nbytes: int, spec: GpuSpec, pinned: bool = True) -> float:
         return 0.0
     bandwidth = spec.pcie_pinned_bw if pinned else spec.pcie_unpinned_bw
     return spec.transfer_setup_overhead + nbytes / bandwidth
+
+
+def effective_transfer_bytes(staged_bytes: int, cached_bytes: int) -> int:
+    """Bytes that must actually cross the bus after cache hits.
+
+    Segments resident in the device column cache (:mod:`repro.gpu.cache`)
+    are elided from the host->device copy entirely; a full hit transfers
+    zero bytes and therefore zero seconds — not even the setup overhead,
+    because no copy is issued at all.
+    """
+    if cached_bytes < 0:
+        raise ValueError("cached byte count cannot be negative")
+    if cached_bytes > staged_bytes:
+        raise ValueError(
+            f"cached bytes ({cached_bytes}) exceed the staged input "
+            f"({staged_bytes})"
+        )
+    return staged_bytes - cached_bytes

@@ -133,6 +133,7 @@ class BenchResult:
     scale: float
     seed: int
     degree: int
+    cache_fraction: float = 0.0
     classes: dict[str, ClassStat] = field(default_factory=dict)
     queries: dict[str, QueryStat] = field(default_factory=dict)
 
@@ -143,6 +144,7 @@ class BenchResult:
             "scale": self.scale,
             "seed": self.seed,
             "degree": self.degree,
+            "cache_fraction": self.cache_fraction,
             "classes": {name: stat.to_dict()
                         for name, stat in sorted(self.classes.items())},
             "queries": {qid: stat.to_dict()
@@ -186,7 +188,8 @@ def run_workload(
                      if name in classes}
 
     result = BenchResult(workload=workload, scale=scale, seed=seed,
-                         degree=driver.degree)
+                         degree=driver.degree,
+                         cache_fraction=driver.config.cache_fraction)
     tracer = driver.gpu_engine.tracer
     for cls, queries in available.items():
         latencies: list[float] = []
@@ -278,17 +281,26 @@ def compare(current: BenchResult, baseline: dict,
             tolerance: float = 0.10) -> BenchComparison:
     """Diff a fresh run against a committed baseline.
 
-    Latency regressions beyond ``tolerance`` (relative, per class, on
-    p50 and p95) are failures.  Bytes-moved growth and offload-ratio
-    drops are warnings — they often *explain* a latency failure but can
-    legitimately move when thresholds are retuned.  Config mismatches
-    (workload/scale/seed/degree/query set) are failures outright: the
-    simulation is deterministic, so comparing different configs is
-    comparing nothing.
+    Latency moves beyond ``tolerance`` (relative, per class, on p50 and
+    p95) are failures in *both* directions: a regression means the
+    engine got slower, and an improvement means the committed baseline
+    is stale — either way the tree no longer matches its recorded
+    trajectory, and the fix for the latter is to rerun with
+    ``--update`` and commit the refreshed file.  Bytes-moved growth and
+    offload-ratio drops are warnings — they often *explain* a latency
+    failure but can legitimately move when thresholds are retuned.
+    Config mismatches (workload/scale/seed/degree/cache_fraction/query
+    set) are failures outright: the simulation is deterministic, so
+    comparing different configs is comparing nothing.  ``cache_fraction``
+    is only checked when the baseline records it, so pre-cache baselines
+    stay comparable.
     """
     out = BenchComparison()
     cur = current.to_dict()
-    for key in ("workload", "scale", "seed", "degree"):
+    config_keys = ["workload", "scale", "seed", "degree"]
+    if "cache_fraction" in baseline:
+        config_keys.append("cache_fraction")
+    for key in config_keys:
         if cur[key] != baseline.get(key):
             out.failures.append(
                 f"config mismatch: {key} is {cur[key]!r}, baseline has "
@@ -317,10 +329,12 @@ def compare(current: BenchResult, baseline: dict,
                     f"({ref:.3f} -> {value:.3f} ms, tolerance "
                     f"{tolerance * 100:.0f}%)")
             elif delta < -tolerance:
-                out.notes.append(
+                out.failures.append(
                     f"{cls}: {metric} improved {-delta * 100:.1f}% "
-                    f"({ref:.3f} -> {value:.3f} ms) — consider refreshing "
-                    "the baseline")
+                    f"({ref:.3f} -> {value:.3f} ms, tolerance "
+                    f"{tolerance * 100:.0f}%) — baseline is stale; run "
+                    f"`repro bench {current.workload} --update` and commit "
+                    "the refreshed file")
         ref_bytes = int(base.get("bytes_moved", 0))
         if _relative_delta(stat.bytes_moved, ref_bytes) > tolerance:
             out.warnings.append(

@@ -198,6 +198,7 @@ class QueryProfile:
     decisions: list                    # OffloadDecision records (monitor)
     bytes_in: int
     bytes_out: int
+    cache_events: list[dict] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -231,6 +232,28 @@ class QueryProfile:
             out[s.device_id] = out.get(s.device_id, 0.0) + s.duration
         return out
 
+    def cache_summary(self) -> dict:
+        """Aggregate of the query's column-cache activity.
+
+        ``hit_bytes`` is exactly the host->device traffic the cache
+        elided for this query — it plus :attr:`bytes_in` equals what the
+        query would have shipped with the cache disabled.
+        """
+        summary = {"hits": 0, "hit_bytes": 0, "inserts": 0,
+                   "inserted_bytes": 0, "evictions": 0, "evicted_bytes": 0}
+        for event in self.cache_events:
+            nbytes = int(event.get("bytes", 0))
+            if event["name"] == "cache.hit":
+                summary["hits"] += 1
+                summary["hit_bytes"] += nbytes
+            elif event["name"] == "cache.insert":
+                summary["inserts"] += 1
+                summary["inserted_bytes"] += nbytes
+            elif event["name"] == "cache.evict":
+                summary["evictions"] += 1
+                summary["evicted_bytes"] += nbytes
+        return summary
+
     # ------------------------------------------------------------------
     # Renderings
     # ------------------------------------------------------------------
@@ -252,6 +275,10 @@ class QueryProfile:
             "path_selection": [v.to_dict() for v in self.verdicts],
             "kernel_choices": [k.to_dict() for k in self.kernel_choices],
             "occupancy": [s.to_dict() for s in self.occupancy],
+            "cache": {
+                "summary": self.cache_summary(),
+                "events": list(self.cache_events),
+            },
             "scheduler_events": list(self.scheduler_events),
             "offload_decisions": [
                 {
@@ -360,6 +387,26 @@ class QueryProfile:
             lines.append("")
             lines.append(f"PCIe traffic: {self.bytes_in} B in, "
                          f"{self.bytes_out} B out")
+        if self.cache_events:
+            summary = self.cache_summary()
+            lines.append("")
+            lines.append("-- column cache --")
+            lines.append(
+                f"hits={summary['hits']} "
+                f"(elided {summary['hit_bytes']} B in)  "
+                f"inserts={summary['inserts']} "
+                f"({summary['inserted_bytes']} B)  "
+                f"evictions={summary['evictions']} "
+                f"({summary['evicted_bytes']} B)")
+            for event in self.cache_events:
+                action = event["name"].split(".", 1)[1]
+                detail = (f"{event.get('table', '?')}."
+                          f"{event.get('column', '?')}  "
+                          f"{event.get('bytes', 0)} B")
+                if event.get("reason"):
+                    detail += f"  ({event['reason']})"
+                lines.append(f"{action:8} GPU {event.get('device_id', '?')}"
+                             f"  {detail}")
         if self.scheduler_events:
             lines.append("")
             lines.append("-- scheduler / fault events --")
@@ -482,6 +529,11 @@ def build_profile(
                    if s.name == "gpu.transfer_in")
     bytes_out = sum(int(s.attributes.get("bytes", 0)) for s in trace
                     if s.name == "gpu.transfer_out")
+    cache_events = [
+        {"name": s.name, **s.attributes}
+        for s in trace
+        if s.name in ("cache.hit", "cache.insert", "cache.evict")
+    ]
 
     return QueryProfile(
         query_id=str(root_span.attributes.get("query_id", "")),
@@ -496,6 +548,7 @@ def build_profile(
         decisions=list(decisions),
         bytes_in=bytes_in,
         bytes_out=bytes_out,
+        cache_events=cache_events,
     )
 
 

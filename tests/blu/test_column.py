@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.blu.column import Column, column_from_array, column_from_values
-from repro.blu.datatypes import float64, int32, int64, varchar
+from repro.blu.datatypes import int32, int64, varchar
 from repro.errors import SchemaError, TypeMismatchError
 
 

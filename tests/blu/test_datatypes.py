@@ -5,7 +5,6 @@ import pytest
 
 from repro.blu.datatypes import (
     AtomicSupport,
-    DataType,
     TypeKind,
     char,
     common_numeric_type,

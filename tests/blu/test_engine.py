@@ -1,9 +1,7 @@
 """Unit tests for the BLU engine end to end (CPU paths)."""
 
-import numpy as np
 import pytest
 
-from repro.blu.engine import BluEngine
 from repro.errors import SchemaError, SqlError
 
 

@@ -1,6 +1,5 @@
 """Unit tests for scalar expressions and predicates."""
 
-import numpy as np
 import pytest
 
 from repro.blu.datatypes import float64, int32, int64, varchar

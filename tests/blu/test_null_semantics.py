@@ -1,6 +1,5 @@
 """SQL NULL semantics: grouping, sorting, keyless aggregates."""
 
-import numpy as np
 import pytest
 
 from repro.blu import BluEngine, Catalog, Schema, Table

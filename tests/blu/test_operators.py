@@ -2,7 +2,6 @@
 brute-force python reference implementations."""
 
 import collections
-import math
 
 import numpy as np
 import pytest

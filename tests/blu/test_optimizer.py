@@ -3,7 +3,7 @@
 import pytest
 
 from repro.blu.optimizer import Optimizer
-from repro.blu.plan import GroupByNode, JoinNode, ScanNode
+from repro.blu.plan import GroupByNode, JoinNode
 from repro.blu.sql import parse_query
 
 

@@ -6,7 +6,6 @@ CPU engines agree, and (c) SQL-level equivalences hold (predicate order,
 redundant parentheses, HAVING vs post-filtering).
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.blu.engine import BluEngine

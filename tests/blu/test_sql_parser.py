@@ -5,13 +5,11 @@ import pytest
 from repro.blu.expressions import (
     And,
     Between,
-    CmpOp,
     ColumnRef,
     Comparison,
     InList,
     Like,
     Literal,
-    Or,
 )
 from repro.blu.plan import (
     FilterNode,

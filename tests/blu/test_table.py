@@ -5,7 +5,7 @@ import pytest
 
 from repro.blu.column import column_from_values
 from repro.blu.datatypes import float64, int32, varchar
-from repro.blu.table import Field, Schema, Table
+from repro.blu.table import Schema, Table
 from repro.errors import SchemaError
 
 

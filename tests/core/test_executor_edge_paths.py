@@ -7,9 +7,9 @@ import numpy as np
 import pytest
 
 from repro.blu import BluEngine
-from repro.config import CostModel, GpuSpec, Thresholds, paper_testbed
+from repro.config import CostModel, GpuSpec, paper_testbed
 from repro.core import GpuAcceleratedEngine
-from repro.core.moderator import GpuModerator, _run_with_regrow
+from repro.core.moderator import _run_with_regrow
 from repro.errors import HashTableOverflowError
 from repro.gpu.kernels.groupby_regular import RegularGroupByKernel
 from repro.gpu.kernels.request import GroupByRequest, PayloadSpec

@@ -1,6 +1,5 @@
 """Integration tests for the hybrid job-queue sort (section 3)."""
 
-import dataclasses
 
 import numpy as np
 import pytest
@@ -9,8 +8,6 @@ from repro.blu import BluEngine
 from repro.blu.plan import SortKey
 from repro.blu.table import Schema, Table
 from repro.blu.datatypes import float64, int32, int64, varchar
-from repro.config import paper_testbed
-from repro.core import GpuAcceleratedEngine
 from repro.core.hybrid_sort import (
     encode_sort_keys,
     extract_partial_keys,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.blu.datatypes import int64, varchar
+from repro.blu.datatypes import int64
 from repro.blu.expressions import AggFunc
 from repro.core.metadata import RuntimeMetadata
 from repro.gpu.kernels.request import PayloadSpec

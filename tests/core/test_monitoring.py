@@ -4,7 +4,6 @@ import pytest
 
 from repro.config import GpuSpec
 from repro.core.monitoring import (
-    Counters,
     OffloadDecision,
     PerformanceMonitor,
 )

@@ -11,7 +11,7 @@ from repro.errors import (
     KernelLaunchError,
     PinnedMemoryError,
 )
-from repro.faults import FaultInjector, FaultPlan, FaultRule
+from repro.faults import FaultInjector, FaultPlan
 from repro.gpu.device import GpuDevice
 from repro.gpu.pinned import PinnedMemoryPool
 from repro.obs.export import prometheus_text

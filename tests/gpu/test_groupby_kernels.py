@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.blu.datatypes import int32, int64, varchar
+from repro.blu.datatypes import int32, int64
 from repro.blu.expressions import AggFunc
 from repro.blu.operators.aggregate import group_encode
 from repro.config import CostModel

@@ -116,13 +116,38 @@ class TestCompare:
                                     slowdown=1.05)
         assert bench.compare(slowed, result.to_dict(), tolerance=0.10).ok
 
-    def test_improvement_is_noted_not_failed(self, driver, result):
+    def test_improvement_beyond_tolerance_fails(self, driver, result):
+        # A stale baseline hides future regressions, so a large
+        # improvement is a failure too — with a hint to refresh.
         faster = bench.run_workload(driver, "bd_insights", scale=0.02,
                                     seed=11, classes=["complex"],
                                     slowdown=0.5)
         comparison = bench.compare(faster, result.to_dict())
-        assert comparison.ok
-        assert any("improved" in n for n in comparison.notes)
+        assert not comparison.ok
+        assert any("improved" in f and "--update" in f
+                   for f in comparison.failures)
+
+    def test_improvement_within_tolerance_passes(self, driver, result):
+        faster = bench.run_workload(driver, "bd_insights", scale=0.02,
+                                    seed=11, classes=["complex"],
+                                    slowdown=0.95)
+        assert bench.compare(faster, result.to_dict(),
+                             tolerance=0.10).ok
+
+    def test_cache_fraction_mismatch_fails_outright(self, result):
+        baseline = result.to_dict()
+        baseline["cache_fraction"] = 0.0
+        comparison = bench.compare(result, baseline)
+        assert not comparison.ok
+        assert any("config mismatch" in f and "cache_fraction" in f
+                   for f in comparison.failures)
+
+    def test_pre_cache_baseline_still_comparable(self, result):
+        # Baselines written before the cache existed carry no
+        # cache_fraction key; compare() must not invent a mismatch.
+        baseline = result.to_dict()
+        del baseline["cache_fraction"]
+        assert bench.compare(result, baseline).ok
 
     def test_config_mismatch_fails_outright(self, result):
         baseline = result.to_dict()

@@ -30,7 +30,7 @@ class TestCounter:
         c.labels(path="gpu").inc()
         c.labels(path="cpu").inc()
         assert c.labels(path="gpu").value == 2.0
-        assert dict((tuple(l.items()), v) for l, v in c.samples()) == {
+        assert dict((tuple(lab.items()), v) for lab, v in c.samples()) == {
             (("path", "cpu"),): 1.0,
             (("path", "gpu"),): 2.0,
         }

@@ -3,6 +3,7 @@ sections must reflect what the engine actually did, and every rendering
 must be deterministic."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -160,7 +161,7 @@ class TestRenderings:
         assert "op.groupby" in html
         assert "GPU 0" in html
         path = write_html(profiles["C1"], str(tmp_path / "p.html"))
-        assert (tmp_path / "p.html").read_text() == html
+        assert Path(path).read_text() == html
 
 
 class TestEdges:

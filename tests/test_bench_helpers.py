@@ -49,9 +49,9 @@ class TestCharts:
         chart = bar_chart(["q1", "q2"],
                           {"on": [1.0, 2.0], "off": [2.0, 4.0]},
                           width=20, unit="ms")
-        lines = [l for l in chart.splitlines() if "|" in l]
+        lines = [ln for ln in chart.splitlines() if "|" in ln]
         # The largest value fills the full width.
-        assert any("=" * 20 in l or "#" * 20 in l for l in lines)
+        assert any("=" * 20 in ln or "#" * 20 in ln for ln in lines)
         assert "legend" not in chart  # legend is glyph mapping, not word
         assert "# = on" in chart
 

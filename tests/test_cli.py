@@ -213,6 +213,58 @@ class TestBenchCommand:
         assert code == 1
         assert "no baseline" in capsys.readouterr().out
 
+    def test_cache_fraction_and_out(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "result.json")
+        code = main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                             "--cache-fraction", "0", "--out", out_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache=0.0" in out
+        doc = json.load(open(out_path))
+        assert doc["cache_fraction"] == 0.0
+
+    def test_compare_inherits_baseline_cache_fraction(self, capsys,
+                                                      tmp_path):
+        # A cache-off baseline must be compared with a cache-off run even
+        # when --cache-fraction is not repeated on the compare side.
+        path = str(tmp_path / "BENCH_off.json")
+        main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                      "--cache-fraction", "0", "--baseline", path,
+                      "--update"])
+        capsys.readouterr()
+        code = main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                             "--baseline", path, "--compare"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out and "cache=0.0" in out
+
+
+class TestCacheStatsCommand:
+    def test_table_output(self, capsys):
+        code = main(SCALE + ["cache-stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GPU" in out and "hit rate" in out
+        assert "transfer elided" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = main(SCALE + ["cache-stats", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert isinstance(doc, list) and doc
+        assert {"device_id", "hits", "misses"} <= set(doc[0])
+
+    def test_disabled_cache_message(self, capsys):
+        code = main(SCALE + ["cache-stats", "--cache-fraction", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "disabled" in out
+
 
 class TestMetricsCommand:
     def test_prometheus_output(self, capsys):

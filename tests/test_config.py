@@ -1,11 +1,9 @@
 """Unit tests for the hardware presets."""
 
-import pytest
 
 from repro.config import (
     GpuSpec,
     HostSpec,
-    SystemConfig,
     cpu_only_testbed,
     paper_testbed,
     single_gpu_testbed,

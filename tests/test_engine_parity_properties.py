@@ -9,7 +9,6 @@ so even tiny inputs exercise the offload paths.
 import dataclasses
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.blu import BluEngine, Catalog, Schema, Table

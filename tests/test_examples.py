@@ -7,9 +7,7 @@ look for.
 
 import importlib.util
 import os
-import sys
 
-import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 

@@ -16,7 +16,6 @@ import hashlib
 import json
 import os
 
-import numpy as np
 import pytest
 
 from repro.workloads.bdinsights import bd_insights_queries

@@ -67,7 +67,12 @@ class TestSystemHygiene:
         for query in cognos_rolap_queries()[:6]:
             gpu.execute_sql(query.sql)
         for device in gpu.devices:
-            assert device.memory.reserved == 0
+            # Cached column segments legitimately outlive the query; all
+            # other reservations must have been returned.
+            cached = device.cache.cached_bytes if device.cache else 0
+            assert device.memory.reserved == cached
+            assert all(r.tag == "cache"
+                       for r in device.memory.live_reservations)
             assert device.outstanding_jobs == 0
         assert gpu.pinned.used == 0
 

@@ -1,6 +1,5 @@
 """Unit tests for the BD Insights and Cognos ROLAP query sets."""
 
-import pytest
 
 from repro.blu.sql import parse_query
 from repro.workloads.bdinsights import bd_insights_queries, queries_by_category
