@@ -26,8 +26,11 @@ Commands
                ``--compare`` diffs against it and exits non-zero on any
                latency move beyond ``--tolerance`` (regression *or*
                stale-baseline improvement); ``--cache-fraction``
-               overrides the device column-cache budget and ``--out``
-               saves the run's JSON without touching the baseline
+               overrides the device column-cache budget,
+               ``--pipeline-depth``/``--chunk-bytes`` override the
+               stream-pipeline knobs (depth 1 disables overlap), and
+               ``--out`` saves the run's JSON without touching the
+               baseline
 ``cache-stats`` run a query class and print per-device column-cache
                counters (hits, misses, evictions, resident bytes)
 
@@ -186,6 +189,15 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="device column-cache budget as a fraction of "
                               "device memory (0 disables; default: config, "
                               "or the baseline's value on --compare)")
+    p_bench.add_argument("--pipeline-depth", type=int, default=None,
+                         metavar="N",
+                         help="stream-pipeline chunks per launch (1 disables "
+                              "transfer/compute overlap; default: config, or "
+                              "the baseline's value on --compare)")
+    p_bench.add_argument("--chunk-bytes", type=int, default=None,
+                         metavar="B",
+                         help="max bytes per pipelined chunk (default: "
+                              "config, or the baseline's value on --compare)")
     p_bench.add_argument("--out", metavar="PATH", default=None,
                          help="also write this run's result JSON to PATH "
                               "(independent of --update)")
@@ -449,6 +461,8 @@ def cmd_bench(args) -> int:
     path = args.baseline or bench.baseline_path(args.workload)
     scale, seed = args.scale, args.seed
     cache_fraction = args.cache_fraction
+    pipeline_depth = args.pipeline_depth
+    chunk_bytes = args.chunk_bytes
     baseline = None
     if args.compare:
         try:
@@ -465,6 +479,10 @@ def cmd_bench(args) -> int:
         degree = baseline["degree"]
         if cache_fraction is None and "cache_fraction" in baseline:
             cache_fraction = baseline["cache_fraction"]
+        if pipeline_depth is None and "pipeline_depth" in baseline:
+            pipeline_depth = baseline["pipeline_depth"]
+        if chunk_bytes is None and "chunk_bytes" in baseline:
+            chunk_bytes = baseline["chunk_bytes"]
     else:
         degree = args.degree
 
@@ -472,6 +490,10 @@ def cmd_bench(args) -> int:
     config = scaled_config(catalog)
     if cache_fraction is not None:
         config = dataclasses.replace(config, cache_fraction=cache_fraction)
+    if pipeline_depth is not None:
+        config = dataclasses.replace(config, pipeline_depth=pipeline_depth)
+    if chunk_bytes is not None:
+        config = dataclasses.replace(config, chunk_bytes=chunk_bytes)
     driver = WorkloadDriver(catalog, config, degree=degree)
     classes = args.classes.split(",") if args.classes else None
     try:
@@ -492,7 +514,9 @@ def cmd_bench(args) -> int:
         ["class", "queries", "p50 ms", "p95 ms", "total ms",
          "MB moved", "offload"],
         rows, title=f"{args.workload}  scale={scale} seed={seed} "
-                    f"degree={degree} cache={result.cache_fraction}"))
+                    f"degree={degree} cache={result.cache_fraction} "
+                    f"pipeline={result.pipeline_depth}"
+                    f"x{result.chunk_bytes}B"))
     print()
 
     if args.out:

@@ -172,6 +172,14 @@ class SystemConfig:
     (:mod:`repro.gpu.cache`, ``docs/gpu_cache.md``).  ``0.0`` disables
     caching entirely and restores the ship-every-launch transfer
     behaviour of the paper's prototype.
+
+    ``pipeline_depth``/``chunk_bytes`` configure the stream pipeline
+    (:mod:`repro.gpu.streams`, ``docs/gpu_streams.md``): a launch's
+    staged input is split into at least ``pipeline_depth`` chunks of at
+    most ``chunk_bytes`` each so host->device copies, kernel slices and
+    device->host copies of neighbouring chunks overlap on the K40's
+    separate compute and DMA engines.  ``pipeline_depth=1`` disables
+    pipelining and reproduces the serial launch timings byte-identically.
     """
 
     host: HostSpec = field(default_factory=HostSpec)
@@ -180,6 +188,8 @@ class SystemConfig:
     thresholds: Thresholds = field(default_factory=Thresholds)
     faults: Optional["FaultPlan"] = None
     cache_fraction: float = 0.25
+    pipeline_depth: int = 4
+    chunk_bytes: int = 1 << 20
 
     @property
     def gpu_count(self) -> int:

@@ -36,6 +36,7 @@ from repro.faults.policies import RetryPolicy
 from repro.gpu.cache import DeviceColumnCache
 from repro.gpu.device import GpuDevice, make_devices
 from repro.gpu.pinned import PinnedMemoryPool
+from repro.gpu.streams import PipelineSpec
 from repro.obs.export import chrome_trace, prometheus_text
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
@@ -90,6 +91,13 @@ class GpuAcceleratedEngine:
                     tracer=self.tracer,
                     metrics=self.registry,
                 )
+        # Stream pipeline (docs/gpu_streams.md): every first-touch launch
+        # chunks its staged input so PCIe copies overlap kernel slices;
+        # depth 1 keeps the serial launch path byte-identically.
+        self.pipeline = PipelineSpec(
+            depth=self.config.pipeline_depth,
+            chunk_bytes=self.config.chunk_bytes,
+        ).validate()
         # Fault injection (docs/fault_injection.md): an explicit ``faults``
         # kwarg wins over the plan on the config; an empty plan disarms.
         plan = faults if faults is not None else self.config.faults
@@ -129,6 +137,7 @@ class GpuAcceleratedEngine:
             race_kernels=race_kernels,
             partition_large=partition_large_groupby,
             catalog=catalog,
+            pipeline=self.pipeline,
         )
         self._sort = HybridSortExecutor(
             scheduler=self.scheduler,
@@ -136,6 +145,7 @@ class GpuAcceleratedEngine:
             thresholds=self.config.thresholds,
             monitor=self.monitor,
             catalog=catalog,
+            pipeline=self.pipeline,
         )
         self._join = HybridJoinExecutor(
             scheduler=self.scheduler,
@@ -143,6 +153,7 @@ class GpuAcceleratedEngine:
             thresholds=self.config.thresholds,
             monitor=self.monitor,
             catalog=catalog,
+            pipeline=self.pipeline,
         ) if enable_join_offload else None
         self.engine = BluEngine(
             catalog,

@@ -50,6 +50,7 @@ from repro.gpu.cache import SegmentKey, StagedSegment, content_digest
 from repro.gpu.kernels.hashtable import combine_keys
 from repro.gpu.kernels.request import GroupByRequest, PayloadSpec
 from repro.gpu.pinned import PinnedMemoryPool
+from repro.gpu.streams import PipelineSpec, streamed_launch
 from repro.gpu.transfer import effective_transfer_bytes
 from repro.timing import CostEvent
 
@@ -81,6 +82,7 @@ class HybridGroupByExecutor:
     race_kernels: bool = False
     partition_large: bool = False
     catalog: Optional[Catalog] = None
+    pipeline: Optional[PipelineSpec] = None
     query_id: str = ""
 
     def __call__(self, table: Table, node: GroupByNode,
@@ -189,17 +191,6 @@ class HybridGroupByExecutor:
         for event in host_chain.cost_events(ctx.degree):
             ctx.ledger.add(event)
         try:
-            buffer = self.pinned.allocate(transfer_bytes)
-        except PinnedMemoryError as exc:
-            self.scheduler.release(lease)
-            if self.monitor is not None:
-                self.monitor.record_fault_fallback("groupby", exc)
-            self._record("cpu-fallback", "pinned staging pool exhausted")
-            out = cpu_groupby_executor(table, node, ctx)
-            self._note_kmv(kmv.groups, out.num_rows)
-            return out
-
-        try:
             outcome = self.moderator.run(request, metadata,
                                          race=self.race_kernels)
             winner = outcome.winner
@@ -208,7 +199,8 @@ class HybridGroupByExecutor:
                 if outcome.raced:
                     self.monitor.record_race(outcome.cancelled)
 
-            launch = lease.device.launch(
+            launch = streamed_launch(
+                lease.device, self.pinned,
                 kernel=winner.kernel,
                 kernel_seconds=(winner.kernel_seconds
                                 + outcome.wasted_device_seconds),
@@ -217,6 +209,7 @@ class HybridGroupByExecutor:
                 bytes_in=transfer_bytes,
                 bytes_out=metadata.result_bytes(),
                 pinned=True,
+                pipeline=self.pipeline,
             )
             ctx.ledger.add(CostEvent(
                 op="GPU-GROUPBY",
@@ -227,6 +220,15 @@ class HybridGroupByExecutor:
                 gpu_memory_bytes=lease.reservation.nbytes,
                 device_id=lease.device.device_id,
             ))
+        except PinnedMemoryError as exc:
+            # Host-side staging exhaustion: no device misbehaved, so the
+            # circuit breaker stays out of it.
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback("groupby", exc)
+            self._record("cpu-fallback", "pinned staging pool exhausted")
+            out = cpu_groupby_executor(table, node, ctx)
+            self._note_kmv(kmv.groups, out.num_rows)
+            return out
         except GpuError as exc:
             # Launch failure / device loss / allocation fault: feed the
             # circuit breaker and redo the whole operator on the CPU chain
@@ -243,7 +245,6 @@ class HybridGroupByExecutor:
         else:
             self.scheduler.record_success(lease)
         finally:
-            self.pinned.release(buffer)
             self.scheduler.release(lease)
 
         # Admit the freshly staged segments now that the query's own
@@ -355,23 +356,13 @@ class HybridGroupByExecutor:
             for event in host_chain.cost_events(ctx.degree):
                 ctx.ledger.add(event)
             try:
-                buffer = self.pinned.allocate(staged)
-            except PinnedMemoryError as exc:
-                self.scheduler.release(lease)
-                if self.monitor is not None:
-                    self.monitor.record_fault_fallback("groupby", exc)
-                sub_index, n_sub = cpu_partition(rows_p, keys_p)
-                self._note_kmv(kmv.groups, n_sub, stamp_span=False)
-                group_index[rows_p] = sub_index + offset
-                offset += n_sub
-                continue
-            try:
                 outcome = self.moderator.run(request, metadata, race=False)
                 winner = outcome.winner
                 if self.monitor is not None:
                     self.monitor.record_overflow_retries(
                         outcome.overflow_retries)
-                launch = lease.device.launch(
+                launch = streamed_launch(
+                    lease.device, self.pinned,
                     kernel=winner.kernel,
                     kernel_seconds=(winner.kernel_seconds
                                     + outcome.wasted_device_seconds),
@@ -380,6 +371,7 @@ class HybridGroupByExecutor:
                     bytes_in=staged,
                     bytes_out=metadata.result_bytes(),
                     pinned=True,
+                    pipeline=self.pipeline,
                 )
                 gpu_events.append(CostEvent(
                     op="GPU-GROUPBY",
@@ -391,6 +383,16 @@ class HybridGroupByExecutor:
                     device_id=lease.device.device_id,
                     parallel_group=group_base + p // devices,
                 ))
+            except PinnedMemoryError as exc:
+                # Staging exhaustion degrades just this partition to the
+                # CPU chain; the breaker is not fed.
+                if self.monitor is not None:
+                    self.monitor.record_fault_fallback("groupby", exc)
+                sub_index, n_sub = cpu_partition(rows_p, keys_p)
+                self._note_kmv(kmv.groups, n_sub, stamp_span=False)
+                group_index[rows_p] = sub_index + offset
+                offset += n_sub
+                continue
             except GpuError as exc:
                 self.scheduler.record_failure(lease)
                 if self.monitor is not None:
@@ -404,7 +406,6 @@ class HybridGroupByExecutor:
             else:
                 self.scheduler.record_success(lease)
             finally:
-                self.pinned.release(buffer)
                 self.scheduler.release(lease)
             self._note_kmv(kmv.groups, winner.n_groups, stamp_span=False)
             group_index[rows_p] = winner.group_index + offset

@@ -28,6 +28,7 @@ from repro.errors import GpuError, PinnedMemoryError
 from repro.gpu.cache import SegmentKey, StagedSegment, content_digest
 from repro.gpu.kernels.join import HashJoinKernel
 from repro.gpu.pinned import PinnedMemoryPool
+from repro.gpu.streams import PipelineSpec, streamed_launch
 from repro.gpu.transfer import effective_transfer_bytes
 from repro.timing import CostEvent
 
@@ -43,6 +44,7 @@ class HybridJoinExecutor:
     thresholds: Thresholds
     monitor: Optional[PerformanceMonitor] = None
     catalog: Optional[Catalog] = None
+    pipeline: Optional[PipelineSpec] = None
     query_id: str = ""
 
     def __call__(self, left: Table, right: Table, node: JoinNode,
@@ -108,21 +110,13 @@ class HybridJoinExecutor:
                     missed.append(segment)
         transfer = effective_transfer_bytes(staged, hit_bytes)
         try:
-            buffer = self.pinned.allocate(transfer)
-        except PinnedMemoryError as exc:
-            self.scheduler.release(lease)
-            if self.monitor is not None:
-                self.monitor.record_fault_fallback("join", exc)
-            self._record("cpu-fallback", "pinned staging pool exhausted")
-            return cpu_join_executor(left, right, node, ctx)
-
-        try:
             try:
                 result = kernel.run(build_keys, probe_keys)
             except GpuError:
                 self._record("cpu-fallback", "kernel rejected the join")
                 return cpu_join_executor(left, right, node, ctx)
-            launch = lease.device.launch(
+            launch = streamed_launch(
+                lease.device, self.pinned,
                 kernel=result.kernel,
                 kernel_seconds=result.kernel_seconds,
                 reservation=lease.reservation,
@@ -130,6 +124,7 @@ class HybridJoinExecutor:
                 bytes_in=transfer,
                 bytes_out=len(result.left_idx) * 4,
                 pinned=True,
+                pipeline=self.pipeline,
             )
             ctx.ledger.add(CostEvent(
                 op="GPU-JOIN",
@@ -146,6 +141,13 @@ class HybridJoinExecutor:
                            / ctx.config.cost.cpu_decode_rate)
             ctx.ledger.cpu("JOIN-MAT", len(result.left_idx), materialise,
                            max_degree=ctx.degree)
+        except PinnedMemoryError as exc:
+            # Host-side staging exhaustion: no device misbehaved, so the
+            # circuit breaker stays out of it.
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback("join", exc)
+            self._record("cpu-fallback", "pinned staging pool exhausted")
+            return cpu_join_executor(left, right, node, ctx)
         except GpuError as exc:
             # Launch failure or device loss on the leased device: feed the
             # breaker and redo the join on the stock CPU operator.
@@ -158,7 +160,6 @@ class HybridJoinExecutor:
         else:
             self.scheduler.record_success(lease)
         finally:
-            self.pinned.release(buffer)
             self.scheduler.release(lease)
 
         if cache is not None and cache.enabled:

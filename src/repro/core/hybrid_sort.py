@@ -43,6 +43,7 @@ from repro.obs.tracing import NULL_TRACER
 from repro.gpu.cache import SegmentKey, StagedSegment, content_digest
 from repro.gpu.kernels.radix_sort import RadixSortKernel
 from repro.gpu.pinned import PinnedMemoryPool
+from repro.gpu.streams import PipelineSpec, streamed_launch
 from repro.gpu.transfer import effective_transfer_bytes
 from repro.timing import CostEvent
 
@@ -144,6 +145,7 @@ class HybridSortExecutor:
     thresholds: Thresholds
     monitor: Optional[PerformanceMonitor] = None
     catalog: Optional[Catalog] = None
+    pipeline: Optional[PipelineSpec] = None
     query_id: str = ""
     last_stats: SortRunStats = field(default_factory=SortRunStats)
 
@@ -253,16 +255,9 @@ class HybridSortExecutor:
             hit_bytes = segment.nbytes
         transfer = effective_transfer_bytes(staged, hit_bytes)
         try:
-            buffer = self.pinned.allocate(transfer)
-        except PinnedMemoryError as exc:
-            self.scheduler.release(lease)
-            if self.monitor is not None:
-                self.monitor.record_fault_fallback("sort", exc)
-            stats.fallbacks += 1
-            return None
-        try:
             result = radix.run(partial)
-            launch = lease.device.launch(
+            launch = streamed_launch(
+                lease.device, self.pinned,
                 kernel=radix.name,
                 kernel_seconds=result.kernel_seconds,
                 reservation=lease.reservation,
@@ -270,6 +265,7 @@ class HybridSortExecutor:
                 bytes_in=transfer,
                 bytes_out=staged,
                 pinned=True,
+                pipeline=self.pipeline,
             )
             ctx.ledger.add(CostEvent(
                 op="GPU-SORT", rows=length,
@@ -278,6 +274,13 @@ class HybridSortExecutor:
                 gpu_memory_bytes=lease.reservation.nbytes,
                 device_id=lease.device.device_id,
             ))
+        except PinnedMemoryError as exc:
+            # Host-side staging exhaustion is not the device's fault, so
+            # the circuit breaker stays out of it.
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback("sort", exc)
+            stats.fallbacks += 1
+            return None
         except GpuError as exc:
             # The job falls back to the CPU sort path (None); the breaker
             # hears about the device that failed it.
@@ -290,7 +293,6 @@ class HybridSortExecutor:
         else:
             self.scheduler.record_success(lease)
         finally:
-            self.pinned.release(buffer)
             self.scheduler.release(lease)
         if segment is not None and cache is not None and cache.enabled \
                 and hit_bytes == 0:

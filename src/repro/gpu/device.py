@@ -31,7 +31,15 @@ class SharedMemoryConfig:
 
 @dataclass(frozen=True)
 class LaunchResult:
-    """Timing of one kernel launch, transfers included."""
+    """Timing of one kernel launch, transfers included.
+
+    For a stream-pipelined launch (``chunks > 1``) the three components
+    are the *exposed* times of the overlapped schedule — the copy time
+    the kernel could not hide plus the kernel busy time — so
+    ``total_seconds`` is the overlapped makespan. ``serial_seconds``
+    records what the same job would have cost unpipelined and
+    ``overlap_saved_seconds`` the difference.
+    """
 
     kernel: str
     device_id: int
@@ -39,6 +47,9 @@ class LaunchResult:
     kernel_seconds: float
     transfer_out_seconds: float
     device_bytes: int
+    chunks: int = 1
+    serial_seconds: float = 0.0
+    overlap_saved_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -111,15 +122,31 @@ class GpuDevice:
         bytes_in: int = 0,
         bytes_out: int = 0,
         pinned: bool = True,
+        plan=None,
+        pool=None,
     ) -> LaunchResult:
         """Account one kernel invocation under a live memory reservation.
 
         The caller must have reserved device memory first — launching
         without a reservation is exactly the bug class section 2.1.1 rules
         out, so the API makes it impossible.
+
+        With a :class:`~repro.gpu.streams.StreamPlan` (built by
+        :func:`repro.gpu.streams.streamed_launch`), the launch runs
+        chunked and double-buffered out of ``pool`` and is charged the
+        overlapped makespan instead of the serial sum; without one the
+        accounting below is the pre-stream serial path, unchanged.
         """
         if reservation.released:
             raise GpuError("launch requires a live memory reservation")
+        if plan is not None:
+            if pool is None:
+                raise GpuError("a pipelined launch needs the pinned "
+                               "staging pool for its chunk buffers")
+            return self._launch_pipelined(plan, pool, kernel=kernel,
+                                          rows=rows,
+                                          reservation=reservation,
+                                          pinned=pinned)
         self._check_faults(kernel)
         t_in = transfer_seconds(bytes_in, self.spec, pinned)
         t_out = transfer_seconds(bytes_out, self.spec, pinned)
@@ -173,6 +200,121 @@ class GpuDevice:
             device_bytes=reservation.nbytes,
         )
 
+    def _launch_pipelined(self, plan, pool, *, kernel: str, rows: int,
+                          reservation: Reservation,
+                          pinned: bool) -> LaunchResult:
+        """Account one chunked, double-buffered launch (repro.gpu.streams).
+
+        Every chunk re-runs the launch-time fault sites and draws its own
+        staging buffer, so ``device_loss``/``launch``/``pinned``/
+        ``transfer`` faults fire per-chunk; an injected PCIe stall slows
+        that chunk's H2D copy inside the overlapped schedule (a stall a
+        kernel slice hides costs nothing).  On any fault every live
+        staging buffer is released before the error propagates — no
+        spans, metrics or profiler records are emitted for the failed
+        launch, matching the serial path where faults fire before
+        accounting.
+        """
+        from repro.gpu.streams import DOUBLE_BUFFERS
+
+        buffers = []
+        stalls = []
+        try:
+            for chunk in plan.chunks:
+                self._check_faults(kernel)
+                if len(buffers) == DOUBLE_BUFFERS:
+                    # Chunk i's copy reuses the buffer chunk i-2's kernel
+                    # slice drained (the double-buffer rotation).
+                    pool.release(buffers.pop(0))
+                buffers.append(pool.allocate(chunk.bytes_in))
+                stalls.append(self._transfer_stall())
+        except Exception:
+            for buffer in buffers:
+                pool.release(buffer)
+            raise
+        schedule = plan.schedule(stalls)
+        stall_total = sum(stalls)
+        n = len(plan.chunks)
+        bytes_in = plan.bytes_in
+        bytes_out = plan.bytes_out
+        # The serial reference is the same job with the same stalls, paid
+        # without overlap; saved time can exceed the no-fault saving when
+        # the pipeline hides a stall under a kernel slice.
+        overlapped = schedule.total_seconds
+        serial = plan.serial_seconds + stall_total
+        saved = max(0.0, serial - overlapped)
+        # Decompose exposed inbound time so the stall shows up in its own
+        # span (capped by what is actually exposed), and the clock-advance
+        # sum stays exactly the overlapped makespan.
+        d_stall = min(stall_total, schedule.exposed_in)
+        d_in = schedule.exposed_in - d_stall
+        launch_overhead = n * self.spec.kernel_launch_overhead
+        with self.tracer.span("gpu.launch", device_id=self.device_id,
+                              kernel=kernel, rows=rows,
+                              device_bytes=reservation.nbytes,
+                              chunks=n,
+                              pipeline_depth=plan.pipeline.depth,
+                              chunk_bytes=plan.max_chunk_bytes,
+                              overlapped_seconds=overlapped,
+                              serial_seconds=serial,
+                              overlap_saved_seconds=saved):
+            if d_stall > 0.0:
+                with self.tracer.timed_span("gpu.transfer_stall", d_stall,
+                                            device_id=self.device_id,
+                                            injected=True):
+                    pass
+            with self.tracer.timed_span("gpu.transfer_in", d_in,
+                                        device_id=self.device_id,
+                                        bytes=bytes_in, pinned=pinned,
+                                        chunks=n):
+                pass
+            with self.tracer.timed_span(
+                    "gpu.kernel", schedule.kernel_seconds,
+                    device_id=self.device_id, kernel=kernel, rows=rows,
+                    launch_overhead=launch_overhead, chunks=n):
+                pass
+            with self.tracer.timed_span("gpu.transfer_out",
+                                        schedule.exposed_out,
+                                        device_id=self.device_id,
+                                        bytes=bytes_out, pinned=pinned,
+                                        chunks=n):
+                pass
+        for buffer in buffers:
+            pool.release(buffer)
+        t_in = d_stall + d_in
+        self._observe_launch(kernel, schedule.kernel_seconds, t_in,
+                             schedule.exposed_out, bytes_in, bytes_out)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_overlap_saved_seconds_total",
+                "Simulated seconds saved by stream-pipelined "
+                "transfer/compute overlap",
+                labelnames=("device",),
+            ).labels(device=str(self.device_id)).inc(saved)
+        record = KernelRecord(
+            kernel=kernel,
+            device_id=self.device_id,
+            rows=rows,
+            transfer_in_seconds=t_in,
+            kernel_seconds=schedule.kernel_seconds,
+            transfer_out_seconds=schedule.exposed_out,
+            device_bytes=reservation.nbytes,
+            launch_overhead=launch_overhead,
+            bytes_in=bytes_in,
+            bytes_out=bytes_out,
+        )
+        self.profiler.record(record)
+        return LaunchResult(
+            kernel=kernel,
+            device_id=self.device_id,
+            transfer_in_seconds=t_in,
+            kernel_seconds=schedule.kernel_seconds,
+            transfer_out_seconds=schedule.exposed_out,
+            device_bytes=reservation.nbytes,
+            chunks=n,
+            serial_seconds=serial,
+            overlap_saved_seconds=saved,
+        )
 
     def _check_faults(self, kernel: str) -> None:
         """Evaluate the launch-time fault sites (repro.faults).

@@ -44,6 +44,9 @@ class PinnedMemoryPool:
         )
         self._buffers: dict[int, PinnedBuffer] = {}
         self._ids = itertools.count(1)
+        # Running byte counter: ``used`` sits on the per-chunk allocation
+        # hot path, so it must not re-sum every live buffer on each call.
+        self._used = 0
         self.peak_used = 0
         self.total_requests = 0
         # Fault-injection seam (repro.faults), armed by the engine.
@@ -51,7 +54,7 @@ class PinnedMemoryPool:
 
     @property
     def used(self) -> int:
-        return sum(b.nbytes for b in self._buffers.values())
+        return self._used
 
     @property
     def free(self) -> int:
@@ -71,8 +74,9 @@ class PinnedMemoryPool:
             )
         buffer = PinnedBuffer(next(self._ids), nbytes)
         self._buffers[buffer.buffer_id] = buffer
+        self._used += nbytes
         self.total_requests += 1
-        self.peak_used = max(self.peak_used, self.used)
+        self.peak_used = max(self.peak_used, self._used)
         return buffer
 
     def release(self, buffer: PinnedBuffer) -> None:
@@ -80,6 +84,7 @@ class PinnedMemoryPool:
             raise PinnedMemoryError(f"buffer {buffer.buffer_id} is not live")
         buffer.released = True
         del self._buffers[buffer.buffer_id]
+        self._used -= buffer.nbytes
 
     def saved_registration_seconds(self) -> float:
         """Per-call registration cost the pool design avoided so far."""

@@ -92,6 +92,7 @@ class QueryStat:
     elapsed_ms: float
     offloaded: bool
     bytes_moved: int
+    checksum: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -99,6 +100,7 @@ class QueryStat:
             "elapsed_ms": round(self.elapsed_ms, 6),
             "offloaded": self.offloaded,
             "bytes_moved": self.bytes_moved,
+            "checksum": self.checksum,
         }
 
 
@@ -134,6 +136,8 @@ class BenchResult:
     seed: int
     degree: int
     cache_fraction: float = 0.0
+    pipeline_depth: int = 1
+    chunk_bytes: int = 0
     classes: dict[str, ClassStat] = field(default_factory=dict)
     queries: dict[str, QueryStat] = field(default_factory=dict)
 
@@ -145,6 +149,8 @@ class BenchResult:
             "seed": self.seed,
             "degree": self.degree,
             "cache_fraction": self.cache_fraction,
+            "pipeline_depth": self.pipeline_depth,
+            "chunk_bytes": self.chunk_bytes,
             "classes": {name: stat.to_dict()
                         for name, stat in sorted(self.classes.items())},
             "queries": {qid: stat.to_dict()
@@ -189,7 +195,9 @@ def run_workload(
 
     result = BenchResult(workload=workload, scale=scale, seed=seed,
                          degree=driver.degree,
-                         cache_fraction=driver.config.cache_fraction)
+                         cache_fraction=driver.config.cache_fraction,
+                         pipeline_depth=driver.config.pipeline_depth,
+                         chunk_bytes=driver.config.chunk_bytes)
     tracer = driver.gpu_engine.tracer
     for cls, queries in available.items():
         latencies: list[float] = []
@@ -204,7 +212,8 @@ def run_workload(
             offloaded += int(profile.offloaded)
             result.queries[query.query_id] = QueryStat(
                 query_id=query.query_id, cls=cls, elapsed_ms=elapsed,
-                offloaded=profile.offloaded, bytes_moved=moved)
+                offloaded=profile.offloaded, bytes_moved=moved,
+                checksum=driver.result_checksum(query, gpu=True))
         result.classes[cls] = ClassStat(
             cls=cls,
             queries=len(queries),
@@ -289,17 +298,21 @@ def compare(current: BenchResult, baseline: dict,
     ``--update`` and commit the refreshed file.  Bytes-moved growth and
     offload-ratio drops are warnings — they often *explain* a latency
     failure but can legitimately move when thresholds are retuned.
-    Config mismatches (workload/scale/seed/degree/cache_fraction/query
-    set) are failures outright: the simulation is deterministic, so
-    comparing different configs is comparing nothing.  ``cache_fraction``
-    is only checked when the baseline records it, so pre-cache baselines
-    stay comparable.
+    Config mismatches (workload/scale/seed/degree/cache_fraction/
+    pipeline_depth/chunk_bytes/query set) are failures outright: the
+    simulation is deterministic, so comparing different configs is
+    comparing nothing.  ``cache_fraction``, ``pipeline_depth`` and
+    ``chunk_bytes`` are only checked when the baseline records them, so
+    baselines written before those knobs existed stay comparable.  Query
+    result checksums must match exactly when both sides carry them — a
+    perf knob is never allowed to change an answer.
     """
     out = BenchComparison()
     cur = current.to_dict()
     config_keys = ["workload", "scale", "seed", "degree"]
-    if "cache_fraction" in baseline:
-        config_keys.append("cache_fraction")
+    for knob in ("cache_fraction", "pipeline_depth", "chunk_bytes"):
+        if knob in baseline:
+            config_keys.append(knob)
     for key in config_keys:
         if cur[key] != baseline.get(key):
             out.failures.append(
@@ -349,6 +362,15 @@ def compare(current: BenchResult, baseline: dict,
 
     base_queries = set(baseline.get("queries", {}))
     cur_queries = set(current.queries)
+    for qid in sorted(base_queries & cur_queries):
+        base_ck = str(baseline["queries"][qid].get("checksum", ""))
+        cur_ck = current.queries[qid].checksum
+        # Only judged when both sides recorded one (older baselines
+        # predate checksums); any mismatch means the answers changed.
+        if base_ck and cur_ck and base_ck != cur_ck:
+            out.failures.append(
+                f"{qid}: result checksum changed "
+                f"({base_ck} -> {cur_ck}) — query answers differ")
     if base_queries != cur_queries:
         missing = sorted(base_queries - cur_queries)
         new = sorted(cur_queries - base_queries)

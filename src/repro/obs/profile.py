@@ -199,6 +199,7 @@ class QueryProfile:
     bytes_in: int
     bytes_out: int
     cache_events: list[dict] = field(default_factory=list)
+    pipeline_events: list[dict] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -254,6 +255,36 @@ class QueryProfile:
                 summary["evicted_bytes"] += nbytes
         return summary
 
+    def pipeline_summary(self) -> dict:
+        """Aggregate of the query's stream-pipelined launches.
+
+        ``saved_seconds`` is the simulated time the transfer/compute
+        overlap shaved off this query: the sum over pipelined launches of
+        (serial makespan − overlapped makespan).  Kept outside the
+        component attribution on purpose — the components describe the
+        time the query *did* spend, and they still sum to the total.
+        """
+        summary = {"launches": len(self.pipeline_events), "chunks": 0,
+                   "saved_seconds": 0.0, "serial_seconds": 0.0,
+                   "overlapped_seconds": 0.0}
+        for event in self.pipeline_events:
+            summary["chunks"] += int(event.get("chunks", 0))
+            summary["saved_seconds"] += float(event.get("saved_seconds", 0.0))
+            summary["serial_seconds"] += float(
+                event.get("serial_seconds", 0.0))
+            summary["overlapped_seconds"] += float(
+                event.get("overlapped_seconds", 0.0))
+        return summary
+
+    def overlap_saved_by_operator(self) -> dict[str, float]:
+        """Per-operator overlap savings (the EXPLAIN ANALYZE attribution)."""
+        out: dict[str, float] = {}
+        for event in self.pipeline_events:
+            name = str(event.get("operator", "?"))
+            out[name] = out.get(name, 0.0) + float(
+                event.get("saved_seconds", 0.0))
+        return out
+
     # ------------------------------------------------------------------
     # Renderings
     # ------------------------------------------------------------------
@@ -278,6 +309,11 @@ class QueryProfile:
             "cache": {
                 "summary": self.cache_summary(),
                 "events": list(self.cache_events),
+            },
+            "stream_pipeline": {
+                "summary": self.pipeline_summary(),
+                "events": list(self.pipeline_events),
+                "saved_by_operator": self.overlap_saved_by_operator(),
             },
             "scheduler_events": list(self.scheduler_events),
             "offload_decisions": [
@@ -407,6 +443,32 @@ class QueryProfile:
                     detail += f"  ({event['reason']})"
                 lines.append(f"{action:8} GPU {event.get('device_id', '?')}"
                              f"  {detail}")
+        if self.pipeline_events:
+            summary = self.pipeline_summary()
+            lines.append("")
+            lines.append("-- stream pipeline --")
+            lines.append(
+                f"pipelined launches={summary['launches']} "
+                f"(chunks={summary['chunks']})  "
+                f"overlapped {summary['overlapped_seconds'] * ms:.3f} ms vs "
+                f"serial {summary['serial_seconds'] * ms:.3f} ms  "
+                f"saved {summary['saved_seconds'] * ms:.3f} ms")
+            for event in self.pipeline_events:
+                lines.append(
+                    f"{event.get('kernel', '?'):24} "
+                    f"GPU {event.get('device_id', '?')}  "
+                    f"depth={event.get('pipeline_depth', '?')} "
+                    f"chunks={event.get('chunks', '?')} "
+                    f"{event.get('chunk_bytes', 0)} B/chunk  "
+                    f"saved {float(event.get('saved_seconds', 0.0)) * ms:.3f}"
+                    f" ms")
+            saved_by_op = self.overlap_saved_by_operator()
+            if saved_by_op:
+                lines.append(
+                    "overlap saved by operator: "
+                    + "  ".join(f"{name}={secs * ms:.3f}ms"
+                                for name, secs in sorted(
+                                    saved_by_op.items())))
         if self.scheduler_events:
             lines.append("")
             lines.append("-- scheduler / fault events --")
@@ -534,6 +596,23 @@ def build_profile(
         for s in trace
         if s.name in ("cache.hit", "cache.insert", "cache.evict")
     ]
+    pipeline_events = [
+        {
+            "kernel": str(s.attributes.get("kernel", "")),
+            "device_id": int(s.attributes.get("device_id", -1)),
+            "operator": owner[s.span_id].name,
+            "chunks": int(s.attributes.get("chunks", 0)),
+            "pipeline_depth": int(s.attributes.get("pipeline_depth", 0)),
+            "chunk_bytes": int(s.attributes.get("chunk_bytes", 0)),
+            "overlapped_seconds": float(
+                s.attributes.get("overlapped_seconds", 0.0)),
+            "serial_seconds": float(s.attributes.get("serial_seconds", 0.0)),
+            "saved_seconds": float(
+                s.attributes.get("overlap_saved_seconds", 0.0)),
+        }
+        for s in trace
+        if s.name == "gpu.launch" and int(s.attributes.get("chunks", 1)) > 1
+    ]
 
     return QueryProfile(
         query_id=str(root_span.attributes.get("query_id", "")),
@@ -549,6 +628,7 @@ def build_profile(
         bytes_in=bytes_in,
         bytes_out=bytes_out,
         cache_events=cache_events,
+        pipeline_events=pipeline_events,
     )
 
 

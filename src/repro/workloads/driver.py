@@ -13,6 +13,7 @@ profile), and exposes the three run modes of section 5:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -31,6 +32,23 @@ class SerialRun:
     query_id: str
     elapsed_ms: float
     offloaded: bool
+
+
+def table_checksum(table) -> str:
+    """Deterministic short digest of a result table's schema and values.
+
+    The benchmark baselines record this per query so the regression gate
+    (and CI's overlap-effectiveness step) can prove a perf change left
+    the query *answers* untouched, not just the timings.
+    """
+    digest = hashlib.sha256()
+    data = table.to_pydict()
+    for name in table.schema.names():
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(repr(data[name]).encode())
+        digest.update(b"\x01")
+    return digest.hexdigest()[:16]
 
 
 def tables_match(a, b, float_tol: float = 1e-9) -> bool:
@@ -72,6 +90,7 @@ class WorkloadDriver:
         self.cpu_engine = BluEngine(catalog, config=cpu_only_testbed(),
                                     default_degree=degree)
         self._profiles: dict[tuple[str, bool], QueryProfile] = {}
+        self._checksums: dict[tuple[str, bool], str] = {}
 
     # ------------------------------------------------------------------
     # Profiling
@@ -85,7 +104,15 @@ class WorkloadDriver:
             result = engine.execute_sql(query.sql, query_id=query.query_id,
                                         degree=self.PROFILE_DEGREE)
             self._profiles[key] = result.profile
+            self._checksums[key] = table_checksum(result.table)
         return self._profiles[key]
+
+    def result_checksum(self, query: WorkloadQuery, gpu: bool) -> str:
+        """Digest of ``query``'s result table (executes once, cached)."""
+        key = (query.query_id, gpu)
+        if key not in self._checksums:
+            self.profile(query, gpu)
+        return self._checksums[key]
 
     def elapsed_ms(self, query: WorkloadQuery, gpu: bool,
                    degree: Optional[int] = None) -> float:

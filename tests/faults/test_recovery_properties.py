@@ -34,11 +34,13 @@ QUERIES = (
 _baseline_cache: dict[str, object] = {}
 
 
-def _test_config(faults=None):
+def _test_config(faults=None, pipeline_depth=4, chunk_bytes=1 << 20):
     config = paper_testbed()
     thresholds = dataclasses.replace(config.thresholds, t1_min_rows=5_000,
                                      sort_min_rows=5_000)
-    return dataclasses.replace(config, thresholds=thresholds, faults=faults)
+    return dataclasses.replace(config, thresholds=thresholds, faults=faults,
+                               pipeline_depth=pipeline_depth,
+                               chunk_bytes=chunk_bytes)
 
 
 def _baselines(small_catalog):
@@ -66,20 +68,28 @@ single_fault_rules = st.builds(
 )
 
 
-@given(rule=single_fault_rules, seed=st.integers(0, 2**16))
+@given(rule=single_fault_rules, seed=st.integers(0, 2**16),
+       pipeline_depth=st.integers(1, 6),
+       chunk_bytes=st.sampled_from([4096, 1 << 16, 1 << 20]))
 @settings(max_examples=10, deadline=None,
           suppress_health_check=[HealthCheck.function_scoped_fixture])
-def test_any_single_fault_preserves_results(small_catalog, rule, seed):
-    """The headline guarantee: whatever one rule does to the substrate,
-    all three hybrid executors return the CPU baseline's answers."""
+def test_any_single_fault_preserves_results(small_catalog, rule, seed,
+                                            pipeline_depth, chunk_bytes):
+    """The headline guarantee: whatever one rule does to the substrate —
+    and whatever the stream-pipeline knobs, which multiply the per-chunk
+    fault sites — all three hybrid executors return the CPU baseline's
+    answers."""
     plan = FaultPlan(rules=(rule,), seed=seed)
-    engine = GpuAcceleratedEngine(small_catalog,
-                                  config=_test_config(faults=plan),
-                                  enable_join_offload=True)
+    engine = GpuAcceleratedEngine(
+        small_catalog,
+        config=_test_config(faults=plan, pipeline_depth=pipeline_depth,
+                            chunk_bytes=chunk_bytes),
+        enable_join_offload=True)
     for sql in QUERIES:
         got = engine.execute_sql(sql).table
         assert tables_match(got, _baselines(small_catalog)[sql]), \
-            f"results diverged under {rule.spec()!r} (seed {seed}): {sql}"
+            f"results diverged under {rule.spec()!r} (seed {seed}, " \
+            f"depth {pipeline_depth}, chunk {chunk_bytes}): {sql}"
 
 
 def make_scheduler(n=2, memory=1_000_000):

@@ -149,6 +149,40 @@ class TestCompare:
         del baseline["cache_fraction"]
         assert bench.compare(result, baseline).ok
 
+    def test_pipeline_knob_mismatch_fails_outright(self, result):
+        for knob, other in (("pipeline_depth", 1), ("chunk_bytes", 4096)):
+            baseline = result.to_dict()
+            baseline[knob] = other
+            comparison = bench.compare(result, baseline)
+            assert not comparison.ok
+            assert any("config mismatch" in f and knob in f
+                       for f in comparison.failures), knob
+
+    def test_pre_pipeline_baseline_still_comparable(self, result):
+        # Baselines written before the stream pipeline existed carry no
+        # pipeline keys; compare() must not invent a mismatch.
+        baseline = result.to_dict()
+        del baseline["pipeline_depth"]
+        del baseline["chunk_bytes"]
+        assert bench.compare(result, baseline).ok
+
+    def test_result_checksum_recorded_per_query(self, result):
+        for stat in result.queries.values():
+            assert stat.checksum      # every query carries a digest
+
+    def test_checksum_mismatch_fails_outright(self, result):
+        baseline = result.to_dict()
+        baseline["queries"]["C1"]["checksum"] = "deadbeefdeadbeef"
+        comparison = bench.compare(result, baseline)
+        assert not comparison.ok
+        assert any("checksum changed" in f for f in comparison.failures)
+
+    def test_pre_checksum_baseline_still_comparable(self, result):
+        baseline = result.to_dict()
+        for q in baseline["queries"].values():
+            del q["checksum"]
+        assert bench.compare(result, baseline).ok
+
     def test_config_mismatch_fails_outright(self, result):
         baseline = result.to_dict()
         baseline["scale"] = 0.05

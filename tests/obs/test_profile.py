@@ -54,13 +54,15 @@ class TestAttribution:
 
     def test_launch_overhead_split_out_of_kernel_time(self, profiled):
         """The gpu.kernel span embeds the launch overhead; the profiler
-        must report them as separate components."""
+        must report them as separate components.  A stream-pipelined
+        launch pays the overhead once per chunk, not once per launch."""
         engine, profiles = profiled
         overhead = engine.config.gpus[0].kernel_launch_overhead
         profile = profiles["C1"]
-        launches = len(profile.occupancy)
+        chunked = sum(e["chunks"] for e in profile.pipeline_events)
+        serial = len(profile.occupancy) - len(profile.pipeline_events)
         assert profile.component_totals()["launch_overhead"] == \
-            pytest.approx(overhead * launches)
+            pytest.approx(overhead * (serial + chunked))
 
     def test_operator_tree_mirrors_span_nesting(self, profiled):
         _engine, profiles = profiled
@@ -74,6 +76,50 @@ class TestAttribution:
                 assert child.depth == node.depth + 1
                 assert node.span.start <= child.span.start
                 assert child.span.end <= node.span.end
+
+
+class TestStreamPipeline:
+    def test_pipelined_launches_collected(self, profiled):
+        _engine, profiles = profiled
+        events = profiles["C1"].pipeline_events
+        assert events
+        for e in events:
+            assert e["chunks"] > 1
+            assert e["operator"].startswith("op.")
+            assert e["overlapped_seconds"] < e["serial_seconds"]
+            assert e["saved_seconds"] == pytest.approx(
+                e["serial_seconds"] - e["overlapped_seconds"])
+
+    def test_savings_stay_out_of_component_attribution(self, profiled):
+        """The saved seconds are a counterfactual (serial minus
+        overlapped), not spent time: component totals must still sum to
+        the query's actual duration even when savings are non-zero."""
+        _engine, profiles = profiled
+        profile = profiles["C1"]
+        assert profile.pipeline_summary()["saved_seconds"] > 0
+        accounted = sum(profile.component_totals().values())
+        assert accounted == pytest.approx(profile.duration, abs=1e-12)
+
+    def test_text_report_has_pipeline_section(self, profiled):
+        _engine, profiles = profiled
+        text = profiles["C1"].to_text()
+        assert "-- stream pipeline --" in text
+        assert "overlap saved by operator:" in text
+
+    def test_dict_report_has_pipeline_section(self, profiled):
+        _engine, profiles = profiled
+        doc = profiles["C1"].to_dict()
+        section = doc["stream_pipeline"]
+        assert section["summary"]["launches"] == len(
+            profiles["C1"].pipeline_events)
+        assert section["events"]
+        assert section["saved_by_operator"]
+
+    def test_saved_by_operator_sums_to_summary(self, profiled):
+        _engine, profiles = profiled
+        profile = profiles["C1"]
+        assert sum(profile.overlap_saved_by_operator().values()) == \
+            pytest.approx(profile.pipeline_summary()["saved_seconds"])
 
 
 class TestDecisionSections:

@@ -240,6 +240,36 @@ class TestBenchCommand:
         assert code == 0
         assert "OK" in out and "cache=0.0" in out
 
+    def test_pipeline_knobs_and_out(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "result.json")
+        code = main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                             "--pipeline-depth", "2",
+                             "--chunk-bytes", "65536",
+                             "--out", out_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pipeline=2x65536B" in out
+        doc = json.load(open(out_path))
+        assert doc["pipeline_depth"] == 2
+        assert doc["chunk_bytes"] == 65536
+
+    def test_compare_inherits_baseline_pipeline_knobs(self, capsys,
+                                                      tmp_path):
+        # A pipeline-off baseline must be compared with a pipeline-off
+        # run even when the knobs are not repeated on the compare side.
+        path = str(tmp_path / "BENCH_pipeline_off.json")
+        main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                      "--pipeline-depth", "1", "--baseline", path,
+                      "--update"])
+        capsys.readouterr()
+        code = main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                             "--baseline", path, "--compare"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out and "pipeline=1x" in out
+
 
 class TestCacheStatsCommand:
     def test_table_output(self, capsys):

@@ -18,11 +18,13 @@ from repro.core import GpuAcceleratedEngine
 from tests.conftest import tables_equal
 
 
-def low_threshold_config():
+def low_threshold_config(pipeline_depth=4, chunk_bytes=1 << 20):
     config = paper_testbed()
     thresholds = dataclasses.replace(config.thresholds, t1_min_rows=8,
                                      t2_min_groups=2, sort_min_rows=8)
-    return dataclasses.replace(config, thresholds=thresholds)
+    return dataclasses.replace(config, thresholds=thresholds,
+                               pipeline_depth=pipeline_depth,
+                               chunk_bytes=chunk_bytes)
 
 
 @st.composite
@@ -88,4 +90,20 @@ class TestRandomParity:
                                       race_kernels=True)
         cpu = BluEngine(catalog)
         assert tables_equal(racing.execute_sql(sql).table,
+                            cpu.execute_sql(sql).table)
+
+    @given(catalog=random_catalog(), sql=st.one_of(GROUP_SQL, SORT_SQL),
+           depth=st.integers(min_value=1, max_value=6),
+           chunk_bytes=st.sampled_from([256, 4096, 1 << 16, 1 << 20]))
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_knobs_never_change_answers(self, catalog, sql,
+                                                 depth, chunk_bytes):
+        """Stream pipelining only reshapes the launch *timing*: for any
+        (depth, chunk_bytes) the result tables must stay bit-identical
+        to the CPU baseline."""
+        gpu = GpuAcceleratedEngine(
+            catalog, config=low_threshold_config(pipeline_depth=depth,
+                                                 chunk_bytes=chunk_bytes))
+        cpu = BluEngine(catalog)
+        assert tables_equal(gpu.execute_sql(sql).table,
                             cpu.execute_sql(sql).table)
