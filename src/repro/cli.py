@@ -32,7 +32,15 @@ Commands
                ``--out`` saves the run's JSON without touching the
                baseline
 ``cache-stats`` run a query class and print per-device column-cache
-               counters (hits, misses, evictions, resident bytes)
+               counters (hits, misses, evictions, resident bytes);
+               ``--json`` dumps the full engine stats snapshot
+``serve-bench`` run the concurrent-serving users-vs-throughput sweep
+               (Table 3 shape) with SLO tracking; ``--update`` writes
+               the BENCH_serving_sweep.json baseline, ``--compare``
+               gates against it both directions
+``top``        run a concurrent workload and print the point-in-time
+               serving dashboard (sessions, queue depth, rolling tail
+               latencies, SLO burn rates, engine counters)
 
 Examples::
 
@@ -56,6 +64,9 @@ Examples::
     python -m repro bench cognos_rolap --update
     python -m repro bench bd_insights --cache-fraction 0 --out run.json
     python -m repro cache-stats --category complex
+    python -m repro serve-bench --compare
+    python -m repro serve-bench --update --sessions 1,8,32,128
+    python -m repro top --sessions 32
 """
 
 from __future__ import annotations
@@ -213,7 +224,69 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="override the column-cache budget fraction "
                               "(0 disables; default: config)")
     p_cache.add_argument("--json", action="store_true",
-                         help="print the stats as JSON instead of a table")
+                         help="print the engine stats snapshot as JSON "
+                              "instead of a table")
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="concurrent-serving sweep: write or compare the "
+             "BENCH_serving_sweep.json baseline")
+    p_serve.add_argument("workload", nargs="?", default="bd_insights",
+                         choices=["bd_insights", "cognos_rolap"])
+    p_serve.add_argument("--baseline", metavar="PATH", default=None,
+                         help="baseline file (default benchmarks/baselines/"
+                              "BENCH_serving_sweep.json)")
+    p_serve.add_argument("--compare", action="store_true",
+                         help="diff against the baseline; non-zero exit on "
+                              "any move beyond --tolerance (regression or "
+                              "stale-baseline improvement)")
+    p_serve.add_argument("--update", action="store_true",
+                         help="(re)write the baseline file from this sweep")
+    p_serve.add_argument("--tolerance", type=float, default=0.10,
+                         help="relative tolerance for --compare "
+                              "(default 0.10)")
+    p_serve.add_argument("--classes", default=None,
+                         help="comma-separated class subset "
+                              "(e.g. simple,complex)")
+    p_serve.add_argument("--degree", type=int, default=48,
+                         help="driver degree (default 48)")
+    p_serve.add_argument("--sessions", default=None, metavar="N,N,...",
+                         help="comma-separated session ladder (default "
+                              "1,8,32,128, or the baseline's ladder on "
+                              "--compare)")
+    p_serve.add_argument("--loops", type=int, default=None,
+                         help="loops per session (default 1, or the "
+                              "baseline's value on --compare)")
+    p_serve.add_argument("--think-seconds", type=float, default=None,
+                         metavar="S",
+                         help="think time between a session's requests "
+                              "(default 0, or the baseline's value on "
+                              "--compare)")
+    p_serve.add_argument("--slowdown", type=float, default=1.0,
+                         help="multiply measured latencies — a self-test "
+                              "hook proving the gate trips (default 1.0)")
+    p_serve.add_argument("--out", metavar="PATH", default=None,
+                         help="also write this sweep's JSON to PATH "
+                              "(independent of --update)")
+
+    p_top = sub.add_parser(
+        "top",
+        help="run a concurrent workload and print the serving dashboard")
+    p_top.add_argument("workload", nargs="?", default="bd_insights",
+                       choices=["bd_insights", "cognos_rolap"])
+    p_top.add_argument("--sessions", type=int, default=None,
+                       help="concurrent sessions (default: config, 8)")
+    p_top.add_argument("--degree", type=int, default=48,
+                       help="driver degree (default 48)")
+    p_top.add_argument("--classes", default=None,
+                       help="comma-separated class subset")
+    p_top.add_argument("--loops", type=int, default=1,
+                       help="loops per session (default 1)")
+    p_top.add_argument("--think-seconds", type=float, default=0.0,
+                       metavar="S", help="think time (default 0)")
+    p_top.add_argument("--at", type=float, default=None, metavar="T",
+                       help="simulated-seconds instant to snapshot "
+                            "(default: mid-run)")
     return parser
 
 
@@ -325,17 +398,24 @@ def cmd_monitor(args) -> int:
                                   race_kernels=args.race)
     for query in queries_by_category(QueryCategory.COMPLEX):
         engine.execute_sql(query.sql, query_id=query.query_id)
+    # The JSON surface carries the raw events plus the same
+    # stats_snapshot() the other CLI surfaces render, so monitor,
+    # cache-stats and top can never disagree on the engine's counters.
+    payload = {
+        "events": engine.monitor.export_events(),
+        "stats": engine.stats_snapshot(),
+    }
     if args.json == "-":
         import json
 
-        print(json.dumps(engine.monitor.export_events(), indent=1))
+        print(json.dumps(payload, indent=1))
         return 0
     print(engine.monitor.report())
     if args.json:
         import json
 
         with open(args.json, "w") as f:
-            json.dump(engine.monitor.export_events(), f, indent=1)
+            json.dump(payload, f, indent=1)
         print(f"\nwrote {args.json}")
     return 0
 
@@ -553,7 +633,7 @@ def cmd_cache_stats(args) -> int:
     if args.json:
         import json
 
-        print(json.dumps(stats, indent=1, sort_keys=True))
+        print(json.dumps(engine.stats_snapshot(), indent=1, sort_keys=True))
         return 0
     if not stats:
         print(f"column cache disabled "
@@ -577,6 +657,127 @@ def cmd_cache_stats(args) -> int:
     return 0
 
 
+def _serving_slos(config):
+    """The default SLO pair (latency p-quantile + availability) from the
+    config's :class:`repro.config.ServingDefaults`."""
+    from repro.obs.slo import SLObjective
+
+    serving = config.serving
+    return (
+        SLObjective("latency", objective=serving.latency_objective,
+                    latency_threshold=serving.latency_slo_ms / 1e3),
+        SLObjective("availability",
+                    objective=serving.availability_objective),
+    )
+
+
+def cmd_serve_bench(args) -> int:
+    from repro.obs import serving
+    from repro.workloads.datagen import generate_database, scaled_config
+
+    path = args.baseline or serving.SWEEP_BASELINE
+    workload = args.workload
+    scale, seed, degree = args.scale, args.seed, args.degree
+    loops, think = args.loops, args.think_seconds
+    sessions = ([int(s) for s in args.sessions.split(",")]
+                if args.sessions else None)
+    baseline = None
+    if args.compare:
+        try:
+            baseline = serving.load_sweep_baseline(path)
+        except serving.ServingError as exc:
+            print(f"FAIL  {exc}")
+            return 1
+        # Deterministic simulation: a compare only means something at the
+        # baseline's exact configuration, so adopt it.
+        if (scale, seed) != (baseline["scale"], baseline["seed"]):
+            print(f"note  using baseline config scale={baseline['scale']} "
+                  f"seed={baseline['seed']} (overrides CLI)")
+        workload = baseline["workload"]
+        scale, seed = baseline["scale"], baseline["seed"]
+        degree = baseline["degree"]
+        if loops is None:
+            loops = baseline["loops"]
+        if think is None:
+            think = baseline["think_seconds"]
+        if sessions is None:
+            sessions = sorted(int(k) for k in baseline["points"])
+    loops = 1 if loops is None else loops
+    think = 0.0 if think is None else think
+    if sessions is None:
+        sessions = list(serving.DEFAULT_SESSIONS)
+
+    catalog = generate_database(scale=scale, seed=seed)
+    config = scaled_config(catalog)
+    classes = args.classes.split(",") if args.classes else None
+    try:
+        sweep, runs = serving.run_sweep(
+            catalog, config, workload=workload, scale=scale, seed=seed,
+            degree=degree, classes=classes, session_counts=sessions,
+            loops=loops, think_seconds=think, slowdown=args.slowdown,
+            slos=_serving_slos(config))
+    except serving.ServingError as exc:
+        print(f"FAIL  {exc}")
+        return 1
+
+    print(sweep.to_text())
+    alerts = {n: len(run.slo.alerts) for n, run in sorted(runs.items())
+              if run.slo is not None and run.slo.alerts}
+    if alerts:
+        print()
+        for n, count in alerts.items():
+            print(f"note  {n} sessions: {count} SLO alert(s) fired")
+    print()
+
+    if args.out:
+        sweep.write(args.out)
+        print(f"wrote {args.out}")
+    if args.update:
+        sweep.write(path)
+        print(f"wrote baseline {path}")
+        return 0
+    if args.compare:
+        comparison = serving.compare_sweep(sweep, baseline,
+                                           tolerance=args.tolerance)
+        print(comparison.to_text())
+        return 0 if comparison.ok else 1
+    print(f"(dry run: --update writes {path}, --compare diffs against it)")
+    return 0
+
+
+def cmd_top(args) -> int:
+    from repro.obs import serving
+    from repro.obs.bench import workload_classes
+    from repro.workloads.driver import ConcurrentDriver, WorkloadDriver
+
+    catalog, config = _make_database(args)
+    sessions = args.sessions or config.serving.sessions
+    driver = WorkloadDriver(catalog, config, degree=args.degree)
+    try:
+        available = workload_classes(args.workload, driver)
+    except Exception as exc:
+        print(f"FAIL  {exc}")
+        return 1
+    if args.classes:
+        wanted = args.classes.split(",")
+        unknown = [c for c in wanted if c not in available]
+        if unknown:
+            print(f"FAIL  unknown class(es) {unknown}; "
+                  f"available: {sorted(available)}")
+            return 1
+        available = {name: qs for name, qs in available.items()
+                     if name in wanted}
+    queries = [q for name in sorted(available) for q in available[name]]
+    concurrent = ConcurrentDriver(driver, queries, loops=args.loops,
+                                  think_seconds=args.think_seconds,
+                                  slos=_serving_slos(config))
+    run = concurrent.run(sessions)
+    snapshot = run.snapshot(at=args.at,
+                            window=config.serving.window_seconds)
+    print(serving.render_top(snapshot, driver.gpu_engine.stats_snapshot()))
+    return 0
+
+
 _COMMANDS = {
     "sql": cmd_sql,
     "explain": cmd_explain,
@@ -590,6 +791,8 @@ _COMMANDS = {
     "profile": cmd_profile,
     "bench": cmd_bench,
     "cache-stats": cmd_cache_stats,
+    "serve-bench": cmd_serve_bench,
+    "top": cmd_top,
 }
 
 

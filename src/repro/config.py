@@ -159,6 +159,33 @@ class Thresholds:
 
 
 @dataclass(frozen=True)
+class ServingDefaults:
+    """Defaults for the concurrent serving layer (``repro serve-bench``,
+    ``repro top``).
+
+    The SLO numbers are deliberately loose for the healthy system — the
+    chaos suite verifies that degrading the system (device loss forcing
+    CPU fallback under concurrency) pushes p99 past the latency
+    threshold and trips a burn-rate alert, so the threshold sits between
+    the healthy and degraded tails rather than at an aspirational spot.
+    """
+
+    sessions: int = 8
+    loops: int = 1
+    think_seconds: float = 0.0
+    #: p99-style per-request latency SLO threshold, simulated ms.  Sits
+    #: above the healthy 128-session p999 (~440ms at the committed sweep
+    #: config) so the committed baseline never alerts.
+    latency_slo_ms: float = 900.0
+    #: Good-fraction target for the latency SLO.
+    latency_objective: float = 0.99
+    #: Good-fraction target for the availability SLO.
+    availability_objective: float = 0.999
+    #: Rolling window for `repro top` percentiles, simulated seconds.
+    window_seconds: float = 1.0
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete simulated-system description: host + GPUs + calibration.
 
@@ -190,6 +217,7 @@ class SystemConfig:
     cache_fraction: float = 0.25
     pipeline_depth: int = 4
     chunk_bytes: int = 1 << 20
+    serving: ServingDefaults = field(default_factory=ServingDefaults)
 
     @property
     def gpu_count(self) -> int:

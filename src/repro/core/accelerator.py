@@ -38,7 +38,7 @@ from repro.gpu.device import GpuDevice, make_devices
 from repro.gpu.pinned import PinnedMemoryPool
 from repro.gpu.streams import PipelineSpec
 from repro.obs.export import chrome_trace, prometheus_text
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.timing import TimedResult
 
@@ -276,6 +276,49 @@ class GpuAcceleratedEngine:
             for device in self.devices
             if device.cache is not None
         ]
+
+    def stats_snapshot(self) -> dict:
+        """One JSON-ready engine health snapshot for every CLI surface.
+
+        ``repro monitor --json``, ``repro cache-stats --json`` and
+        ``repro top`` all render from this dict, so the commands cannot
+        drift apart on which counters they expose.  ``counters``
+        flattens every counter/gauge series to a Prometheus-style
+        ``name{label=value}`` key; ``pipeline`` breaks out per-device
+        stream-overlap savings; ``cache`` is :meth:`cache_stats`.
+        """
+        counters: dict[str, float] = {}
+        for metric in self.registry.collect():
+            if not isinstance(metric, (Counter, Gauge)):
+                continue
+            for labels, value in metric.samples():
+                if labels:
+                    body = ",".join(f"{k}={v}" for k, v in labels.items())
+                    key = f"{metric.name}{{{body}}}"
+                else:
+                    key = metric.name
+                counters[key] = value
+        pipeline: dict[str, float] = {}
+        overlap = self.registry.get("repro_overlap_saved_seconds_total")
+        if overlap is not None:
+            for labels, value in overlap.samples():
+                pipeline[str(labels.get("device", "?"))] = value
+        return {
+            "queries": len(self.monitor.profiles),
+            "counters": counters,
+            "cache": self.cache_stats(),
+            "pipeline": pipeline,
+            "devices": [
+                {
+                    "device_id": device.device_id,
+                    "memory_capacity": device.memory.capacity,
+                    "memory_reserved": device.memory.reserved,
+                    "memory_peak_reserved": device.memory.peak_reserved,
+                }
+                for device in self.devices
+            ],
+            "quarantined": self.scheduler.quarantined_devices(),
+        }
 
     def chrome_trace(self) -> dict:
         """Every span recorded so far as Chrome trace-event JSON."""

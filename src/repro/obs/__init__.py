@@ -29,6 +29,7 @@ PerformanceMonitor`; library users reach them as ``engine.tracer`` and
 ``engine.registry`` on :class:`repro.core.accelerator.GpuAcceleratedEngine`.
 """
 
+from repro.obs.hist import HistogramError, StreamingHistogram
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -37,8 +38,17 @@ from repro.obs.metrics import (
     RELATIVE_ERROR_BUCKETS,
     MetricsRegistry,
 )
+from repro.obs.slo import (
+    DEFAULT_RULES,
+    BurnRateRule,
+    SLObjective,
+    SloAlert,
+    SloError,
+    SloTracker,
+)
 from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
 from repro.obs.export import (
+    MetricsLog,
     TraceLog,
     chrome_trace,
     prometheus_text,
@@ -50,20 +60,29 @@ from repro.obs.profile import (
     build_profile,
     write_html,
 )
-# repro.obs.bench sits above the engine (it drives WorkloadDriver), so an
-# eager import here would be circular: core.monitoring imports
-# repro.obs.metrics, which initialises this package.  Load it lazily.
+# repro.obs.bench and repro.obs.serving sit above the engine (they drive
+# WorkloadDriver), so an eager import here would be circular:
+# core.monitoring imports repro.obs.metrics, which initialises this
+# package.  Load them lazily.
 _BENCH_EXPORTS = (
     "BenchComparison", "BenchError", "BenchResult",
     "baseline_path", "compare", "load_baseline", "run_workload",
 )
+_SERVING_EXPORTS = (
+    "ServingError", "ServingRun", "SweepComparison", "SweepPoint",
+    "SweepResult", "build_serving_run", "compare_sweep",
+    "load_sweep_baseline", "render_top", "request_phases", "run_sweep",
+)
 
 
 def __getattr__(name: str):
-    """PEP 562 lazy re-export of the bench harness names."""
+    """PEP 562 lazy re-export of the bench and serving harness names."""
     if name in _BENCH_EXPORTS:
         import repro.obs.bench as _bench
         return getattr(_bench, name)
+    if name in _SERVING_EXPORTS:
+        import repro.obs.serving as _serving
+        return getattr(_serving, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -71,25 +90,45 @@ __all__ = [
     "BenchComparison",
     "BenchError",
     "BenchResult",
+    "BurnRateRule",
     "Counter",
+    "DEFAULT_RULES",
     "Gauge",
     "Histogram",
+    "HistogramError",
     "LATENCY_BUCKETS",
+    "MetricsLog",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "ProfileError",
     "QueryProfile",
     "RELATIVE_ERROR_BUCKETS",
+    "SLObjective",
+    "ServingError",
+    "ServingRun",
+    "SloAlert",
+    "SloError",
+    "SloTracker",
     "Span",
+    "StreamingHistogram",
+    "SweepComparison",
+    "SweepPoint",
+    "SweepResult",
     "TraceLog",
     "Tracer",
     "baseline_path",
     "build_profile",
+    "build_serving_run",
     "chrome_trace",
     "compare",
+    "compare_sweep",
     "load_baseline",
+    "load_sweep_baseline",
     "prometheus_text",
+    "render_top",
+    "request_phases",
+    "run_sweep",
     "run_workload",
     "write_chrome_trace",
     "write_html",

@@ -18,11 +18,11 @@ Baselines live in ``benchmarks/baselines/`` and are updated on purpose
 from __future__ import annotations
 
 import json
-import math
 import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.obs.hist import StreamingHistogram
 from repro.workloads.bdinsights import queries_by_category
 from repro.workloads.cognos_rolap import screen_queries
 from repro.workloads.driver import WorkloadDriver
@@ -70,12 +70,20 @@ def workload_classes(
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
+    """Bucketed nearest-rank percentile, deterministic and order-free.
+
+    Routed through :class:`repro.obs.hist.StreamingHistogram` so the
+    serial bench path and the serving sweep report percentiles from the
+    *same* bucketed estimator: the result is the upper bound of the
+    log-spaced bucket holding the rank-``q`` sample (within 1% of the
+    exact sample value), identical no matter how many values stream in
+    or in what order.
+    """
     if not values:
         return 0.0
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
+    hist = StreamingHistogram()
+    hist.observe_many(values)
+    return hist.quantile(q)
 
 
 # ---------------------------------------------------------------------------

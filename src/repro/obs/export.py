@@ -180,3 +180,132 @@ class TraceLog:
                 if line:
                     out.append(json.loads(line))
         return out
+
+
+# ---------------------------------------------------------------------------
+# JSONL metrics log
+# ---------------------------------------------------------------------------
+
+
+class MetricsLog:
+    """JSONL metrics writer: one series sample per line, losslessly.
+
+    Counters and gauges serialise as ``{"name", "type", "help",
+    "labels", "value"}``; histograms additionally carry their bucket
+    bounds and per-bucket counts, so :meth:`restore` can rebuild an
+    identical registry — the round-trip the exporter test pins.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        self._path: Optional[str] = None
+        self._file: Optional[IO[str]] = None
+        if isinstance(target, str):
+            self._path = target
+        else:
+            self._file = target
+
+    def write(self, registry: MetricsRegistry) -> int:
+        """Append every series of ``registry``; returns lines written."""
+        lines = [json.dumps(record, sort_keys=True)
+                 for record in self._records(registry)]
+        if self._file is not None:
+            for line in lines:
+                self._file.write(line + "\n")
+        else:
+            with open(self._path, "a") as f:
+                for line in lines:
+                    f.write(line + "\n")
+        return len(lines)
+
+    @staticmethod
+    def _records(registry: MetricsRegistry) -> Iterable[dict]:
+        for metric in registry.collect():
+            base = {
+                "name": metric.name,
+                "type": metric.typename,
+                "help": metric.help,
+                # Label order matters for a byte-identical re-export;
+                # sort_keys would scramble the labels object, so the
+                # declared order is carried explicitly.
+                "labelnames": list(metric.labelnames),
+            }
+            samples = list(metric.samples())
+            if not samples:
+                # A declared metric with no samples yet (e.g. a labelled
+                # violations counter before any alert fires) must survive
+                # the round trip, or the restored exposition loses its
+                # HELP/TYPE block.
+                if isinstance(metric, Histogram):
+                    yield {**base, "declare": True,
+                           "bounds": list(metric.buckets)}
+                else:
+                    yield {**base, "declare": True}
+                continue
+            if isinstance(metric, Histogram):
+                for labels, state in metric.samples():
+                    yield {
+                        **base,
+                        "labels": labels,
+                        "bounds": list(metric.buckets),
+                        "buckets": list(state.counts),
+                        "sum": state.sum,
+                        "count": state.count,
+                    }
+            else:
+                for labels, value in metric.samples():
+                    yield {**base, "labels": labels, "value": value}
+
+    @staticmethod
+    def read(path: str) -> list[dict]:
+        """Load a JSONL metrics log back into dicts."""
+        out = []
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
+
+    @staticmethod
+    def restore(records: Iterable[dict]) -> MetricsRegistry:
+        """Rebuild a registry from :meth:`read` output.
+
+        The restored registry re-exports byte-identically (same names,
+        labels, values, and histogram bucket states).
+        """
+        registry = MetricsRegistry()
+        for record in records:
+            labels = dict(record.get("labels", {}))
+            labelnames = tuple(record.get("labelnames", sorted(labels)))
+            kind = record.get("type")
+            if record.get("declare"):
+                if kind == "counter":
+                    registry.counter(record["name"], record["help"],
+                                     labelnames=labelnames)
+                elif kind == "gauge":
+                    registry.gauge(record["name"], record["help"],
+                                   labelnames=labelnames)
+                elif kind == "histogram":
+                    registry.histogram(
+                        record["name"], record["help"],
+                        labelnames=labelnames,
+                        buckets=tuple(record["bounds"]))
+                continue
+            if kind == "counter":
+                metric = registry.counter(record["name"], record["help"],
+                                          labelnames=labelnames)
+                metric.labels(**labels).set(float(record["value"]))
+            elif kind == "gauge":
+                metric = registry.gauge(record["name"], record["help"],
+                                        labelnames=labelnames)
+                metric.labels(**labels).set(float(record["value"]))
+            elif kind == "histogram":
+                metric = registry.histogram(
+                    record["name"], record["help"], labelnames=labelnames,
+                    buckets=tuple(record["bounds"]))
+                key = tuple(str(labels[name]) for name in metric.labelnames)
+                state = metric._state(key)
+                state.counts = [int(c) for c in record["buckets"]]
+                state.sum = float(record["sum"])
+                state.count = int(record["count"])
+        return registry

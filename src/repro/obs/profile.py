@@ -34,18 +34,22 @@ from typing import Iterable, Optional, Sequence, Union
 
 from repro.obs.tracing import Span, Tracer
 
-#: Attribution buckets, in display order.
+#: Attribution buckets, in display order.  ``queue_wait`` is the serving
+#: layer's admission-queue phase; single-query traces never produce it,
+#: so their reports are unchanged.
 COMPONENTS = ("cpu", "transfer_in", "kernel", "transfer_out",
-              "launch_overhead", "stall", "backoff")
+              "launch_overhead", "stall", "backoff", "queue_wait")
 
 # Span name -> component its self-time is charged to.  ``gpu.kernel``
 # is handled specially (it splits into launch_overhead + kernel using
-# the launch_overhead attribute the device stamps on the span).
+# the launch_overhead attribute the device stamps on the span), as is
+# ``session.execute`` (charged to kernel or cpu by its ``kind``).
 _SPAN_COMPONENT = {
     "gpu.transfer_in": "transfer_in",
     "gpu.transfer_out": "transfer_out",
     "gpu.transfer_stall": "stall",
     "fault.backoff": "backoff",
+    "session.queue_wait": "queue_wait",
 }
 
 #: Span names that appear as rows of the operator tree.
@@ -338,9 +342,15 @@ class QueryProfile:
             f"simulated total: {self.duration * ms:.3f} ms",
             "",
         ]
+        totals = self.component_totals()
+        # The queue column only appears when a serving trace actually
+        # waited — single-query reports stay byte-identical.
+        show_queue = totals.get("queue_wait", 0.0) > 0.0
         header = (f"{'operator':40} {'total ms':>10} {'cpu':>9} "
                   f"{'xfer-in':>9} {'kernel':>9} {'xfer-out':>9} "
-                  f"{'launch':>8} {'other':>8}")
+                  f"{'launch':>8}"
+                  + (f" {'queue':>9}" if show_queue else "")
+                  + f" {'other':>8}")
         lines.append(header)
         lines.append("-" * len(header))
         for node in self.root.walk():
@@ -354,9 +364,10 @@ class QueryProfile:
                 f"{label:40} {node.duration * ms:>10.3f} "
                 f"{c['cpu'] * ms:>9.3f} {c['transfer_in'] * ms:>9.3f} "
                 f"{c['kernel'] * ms:>9.3f} {c['transfer_out'] * ms:>9.3f} "
-                f"{c['launch_overhead'] * ms:>8.3f} {other * ms:>8.3f}"
+                f"{c['launch_overhead'] * ms:>8.3f}"
+                + (f" {c['queue_wait'] * ms:>9.3f}" if show_queue else "")
+                + f" {other * ms:>8.3f}"
             )
-        totals = self.component_totals()
         accounted = sum(totals.values())
         lines.append("")
         lines.append(
@@ -556,6 +567,9 @@ def build_profile(
                            float(span.attributes.get("launch_overhead", 0.0)))
             target["launch_overhead"] += overhead
             target["kernel"] += self_time - overhead
+        elif span.name == "session.execute":
+            gpu_phase = span.attributes.get("kind") == "gpu"
+            target["kernel" if gpu_phase else "cpu"] += self_time
         else:
             target[_SPAN_COMPONENT.get(span.name, "cpu")] += self_time
 

@@ -128,6 +128,28 @@ class Tracer:
         """Zero-duration mark (decision points, errors, fallbacks)."""
         return self._open(name, attributes)
 
+    def record(self, name: str, start: float, end: float,
+               parent: Optional[Span] = None, **attributes: Any) -> Span:
+        """Append an already-finished span with explicit timestamps.
+
+        The concurrent serving driver replays a simulation *after* it
+        ran, so its session/request/phase spans are reconstructed from
+        the simulator's event log rather than opened live; this is the
+        post-hoc entry point.  Ids stay deterministic (same counters as
+        live spans); a span without a parent starts a new trace.
+        """
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id if parent else next(self._trace_ids),
+            span_id=next(self._span_ids),
+            parent_id=parent.span_id if parent else None,
+            start=start,
+            end=max(start, end),
+            attributes=attributes,
+        )
+        self.spans.append(span)
+        return span
+
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
@@ -182,6 +204,10 @@ class NullTracer(Tracer):
         yield self._null_span
 
     def instant(self, name: str, **attributes: Any) -> Span:
+        return self._null_span
+
+    def record(self, name: str, start: float, end: float,
+               parent: Optional[Span] = None, **attributes: Any) -> Span:
         return self._null_span
 
 

@@ -13,7 +13,9 @@ from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue
 from repro.sim.resources import GpuDeviceState, ProcessorSharingPool
 from repro.sim.simulator import (
+    PhaseInterval,
     QueryCompletion,
+    RequestTrace,
     SimulationResult,
     UserScript,
     WorkloadSimulator,
@@ -22,8 +24,10 @@ from repro.sim.simulator import (
 __all__ = [
     "EventQueue",
     "GpuDeviceState",
+    "PhaseInterval",
     "ProcessorSharingPool",
     "QueryCompletion",
+    "RequestTrace",
     "SimClock",
     "SimulationResult",
     "UserScript",

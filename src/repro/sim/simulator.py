@@ -61,6 +61,60 @@ class QueryCompletion:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class PhaseInterval:
+    """One resource occupancy window inside a request.
+
+    ``kind`` is ``"cpu"`` (processor-sharing pool), ``"gpu"`` (resident
+    on a device), or ``"queue"`` (parked in the GPU admission queue —
+    the wait the serving layer surfaces as a first-class phase).
+    ``device_id`` is -1 for CPU work.
+    """
+
+    kind: str
+    start: float
+    end: float
+    device_id: int = -1
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """One completed request with its full phase timeline.
+
+    The serving telemetry layer replays these into session span trees;
+    ``stages`` are cpu/gpu occupancy intervals, ``waits`` are GPU
+    admission-queue intervals.  ``loop``/``index`` locate the request in
+    its user's script (loop iteration, query position).
+    """
+
+    user_id: str
+    query_id: str
+    loop: int
+    index: int
+    start: float
+    end: float
+    stages: tuple[PhaseInterval, ...] = ()
+    waits: tuple[PhaseInterval, ...] = ()
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+    @property
+    def offloaded(self) -> bool:
+        """Whether any phase ran on a GPU device."""
+        return any(s.kind == "gpu" for s in self.stages)
+
+    @property
+    def queue_wait(self) -> float:
+        """Total simulated seconds spent in GPU admission queues."""
+        return sum(w.duration for w in self.waits)
+
+
 @dataclass
 class SimulationResult:
     """Everything a benchmark harness needs from one simulated run."""
@@ -70,6 +124,13 @@ class SimulationResult:
     device_memory_logs: dict[int, list[tuple[float, int]]]
     cpu_utilisation_samples: list[tuple[float, float]]
     gpu_waits: int
+    #: Per-request phase timelines (same order as ``completions``).
+    requests: list[RequestTrace] = field(default_factory=list)
+    #: (time, depth) samples of the GPU admission queue, on change.
+    queue_depth_log: list[tuple[float, int]] = field(default_factory=list)
+    #: (time, active sessions) samples, on change.
+    active_sessions_log: list[tuple[float, int]] = field(
+        default_factory=list)
 
     @property
     def queries_completed(self) -> int:
@@ -85,6 +146,28 @@ class SimulationResult:
         for c in self.completions:
             out.setdefault(c.query_id, []).append(c.elapsed)
         return out
+
+    def max_queue_depth(self) -> int:
+        """High-water mark of the GPU admission queue."""
+        return max((depth for _, depth in self.queue_depth_log), default=0)
+
+    def queue_depth_at(self, time: float) -> int:
+        """Admission-queue depth at simulated ``time`` (step function)."""
+        depth = 0
+        for when, value in self.queue_depth_log:
+            if when > time:
+                break
+            depth = value
+        return depth
+
+    def active_sessions_at(self, time: float) -> int:
+        """Sessions still running their scripts at simulated ``time``."""
+        active = 0
+        for when, value in self.active_sessions_log:
+            if when > time:
+                break
+            active = value
+        return active
 
 
 @dataclass
@@ -106,6 +189,8 @@ class _UserState:
     query_start: float = 0.0
     outstanding: set = field(default_factory=set)
     waiting_count: int = 0
+    stage_intervals: list[PhaseInterval] = field(default_factory=list)
+    wait_intervals: list[PhaseInterval] = field(default_factory=list)
     wake_at: Optional[float] = None      # set while thinking between queries
     in_query: bool = False               # a begun query not yet finished
     done: bool = False
@@ -127,6 +212,13 @@ class WorkloadSimulator:
         ]
         self._task_ids = itertools.count(1)
         self._gpu_waits = 0
+        # Per-run telemetry (reset by run()): task launch metadata for
+        # phase intervals, request traces, and queue/session logs.
+        self._task_meta: dict[int, tuple[str, int, float]] = {}
+        self._requests: list[RequestTrace] = []
+        self._queue_log: list[tuple[float, int]] = []
+        self._active_log: list[tuple[float, int]] = []
+        self._active_count = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -137,10 +229,15 @@ class WorkloadSimulator:
         clock = SimClock()
         states = [_UserState(script=u) for u in users]
         completions: list[QueryCompletion] = []
-        waiters: list[tuple[_UserState, _Stage]] = []
+        waiters: list[tuple[_UserState, _Stage, float]] = []
         owner_of_task: dict[int, _UserState] = {}
         util_samples: list[tuple[float, float]] = []
         self._gpu_waits = 0
+        self._task_meta = {}
+        self._requests = []
+        self._queue_log = []
+        self._active_count = len(states)
+        self._active_log = [(0.0, self._active_count)]
 
         for state in states:
             self._begin_query(state, clock.now)
@@ -214,6 +311,9 @@ class WorkloadSimulator:
             },
             cpu_utilisation_samples=util_samples,
             gpu_waits=self._gpu_waits,
+            requests=self._requests,
+            queue_depth_log=self._queue_log,
+            active_sessions_log=self._active_log,
         )
 
     # ------------------------------------------------------------------
@@ -225,6 +325,8 @@ class WorkloadSimulator:
         state.stage_queue = list(self._stages_of(profile))
         state.query_start = now
         state.in_query = True
+        state.stage_intervals = []
+        state.wait_intervals = []
 
     def _skip_empty_queries(self, state: _UserState, now: float,
                             completions: list[QueryCompletion]) -> None:
@@ -288,18 +390,21 @@ class WorkloadSimulator:
                                   threads=stage.threads))
             state.outstanding.add(task_id)
             owner_of_task[task_id] = state
+            self._task_meta[task_id] = ("cpu", -1, clock.now)
             return
         device = self._pick_device(stage.memory_bytes)
         if device is None:
             state.waiting_count += 1
             self._gpu_waits += 1
-            waiters.append((state, stage))
+            waiters.append((state, stage, clock.now))
+            self._log_queue_depth(clock.now, len(waiters))
             return
         device.admit(GpuKernelTask(task_id=task_id, remaining=stage.work,
                                    memory_bytes=stage.memory_bytes),
                      clock.now)
         state.outstanding.add(task_id)
         owner_of_task[task_id] = state
+        self._task_meta[task_id] = ("gpu", device.device_id, clock.now)
 
     def _pick_device(self, memory_bytes: int) -> Optional[GpuDeviceState]:
         candidates = [d for d in self.devices if d.can_admit(memory_bytes)]
@@ -311,7 +416,7 @@ class WorkloadSimulator:
         admitted = True
         while admitted and waiters:
             admitted = False
-            for i, (state, stage) in enumerate(waiters):
+            for i, (state, stage, queued_at) in enumerate(waiters):
                 device = self._pick_device(stage.memory_bytes)
                 if device is None:
                     continue
@@ -323,7 +428,13 @@ class WorkloadSimulator:
                 state.waiting_count -= 1
                 state.outstanding.add(task_id)
                 owner_of_task[task_id] = state
+                state.wait_intervals.append(PhaseInterval(
+                    kind="queue", start=queued_at, end=clock.now,
+                    device_id=device.device_id))
+                self._task_meta[task_id] = ("gpu", device.device_id,
+                                            clock.now)
                 waiters.pop(i)
+                self._log_queue_depth(clock.now, len(waiters))
                 admitted = True
                 break
 
@@ -350,6 +461,12 @@ class WorkloadSimulator:
                             if k.remaining <= _EPS]:
                 device.release(task_id, now)
                 finished.append((owner_of_task.pop(task_id), task_id))
+        for state, task_id in finished:
+            meta = self._task_meta.pop(task_id, None)
+            if meta is not None:
+                state.stage_intervals.append(PhaseInterval(
+                    kind=meta[0], start=meta[2], end=now,
+                    device_id=meta[1]))
         return finished
 
     def _finish_query(self, state: _UserState, now: float,
@@ -361,6 +478,16 @@ class WorkloadSimulator:
             start=state.query_start,
             end=now,
         ))
+        self._requests.append(RequestTrace(
+            user_id=state.script.user_id,
+            query_id=profile.query_id,
+            loop=state.loop,
+            index=state.query_index,
+            start=state.query_start,
+            end=now,
+            stages=tuple(state.stage_intervals),
+            waits=tuple(state.wait_intervals),
+        ))
         state.in_query = False
         state.query_index += 1
         if state.query_index >= len(state.script.profiles):
@@ -368,3 +495,10 @@ class WorkloadSimulator:
             state.loop += 1
             if state.loop >= state.script.loops:
                 state.done = True
+                self._active_count -= 1
+                self._active_log.append((now, self._active_count))
+
+    def _log_queue_depth(self, now: float, depth: int) -> None:
+        """Sample the admission-queue depth whenever it changes."""
+        if not self._queue_log or self._queue_log[-1][1] != depth:
+            self._queue_log.append((now, depth))

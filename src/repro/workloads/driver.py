@@ -20,6 +20,8 @@ from typing import Optional, Sequence
 from repro.blu.engine import BluEngine
 from repro.config import SystemConfig, cpu_only_testbed
 from repro.core.accelerator import GpuAcceleratedEngine
+from repro.obs.serving import ServingRun, build_serving_run
+from repro.obs.slo import DEFAULT_RULES, SLObjective
 from repro.sim import SimulationResult, UserScript, WorkloadSimulator
 from repro.timing import QueryProfile
 from repro.workloads.query import WorkloadQuery
@@ -220,3 +222,55 @@ class WorkloadDriver:
         import dataclasses
 
         return dataclasses.replace(self.config, gpus=())
+
+
+class ConcurrentDriver:
+    """Closed-loop serving driver with full workload telemetry.
+
+    Where :meth:`WorkloadDriver.simulate_streams` returns raw makespans,
+    this wrapper runs the same N-session closed loop and attaches the
+    serving telemetry stack (:mod:`repro.obs.serving`): a span tree per
+    request with admission/queue-wait/execute/respond phases, streaming
+    latency histograms per class and path, serving metrics, and —
+    when ``slos`` are declared — burn-rate evaluation over simulated
+    time.  It reuses the wrapped driver's profile cache, so repeated
+    ``run`` calls at different session counts never re-execute queries.
+    """
+
+    def __init__(self, driver: WorkloadDriver,
+                 queries: Sequence[WorkloadQuery], *,
+                 loops: int = 1, think_seconds: float = 0.0,
+                 slos: Sequence[SLObjective] = (),
+                 rules=DEFAULT_RULES) -> None:
+        self.driver = driver
+        self.queries = list(queries)
+        self.loops = loops
+        self.think_seconds = think_seconds
+        self.slos = tuple(slos)
+        self.rules = tuple(rules)
+        self.class_of = {
+            q.query_id: q.category.value for q in self.queries
+        }
+
+    def run(self, sessions: int, degree: Optional[int] = None,
+            gpu: bool = True) -> ServingRun:
+        """Run ``sessions`` closed-loop users and return the telemetry."""
+        degree = degree or self.driver.degree
+        profiles = [
+            self.driver._profile_at_degree(q, gpu, degree)
+            for q in self.queries
+        ]
+        users = [
+            UserScript(user_id=f"session{i + 1}", profiles=list(profiles),
+                       loops=self.loops,
+                       think_seconds=self.think_seconds)
+            for i in range(sessions)
+        ]
+        simulator = WorkloadSimulator(self.driver._sim_config(gpu))
+        result = simulator.run(users)
+        return build_serving_run(
+            result, self.class_of, sessions=sessions, gpu=gpu,
+            degree=degree, loops=self.loops,
+            think_seconds=self.think_seconds, slos=self.slos,
+            rules=self.rules,
+        )

@@ -1,0 +1,147 @@
+"""Streaming histogram invariants: bounded memory, exact mergeability,
+and quantile error bounded by the bucket resolution (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.hist import (
+    DEFAULT_RESOLUTION,
+    HistogramError,
+    StreamingHistogram,
+)
+
+
+latencies = st.floats(min_value=1e-7, max_value=1e4,
+                      allow_nan=False, allow_infinity=False)
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """Nearest-rank reference implementation."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestBuckets:
+    def test_value_maps_into_its_bucket(self):
+        hist = StreamingHistogram()
+        for value in (1e-9, 1e-6, 0.001, 0.5, 1.0, 17.3, 1e4):
+            index = hist.bucket_index(value)
+            assert hist.bucket_upper(index) >= value
+            if index > 0:
+                assert hist.bucket_upper(index - 1) < value
+
+    def test_observe_rejects_bad_input(self):
+        hist = StreamingHistogram()
+        with pytest.raises(HistogramError):
+            hist.observe(-1.0)
+        with pytest.raises(HistogramError):
+            hist.observe(float("nan"))
+        with pytest.raises(HistogramError):
+            hist.observe(float("inf"))
+        # Non-positive counts are a no-op, not an error.
+        hist.observe(1.0, count=0)
+        assert hist.count == 0
+
+    def test_memory_is_bounded_by_buckets_not_samples(self):
+        hist = StreamingHistogram()
+        for i in range(100_000):
+            hist.observe(0.001 + (i % 50) * 1e-5)
+        assert hist.count == 100_000
+        # 50 distinct values land in at most 50 buckets regardless of
+        # how many samples were observed.
+        assert len(hist) <= 50
+
+
+class TestQuantiles:
+    @given(st.lists(latencies, min_size=1, max_size=300),
+           st.sampled_from([0.5, 0.95, 0.99, 0.999]))
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_by_resolution(self, values, q):
+        hist = StreamingHistogram()
+        hist.observe_many(values)
+        exact = exact_quantile(values, q)
+        got = hist.quantile(q)
+        assert exact <= got <= exact * (1.0 + DEFAULT_RESOLUTION) + 1e-12
+
+    @given(st.lists(latencies, min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_order_independent(self, values):
+        forward = StreamingHistogram()
+        forward.observe_many(values)
+        backward = StreamingHistogram()
+        backward.observe_many(list(reversed(values)))
+        for q in (0.5, 0.95, 0.99, 0.999):
+            assert forward.quantile(q) == backward.quantile(q)
+
+    def test_empty_histogram(self):
+        hist = StreamingHistogram()
+        assert hist.quantile(0.99) == 0.0
+        assert hist.p50 == 0.0
+        assert hist.mean == 0.0
+
+    def test_quantile_clamps_q(self):
+        hist = StreamingHistogram()
+        hist.observe_many([1.0, 2.0, 3.0])
+        assert hist.quantile(-1.0) == hist.quantile(0.0)  # lowest sample
+        assert hist.quantile(1.5) == hist.quantile(1.0)   # highest sample
+
+    def test_single_value_is_exact(self):
+        hist = StreamingHistogram()
+        hist.observe(7.0)
+        for q in (0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 7.0
+
+
+class TestMerge:
+    @given(st.lists(latencies, min_size=0, max_size=150),
+           st.lists(latencies, min_size=0, max_size=150))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_concatenated_stream(self, left, right):
+        a = StreamingHistogram()
+        a.observe_many(left)
+        b = StreamingHistogram()
+        b.observe_many(right)
+        merged = StreamingHistogram.merged([a, b])
+
+        single = StreamingHistogram()
+        single.observe_many(left + right)
+
+        assert merged.count == single.count
+        assert merged.total == pytest.approx(single.total)
+        if left or right:
+            for q in (0.5, 0.95, 0.99, 0.999):
+                assert merged.quantile(q) == single.quantile(q)
+
+    def test_merge_rejects_mismatched_grids(self):
+        a = StreamingHistogram()
+        b = StreamingHistogram(resolution=0.05)
+        with pytest.raises(HistogramError):
+            a.merge(b)
+
+    def test_merge_is_in_place_and_returns_self(self):
+        a = StreamingHistogram()
+        a.observe(1.0)
+        b = StreamingHistogram()
+        b.observe(2.0)
+        out = a.merge(b)
+        assert out is a
+        assert a.count == 2
+
+
+class TestSerialisation:
+    @given(st.lists(latencies, min_size=0, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, values):
+        hist = StreamingHistogram()
+        hist.observe_many(values)
+        clone = StreamingHistogram.from_dict(hist.to_dict())
+        assert clone.count == hist.count
+        assert clone.to_dict() == hist.to_dict()
+        if values:
+            assert clone.p99 == hist.p99

@@ -88,9 +88,11 @@ class TestMonitorJson:
         import json
 
         with open(out_path) as f:
-            events = json.load(f)
-        kinds = {e["kind"] for e in events}
+            doc = json.load(f)
+        kinds = {e["kind"] for e in doc["events"]}
         assert "query" in kinds and "decision" in kinds
+        assert doc["stats"]["queries"] > 0
+        assert "counters" in doc["stats"]
 
     def test_bare_json_prints_events_instead_of_report(self, capsys):
         import json
@@ -99,8 +101,11 @@ class TestMonitorJson:
         out = capsys.readouterr().out
         assert code == 0
         assert "performance monitor" not in out
-        events = json.loads(out)
-        assert {e["kind"] for e in events} >= {"query", "decision"}
+        doc = json.loads(out)
+        assert {e["kind"] for e in doc["events"]} >= {"query", "decision"}
+        # The JSON surface carries the same snapshot cache-stats/top use.
+        assert {"queries", "counters", "cache", "pipeline",
+                "devices", "quarantined"} <= set(doc["stats"])
 
 
 class TestTraceCommand:
@@ -286,8 +291,13 @@ class TestCacheStatsCommand:
         out = capsys.readouterr().out
         assert code == 0
         doc = json.loads(out)
-        assert isinstance(doc, list) and doc
-        assert {"device_id", "hits", "misses"} <= set(doc[0])
+        assert {"queries", "counters", "cache", "pipeline",
+                "devices", "quarantined"} <= set(doc)
+        assert isinstance(doc["cache"], list) and doc["cache"]
+        assert {"device_id", "hits", "misses"} <= set(doc["cache"][0])
+        # PR-5 overlap counters must be visible here, not just in
+        # `repro metrics` (the drift this snapshot unification fixes).
+        assert doc["pipeline"]
 
     def test_disabled_cache_message(self, capsys):
         code = main(SCALE + ["cache-stats", "--cache-fraction", "0"])
@@ -312,3 +322,84 @@ class TestMetricsCommand:
         assert code == 0
         snapshot = json.loads(out)
         assert "repro_queries_total" in snapshot
+
+
+class TestServeBenchCommand:
+    def test_update_then_compare_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "BENCH_serving_sweep.json")
+        code = main(SCALE + ["serve-bench", "bd_insights",
+                             "--classes", "complex", "--sessions", "1,2",
+                             "--baseline", path, "--update"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote baseline" in out
+        assert "sessions" in out          # the Table-3-style ladder
+        code = main(SCALE + ["serve-bench", "bd_insights",
+                             "--classes", "complex",
+                             "--baseline", path, "--compare"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out
+
+    def test_compare_fails_on_injected_slowdown(self, capsys, tmp_path):
+        path = str(tmp_path / "BENCH_serving_sweep.json")
+        main(SCALE + ["serve-bench", "bd_insights", "--classes", "complex",
+                      "--sessions", "1,2", "--baseline", path, "--update"])
+        capsys.readouterr()
+        code = main(SCALE + ["serve-bench", "bd_insights",
+                             "--classes", "complex",
+                             "--baseline", path, "--compare",
+                             "--slowdown", "1.5"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out and "regressed" in out
+
+    def test_compare_without_baseline_errors(self, capsys, tmp_path):
+        code = main(SCALE + ["serve-bench", "bd_insights",
+                             "--baseline", str(tmp_path / "absent.json"),
+                             "--compare"])
+        assert code == 1
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_out_writes_sweep_json(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "sweep.json")
+        code = main(SCALE + ["serve-bench", "bd_insights",
+                             "--classes", "complex", "--sessions", "1,2",
+                             "--out", out_path])
+        assert code == 0
+        capsys.readouterr()
+        doc = json.load(open(out_path))
+        assert doc["kind"] == "serving_sweep"
+        assert sorted(doc["points"]) == ["1", "2"]
+
+    def test_unknown_class_fails(self, capsys):
+        code = main(SCALE + ["serve-bench", "bd_insights",
+                             "--classes", "nope", "--sessions", "1"])
+        assert code == 1
+        assert "unknown class" in capsys.readouterr().out
+
+
+class TestTopCommand:
+    def test_renders_dashboard(self, capsys):
+        code = main(SCALE + ["top", "bd_insights", "--classes", "complex",
+                             "--sessions", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro top" in out
+        assert "sessions: " in out
+        assert "-- SLOs --" in out
+        assert "-- engine --" in out
+
+    def test_at_midpoint_vs_end(self, capsys):
+        code = main(SCALE + ["top", "bd_insights", "--classes", "complex",
+                             "--sessions", "4", "--at", "0.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "completed: 0" in out
+
+    def test_unknown_class_fails(self, capsys):
+        code = main(SCALE + ["top", "bd_insights", "--classes", "nope"])
+        assert code == 1
+        assert "unknown class" in capsys.readouterr().out
