@@ -38,8 +38,8 @@ def test_ablation_ht_sizing(benchmark, results_dir):
     def run():
         sized_kmv = kernel.run(request(kmv))
         sized_rows = kernel.run(request(ROWS))
-        underestimate, wasted = _run_with_regrow(kernel,
-                                                 request(TRUE_GROUPS // 20))
+        underestimate, wasted, _retries = _run_with_regrow(
+            kernel, request(TRUE_GROUPS // 20))
         return sized_kmv, sized_rows, underestimate, wasted
 
     sized_kmv, sized_rows, underestimate, wasted = \

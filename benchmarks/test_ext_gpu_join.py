@@ -99,12 +99,18 @@ def test_ext_gpu_join_engine(benchmark, catalog, config, results_dir):
     from repro.config import cpu_only_testbed
     from repro.core.accelerator import GpuAcceleratedEngine
 
+    import dataclasses
+
     sql = ("SELECT ss_item_sk, SUM(ss_net_paid) AS rev, COUNT(*) AS c "
            "FROM store_sales JOIN item ON ss_item_sk = i_item_sk "
            "GROUP BY ss_item_sk ORDER BY rev DESC LIMIT 100")
-    with_join = GpuAcceleratedEngine(catalog, config=config,
+    # Fusion would swallow this join+group-by chain into one launch;
+    # this experiment measures the *per-operator* join offload, so pin
+    # fusion off for both accelerated engines.
+    unfused = dataclasses.replace(config, fusion_enabled=False)
+    with_join = GpuAcceleratedEngine(catalog, config=unfused,
                                      enable_join_offload=True)
-    without_join = GpuAcceleratedEngine(catalog, config=config)
+    without_join = GpuAcceleratedEngine(catalog, config=unfused)
     cpu = BluEngine(catalog, config=cpu_only_testbed())
 
     def run():

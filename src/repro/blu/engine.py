@@ -59,6 +59,14 @@ class OperatorContext:
 GroupByExecutor = Callable[[Table, GroupByNode, OperatorContext], Table]
 SortExecutor = Callable[[Table, SortNode, OperatorContext], Table]
 JoinExecutor = Callable[[Table, Table, JoinNode, OperatorContext], Table]
+# Fused-chain hook: consulted before the per-operator group-by path with the
+# engine's own subtree-execute callback; ``None`` means "not fused" and the
+# engine proceeds exactly as before (repro.gpu.fusion, docs/fusion.md).
+FusedExecutor = Callable[
+    [GroupByNode, OperatorContext,
+     Callable[[PlanNode, OperatorContext], Table]],
+    Optional[Table],
+]
 
 
 def cpu_groupby_executor(table: Table, node: GroupByNode,
@@ -108,6 +116,7 @@ class BluEngine:
         groupby_executor: Optional[GroupByExecutor] = None,
         sort_executor: Optional[SortExecutor] = None,
         join_executor: Optional[JoinExecutor] = None,
+        fused_executor: Optional[FusedExecutor] = None,
         default_degree: int = 48,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -117,6 +126,7 @@ class BluEngine:
         self.groupby_executor = groupby_executor or cpu_groupby_executor
         self.sort_executor = sort_executor or cpu_sort_executor
         self.join_executor = join_executor or cpu_join_executor
+        self.fused_executor = fused_executor
         self.default_degree = default_degree
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._query_counter = itertools.count(1)
@@ -223,6 +233,10 @@ class BluEngine:
             return execute_scan(child, node.predicate, ctx.config.cost,
                                 ctx.ledger, max_degree=min(ctx.degree * 2, 96))
         if isinstance(node, GroupByNode):
+            if self.fused_executor is not None:
+                fused = self.fused_executor(node, ctx, self._execute)
+                if fused is not None:
+                    return fused
             child = self._execute(node.child, ctx)
             return self.groupby_executor(child, node, ctx)
         if isinstance(node, SortNode):

@@ -132,6 +132,31 @@ def build_gpu_host_chain(
     return EvaluatorChain("gpu-groupby-host", evaluators)
 
 
+def build_fused_host_chain(
+    rows: int,
+    num_keys: int,
+    num_aggs: int,
+    staged_bytes: int,
+    cost: CostModel,
+) -> EvaluatorChain:
+    """The host-side chain of a fused filter->join->group-by launch.
+
+    Compared to :func:`build_gpu_host_chain`, HASH and KMV disappear too:
+    the grouping keys never materialise on the host at joined granularity
+    (the device gathers them after the on-device join), so there is
+    nothing to hash or sketch host-side.  Only the loads of the staged
+    base-table columns and the copy into pinned staging remain; hashing,
+    joining, gathering and aggregating are all priced by the device
+    substrate inside the single fused launch (``docs/fusion.md``).
+    """
+    evaluators = [
+        Evaluator("LCOG", rows, rows * num_keys / cost.cpu_decode_rate),
+        Evaluator("LCOV", rows, rows * num_aggs / cost.cpu_decode_rate),
+        Evaluator("MEMCPY", rows, staged_bytes / cost.cpu_memcpy_rate),
+    ]
+    return EvaluatorChain("fused-host", evaluators)
+
+
 def _agg_evaluator_name(index: int) -> str:
     """Paper-style names: the first few get the classic labels."""
     classic = ("AGGD", "SUM", "CNT")

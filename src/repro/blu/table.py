@@ -34,6 +34,7 @@ class Schema:
 
     @classmethod
     def of(cls, *pairs: tuple[str, DataType]) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs."""
         return cls([Field(name, dtype) for name, dtype in pairs])
 
     def __len__(self) -> int:
@@ -46,18 +47,22 @@ class Schema:
         return name.lower() in self._index
 
     def position(self, name: str) -> int:
+        """Ordinal of ``name`` (case-insensitive); SchemaError if absent."""
         try:
             return self._index[name.lower()]
         except KeyError:
             raise SchemaError(f"unknown column {name!r}") from None
 
     def field(self, name: str) -> Field:
+        """The :class:`Field` named ``name`` (case-insensitive)."""
         return self.fields[self.position(name)]
 
     def names(self) -> list[str]:
+        """Column names in schema order."""
         return [f.name for f in self.fields]
 
     def select(self, names: Sequence[str]) -> "Schema":
+        """A new schema holding ``names`` in the given order."""
         return Schema([self.field(n) for n in names])
 
 
@@ -108,17 +113,21 @@ class Table:
 
     @property
     def num_rows(self) -> int:
+        """Row count (0 for a column-less table)."""
         return len(self.columns[0]) if self.columns else 0
 
     @property
     def num_columns(self) -> int:
+        """Column count."""
         return len(self.columns)
 
     @property
     def encoded_nbytes(self) -> int:
+        """Total encoded size of every column, in bytes."""
         return sum(c.encoded_nbytes for c in self.columns)
 
     def column(self, name: str) -> Column:
+        """The column named ``name`` (case-insensitive)."""
         return self.columns[self.schema.position(name)]
 
     def __getitem__(self, name: str) -> Column:
@@ -129,6 +138,7 @@ class Table:
     # ------------------------------------------------------------------
 
     def take(self, indices: np.ndarray, name: Optional[str] = None) -> "Table":
+        """Gather rows at ``indices`` into a new table."""
         return Table(
             name or self.name,
             self.schema,
@@ -136,6 +146,7 @@ class Table:
         )
 
     def filter(self, keep: np.ndarray, name: Optional[str] = None) -> "Table":
+        """Keep only rows where the boolean mask ``keep`` is true."""
         return Table(
             name or self.name,
             self.schema,
@@ -143,6 +154,7 @@ class Table:
         )
 
     def select(self, names: Sequence[str], name: Optional[str] = None) -> "Table":
+        """Project to ``names``, in the given order."""
         return Table(
             name or self.name,
             self.schema.select(names),
@@ -150,6 +162,7 @@ class Table:
         )
 
     def head(self, n: int) -> "Table":
+        """The first ``n`` rows."""
         return Table(self.name, self.schema, [c.slice(0, n) for c in self.columns])
 
     def to_pydict(self) -> dict[str, list]:

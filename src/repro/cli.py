@@ -79,6 +79,7 @@ from repro.bench.reporting import format_table
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    """Assemble the argparse tree for every subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DB2 BLU + GPU hybrid query processing (SIGMOD 2016 "
@@ -209,6 +210,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="B",
                          help="max bytes per pipelined chunk (default: "
                               "config, or the baseline's value on --compare)")
+    p_bench.add_argument("--fusion", choices=["on", "off"], default=None,
+                         help="fuse filter/join/group-by chains into one "
+                              "kernel launch (default: config, or the "
+                              "baseline's value on --compare)")
+    p_bench.add_argument("--join-offload", action="store_true",
+                         help="route hash joins through the GPU per-operator "
+                              "path (the fusion gate's unfused reference)")
     p_bench.add_argument("--out", metavar="PATH", default=None,
                          help="also write this run's result JSON to PATH "
                               "(independent of --update)")
@@ -291,6 +299,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _make_database(args):
+    """Generate the scaled star-schema catalog and its config."""
     from repro.workloads.datagen import generate_database, scaled_config
 
     catalog = generate_database(scale=args.scale, seed=args.seed)
@@ -298,6 +307,7 @@ def _make_database(args):
 
 
 def _print_result_table(table, limit: int) -> None:
+    """Print up to ``limit`` result rows as an ASCII table."""
     data = table.to_pydict()
     headers = table.schema.names()
     rows = list(zip(*[data[h] for h in headers])) if headers else []
@@ -307,6 +317,7 @@ def _print_result_table(table, limit: int) -> None:
 
 
 def cmd_sql(args) -> int:
+    """``sql``: run one statement and print the result table."""
     from repro.core.accelerator import make_engine
 
     catalog, config = _make_database(args)
@@ -321,6 +332,7 @@ def cmd_sql(args) -> int:
 
 
 def cmd_explain(args) -> int:
+    """``explain``: print the annotated logical plan."""
     from repro.blu.engine import BluEngine
 
     catalog, _config = _make_database(args)
@@ -330,6 +342,7 @@ def cmd_explain(args) -> int:
 
 
 def cmd_inspect(args) -> int:
+    """``inspect``: run a statement, show plan + decisions + costs."""
     from repro.core.accelerator import GpuAcceleratedEngine
 
     catalog, config = _make_database(args)
@@ -339,6 +352,7 @@ def cmd_inspect(args) -> int:
 
 
 def cmd_workload(args) -> int:
+    """``workload``: run a query class with GPU on vs off."""
     from repro.workloads.bdinsights import queries_by_category
     from repro.workloads.cognos_rolap import screen_queries
     from repro.workloads.driver import WorkloadDriver
@@ -373,6 +387,7 @@ def cmd_workload(args) -> int:
 
 
 def cmd_schema(args) -> int:
+    """``schema``: print the generated tables and their sizes."""
     catalog, config = _make_database(args)
     rows = []
     for name in catalog.table_names():
@@ -389,6 +404,7 @@ def cmd_schema(args) -> int:
 
 
 def cmd_monitor(args) -> int:
+    """``monitor``: run the complex class and dump the monitor."""
     from repro.core.accelerator import GpuAcceleratedEngine
     from repro.workloads.bdinsights import queries_by_category
     from repro.workloads.query import QueryCategory
@@ -421,6 +437,7 @@ def cmd_monitor(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    """``trace``: run one statement and export a Chrome trace."""
     from repro.core.accelerator import GpuAcceleratedEngine
     from repro.obs.export import TraceLog, write_chrome_trace
 
@@ -439,6 +456,7 @@ def cmd_trace(args) -> int:
 
 
 def cmd_metrics(args) -> int:
+    """``metrics``: run the complex class, print the registry."""
     from repro.core.accelerator import GpuAcceleratedEngine
     from repro.workloads.bdinsights import queries_by_category
     from repro.workloads.query import QueryCategory
@@ -458,6 +476,7 @@ def cmd_metrics(args) -> int:
 
 
 def cmd_faults(args) -> int:
+    """``faults``: chaos run with CPU-baseline parity checks."""
     import dataclasses
 
     from repro.faults import FaultPlan
@@ -510,6 +529,7 @@ def cmd_faults(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    """``profile``: print one statement's EXPLAIN ANALYZE."""
     from repro.core.accelerator import GpuAcceleratedEngine
     from repro.obs.profile import write_html
 
@@ -532,6 +552,7 @@ def cmd_profile(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    """``bench``: write, compare, or update a BENCH_* baseline."""
     import dataclasses
 
     from repro.obs import bench
@@ -543,6 +564,7 @@ def cmd_bench(args) -> int:
     cache_fraction = args.cache_fraction
     pipeline_depth = args.pipeline_depth
     chunk_bytes = args.chunk_bytes
+    fusion = None if args.fusion is None else args.fusion == "on"
     baseline = None
     if args.compare:
         try:
@@ -563,6 +585,8 @@ def cmd_bench(args) -> int:
             pipeline_depth = baseline["pipeline_depth"]
         if chunk_bytes is None and "chunk_bytes" in baseline:
             chunk_bytes = baseline["chunk_bytes"]
+        if fusion is None and "fusion_enabled" in baseline:
+            fusion = baseline["fusion_enabled"]
     else:
         degree = args.degree
 
@@ -574,7 +598,10 @@ def cmd_bench(args) -> int:
         config = dataclasses.replace(config, pipeline_depth=pipeline_depth)
     if chunk_bytes is not None:
         config = dataclasses.replace(config, chunk_bytes=chunk_bytes)
-    driver = WorkloadDriver(catalog, config, degree=degree)
+    if fusion is not None:
+        config = dataclasses.replace(config, fusion_enabled=fusion)
+    driver = WorkloadDriver(catalog, config, degree=degree,
+                            enable_join_offload=args.join_offload)
     classes = args.classes.split(",") if args.classes else None
     try:
         result = bench.run_workload(driver, args.workload, scale=scale,
@@ -596,7 +623,8 @@ def cmd_bench(args) -> int:
         rows, title=f"{args.workload}  scale={scale} seed={seed} "
                     f"degree={degree} cache={result.cache_fraction} "
                     f"pipeline={result.pipeline_depth}"
-                    f"x{result.chunk_bytes}B"))
+                    f"x{result.chunk_bytes}B "
+                    f"fusion={'on' if result.fusion_enabled else 'off'}"))
     print()
 
     if args.out:
@@ -616,6 +644,7 @@ def cmd_bench(args) -> int:
 
 
 def cmd_cache_stats(args) -> int:
+    """``cache-stats``: per-device column-cache counters."""
     import dataclasses
 
     from repro.core.accelerator import GpuAcceleratedEngine
@@ -672,6 +701,7 @@ def _serving_slos(config):
 
 
 def cmd_serve_bench(args) -> int:
+    """``serve-bench``: the concurrent-serving sweep gate."""
     from repro.obs import serving
     from repro.workloads.datagen import generate_database, scaled_config
 
@@ -746,6 +776,7 @@ def cmd_serve_bench(args) -> int:
 
 
 def cmd_top(args) -> int:
+    """``top``: render the one-shot serving dashboard."""
     from repro.obs import serving
     from repro.obs.bench import workload_classes
     from repro.workloads.driver import ConcurrentDriver, WorkloadDriver
@@ -797,6 +828,7 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: dispatch to the ``cmd_*`` handlers."""
     args = _build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

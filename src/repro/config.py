@@ -207,6 +207,14 @@ class SystemConfig:
     device->host copies of neighbouring chunks overlap on the K40's
     separate compute and DMA engines.  ``pipeline_depth=1`` disables
     pipelining and reproduces the serial launch timings byte-identically.
+
+    ``fusion_enabled`` turns on the fused GPU data path
+    (:mod:`repro.gpu.fusion`, ``docs/fusion.md``): eligible
+    filter->join->group-by chains execute as a *single* device launch
+    with intermediate results resident on-device, instead of one launch
+    (or CPU operator) per plan node.  ``False`` restores the strictly
+    per-operator execution of the paper's prototype; results are
+    bit-identical either way.
     """
 
     host: HostSpec = field(default_factory=HostSpec)
@@ -217,6 +225,7 @@ class SystemConfig:
     cache_fraction: float = 0.25
     pipeline_depth: int = 4
     chunk_bytes: int = 1 << 20
+    fusion_enabled: bool = True
     serving: ServingDefaults = field(default_factory=ServingDefaults)
 
     @property

@@ -33,8 +33,10 @@ from repro.core.scheduler import MultiGpuScheduler
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.policies import RetryPolicy
+from repro.blu.engine import cpu_join_executor
 from repro.gpu.cache import DeviceColumnCache
 from repro.gpu.device import GpuDevice, make_devices
+from repro.gpu.fusion import FusedExecutor
 from repro.gpu.pinned import PinnedMemoryPool
 from repro.gpu.streams import PipelineSpec
 from repro.obs.export import chrome_trace, prometheus_text
@@ -155,12 +157,31 @@ class GpuAcceleratedEngine:
             catalog=catalog,
             pipeline=self.pipeline,
         ) if enable_join_offload else None
+        # Fused data path (docs/fusion.md): recognised filter->join->
+        # group-by chains run as one device launch; every failure (and a
+        # declined decision) falls back to the per-operator executors
+        # below, so fusion_enabled=False and fusion-degraded runs are
+        # bit-identical to this engine's stock routing.
+        self._fused = FusedExecutor(
+            scheduler=self.scheduler,
+            moderator=self.moderator,
+            pinned=self.pinned,
+            thresholds=self.config.thresholds,
+            groupby_fallback=self._route_groupby,
+            join_fallback=(self._route_join if enable_join_offload
+                           else cpu_join_executor),
+            monitor=self.monitor,
+            catalog=catalog,
+            pipeline=self.pipeline,
+            race_kernels=race_kernels,
+        ) if self.config.fusion_enabled else None
         self.engine = BluEngine(
             catalog,
             config=self.config,
             groupby_executor=self._route_groupby,
             sort_executor=self._route_sort,
             join_executor=self._route_join if enable_join_offload else None,
+            fused_executor=self._fused,
             default_degree=default_degree,
             tracer=self.tracer,
         )
@@ -264,6 +285,8 @@ class GpuAcceleratedEngine:
         self._sort.query_id = query_id
         if self._join is not None:
             self._join.query_id = query_id
+        if self._fused is not None:
+            self._fused.query_id = query_id
 
     # ------------------------------------------------------------------
     # Observability exports

@@ -93,6 +93,82 @@ def _groupby_decision(
     )
 
 
+@dataclass(frozen=True)
+class FusedDecision:
+    """Whether a fusable chain actually runs fused, and why.
+
+    ``fuse`` is only True when the Figure-3 verdict for the terminal
+    group-by already says GPU *and* the fused cost model predicts the
+    single launch beats both the per-operator alternatives on time and
+    the per-op GPU path on bytes (``docs/fusion.md``).
+    """
+
+    fuse: bool
+    reason: str
+    fused_seconds: float = 0.0
+    unfused_seconds: float = 0.0
+    fused_bytes: int = 0
+    per_op_gpu_bytes: int = 0
+
+
+def select_fused_path(
+    *,
+    stages: int,
+    groupby_decision: PathDecision,
+    fused_seconds: float,
+    unfused_seconds: float,
+    fused_bytes: int,
+    per_op_gpu_bytes: int,
+    tracer: Optional[Tracer] = None,
+) -> FusedDecision:
+    """Decide whether a recognised fusable chain should run fused.
+
+    The group-by verdict gates first so fusion never drags a query onto
+    the GPU that Figure 3 would have kept on the CPU — classes the paper
+    leaves untouched (simple/intermediate) stay untouched.  Then the
+    analytic fused cost must strictly beat the unfused plan's predicted
+    time, and the fused transfer plan must ship no more bytes than the
+    per-operator GPU alternative would.
+    """
+    if not groupby_decision.use_gpu:
+        decision = FusedDecision(
+            False,
+            f"group-by verdict is {groupby_decision.path.value}: "
+            "chain stays on the per-operator path",
+        )
+    elif fused_seconds >= unfused_seconds:
+        decision = FusedDecision(
+            False,
+            f"fused~{fused_seconds * 1e3:.3f}ms >= "
+            f"unfused~{unfused_seconds * 1e3:.3f}ms: fusion would not pay",
+            fused_seconds, unfused_seconds, fused_bytes, per_op_gpu_bytes,
+        )
+    elif fused_bytes > per_op_gpu_bytes:
+        decision = FusedDecision(
+            False,
+            f"fused bytes {fused_bytes} > per-op GPU bytes "
+            f"{per_op_gpu_bytes}: fusion would ship more over PCIe",
+            fused_seconds, unfused_seconds, fused_bytes, per_op_gpu_bytes,
+        )
+    else:
+        decision = FusedDecision(
+            True,
+            f"{stages}-stage chain: fused~{fused_seconds * 1e3:.3f}ms < "
+            f"unfused~{unfused_seconds * 1e3:.3f}ms, "
+            f"elides {per_op_gpu_bytes - fused_bytes} transfer bytes",
+            fused_seconds, unfused_seconds, fused_bytes, per_op_gpu_bytes,
+        )
+    if tracer is not None:
+        tracer.instant(
+            "pathselect.fused",
+            stages=stages, fuse=decision.fuse, reason=decision.reason,
+            fused_seconds=fused_seconds, unfused_seconds=unfused_seconds,
+            fused_bytes=int(fused_bytes),
+            per_op_gpu_bytes=int(per_op_gpu_bytes),
+        )
+    return decision
+
+
 def select_sort_offload(rows: int, thresholds: Thresholds,
                         tracer: Optional[Tracer] = None) -> bool:
     """Is a sort large enough that GPU jobs pay for their transfers?"""

@@ -124,6 +124,7 @@ class GpuDevice:
         pinned: bool = True,
         plan=None,
         pool=None,
+        stages: int = 1,
     ) -> LaunchResult:
         """Account one kernel invocation under a live memory reservation.
 
@@ -136,6 +137,11 @@ class GpuDevice:
         chunked and double-buffered out of ``pool`` and is charged the
         overlapped makespan instead of the serial sum; without one the
         accounting below is the pre-stream serial path, unchanged.
+
+        ``stages > 1`` marks a fused launch (``repro.gpu.fusion``): the
+        whole operator chain paid this one launch overhead, and the
+        ``gpu.launch`` span carries ``fused_stages`` so EXPLAIN ANALYZE
+        and the bench kernel-count gate can tell fused launches apart.
         """
         if reservation.released:
             raise GpuError("launch requires a live memory reservation")
@@ -146,15 +152,17 @@ class GpuDevice:
             return self._launch_pipelined(plan, pool, kernel=kernel,
                                           rows=rows,
                                           reservation=reservation,
-                                          pinned=pinned)
+                                          pinned=pinned, stages=stages)
         self._check_faults(kernel)
         t_in = transfer_seconds(bytes_in, self.spec, pinned)
         t_out = transfer_seconds(bytes_out, self.spec, pinned)
         stall = self._transfer_stall()
         total_kernel = self.spec.kernel_launch_overhead + kernel_seconds
+        fused_attrs = {"fused_stages": stages} if stages > 1 else {}
         with self.tracer.span("gpu.launch", device_id=self.device_id,
                               kernel=kernel, rows=rows,
-                              device_bytes=reservation.nbytes):
+                              device_bytes=reservation.nbytes,
+                              **fused_attrs):
             if stall > 0.0:
                 # Injected PCIe stall: degrades the inbound copy without
                 # failing it; accounted into transfer_in_seconds below.
@@ -202,7 +210,7 @@ class GpuDevice:
 
     def _launch_pipelined(self, plan, pool, *, kernel: str, rows: int,
                           reservation: Reservation,
-                          pinned: bool) -> LaunchResult:
+                          pinned: bool, stages: int = 1) -> LaunchResult:
         """Account one chunked, double-buffered launch (repro.gpu.streams).
 
         Every chunk re-runs the launch-time fault sites and draws its own
@@ -249,9 +257,11 @@ class GpuDevice:
         d_stall = min(stall_total, schedule.exposed_in)
         d_in = schedule.exposed_in - d_stall
         launch_overhead = n * self.spec.kernel_launch_overhead
+        fused_attrs = {"fused_stages": stages} if stages > 1 else {}
         with self.tracer.span("gpu.launch", device_id=self.device_id,
                               kernel=kernel, rows=rows,
                               device_bytes=reservation.nbytes,
+                              **fused_attrs,
                               chunks=n,
                               pipeline_depth=plan.pipeline.depth,
                               chunk_bytes=plan.max_chunk_bytes,

@@ -1,0 +1,930 @@
+"""Fused GPU data paths: one launch for a filter->join->group-by chain.
+
+The per-operator GPU path pays a PCIe round-trip at every stage even when
+the next consumer is also on-device: a GPU join ships its probe keys up,
+copies its match vector back, and the group-by then re-stages its inputs
+at joined granularity.  This module removes those interior edges.  A
+*fusion planner* (:func:`find_fusable_chain`) walks the compiled plan
+from each group-by down its probe spine, recognising the maximal
+``filter -> join* -> group-by`` chain, and a *fused executor*
+(:class:`FusedExecutor`) replaces the per-operator launch sequence with
+a single device launch:
+
+- one kernel-launch overhead for the whole chain;
+- intermediate results (match vectors, gathered columns) stay resident
+  in device memory — no H2D/D2H between fused stages;
+- external inputs ship once, at *owner-table* granularity: a dimension
+  column referenced by the group-by crosses the bus at dimension-table
+  size instead of joined (fact) size — the late-materialisation win.
+
+Whether a recognised chain actually fuses is a cost decision
+(:func:`repro.core.pathselect.select_fused_path`), gated first by the
+Figure-3 verdict for the terminal group-by so fusion never drags a query
+onto the GPU that path selection would have kept on the CPU.  Results
+are bit-identical to the unfused path by construction: every fused stage
+computes through the same numpy kernels as its per-operator twin, and
+every failure (non-unique build keys, reservation denial, injected
+device faults, pinned-pool exhaustion) degrades to the per-operator
+executors.  ``SystemConfig.fusion_enabled=False`` disables the planner
+entirely.
+
+The legality rules, the exact timing/byte equations, a worked BD
+Insights example and the interaction matrix with the column cache, the
+stream pipeline and fault injection live in ``docs/fusion.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.blu.catalog import Catalog
+from repro.blu.engine import OperatorContext
+from repro.blu.evaluators import build_fused_host_chain, build_gpu_host_chain
+from repro.blu.expressions import ColumnRef
+from repro.blu.operators.join import _aligned_keys, _assemble, cpu_probe_rate
+from repro.blu.operators.scan import execute_scan
+from repro.blu.operators.aggregate import (
+    build_group_output,
+    grouping_key_arrays,
+)
+from repro.blu.plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+)
+from repro.blu.statistics import estimate_distinct, murmur3_fmix64
+from repro.blu.table import Table
+from repro.config import SystemConfig, Thresholds
+from repro.core.metadata import RuntimeMetadata
+from repro.core.moderator import GpuModerator
+from repro.core.monitoring import OffloadDecision, PerformanceMonitor
+from repro.core.pathselect import (
+    FusedDecision,
+    select_fused_path,
+    select_groupby_path,
+)
+from repro.core.scheduler import MultiGpuScheduler
+from repro.errors import GpuError, PinnedMemoryError
+from repro.gpu.cache import SegmentKey, StagedSegment, content_digest
+from repro.gpu.kernels.hashtable import combine_keys
+from repro.gpu.kernels.join import HashJoinKernel
+from repro.gpu.kernels.request import GroupByRequest, PayloadSpec
+from repro.gpu.pinned import PinnedMemoryPool
+from repro.gpu.streams import PipelineSpec, streamed_launch
+from repro.gpu.transfer import effective_transfer_bytes, transfer_seconds
+from repro.timing import CostEvent, CostLedger
+
+_DISPATCH_SECONDS = 50e-6     # the single dispatching thread's CPU work
+
+#: Bytes per packed (BLU-encoded) column word shipped over PCIe.
+_PACKED = RuntimeMetadata.PACKED_COLUMN_BYTES
+
+#: The engine's callback for executing a subtree (``BluEngine._execute``).
+SubtreeExecutor = Callable[[PlanNode, OperatorContext], Table]
+
+
+# ---------------------------------------------------------------------------
+# Chain recognition
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FusableChain:
+    """A maximal fusable ``filter -> join* -> group-by`` chain.
+
+    ``spine`` holds the Filter/Join nodes between the group-by and the
+    probe subtree, top-down; executing the chain walks it bottom-up.
+    ``joins`` are the spine's JoinNodes bottom-up; ``builds`` their right
+    (build-side) subtrees in the same order.  ``probe`` is the first
+    non-chain node on the probe spine — the external input every stage's
+    row ids ultimately index into.
+    """
+
+    groupby: GroupByNode
+    spine: tuple[PlanNode, ...]
+    joins: tuple[JoinNode, ...]
+    builds: tuple[PlanNode, ...]
+    probe: PlanNode
+
+    @property
+    def stages(self) -> int:
+        """Fused device stages: every spine operator plus the group-by."""
+        return len(self.spine) + 1
+
+
+def find_fusable_chain(node: GroupByNode) -> Optional[FusableChain]:
+    """Recognise the maximal fusable chain ending at ``node``.
+
+    Legality (the full rules are documented in ``docs/fusion.md``):
+
+    - the chain descends ``node.child`` through FilterNodes (child) and
+      JoinNodes (probe/left side only); the first other node terminates
+      it and becomes the external probe input;
+    - build (right) subtrees are external inputs, never fused into;
+    - at least one join must be on the spine (a bare group-by already is
+      a single launch) and the group-by needs grouping keys (keyless
+      aggregates stay on the scalar CPU path).
+    """
+    if not node.keys:
+        return None
+    spine: list[PlanNode] = []
+    joins: list[JoinNode] = []
+    cur = node.child
+    while True:
+        if isinstance(cur, FilterNode):
+            spine.append(cur)
+            cur = cur.child
+        elif isinstance(cur, JoinNode):
+            spine.append(cur)
+            joins.append(cur)
+            cur = cur.left
+        else:
+            break
+    if not joins:
+        return None
+    joins_bottom_up = tuple(reversed(joins))
+    return FusableChain(
+        groupby=node,
+        spine=tuple(spine),
+        joins=joins_bottom_up,
+        builds=tuple(j.right for j in joins_bottom_up),
+        probe=cur,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cost model (planner estimates, from optimizer metadata only)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FusedChainEstimate:
+    """Planner-side costs of a chain, fused vs unfused (``docs/fusion.md``).
+
+    All figures derive from optimizer estimates — the decision runs
+    *before* any subtree executes, so a "no" has zero side effects.
+    ``unfused_seconds`` prices the default per-operator plan (CPU joins,
+    GPU group-by); ``per_op_gpu_bytes`` prices the all-GPU per-operator
+    alternative's PCIe traffic, the reference for the elision accounting.
+    """
+
+    fused_seconds: float
+    unfused_seconds: float
+    fused_bytes: int
+    per_op_gpu_bytes: int
+
+
+def _subtree_columns(node: PlanNode, catalog: Catalog) -> int:
+    """Best-effort output column count of a subtree (for join
+    materialisation estimates — joins concatenate both sides)."""
+    if isinstance(node, ScanNode):
+        return catalog.table(node.table_name).num_columns
+    if isinstance(node, JoinNode):
+        return (_subtree_columns(node.left, catalog)
+                + _subtree_columns(node.right, catalog))
+    if node.children:
+        return _subtree_columns(node.children[0], catalog)
+    return 1
+
+
+def _join_kernel_estimate(build_rows: float, probe_rows: float,
+                          matches: float, cost) -> float:
+    """Analytic device-join time: table init + inserts + probes + emit."""
+    table_bytes = build_rows * 16 * 1.5
+    return (table_bytes / cost.gpu_init_rate
+            + build_rows / cost.gpu_ht_insert_rate
+            + probe_rows / cost.gpu_ht_probe_rate
+            + matches * 4 / cost.gpu_init_rate)
+
+
+def _groupby_kernel_estimate(rows: float, num_aggs: int, cost) -> float:
+    """Crude device group-by time — identical in both alternatives, so it
+    cancels in the fuse/no-fuse inequality; kept for honest totals."""
+    return rows * max(1, num_aggs) / cost.gpu_atomic_agg_rate
+
+
+def estimate_chain(chain: FusableChain, config: SystemConfig,
+                   catalog: Catalog, degree: int) -> FusedChainEstimate:
+    """Price a recognised chain fused vs unfused, from optimizer estimates.
+
+    Work common to both alternatives (executing the probe and build
+    subtrees) is excluded.  The exact equations, with the same symbol
+    names, are laid out in ``docs/fusion.md``.
+    """
+    cost = config.cost
+    spec = config.gpus[0]
+    capacity = config.host.effective_capacity(degree)
+    node = chain.groupby
+    num_keys = len(node.keys)
+    num_aggs = max(1, len(node.aggs))
+    joined_rows = max(1.0, node.child.estimates.rows)
+    groups = max(1.0, node.estimates.groups)
+    result_bytes = groups * (8 + 8 * num_aggs)
+
+    # --- unfused: CPU joins/filters, then the per-op GPU group-by -------
+    unfused_cpu = 0.0
+    per_op_gpu_bytes = 0.0
+    probe_rows = max(1.0, chain.probe.estimates.rows)
+    probe_cols = _subtree_columns(chain.probe, catalog)
+    rows, cols = probe_rows, probe_cols
+    for element in reversed(chain.spine):
+        if isinstance(element, JoinNode):
+            build_rows = max(1.0, element.right.estimates.rows)
+            build_cols = _subtree_columns(element.right, catalog)
+            matches = max(1.0, element.estimates.rows)
+            unfused_cpu += (
+                build_rows / cost.cpu_join_build_rate
+                + rows / cpu_probe_rate(int(build_rows), cost)
+                + matches * (cols + build_cols) / cost.cpu_decode_rate
+            )
+            per_op_gpu_bytes += build_rows * 8 + rows * _PACKED \
+                + matches * 4
+            rows, cols = matches, cols + build_cols
+        else:                                   # FilterNode
+            unfused_cpu += rows / cost.cpu_scan_rate
+            rows = max(1.0, element.estimates.rows)
+    staged_joined = joined_rows * _PACKED * (num_keys + num_aggs)
+    per_op_gpu_bytes += staged_joined + result_bytes
+    groupby_kernel = _groupby_kernel_estimate(joined_rows, num_aggs, cost)
+    unfused = (
+        unfused_cpu / capacity
+        + build_gpu_host_chain(
+            rows=int(joined_rows), num_keys=num_keys, num_aggs=num_aggs,
+            staged_bytes=int(staged_joined), cost=cost,
+        ).total_cpu_seconds / capacity
+        + transfer_seconds(int(staged_joined), spec)
+        + groupby_kernel
+        + transfer_seconds(int(result_bytes), spec)
+    )
+
+    # --- fused: one launch; external inputs at owner granularity --------
+    # Planner upper bound: group-by columns priced at probe (fact)
+    # granularity even though execution ships dimension-owned columns at
+    # dimension size — a conservative over-estimate of fused_bytes.
+    fused_bytes = probe_rows * _PACKED * (num_keys + num_aggs)
+    fused_kernel = 0.0
+    rows = probe_rows
+    for element in reversed(chain.spine):
+        if isinstance(element, JoinNode):
+            build_rows = max(1.0, element.right.estimates.rows)
+            matches = max(1.0, element.estimates.rows)
+            fused_bytes += build_rows * 8 + rows * _PACKED
+            fused_kernel += _join_kernel_estimate(build_rows, rows,
+                                                  matches, cost)
+            fused_kernel += matches / cost.gpu_scan_rate   # stage gather
+            rows = matches
+        else:
+            fused_bytes += rows * _PACKED
+            fused_kernel += rows / cost.gpu_scan_rate
+            rows = max(1.0, element.estimates.rows)
+    # Final gather of the group-by's key/payload columns on-device.
+    fused_kernel += joined_rows * (num_keys + num_aggs) / cost.gpu_scan_rate
+    fused_kernel += groupby_kernel
+    fused = (
+        build_fused_host_chain(
+            rows=int(probe_rows), num_keys=num_keys, num_aggs=num_aggs,
+            staged_bytes=int(fused_bytes), cost=cost,
+        ).total_cpu_seconds / capacity
+        + transfer_seconds(int(fused_bytes), spec)
+        + fused_kernel
+        + transfer_seconds(int(result_bytes), spec)
+    )
+    return FusedChainEstimate(
+        fused_seconds=fused,
+        unfused_seconds=unfused,
+        fused_bytes=int(fused_bytes),
+        per_op_gpu_bytes=int(per_op_gpu_bytes),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fused execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FusedExecutor:
+    """Executes recognised chains as one fused device launch.
+
+    Installed by :class:`repro.core.accelerator.GpuAcceleratedEngine`
+    when ``SystemConfig.fusion_enabled`` (the default); consulted by
+    :class:`repro.blu.engine.BluEngine` before the per-operator group-by
+    path.  Returning ``None`` means "not fused" and the engine proceeds
+    exactly as before, so a declined chain has zero observable effect.
+
+    ``join_fallback`` / ``groupby_fallback`` are the engine's effective
+    per-operator executors: every mid-flight failure re-runs the chain
+    through them from the already-executed subtree outputs, which keeps
+    results bit-identical under any fault plan.
+    """
+
+    scheduler: MultiGpuScheduler
+    moderator: GpuModerator
+    pinned: PinnedMemoryPool
+    thresholds: Thresholds
+    groupby_fallback: Callable[[Table, GroupByNode, OperatorContext], Table]
+    join_fallback: Callable[[Table, Table, JoinNode, OperatorContext], Table]
+    monitor: Optional[PerformanceMonitor] = None
+    catalog: Optional[Catalog] = None
+    pipeline: Optional[PipelineSpec] = None
+    race_kernels: bool = False
+    query_id: str = ""
+
+    def __call__(self, node: GroupByNode, ctx: OperatorContext,
+                 execute: SubtreeExecutor) -> Optional[Table]:
+        chain = find_fusable_chain(node)
+        if chain is None or self.catalog is None:
+            return None
+        decision = self._decide(chain, ctx)
+        if not decision.fuse:
+            return None
+        return self._run_fused(chain, ctx, execute, decision)
+
+    # ------------------------------------------------------------------
+    # Decision (no side effects beyond trace instants)
+    # ------------------------------------------------------------------
+
+    def _decide(self, chain: FusableChain,
+                ctx: OperatorContext) -> FusedDecision:
+        node = chain.groupby
+        # Figure-3 verdict from optimizer estimates (not tracing here:
+        # the per-operator path emits its own verdict when we decline).
+        rows = max(1.0, node.child.estimates.rows)
+        groups = max(1.0, node.estimates.groups)
+        verdict = select_groupby_path(rows, groups, self.thresholds)
+        estimate = estimate_chain(chain, ctx.config, self.catalog,
+                                  ctx.degree)
+        decision = select_fused_path(
+            stages=chain.stages,
+            groupby_decision=verdict,
+            fused_seconds=estimate.fused_seconds,
+            unfused_seconds=estimate.unfused_seconds,
+            fused_bytes=estimate.fused_bytes,
+            per_op_gpu_bytes=estimate.per_op_gpu_bytes,
+            tracer=self._tracer,
+        )
+        if decision.fuse:
+            # The per-operator group-by will never run, so record its
+            # Figure-3 verdict here — every executed group-by keeps a
+            # ``pathselect.groupby`` instant either way.
+            select_groupby_path(rows, groups, self.thresholds,
+                                tracer=self._tracer)
+        return decision
+
+    # ------------------------------------------------------------------
+    # Fused run
+    # ------------------------------------------------------------------
+
+    def _run_fused(self, chain: FusableChain, ctx: OperatorContext,
+                   execute: SubtreeExecutor,
+                   decision: FusedDecision) -> Table:
+        node = chain.groupby
+        tracer = self._tracer
+        if tracer is None:
+            return self._run_fused_body(chain, ctx, execute, decision)
+        # Capture the engine's enclosing op.groupby span: the KMV
+        # refinement stamp belongs there, next to the optimizer estimate
+        # and actual count the engine stamps (see _note_kmv).
+        groupby_span = tracer.current
+        with tracer.span("op.fused", stages=chain.stages,
+                         joins=len(chain.joins),
+                         keys=",".join(node.keys)):
+            return self._run_fused_body(chain, ctx, execute, decision,
+                                        groupby_span=groupby_span)
+
+    def _run_fused_body(self, chain: FusableChain, ctx: OperatorContext,
+                        execute: SubtreeExecutor,
+                        decision: FusedDecision,
+                        groupby_span=None) -> Table:
+        node = chain.groupby
+        cost = ctx.config.cost
+
+        # External edges execute normally (their own operator spans and
+        # CPU cost events) — fusion changes nothing below the chain.
+        probe_out = execute(chain.probe, ctx)
+        build_outs = [execute(b, ctx) for b in chain.builds]
+
+        plan = _plan_external_inputs(chain, probe_out, build_outs,
+                                     self.catalog)
+
+        # One up-front reservation for the whole chain (section 2.1.1
+        # discipline): staged inputs + every stage's hash table +
+        # device-resident intermediates + the result, sized from
+        # optimizer estimates exactly like the per-op executors.
+        payloads = self._payload_specs(probe_out, build_outs, node)
+        key_bits = plan.key_bits
+        metadata = RuntimeMetadata(
+            rows=max(1, int(node.child.estimates.rows)),
+            optimizer_groups=node.estimates.groups or 0.0,
+            key_bits=key_bits,
+            num_keys=len(node.keys),
+            payloads=payloads,
+            exact_keys=True,
+        )
+        join_kernel = HashJoinKernel(cost)
+        intermediates = sum(
+            max(1, int(j.estimates.rows)) * 4 for j in chain.joins)
+        memory_needed = (
+            plan.staged_bytes
+            + intermediates
+            + metadata.result_bytes()
+            + sum(join_kernel.table_bytes(b.num_rows) for b in build_outs)
+        )
+        groupby_kernel, _reason = self.moderator.choose(metadata)
+        request_probe = GroupByRequest(
+            keys=np.empty(0, dtype=np.int64), key_bits=key_bits,
+            payloads=payloads,
+            estimated_groups=metadata.estimated_groups, exact_keys=True,
+        )
+        memory_needed += groupby_kernel.table_bytes(request_probe)
+        if self.race_kernels:
+            memory_needed += sum(
+                k.table_bytes(request_probe)
+                for k in self.moderator.candidates(metadata)
+                if k is not groupby_kernel
+            )
+        lease = self.scheduler.try_acquire(
+            memory_needed, tag="fused",
+            affinity=[s.key for s in plan.segments])
+        if lease is None:
+            return self._degrade(
+                chain, ctx, probe_out, build_outs,
+                f"no GPU could reserve {memory_needed} bytes")
+
+        # Column-cache probe over the external segments: resident inputs
+        # skip MEMCPY and the PCIe copy, exactly as on the per-op paths.
+        cache = lease.device.cache
+        hit_bytes = 0
+        missed: list[StagedSegment] = []
+        if cache is not None and cache.enabled:
+            for segment in plan.segments:
+                if cache.lookup(segment.key):
+                    hit_bytes += segment.nbytes
+                else:
+                    missed.append(segment)
+        transfer_bytes = effective_transfer_bytes(plan.staged_bytes,
+                                                  hit_bytes)
+
+        # --- run the fused stages (device-charged, host-real) ----------
+        fused_seconds = 0.0
+        per_op_bytes = 0.0
+        matches_total = 0
+        current = probe_out
+        build_index = 0
+        discard = CostLedger()
+        stage_names: list[str] = []
+        try:
+            for element in reversed(chain.spine):
+                if isinstance(element, JoinNode):
+                    build = build_outs[build_index]
+                    build_keys, probe_keys = _aligned_keys(
+                        build.column(element.right_key),
+                        current.column(element.left_key))
+                    per_op_bytes += (build.num_rows * 8
+                                     + current.num_rows * _PACKED)
+                    rows_before = current.num_rows
+                    try:
+                        result = join_kernel.run(build_keys, probe_keys)
+                    except GpuError:
+                        # Non-unique build keys: outside the kernel's
+                        # documented scope, not a device failure — the
+                        # whole chain degrades to the per-op executors.
+                        self.scheduler.release(lease)
+                        return self._degrade(
+                            chain, ctx, probe_out, build_outs,
+                            "build keys not unique: chain degrades to "
+                            "the per-operator path")
+                    fused_seconds += result.kernel_seconds
+                    matches = len(result.left_idx)
+                    per_op_bytes += matches * 4        # per-op D2H matches
+                    matches_total += matches
+                    # Gather the surviving probe rows' downstream inputs
+                    # on-device instead of materialising on the host.
+                    fused_seconds += matches / cost.gpu_scan_rate
+                    current = _assemble(current, build,
+                                        result.left_idx, result.right_idx)
+                    stage_names.append(result.kernel)
+                    build_index += 1
+                    del rows_before
+                else:                                   # FilterNode
+                    rows_before = current.num_rows
+                    # Host-real evaluation through the stock scan
+                    # operator (bit-identical), charged as a device scan
+                    # — the discard ledger drops the CPU events.
+                    current = execute_scan(
+                        current, element.predicate, cost, discard,
+                        max_degree=min(ctx.degree * 2, 96))
+                    complexity = max(1, element.predicate.complexity())
+                    fused_seconds += (rows_before * complexity
+                                      / cost.gpu_scan_rate)
+                    stage_names.append("scan")
+
+            # Final on-device gather of the group-by inputs, then the
+            # group-by kernel itself via the moderator (regrow on
+            # overflow, racing when enabled) — all inside this launch.
+            gather_cols = len(node.keys) + len({
+                a.expr.name for a in node.aggs
+                if isinstance(a.expr, ColumnRef)})
+            fused_seconds += (current.num_rows * gather_cols
+                              / cost.gpu_scan_rate)
+            per_op_bytes += (_staged_key_bytes(current, node.keys)
+                             + current.num_rows * _PACKED
+                             * max(1, len(node.aggs)))
+            per_op_bytes += metadata.result_bytes()
+
+            key_arrays = grouping_key_arrays(current, node.keys)
+            combined, exact = combine_keys(key_arrays)
+            # Device-side KMV sketch over the joined keys: one extra scan
+            # pass inside the launch.  Sizing still comes from the
+            # optimizer (the reservation predates the join, so a refined
+            # estimate cannot grow it) — the sketch feeds the paper's
+            # central estimate-vs-actual monitoring signal instead.
+            kmv = estimate_distinct(murmur3_fmix64(combined), k=1024)
+            fused_seconds += current.num_rows / cost.gpu_scan_rate
+            request = GroupByRequest(
+                keys=combined, key_bits=key_bits, payloads=payloads,
+                estimated_groups=metadata.estimated_groups,
+                exact_keys=exact,
+            )
+
+            host_chain = build_fused_host_chain(
+                rows=probe_out.num_rows, num_keys=len(node.keys),
+                num_aggs=max(1, len(payloads)),
+                staged_bytes=transfer_bytes, cost=cost,
+            )
+            for event in host_chain.cost_events(ctx.degree):
+                ctx.ledger.add(event)
+
+            outcome = self.moderator.run(request, metadata,
+                                         race=self.race_kernels)
+            winner = outcome.winner
+            if self.monitor is not None:
+                self.monitor.record_overflow_retries(
+                    outcome.overflow_retries)
+                if outcome.raced:
+                    self.monitor.record_race(outcome.cancelled)
+            fused_seconds += (winner.kernel_seconds
+                              + outcome.wasted_device_seconds)
+            stage_names.append(winner.kernel)
+
+            launch = streamed_launch(
+                lease.device, self.pinned,
+                kernel="fused:" + "+".join(stage_names),
+                kernel_seconds=fused_seconds,
+                reservation=lease.reservation,
+                rows=probe_out.num_rows,
+                bytes_in=transfer_bytes,
+                bytes_out=metadata.result_bytes(),
+                pinned=True,
+                pipeline=self.pipeline,
+                stages=chain.stages,
+            )
+            ctx.ledger.add(CostEvent(
+                op="GPU-FUSED",
+                rows=probe_out.num_rows,
+                cpu_seconds=_DISPATCH_SECONDS,
+                max_degree=1,
+                gpu_seconds=launch.total_seconds,
+                gpu_memory_bytes=lease.reservation.nbytes,
+                device_id=lease.device.device_id,
+            ))
+        except PinnedMemoryError as exc:
+            # Host-side staging exhaustion: no device misbehaved, so the
+            # circuit breaker stays out of it.
+            self.scheduler.release(lease)
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback("fused", exc)
+            return self._degrade(chain, ctx, probe_out, build_outs,
+                                 "pinned staging pool exhausted")
+        except GpuError as exc:
+            # Launch failure / device loss / allocation fault: feed the
+            # circuit breaker and redo the whole chain per-operator.
+            self.scheduler.record_failure(lease)
+            self.scheduler.release(lease)
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback(
+                    "fused", exc, lease.device.device_id)
+            return self._degrade(chain, ctx, probe_out, build_outs,
+                                 f"gpu failure: {exc}",
+                                 device_id=lease.device.device_id)
+        else:
+            self.scheduler.record_success(lease)
+            self.scheduler.release(lease)
+
+        if cache is not None and cache.enabled:
+            for segment in missed:
+                cache.insert(segment.key, segment.nbytes)
+            # The final gather left the group-by's own staged slices
+            # (packed keys, 4 B/row payloads) resident too, so admit
+            # them under the per-operator path's keys: a later unfused
+            # group-by over the same materialised input hits exactly as
+            # if that path had staged them itself.
+            version = self.catalog.version if self.catalog is not None else 0
+            for segment in _groupby_segments(current, node, version):
+                if segment.key not in cache:
+                    cache.insert(segment.key, segment.nbytes)
+
+        elided = max(0, int(per_op_bytes) - plan.staged_bytes)
+        self._observe_chain(chain, lease.device.device_id, elided,
+                            matches_total, winner.kernel)
+        self._record("gpu-fused", decision.reason,
+                     kernel=winner.kernel,
+                     device_id=lease.device.device_id)
+        if self.monitor is not None:
+            error = self.monitor.record_kmv_estimate(kmv.groups,
+                                                     winner.n_groups)
+            if groupby_span is not None:
+                groupby_span.attributes["kmv_groups"] = int(kmv.groups)
+                groupby_span.attributes["kmv_relative_error"] = error
+
+        first_row = _first_rows(winner.group_index, winner.n_groups)
+        return build_group_output(
+            current, node.keys, node.aggs, winner.group_index, first_row,
+            winner.n_groups, name=f"{current.name}_grouped",
+        )
+
+    # ------------------------------------------------------------------
+    # Degradation: re-run the chain per-operator, bit-identically
+    # ------------------------------------------------------------------
+
+    def _degrade(self, chain: FusableChain, ctx: OperatorContext,
+                 probe_out: Table, build_outs: Sequence[Table],
+                 reason: str, device_id: int = -1) -> Table:
+        """Complete the chain through the per-operator executors.
+
+        The external subtrees have already executed; everything above
+        them re-runs through the engine's effective join/filter/group-by
+        executors with normal cost accounting.  Any work the fused
+        attempt had already done is discarded — the simulated cost story
+        is "the fused launch failed, the chain re-ran per-operator",
+        mirroring the CPU fallback of the hybrid executors.
+        """
+        self._record("fused-degraded", reason, device_id=device_id)
+        current = probe_out
+        build_index = 0
+        for element in reversed(chain.spine):
+            if isinstance(element, JoinNode):
+                current = self.join_fallback(
+                    current, build_outs[build_index], element, ctx)
+                build_index += 1
+            else:
+                current = execute_scan(
+                    current, element.predicate, ctx.config.cost,
+                    ctx.ledger, max_degree=min(ctx.degree * 2, 96))
+        return self.groupby_fallback(current, chain.groupby, ctx)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _payload_specs(self, probe_out: Table, build_outs: Sequence[Table],
+                       node: GroupByNode) -> list[PayloadSpec]:
+        from repro.blu.datatypes import int64 as int64_type
+
+        tables = [probe_out, *build_outs]
+        specs = []
+        for agg in node.aggs:
+            dtype = int64_type()
+            if agg.expr is not None:
+                owner = _owner_of(_expr_column(agg.expr), tables)
+                dtype = agg.expr.result_type(owner if owner is not None
+                                             else probe_out)
+            specs.append(PayloadSpec(dtype=dtype, func=agg.func))
+        return specs
+
+    def _observe_chain(self, chain: FusableChain, device_id: int,
+                       elided_bytes: int, matches: int,
+                       groupby_kernel: str) -> None:
+        if self.monitor is None:
+            return
+        registry = self.monitor.registry
+        registry.counter(
+            "repro_fusion_chains_total",
+            "Operator chains executed as a single fused GPU launch",
+        ).inc()
+        registry.counter(
+            "repro_fusion_elided_bytes_total",
+            "PCIe bytes elided by fusion vs the per-operator GPU path",
+        ).inc(elided_bytes)
+        self.monitor.tracer.instant(
+            "fusion.chain",
+            stages=chain.stages, joins=len(chain.joins),
+            elided_bytes=int(elided_bytes), matches=int(matches),
+            groupby_kernel=groupby_kernel, device_id=device_id,
+            query_id=self.query_id,
+        )
+
+    @property
+    def _tracer(self):
+        return self.monitor.tracer if self.monitor is not None else None
+
+    def _record(self, path: str, reason: str, kernel: Optional[str] = None,
+                device_id: int = -1) -> None:
+        if self.monitor is None:
+            return
+        self.monitor.tracer.instant(
+            "offload.decision", operator="fused", path=path,
+            reason=reason, kernel=kernel or "", query_id=self.query_id,
+        )
+        self.monitor.record_decision(OffloadDecision(
+            query_id=self.query_id, operator="fused", path=path,
+            reason=reason, kernel=kernel, device_id=device_id,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# External-input planning (bytes + cache segments)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ExternalInputs:
+    """The fused launch's H2D plan: total staged bytes, the cacheable
+    segments within them, and the combined group-by key width."""
+
+    staged_bytes: int = 0
+    key_bits: int = 64
+    segments: list[StagedSegment] = field(default_factory=list)
+
+
+def _plan_external_inputs(chain: FusableChain, probe_out: Table,
+                          build_outs: Sequence[Table],
+                          catalog: Optional[Catalog]) -> _ExternalInputs:
+    """Plan what crosses the bus for a fused launch, at owner granularity.
+
+    Every external column ships exactly once from the base table that
+    owns it: join build keys at 8 bytes/row, probe-side and filter
+    columns at the packed 4-byte width, group-by keys at their true
+    packed width and payloads at 4 bytes/row — all at the *owner* table's
+    row count, never at joined granularity.  Columns referenced by more
+    than one stage (a probe key that is also a grouping key) are
+    deduplicated.  Computed expressions and ``COUNT(*)`` have no stable
+    column identity: they charge probe-granularity bytes but produce no
+    cacheable segment.
+    """
+    version = catalog.version if catalog is not None else 0
+    tables = [probe_out, *build_outs]
+    plan = _ExternalInputs()
+    shipped: set[tuple[str, str]] = set()
+
+    def ship(table: Table, column: str, nbytes: int, prefix: str) -> None:
+        if (table.name, column) in shipped:
+            return
+        shipped.add((table.name, column))
+        plan.staged_bytes += nbytes
+        col = table.column(column)
+        plan.segments.append(StagedSegment(
+            key=SegmentKey(
+                table=table.name, column=column,
+                segment=prefix + content_digest(col.data, col.null_mask),
+                catalog_version=version,
+            ),
+            nbytes=nbytes,
+        ))
+
+    # Join keys: build side as 8-byte words (hybrid-join-compatible
+    # segments, so the two paths share cache entries), probe side packed.
+    for join, build in zip(chain.joins, build_outs):
+        build_col = build.column(join.right_key)
+        if (build.name, join.right_key) not in shipped:
+            shipped.add((build.name, join.right_key))
+            plan.staged_bytes += build.num_rows * 8
+            build_keys, _ = _aligned_keys(
+                build_col, _probe_column(join, tables) or build_col)
+            plan.segments.append(StagedSegment(
+                key=SegmentKey(
+                    table=build.name, column=join.right_key,
+                    segment="join-build:" + content_digest(build_keys),
+                    catalog_version=version,
+                ),
+                nbytes=build.num_rows * 8,
+            ))
+        owner = _owner_of(join.left_key, tables)
+        if owner is not None:
+            ship(owner, join.left_key, owner.num_rows * _PACKED,
+                 "fused-col:")
+        else:
+            plan.staged_bytes += probe_out.num_rows * _PACKED
+
+    # Residual filter predicate columns.
+    for element in chain.spine:
+        if not isinstance(element, FilterNode):
+            continue
+        for column in element.predicate.columns():
+            owner = _owner_of(column, tables)
+            if owner is not None:
+                ship(owner, column, owner.num_rows * _PACKED,
+                     "fused-col:")
+            else:
+                plan.staged_bytes += probe_out.num_rows * _PACKED
+
+    # Group-by keys at their true packed widths, payloads at 4 bytes/row
+    # — both at owner granularity (the late-materialisation elision).
+    node = chain.groupby
+    key_bits = 0
+    for key in node.keys:
+        owner = _owner_of(key, tables)
+        if owner is not None:
+            key_bits += owner.schema.field(key).dtype.bits
+            ship(owner, key, _packed_key_bytes(owner.column(key)),
+                 "fused-key:")
+        else:
+            key_bits += 64
+            plan.staged_bytes += probe_out.num_rows * _PACKED
+    plan.key_bits = max(32, key_bits)
+    for agg in node.aggs:
+        if not isinstance(agg.expr, ColumnRef):
+            if agg.expr is not None:
+                plan.staged_bytes += probe_out.num_rows * _PACKED
+            continue
+        owner = _owner_of(agg.expr.name, tables)
+        if owner is not None:
+            ship(owner, agg.expr.name, owner.num_rows * _PACKED,
+                 "fused-agg:")
+        else:
+            plan.staged_bytes += probe_out.num_rows * _PACKED
+    return plan
+
+
+def _probe_column(join: JoinNode, tables: Sequence[Table]):
+    owner = _owner_of(join.left_key, tables)
+    return owner.column(join.left_key) if owner is not None else None
+
+
+def _owner_of(column: Optional[str],
+              tables: Sequence[Table]) -> Optional[Table]:
+    """The executed external table owning ``column`` (probe side first)."""
+    if column is None:
+        return None
+    for table in tables:
+        for f in table.schema:
+            if f.name.lower() == column.lower():
+                return table
+    return None
+
+
+def _expr_column(expr) -> Optional[str]:
+    names = expr.columns()
+    return names[0] if len(names) == 1 else None
+
+
+def _first_rows(group_index: np.ndarray, n_groups: int) -> np.ndarray:
+    """First row of each dense group id (groups are appearance-ordered)."""
+    first = np.full(n_groups, len(group_index), dtype=np.int64)
+    np.minimum.at(first, group_index, np.arange(len(group_index)))
+    return first
+
+
+def _packed_key_bytes(col) -> int:
+    """Staged bytes of one grouping-key column at its packed width."""
+    from repro.core.hybrid_groupby import _packed_key_bytes as _pkb
+
+    return _pkb(col)
+
+
+def _staged_key_bytes(table: Table, keys) -> int:
+    """Joined-granularity key staging (the per-op reference accounting)."""
+    from repro.core.hybrid_groupby import _staged_key_bytes as _skb
+
+    return _skb(table, keys)
+
+
+def _groupby_segments(table: Table, node: GroupByNode,
+                      version: int) -> list[StagedSegment]:
+    """The per-operator group-by's cache keys for ``table``.
+
+    Mirrors ``HybridGroupByExecutor._staged_segments`` exactly: the fused
+    launch gathers these very arrays on the device, so admitting them
+    under the unfused path's keys lets a later per-op group-by over the
+    same materialised input hit as if that path had staged them itself.
+    """
+    rows = table.num_rows
+    segments = []
+    for name in node.keys:
+        col = table.column(name)
+        segments.append(StagedSegment(
+            key=SegmentKey(
+                table=table.name, column=name,
+                segment="key:" + content_digest(col.data, col.null_mask),
+                catalog_version=version,
+            ),
+            nbytes=_packed_key_bytes(col),
+        ))
+    for agg in node.aggs:
+        if not isinstance(agg.expr, ColumnRef):
+            continue
+        col = table.column(agg.expr.name)
+        segments.append(StagedSegment(
+            key=SegmentKey(
+                table=table.name, column=agg.expr.name,
+                segment="agg:" + content_digest(col.data, col.null_mask),
+                catalog_version=version,
+            ),
+            nbytes=rows * 4,
+        ))
+    return segments

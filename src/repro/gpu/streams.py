@@ -227,6 +227,7 @@ def streamed_launch(
     bytes_out: int = 0,
     pinned: bool = True,
     pipeline: Optional[PipelineSpec] = None,
+    stages: int = 1,
 ):
     """Launch one kernel through the stream planner.
 
@@ -236,6 +237,12 @@ def streamed_launch(
     device's :class:`~repro.gpu.device.LaunchResult` either way.  With no
     plan — depth 1, or chunking would not pay — the behaviour is the
     pre-stream serial path, timing-identical to the last bit.
+
+    ``stages`` marks a fused launch (``repro.gpu.fusion``): the number of
+    plan operators executing inside this single kernel invocation.  Only
+    the launch's *external* edges — the staged inputs and the final
+    result — enter the chunking plan above; fused-stage intermediates are
+    device-resident by construction and never cross the bus.
     """
     plan = plan_pipeline(
         bytes_in=bytes_in, bytes_out=bytes_out,
@@ -249,6 +256,7 @@ def streamed_launch(
                 kernel=kernel, kernel_seconds=kernel_seconds,
                 reservation=reservation, rows=rows,
                 bytes_in=bytes_in, bytes_out=bytes_out, pinned=pinned,
+                stages=stages,
             )
         finally:
             pool.release(buffer)
@@ -256,5 +264,5 @@ def streamed_launch(
         kernel=kernel, kernel_seconds=kernel_seconds,
         reservation=reservation, rows=rows,
         bytes_in=bytes_in, bytes_out=bytes_out, pinned=pinned,
-        plan=plan, pool=pool,
+        plan=plan, pool=pool, stages=stages,
     )

@@ -101,6 +101,7 @@ class QueryStat:
     offloaded: bool
     bytes_moved: int
     checksum: str = ""
+    kernel_launches: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -109,6 +110,7 @@ class QueryStat:
             "offloaded": self.offloaded,
             "bytes_moved": self.bytes_moved,
             "checksum": self.checksum,
+            "kernel_launches": self.kernel_launches,
         }
 
 
@@ -123,6 +125,7 @@ class ClassStat:
     total_ms: float
     bytes_moved: int
     gpu_offload_ratio: float
+    kernel_launches: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -132,6 +135,7 @@ class ClassStat:
             "total_ms": round(self.total_ms, 6),
             "bytes_moved": self.bytes_moved,
             "gpu_offload_ratio": round(self.gpu_offload_ratio, 6),
+            "kernel_launches": self.kernel_launches,
         }
 
 
@@ -146,6 +150,7 @@ class BenchResult:
     cache_fraction: float = 0.0
     pipeline_depth: int = 1
     chunk_bytes: int = 0
+    fusion_enabled: bool = True
     classes: dict[str, ClassStat] = field(default_factory=dict)
     queries: dict[str, QueryStat] = field(default_factory=dict)
 
@@ -159,6 +164,7 @@ class BenchResult:
             "cache_fraction": self.cache_fraction,
             "pipeline_depth": self.pipeline_depth,
             "chunk_bytes": self.chunk_bytes,
+            "fusion_enabled": self.fusion_enabled,
             "classes": {name: stat.to_dict()
                         for name, stat in sorted(self.classes.items())},
             "queries": {qid: stat.to_dict()
@@ -205,23 +211,28 @@ def run_workload(
                          degree=driver.degree,
                          cache_fraction=driver.config.cache_fraction,
                          pipeline_depth=driver.config.pipeline_depth,
-                         chunk_bytes=driver.config.chunk_bytes)
+                         chunk_bytes=driver.config.chunk_bytes,
+                         fusion_enabled=driver.config.fusion_enabled)
     tracer = driver.gpu_engine.tracer
     for cls, queries in available.items():
         latencies: list[float] = []
         cls_bytes = 0
+        cls_launches = 0
         offloaded = 0
         for query in queries:
             elapsed = driver.elapsed_ms(query, gpu=True) * slowdown
             profile = driver.profile(query, gpu=True)
             moved = _bytes_moved(tracer, query.query_id)
+            launches = _kernel_launches(tracer, query.query_id)
             latencies.append(elapsed)
             cls_bytes += moved
+            cls_launches += launches
             offloaded += int(profile.offloaded)
             result.queries[query.query_id] = QueryStat(
                 query_id=query.query_id, cls=cls, elapsed_ms=elapsed,
                 offloaded=profile.offloaded, bytes_moved=moved,
-                checksum=driver.result_checksum(query, gpu=True))
+                checksum=driver.result_checksum(query, gpu=True),
+                kernel_launches=launches)
         result.classes[cls] = ClassStat(
             cls=cls,
             queries=len(queries),
@@ -230,6 +241,7 @@ def run_workload(
             total_ms=sum(latencies),
             bytes_moved=cls_bytes,
             gpu_offload_ratio=offloaded / len(queries) if queries else 0.0,
+            kernel_launches=cls_launches,
         )
     return result
 
@@ -244,6 +256,20 @@ def _bytes_moved(tracer, query_id: str) -> int:
         for s in tracer.trace(root.trace_id)
         if s.name in ("gpu.transfer_in", "gpu.transfer_out")
     )
+
+
+def _kernel_launches(tracer, query_id: str) -> int:
+    """Device launches of the traced run (the fusion gate's counter).
+
+    One fused chain is one ``gpu.launch`` span regardless of how many
+    plan operators ran inside it, so fusion-on runs launch strictly
+    fewer kernels than per-operator-GPU runs of the same queries.
+    """
+    root = tracer.root_for(query_id)
+    if root is None:
+        return 0
+    return sum(1 for s in tracer.trace(root.trace_id)
+               if s.name == "gpu.launch")
 
 
 # ---------------------------------------------------------------------------
@@ -318,7 +344,8 @@ def compare(current: BenchResult, baseline: dict,
     out = BenchComparison()
     cur = current.to_dict()
     config_keys = ["workload", "scale", "seed", "degree"]
-    for knob in ("cache_fraction", "pipeline_depth", "chunk_bytes"):
+    for knob in ("cache_fraction", "pipeline_depth", "chunk_bytes",
+                 "fusion_enabled"):
         if knob in baseline:
             config_keys.append(knob)
     for key in config_keys:

@@ -44,6 +44,7 @@ class MetricError(ReproError):
 
 
 def _check_labels(labelnames: tuple[str, ...], labels: dict) -> tuple:
+    """Validate and order ``labels`` against the declared names."""
     if set(labels) != set(labelnames):
         raise MetricError(
             f"expected labels {labelnames}, got {tuple(labels)}"
@@ -65,40 +66,50 @@ class Counter:
         self._values: dict[tuple, float] = {}
 
     def labels(self, **labels) -> "_CounterChild":
+        """The child series for exactly these label values."""
         key = _check_labels(self.labelnames, labels)
         return _CounterChild(self, key)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled series by ``amount`` (>= 0)."""
         self.labels().inc(amount)
 
     def set(self, value: float) -> None:
+        """Overwrite the unlabelled series (legacy rewiring only)."""
         self.labels().set(value)
 
     @property
     def value(self) -> float:
+        """Current value of the unlabelled series (0.0 if untouched)."""
         return self._values.get((), 0.0)
 
     def samples(self) -> Iterable[tuple[dict, float]]:
+        """Yield ``(labels, value)`` pairs in sorted label order."""
         for key, value in sorted(self._values.items()):
             yield dict(zip(self.labelnames, key)), value
 
 
 class _CounterChild:
+    """One labelled series of a :class:`Counter`."""
+
     def __init__(self, parent: Counter, key: tuple) -> None:
         self._parent = parent
         self._key = key
 
     def inc(self, amount: float = 1.0) -> None:
+        """Increment by ``amount``; negative amounts are refused."""
         if amount < 0:
             raise MetricError(f"counter {self._parent.name} cannot decrease")
         values = self._parent._values
         values[self._key] = values.get(self._key, 0.0) + amount
 
     def set(self, value: float) -> None:
+        """Overwrite this series (legacy ``Counters`` rewiring only)."""
         self._parent._values[self._key] = float(value)
 
     @property
     def value(self) -> float:
+        """Current value of this series (0.0 if untouched)."""
         return self._parent._values.get(self._key, 0.0)
 
 
@@ -115,36 +126,46 @@ class Gauge:
         self._values: dict[tuple, float] = {}
 
     def labels(self, **labels) -> "_GaugeChild":
+        """The child series for exactly these label values."""
         key = _check_labels(self.labelnames, labels)
         return _GaugeChild(self, key)
 
     def set(self, value: float) -> None:
+        """Overwrite the unlabelled series."""
         self.labels().set(value)
 
     def set_max(self, value: float) -> None:
+        """High-water update on the unlabelled series."""
         self.labels().set_max(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the unlabelled series."""
         self.labels().inc(amount)
 
     def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the unlabelled series."""
         self.labels().inc(-amount)
 
     @property
     def value(self) -> float:
+        """Current value of the unlabelled series (0.0 if untouched)."""
         return self._values.get((), 0.0)
 
     def samples(self) -> Iterable[tuple[dict, float]]:
+        """Yield ``(labels, value)`` pairs in sorted label order."""
         for key, value in sorted(self._values.items()):
             yield dict(zip(self.labelnames, key)), value
 
 
 class _GaugeChild:
+    """One labelled series of a :class:`Gauge`."""
+
     def __init__(self, parent: Gauge, key: tuple) -> None:
         self._parent = parent
         self._key = key
 
     def set(self, value: float) -> None:
+        """Overwrite this series."""
         self._parent._values[self._key] = float(value)
 
     def set_max(self, value: float) -> None:
@@ -153,15 +174,19 @@ class _GaugeChild:
         values[self._key] = max(values.get(self._key, 0.0), float(value))
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to this series."""
         values = self._parent._values
         values[self._key] = values.get(self._key, 0.0) + amount
 
     @property
     def value(self) -> float:
+        """Current value of this series (0.0 if untouched)."""
         return self._parent._values.get(self._key, 0.0)
 
 
 class _HistogramState:
+    """Mutable bucket counts + sum + count for one series."""
+
     __slots__ = ("counts", "sum", "count")
 
     def __init__(self, n_buckets: int) -> None:
@@ -187,19 +212,23 @@ class Histogram:
         self._states: dict[tuple, _HistogramState] = {}
 
     def labels(self, **labels) -> "_HistogramChild":
+        """The child series for exactly these label values."""
         key = _check_labels(self.labelnames, labels)
         return _HistogramChild(self, key)
 
     def observe(self, value: float) -> None:
+        """Record ``value`` into the unlabelled series."""
         self.labels().observe(value)
 
     def _state(self, key: tuple) -> _HistogramState:
+        """Get-or-create the mutable state behind one series."""
         state = self._states.get(key)
         if state is None:
             state = self._states[key] = _HistogramState(len(self.buckets))
         return state
 
     def samples(self) -> Iterable[tuple[dict, _HistogramState]]:
+        """Yield ``(labels, state)`` pairs in sorted label order."""
         for key, state in sorted(self._states.items()):
             yield dict(zip(self.labelnames, key)), state
 
@@ -210,11 +239,14 @@ class Histogram:
 
 
 class _HistogramChild:
+    """One labelled series of a :class:`Histogram`."""
+
     def __init__(self, parent: Histogram, key: tuple) -> None:
         self._parent = parent
         self._key = key
 
     def observe(self, value: float) -> None:
+        """Record ``value``: bump its bucket, the sum, and the count."""
         state = self._parent._state(self._key)
         state.counts[bisect.bisect_left(self._parent.buckets, value)] += 1
         state.sum += value
@@ -228,6 +260,7 @@ class MetricsRegistry:
         self._metrics: dict[str, object] = {}
 
     def _get(self, cls, name: str, help: str, **kwargs):
+        """Get-or-create ``name``; reject cross-type re-registration."""
         metric = self._metrics.get(name)
         if metric is None:
             metric = self._metrics[name] = cls(name, help=help, **kwargs)
@@ -239,15 +272,18 @@ class MetricsRegistry:
 
     def counter(self, name: str, help: str = "",
                 labelnames: tuple[str, ...] = ()) -> Counter:
+        """Get-or-create the :class:`Counter` named ``name``."""
         return self._get(Counter, name, help, labelnames=labelnames)
 
     def gauge(self, name: str, help: str = "",
               labelnames: tuple[str, ...] = ()) -> Gauge:
+        """Get-or-create the :class:`Gauge` named ``name``."""
         return self._get(Gauge, name, help, labelnames=labelnames)
 
     def histogram(self, name: str, help: str = "",
                   labelnames: tuple[str, ...] = (),
                   buckets: tuple[float, ...] = LATENCY_BUCKETS) -> Histogram:
+        """Get-or-create the :class:`Histogram` named ``name``."""
         return self._get(Histogram, name, help, labelnames=labelnames,
                          buckets=buckets)
 
@@ -256,6 +292,7 @@ class MetricsRegistry:
         return [self._metrics[name] for name in sorted(self._metrics)]
 
     def get(self, name: str) -> Optional[object]:
+        """The metric named ``name``, or ``None`` if never registered."""
         return self._metrics.get(name)
 
     def to_dict(self) -> dict:

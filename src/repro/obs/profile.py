@@ -204,6 +204,7 @@ class QueryProfile:
     bytes_out: int
     cache_events: list[dict] = field(default_factory=list)
     pipeline_events: list[dict] = field(default_factory=list)
+    fusion_events: list[dict] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -280,6 +281,23 @@ class QueryProfile:
                 event.get("overlapped_seconds", 0.0))
         return summary
 
+    def fusion_summary(self) -> dict:
+        """Aggregate of the query's fused chains (``docs/fusion.md``).
+
+        ``elided_bytes`` is the PCIe traffic the fused launches did not
+        ship compared to running the same chains per-operator on the GPU
+        (actual counts, not planner estimates); ``stages`` counts plan
+        operators executed inside fused launches, so ``stages - chains``
+        is the number of kernel launches fusion removed.
+        """
+        summary = {"chains": len(self.fusion_events), "stages": 0,
+                   "joins": 0, "elided_bytes": 0}
+        for event in self.fusion_events:
+            summary["stages"] += int(event.get("stages", 0))
+            summary["joins"] += int(event.get("joins", 0))
+            summary["elided_bytes"] += int(event.get("elided_bytes", 0))
+        return summary
+
     def overlap_saved_by_operator(self) -> dict[str, float]:
         """Per-operator overlap savings (the EXPLAIN ANALYZE attribution)."""
         out: dict[str, float] = {}
@@ -318,6 +336,10 @@ class QueryProfile:
                 "summary": self.pipeline_summary(),
                 "events": list(self.pipeline_events),
                 "saved_by_operator": self.overlap_saved_by_operator(),
+            },
+            "fusion": {
+                "summary": self.fusion_summary(),
+                "events": list(self.fusion_events),
             },
             "scheduler_events": list(self.scheduler_events),
             "offload_decisions": [
@@ -480,6 +502,24 @@ class QueryProfile:
                     + "  ".join(f"{name}={secs * ms:.3f}ms"
                                 for name, secs in sorted(
                                     saved_by_op.items())))
+        if self.fusion_events:
+            summary = self.fusion_summary()
+            lines.append("")
+            lines.append("-- fusion --")
+            lines.append(
+                f"fused chains={summary['chains']} "
+                f"(stages={summary['stages']}, joins={summary['joins']})  "
+                f"launches removed={summary['stages'] - summary['chains']}  "
+                f"elided {summary['elided_bytes']} B of PCIe traffic")
+            for event in self.fusion_events:
+                lines.append(
+                    f"{event.get('operator', '?'):16} "
+                    f"GPU {event.get('device_id', '?')}  "
+                    f"stages={event.get('stages', '?')} "
+                    f"joins={event.get('joins', '?')} "
+                    f"matches={event.get('matches', '?')}  "
+                    f"groupby={event.get('groupby_kernel', '?')}  "
+                    f"elided {event.get('elided_bytes', 0)} B")
         if self.scheduler_events:
             lines.append("")
             lines.append("-- scheduler / fault events --")
@@ -627,6 +667,18 @@ def build_profile(
         for s in trace
         if s.name == "gpu.launch" and int(s.attributes.get("chunks", 1)) > 1
     ]
+    fusion_events = [
+        {
+            "operator": owner[s.span_id].name,
+            "stages": int(s.attributes.get("stages", 0)),
+            "joins": int(s.attributes.get("joins", 0)),
+            "matches": int(s.attributes.get("matches", 0)),
+            "elided_bytes": int(s.attributes.get("elided_bytes", 0)),
+            "groupby_kernel": str(s.attributes.get("groupby_kernel", "")),
+            "device_id": int(s.attributes.get("device_id", -1)),
+        }
+        for s in trace if s.name == "fusion.chain"
+    ]
 
     return QueryProfile(
         query_id=str(root_span.attributes.get("query_id", "")),
@@ -643,6 +695,7 @@ def build_profile(
         bytes_out=bytes_out,
         cache_events=cache_events,
         pipeline_events=pipeline_events,
+        fusion_events=fusion_events,
     )
 
 
@@ -684,6 +737,17 @@ def _collect_verdicts(trace: Sequence[Span]) -> list[PathVerdict]:
                 optimizer_groups=attrs.get("estimated_groups"),
                 kmv_groups=attrs.get("kmv_groups"),
                 actual_groups=attrs.get("actual_groups"),
+            ))
+        elif span.name == "pathselect.fused":
+            fused = bool(span.attributes.get("fuse", False))
+            out.append(PathVerdict(
+                operator="fused",
+                rows=0,
+                path="fused" if fused else "per-op",
+                reason=str(span.attributes.get("reason", "")),
+                thresholds={
+                    "stages": span.attributes.get("stages"),
+                },
             ))
         elif span.name == "pathselect.sort":
             offload = bool(span.attributes.get("offload", False))

@@ -83,12 +83,14 @@ class WorkloadDriver:
     PROFILE_DEGREE = 64
 
     def __init__(self, catalog, config: SystemConfig,
-                 degree: int = 48) -> None:
+                 degree: int = 48, *,
+                 enable_join_offload: bool = False) -> None:
         self.catalog = catalog
         self.config = config
         self.degree = degree
-        self.gpu_engine = GpuAcceleratedEngine(catalog, config=config,
-                                               default_degree=degree)
+        self.gpu_engine = GpuAcceleratedEngine(
+            catalog, config=config, default_degree=degree,
+            enable_join_offload=enable_join_offload)
         self.cpu_engine = BluEngine(catalog, config=cpu_only_testbed(),
                                     default_degree=degree)
         self._profiles: dict[tuple[str, bool], QueryProfile] = {}

@@ -81,9 +81,11 @@ class TestSpanTree:
                      if s.name == "offload.decision"]
         assert decisions
         operators = {s.attributes["operator"] for s in decisions}
-        assert "groupby" in operators
+        # A fused chain's decision subsumes its group-by's.
+        assert operators & {"groupby", "fused"}
         assert all(s.attributes["path"] for s in decisions)
-        assert any(s.attributes["path"] == "gpu" for s in decisions)
+        assert any(s.attributes["path"] in ("gpu", "gpu-fused")
+                   for s in decisions)
 
 
 class TestExports:

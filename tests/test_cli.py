@@ -275,6 +275,34 @@ class TestBenchCommand:
         assert code == 0
         assert "OK" in out and "pipeline=1x" in out
 
+    def test_fusion_off_and_join_offload(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "result.json")
+        code = main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                             "--fusion", "off", "--join-offload",
+                             "--out", out_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fusion=off" in out
+        doc = json.load(open(out_path))
+        assert doc["fusion_enabled"] is False
+        for cls in doc["classes"].values():
+            assert cls["kernel_launches"] >= 0
+
+    def test_compare_inherits_baseline_fusion_knob(self, capsys, tmp_path):
+        # A fusion-off baseline must be compared with a fusion-off run
+        # even when --fusion is not repeated on the compare side.
+        path = str(tmp_path / "BENCH_fusion_off.json")
+        main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                      "--fusion", "off", "--baseline", path, "--update"])
+        capsys.readouterr()
+        code = main(SCALE + ["bench", "bd_insights", "--classes", "complex",
+                             "--baseline", path, "--compare"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out and "fusion=off" in out
+
 
 class TestCacheStatsCommand:
     def test_table_output(self, capsys):
