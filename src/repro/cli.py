@@ -22,15 +22,29 @@ Commands
                path verdicts, kernel races, device occupancy); ``--json``
                and ``--html`` export the same profile
 ``bench``      run a workload's query classes through the harness;
-               ``--update`` writes the BENCH_<workload>.json baseline,
+               ``--update`` writes the BENCH_<workload>.json baseline
+               plus its PROFILE_<workload>.json attribution sidecar,
                ``--compare`` diffs against it and exits non-zero on any
                latency move beyond ``--tolerance`` (regression *or*
-               stale-baseline improvement); ``--cache-fraction``
-               overrides the device column-cache budget,
-               ``--pipeline-depth``/``--chunk-bytes`` override the
-               stream-pipeline knobs (depth 1 disables overlap), and
-               ``--out`` saves the run's JSON without touching the
+               stale-baseline improvement); ``--explain`` attributes a
+               failing compare's delta to operator x phase x device via
+               the profile sidecar; ``--slow-component`` stretches one
+               attribution component (self-test for the explainer);
+               ``--cache-fraction`` overrides the device column-cache
+               budget, ``--pipeline-depth``/``--chunk-bytes`` override
+               the stream-pipeline knobs (depth 1 disables overlap),
+               and ``--out`` saves the run's JSON without touching the
                baseline
+``profile-diff`` structurally align two profile-bearing files (single
+               ``profile --json`` dumps, PROFILE_* sidecars, or BENCH_*
+               baselines) and attribute the end-to-end delta to
+               operator x phase (cpu/transfer/kernel/launch/stall/
+               queue) x device with exact sum-to-total accounting
+``postmortem`` correlate a flight-record snapshot (``faults
+               --flight-record``, or ``engine.dump_flight_record()``)
+               into a causal timeline report: fault -> fallback ->
+               breaker/quarantine -> cache invalidation -> queue
+               pressure -> SLO burn
 ``cache-stats`` run a query class and print per-device column-cache
                counters (hits, misses, evictions, resident bytes);
                ``--json`` dumps the full engine stats snapshot
@@ -60,9 +74,14 @@ Examples::
     python -m repro profile "SELECT i_category, SUM(ss_net_paid) AS rev \
         FROM store_sales JOIN item ON ss_item_sk = i_item_sk \
         GROUP BY i_category ORDER BY rev DESC" --html profile.html
-    python -m repro bench bd_insights --compare
+    python -m repro bench bd_insights --compare --explain
     python -m repro bench cognos_rolap --update
     python -m repro bench bd_insights --cache-fraction 0 --out run.json
+    python -m repro profile-diff benchmarks/baselines/BENCH_bd_insights.json \
+        run.json
+    python -m repro faults --plan "device_loss@0:nth=1;device_loss@1:nth=1" \
+        --flight-record chaos_out
+    python -m repro postmortem chaos_out/flight_001_breaker_open.jsonl
     python -m repro cache-stats --category complex
     python -m repro serve-bench --compare
     python -m repro serve-bench --update --sessions 1,8,32,128
@@ -158,6 +177,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="query class to run (default complex)")
     p_faults.add_argument("--trace", metavar="PATH",
                           help="also export the chaos run's Chrome trace")
+    p_faults.add_argument("--flight-record", metavar="DIR",
+                          help="write flight-record snapshots (JSONL + "
+                               "HTML timeline) into DIR: breaker trips "
+                               "and SLO alerts auto-dump during the run, "
+                               "and a final manual snapshot is always "
+                               "written")
 
     p_profile = sub.add_parser(
         "profile",
@@ -196,6 +221,19 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--slowdown", type=float, default=1.0,
                          help="multiply measured latencies — a self-test "
                               "hook proving the gate trips (default 1.0)")
+    p_bench.add_argument("--explain", action="store_true",
+                         help="with --compare: attribute the delta to "
+                              "operator x phase x device via the "
+                              "PROFILE_* sidecar instead of a bare "
+                              "exit 1")
+    p_bench.add_argument("--slow-component", default=None,
+                         metavar="COMPONENT",
+                         choices=["cpu", "transfer_in", "kernel",
+                                  "transfer_out", "launch_overhead",
+                                  "stall", "backoff", "queue_wait"],
+                         help="confine --slowdown to one attribution "
+                              "component — the self-test hook proving "
+                              "--explain blames the right phase")
     p_bench.add_argument("--cache-fraction", type=float, default=None,
                          metavar="F",
                          help="device column-cache budget as a fraction of "
@@ -220,6 +258,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out", metavar="PATH", default=None,
                          help="also write this run's result JSON to PATH "
                               "(independent of --update)")
+
+    p_diff = sub.add_parser(
+        "profile-diff",
+        help="attribute the latency delta between two profile-bearing "
+             "files to operator x phase x device")
+    p_diff.add_argument("file_a", metavar="A",
+                        help="baseline side: a profile JSON dump, "
+                             "PROFILE_* sidecar, or BENCH_* baseline")
+    p_diff.add_argument("file_b", metavar="B",
+                        help="current side (same accepted formats)")
+
+    p_pm = sub.add_parser(
+        "postmortem",
+        help="correlate a flight-record snapshot into a causal "
+             "timeline report")
+    p_pm.add_argument("snapshot", metavar="SNAPSHOT",
+                      help="flight-record JSONL snapshot (from faults "
+                           "--flight-record or engine."
+                           "dump_flight_record())")
+    p_pm.add_argument("--html", metavar="PATH",
+                      help="also write the report as self-contained HTML")
+    p_pm.add_argument("--json", action="store_true",
+                      help="print the correlated report as JSON instead "
+                           "of text")
 
     p_cache = sub.add_parser(
         "cache-stats",
@@ -490,9 +552,16 @@ def cmd_faults(args) -> int:
     catalog, config = _make_database(args)
     driver = WorkloadDriver(catalog,
                             dataclasses.replace(config, faults=plan))
+    engine = driver.gpu_engine
+    if args.flight_record:
+        import os
+
+        os.makedirs(args.flight_record, exist_ok=True)
+        # Breaker trips and SLO alerts now auto-dump into the directory
+        # as they happen; a final manual snapshot follows the run.
+        engine.recorder.dump_dir = args.flight_record
     queries = queries_by_category(QueryCategory(args.category))
     mismatched = driver.verify_parity(queries)
-    engine = driver.gpu_engine
 
     print(f"fault plan: {plan.spec() or '(empty)'}  seed={plan.seed}")
     if engine.injector is not None:
@@ -518,6 +587,15 @@ def cmd_faults(args) -> int:
 
         write_chrome_trace(engine.tracer.spans, args.trace)
         print(f"\nwrote {args.trace}: {len(engine.tracer.spans)} spans")
+    if args.flight_record:
+        auto = len(engine.recorder.snapshots)
+        dumped = engine.dump_flight_record(args.flight_record)
+        print(f"\nflight record: {auto} auto snapshot(s) in "
+              f"{args.flight_record}/, final snapshot "
+              f"{dumped['jsonl']} ({dumped['events']} events, "
+              f"{dumped['dropped']} dropped)")
+        print(f"correlate with: python -m repro postmortem "
+              f"{dumped['jsonl']}")
     print()
     if mismatched:
         print(f"PARITY FAILED for {len(mismatched)}/{len(queries)} "
@@ -606,7 +684,8 @@ def cmd_bench(args) -> int:
     try:
         result = bench.run_workload(driver, args.workload, scale=scale,
                                     seed=seed, classes=classes,
-                                    slowdown=args.slowdown)
+                                    slowdown=args.slowdown,
+                                    slow_component=args.slow_component)
     except bench.BenchError as exc:
         print(f"FAIL  {exc}")
         return 1
@@ -631,15 +710,75 @@ def cmd_bench(args) -> int:
         result.write(args.out)
         print(f"wrote {args.out}")
     if args.update:
+        from repro.obs import diff
+
         result.write(path)
         print(f"wrote baseline {path}")
+        sidecar = diff.sidecar_path(path)
+        diff.write_profile_sidecar(
+            sidecar, result.profiles,
+            meta={"workload": result.workload, "scale": result.scale,
+                  "seed": result.seed, "degree": result.degree})
+        print(f"wrote profile sidecar {sidecar}")
         return 0
     if args.compare:
         comparison = bench.compare(result, baseline,
-                                   tolerance=args.tolerance)
+                                   tolerance=args.tolerance,
+                                   baseline_path=path)
         print(comparison.to_text())
+        if args.explain and not comparison.ok:
+            from repro.obs import diff
+
+            print()
+            try:
+                doc = diff.load_profile_sidecar(diff.sidecar_path(path))
+            except diff.DiffError as exc:
+                print(f"(cannot explain: {exc})")
+            else:
+                explanation = diff.explain_bench_delta(
+                    result.profiles, doc["profiles"])
+                print(explanation.to_text())
         return 0 if comparison.ok else 1
     print(f"(dry run: --update writes {path}, --compare diffs against it)")
+    return 0
+
+
+def cmd_profile_diff(args) -> int:
+    """``profile-diff``: attribute the delta between two profiles."""
+    from repro.obs import diff
+
+    try:
+        print(diff.diff_baselines(args.file_a, args.file_b))
+    except diff.DiffError as exc:
+        print(f"FAIL  {exc}")
+        return 1
+    return 0
+
+
+def cmd_postmortem(args) -> int:
+    """``postmortem``: causal timeline from a flight-record snapshot."""
+    from repro.obs.postmortem import build_postmortem
+    from repro.obs.recorder import FlightSnapshot
+
+    try:
+        snapshot = FlightSnapshot.load(args.snapshot)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL  cannot load {args.snapshot}: {exc}")
+        return 1
+    report = build_postmortem(snapshot)
+    # Write the artifact before printing: a consumer piping the text
+    # through ``head`` closes stdout early, and the HTML should land
+    # regardless.
+    if args.html:
+        report.write_html(args.html)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.to_text())
+    if args.html:
+        print(f"\nwrote {args.html}")
     return 0
 
 
@@ -821,6 +960,8 @@ _COMMANDS = {
     "faults": cmd_faults,
     "profile": cmd_profile,
     "bench": cmd_bench,
+    "profile-diff": cmd_profile_diff,
+    "postmortem": cmd_postmortem,
     "cache-stats": cmd_cache_stats,
     "serve-bench": cmd_serve_bench,
     "top": cmd_top,

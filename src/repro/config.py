@@ -227,6 +227,11 @@ class SystemConfig:
     chunk_bytes: int = 1 << 20
     fusion_enabled: bool = True
     serving: ServingDefaults = field(default_factory=ServingDefaults)
+    #: Flight-recorder ring capacity in events (``repro.obs.recorder``,
+    #: ``docs/observability.md``).  The recorder is accounting-only — it
+    #: never advances simulated time — so this knob bounds host memory,
+    #: not performance.
+    recorder_capacity: int = 8192
 
     @property
     def gpu_count(self) -> int:

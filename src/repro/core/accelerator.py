@@ -41,6 +41,7 @@ from repro.gpu.pinned import PinnedMemoryPool
 from repro.gpu.streams import PipelineSpec
 from repro.obs.export import chrome_trace, prometheus_text
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.recorder import FlightRecorder
 from repro.obs.tracing import Tracer
 from repro.timing import TimedResult
 
@@ -73,6 +74,18 @@ class GpuAcceleratedEngine:
         self.tracer = Tracer()
         self.scheduler = MultiGpuScheduler(self.devices,
                                            metrics=self.registry)
+        # Flight recorder (docs/observability.md): always-on bounded
+        # ring over spans, counter deltas, dispatch decisions and
+        # breaker edges; accounting-only, so simulated timings are
+        # byte-identical with it attached.
+        self.recorder = FlightRecorder(
+            capacity=self.config.recorder_capacity,
+            clock=self.tracer.clock,
+            metrics=self.registry,
+        )
+        self.recorder.attach_tracer(self.tracer)
+        self.recorder.attach_registry(self.registry)
+        self.recorder.attach_scheduler(self.scheduler)
         self.pinned = PinnedMemoryPool(pinned_pool_bytes)
         self.monitor = PerformanceMonitor(self.devices,
                                           registry=self.registry,
@@ -341,6 +354,24 @@ class GpuAcceleratedEngine:
                 for device in self.devices
             ],
             "quarantined": self.scheduler.quarantined_devices(),
+        }
+
+    def dump_flight_record(self, out_dir: str = ".",
+                           stem: str = "flight_record") -> dict:
+        """Snapshot the flight recorder and write JSONL + HTML files.
+
+        Returns ``{"jsonl": path, "html": path, "events": n,
+        "dropped": n}``; feed the JSONL path to ``repro postmortem``
+        for the correlated causal-timeline report.
+        """
+        snap = self.recorder.snapshot(trigger="manual")
+        jsonl = snap.write_jsonl(f"{out_dir}/{stem}.jsonl")
+        html = snap.write_html(f"{out_dir}/{stem}.html")
+        return {
+            "jsonl": jsonl,
+            "html": html,
+            "events": len(snap.events),
+            "dropped": snap.dropped,
         }
 
     def chrome_trace(self) -> dict:

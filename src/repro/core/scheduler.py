@@ -68,6 +68,7 @@ class MultiGpuScheduler:
         self.rejections = 0
         self.metrics = metrics
         self.tracer = NULL_TRACER          # wired in by the engine
+        self.recorder = None               # FlightRecorder, ditto
         self.retry_policy: Optional[RetryPolicy] = None
         self.breakers: dict[int, CircuitBreaker] = {
             d.device_id: CircuitBreaker(failure_threshold=breaker_threshold,
@@ -182,7 +183,7 @@ class MultiGpuScheduler:
                 and d.memory.free + d.cache.cached_bytes >= memory_bytes
             ]
         if not candidates:
-            self._reject()
+            self._reject(memory_bytes, tag)
             return None
         segments = tuple(affinity) if affinity else ()
         best = min(candidates, key=self._rank_key(segments))
@@ -191,13 +192,18 @@ class MultiGpuScheduler:
                               protect=segments)
         reservation = best.memory.try_reserve(memory_bytes, tag)
         if reservation is None:          # raced or injected failure
-            self._reject()
+            self._reject(memory_bytes, tag)
             return None
         best.outstanding_jobs += 1
         self.grants += 1
         self._count("repro_scheduler_grants_total",
                     "Lease requests granted a device")
         self._observe_device(best)
+        if self.recorder is not None:
+            self.recorder.record_dispatch(
+                granted=True, device_id=best.device_id,
+                memory_bytes=memory_bytes, tag=tag,
+                outstanding=best.outstanding_jobs)
         return GpuLease(device=best, reservation=reservation)
 
     def _rank_key(self, segments: tuple):
@@ -209,10 +215,14 @@ class MultiGpuScheduler:
             return (-held, device.outstanding_jobs, -device.memory.free)
         return rank
 
-    def _reject(self) -> None:
+    def _reject(self, memory_bytes: int = 0, tag: str = "") -> None:
         self.rejections += 1
         self._count("repro_scheduler_rejections_total",
                     "Lease requests no device could satisfy")
+        if self.recorder is not None:
+            self.recorder.record_dispatch(
+                granted=False, device_id=None,
+                memory_bytes=memory_bytes, tag=tag)
 
     def release(self, lease: GpuLease) -> None:
         """Return the lease; raises :class:`SchedulerError` on a double

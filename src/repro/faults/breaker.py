@@ -55,6 +55,16 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.trips = 0                    # times the breaker opened
         self._cooldown_remaining = 0
+        #: Transition listeners ``(old_state, new_state)``; the flight
+        #: recorder subscribes via the scheduler's wiring.
+        self.listeners: list = []
+
+    def _transition(self, new_state: BreakerState) -> None:
+        """Move to ``new_state``, notifying listeners of the edge."""
+        old = self.state
+        self.state = new_state
+        for listener in self.listeners:
+            listener(old, new_state)
 
     # ------------------------------------------------------------------
     # Scheduler-facing queries
@@ -76,7 +86,7 @@ class CircuitBreaker:
         """A lease on this device completed its launch cleanly."""
         self.consecutive_failures = 0
         if self.state is BreakerState.HALF_OPEN:
-            self.state = BreakerState.CLOSED
+            self._transition(BreakerState.CLOSED)
 
     def record_failure(self) -> bool:
         """A launch on this device failed; returns True if now OPEN."""
@@ -99,12 +109,12 @@ class CircuitBreaker:
             return False
         self._cooldown_remaining -= 1
         if self._cooldown_remaining <= 0:
-            self.state = BreakerState.HALF_OPEN
+            self._transition(BreakerState.HALF_OPEN)
             return True
         return False
 
     def _open(self) -> None:
-        self.state = BreakerState.OPEN
+        self._transition(BreakerState.OPEN)
         self.trips += 1
         self._cooldown_remaining = self.cooldown_calls
 

@@ -268,9 +268,17 @@ class DeviceColumnCache:
         dropped = len(self._entries)
         if not dropped:
             return 0
+        dropped_bytes = self._bytes
         for key in list(self._entries):
             self._evict(key, reason=reason)
         self.invalidations += 1
+        self.tracer.instant(
+            "cache.invalidate",
+            device_id=self.device_id,
+            reason=reason,
+            entries=dropped,
+            bytes=dropped_bytes,
+        )
         return dropped
 
     def _evict(self, key: SegmentKey, reason: str) -> int:

@@ -153,6 +153,11 @@ class BenchResult:
     fusion_enabled: bool = True
     classes: dict[str, ClassStat] = field(default_factory=dict)
     queries: dict[str, QueryStat] = field(default_factory=dict)
+    #: Attributed per-query profile dumps (``QueryProfile.to_dict``).
+    #: Deliberately NOT part of :meth:`to_dict` — the BENCH_* baseline
+    #: format is byte-frozen; these go to the PROFILE_* sidecar that
+    #: ``repro bench --update`` writes next to it (see repro.obs.diff).
+    profiles: dict[str, dict] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -189,6 +194,7 @@ def run_workload(
     seed: int,
     classes: Optional[Sequence[str]] = None,
     slowdown: float = 1.0,
+    slow_component: Optional[str] = None,
 ) -> BenchResult:
     """Run ``workload``'s classes through the driver's GPU engine.
 
@@ -196,6 +202,12 @@ def run_workload(
     ``slowdown`` multiplies every measured latency — a self-test hook
     that lets CI (and the acceptance test) prove the gate actually trips
     on a regression without planting one in the engine.
+    ``slow_component`` narrows the injected slowdown to one attribution
+    component (``kernel``, ``cpu``, ``transfer_in``, ...): the latency
+    grows by that component's share times ``(slowdown - 1)`` and the
+    collected profile dump scales only that bucket, so ``--compare
+    --explain`` must attribute the whole delta to it — the attributable
+    variant of the self-test.
     """
     available = workload_classes(workload, driver)
     if classes:
@@ -220,8 +232,29 @@ def run_workload(
         cls_launches = 0
         offloaded = 0
         for query in queries:
-            elapsed = driver.elapsed_ms(query, gpu=True) * slowdown
             profile = driver.profile(query, gpu=True)
+            attributed = _attributed_profile(driver, query.query_id)
+            if slow_component is not None:
+                from repro.obs.diff import scale_profile_dict
+
+                duration = float(attributed.get("duration_seconds", 0.0))
+                share = (
+                    float(attributed.get("component_totals", {})
+                          .get(slow_component, 0.0)) / duration
+                    if duration else 0.0
+                )
+                elapsed = driver.elapsed_ms(query, gpu=True) * (
+                    1.0 + (slowdown - 1.0) * share
+                )
+                attributed = scale_profile_dict(
+                    attributed, slowdown, component=slow_component)
+            else:
+                elapsed = driver.elapsed_ms(query, gpu=True) * slowdown
+                if slowdown != 1.0:
+                    from repro.obs.diff import scale_profile_dict
+
+                    attributed = scale_profile_dict(attributed, slowdown)
+            result.profiles[query.query_id] = attributed
             moved = _bytes_moved(tracer, query.query_id)
             launches = _kernel_launches(tracer, query.query_id)
             latencies.append(elapsed)
@@ -244,6 +277,24 @@ def run_workload(
             kernel_launches=cls_launches,
         )
     return result
+
+
+def _attributed_profile(driver: WorkloadDriver, query_id: str) -> dict:
+    """The EXPLAIN ANALYZE dump of ``query_id``'s traced profiling run.
+
+    Built post-hoc from the spans :meth:`WorkloadDriver.profile` already
+    recorded, so collecting it adds no simulated time — the BENCH_*
+    numbers are untouched; the dump feeds the PROFILE_* sidecar and
+    ``--compare --explain``'s attribution.
+    """
+    from repro.obs.profile import build_profile
+
+    engine = driver.gpu_engine
+    profile = build_profile(
+        engine.tracer, query_id=query_id,
+        decisions=engine.monitor.decisions_for(query_id),
+    )
+    return profile.to_dict()
 
 
 def _bytes_moved(tracer, query_id: str) -> int:
@@ -321,7 +372,8 @@ class BenchComparison:
 
 
 def compare(current: BenchResult, baseline: dict,
-            tolerance: float = 0.10) -> BenchComparison:
+            tolerance: float = 0.10,
+            baseline_path: Optional[str] = None) -> BenchComparison:
     """Diff a fresh run against a committed baseline.
 
     Latency moves beyond ``tolerance`` (relative, per class, on p50 and
@@ -348,12 +400,25 @@ def compare(current: BenchResult, baseline: dict,
                  "fusion_enabled"):
         if knob in baseline:
             config_keys.append(knob)
-    for key in config_keys:
-        if cur[key] != baseline.get(key):
+    mismatched = [key for key in config_keys
+                  if cur[key] != baseline.get(key)]
+    if mismatched:
+        for key in mismatched:
             out.failures.append(
                 f"config mismatch: {key} is {cur[key]!r}, baseline has "
                 f"{baseline.get(key)!r}")
-    if out.failures:
+        where = baseline_path or "the committed baseline"
+        hints = " ".join(
+            f"--{key.replace('_', '-')}={baseline.get(key)}"
+            for key in mismatched
+            if key in ("cache_fraction", "pipeline_depth", "chunk_bytes",
+                       "fusion_enabled"))
+        out.failures.append(
+            f"config identity failed on {', '.join(mismatched)} — the "
+            f"simulation is deterministic per config, so this run is not "
+            f"comparable to {where}; rerun with matching knobs"
+            + (f" (e.g. {hints})" if hints else "")
+            + " or refresh the baseline with --update")
         return out
 
     base_classes = baseline.get("classes", {})

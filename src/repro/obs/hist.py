@@ -142,11 +142,13 @@ class StreamingHistogram:
         self.count += other.count
         self.total += other.total
         if other.min is not None:
-            self.min = other.min if self.min is None \
-                else min(self.min, other.min)
+            self.min = (
+                other.min if self.min is None else min(self.min, other.min)
+            )
         if other.max is not None:
-            self.max = other.max if self.max is None \
-                else max(self.max, other.max)
+            self.max = (
+                other.max if self.max is None else max(self.max, other.max)
+            )
         return self
 
     @classmethod

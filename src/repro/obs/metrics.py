@@ -64,6 +64,9 @@ class Counter:
         self.help = help
         self.labelnames = tuple(labelnames)
         self._values: dict[tuple, float] = {}
+        #: Delta listeners ``(name, labels, amount)`` shared with the
+        #: owning registry (the flight recorder subscribes there).
+        self._listeners: list = []
 
     def labels(self, **labels) -> "_CounterChild":
         """The child series for exactly these label values."""
@@ -102,6 +105,12 @@ class _CounterChild:
             raise MetricError(f"counter {self._parent.name} cannot decrease")
         values = self._parent._values
         values[self._key] = values.get(self._key, 0.0) + amount
+        for listener in self._parent._listeners:
+            listener(
+                self._parent.name,
+                dict(zip(self._parent.labelnames, self._key)),
+                amount,
+            )
 
     def set(self, value: float) -> None:
         """Overwrite this series (legacy ``Counters`` rewiring only)."""
@@ -258,12 +267,18 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, object] = {}
+        #: Counter-delta listeners ``(name, labels, amount)`` — every
+        #: counter created through this registry shares this list, so a
+        #: late subscriber still sees increments on earlier metrics.
+        self.listeners: list = []
 
     def _get(self, cls, name: str, help: str, **kwargs):
         """Get-or-create ``name``; reject cross-type re-registration."""
         metric = self._metrics.get(name)
         if metric is None:
             metric = self._metrics[name] = cls(name, help=help, **kwargs)
+            if isinstance(metric, Counter):
+                metric._listeners = self.listeners
         elif not isinstance(metric, cls):
             raise MetricError(
                 f"{name} already registered as {metric.typename}"

@@ -79,6 +79,10 @@ class OperatorNode:
     children: list["OperatorNode"] = field(default_factory=list)
     self_components: dict[str, float] = field(
         default_factory=lambda: {c: 0.0 for c in COMPONENTS})
+    #: Seconds this operator kept each device occupied (``gpu.launch``
+    #: windows owned by this row) — the device axis of ``repro
+    #: profile-diff``'s operator x component x device attribution.
+    device_seconds: dict[int, float] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -108,6 +112,9 @@ class OperatorNode:
             "attributes": dict(self.span.attributes),
             "self_components": {
                 c: v for c, v in self.self_components.items() if v
+            },
+            "device_seconds": {
+                str(d): v for d, v in sorted(self.device_seconds.items())
             },
             "children": [c.to_dict() for c in self.children],
         }
@@ -634,6 +641,15 @@ def build_profile(
         )
         for s in trace if s.name == "gpu.launch"
     ]
+    # Device axis: charge each launch window to its owning operator.
+    for s in trace:
+        if s.name != "gpu.launch":
+            continue
+        node = nodes[owner[s.span_id].span_id]
+        device_id = int(s.attributes.get("device_id", -1))
+        node.device_seconds[device_id] = (
+            node.device_seconds.get(device_id, 0.0) + s.duration
+        )
     scheduler_events = [
         {"name": s.name, **s.attributes}
         for s in trace

@@ -214,16 +214,23 @@ def build_serving_run(
     rules=DEFAULT_RULES,
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    recorder=None,
 ) -> ServingRun:
     """Attach the full telemetry stack to a finished simulation.
 
     Emits one span tree per request (admission → queue-wait → execute →
     respond, tiling the request exactly), feeds the per-class/per-path
     streaming histograms and serving metrics, and evaluates SLO burn
-    rates at every completion in simulated-time order.
+    rates at every completion in simulated-time order.  ``recorder``
+    (a :class:`repro.obs.recorder.FlightRecorder`) is attached to the
+    replay tracer and registry so breaker trips seen during profiling
+    and SLO alerts raised here land in one ordered flight record.
     """
     tracer = tracer if tracer is not None else Tracer()
     registry = registry if registry is not None else MetricsRegistry()
+    if recorder is not None:
+        recorder.attach_tracer(tracer)
+        recorder.attach_registry(registry)
     slo = SloTracker(list(slos), rules=rules) if slos else None
 
     hist = StreamingHistogram()
@@ -466,8 +473,10 @@ def load_sweep_baseline(path: str) -> dict:
     except json.JSONDecodeError as exc:
         raise ServingError(
             f"baseline {path} is not valid JSON: {exc}") from None
-    if data.get("format") != SWEEP_FORMAT \
-            or data.get("kind") != "serving_sweep":
+    if (
+        data.get("format") != SWEEP_FORMAT
+        or data.get("kind") != "serving_sweep"
+    ):
         raise ServingError(
             f"baseline {path} is not a serving-sweep baseline "
             f"(format={data.get('format')!r} kind={data.get('kind')!r})")

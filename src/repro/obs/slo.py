@@ -63,8 +63,10 @@ class SLObjective:
             raise SloError(
                 f"{self.name}: objective must be in (0, 1), "
                 f"got {self.objective}")
-        if self.latency_threshold is not None \
-                and self.latency_threshold <= 0.0:
+        if (
+            self.latency_threshold is not None
+            and self.latency_threshold <= 0.0
+        ):
             raise SloError(
                 f"{self.name}: latency_threshold must be positive")
 
@@ -297,8 +299,10 @@ class SloTracker:
                 short_burn = self.burn_rate(slo.name, now,
                                             rule.short_window)
                 worst = max(worst, long_burn, short_burn)
-                if long_burn > rule.threshold \
-                        and short_burn > rule.threshold:
+                if (
+                    long_burn > rule.threshold
+                    and short_burn > rule.threshold
+                ):
                     alerting = True
             total_good = total_bad = 0
             for index, cell in self._buckets[slo.name].items():

@@ -70,6 +70,16 @@ class Tracer:
         self._stack: list[Span] = []
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
+        #: Span-completion listeners: callables ``(flavor, span)`` invoked
+        #: when a span finishes (``"span"``), an instant is recorded
+        #: (``"instant"``), or a post-hoc span is appended (``"record"``).
+        #: The flight recorder (:mod:`repro.obs.recorder`) subscribes here.
+        self.listeners: list = []
+
+    def _emit(self, flavor: str, span: Span) -> None:
+        """Deliver one finished span to every subscribed listener."""
+        for listener in self.listeners:
+            listener(flavor, span)
 
     # ------------------------------------------------------------------
     # Clock
@@ -115,6 +125,7 @@ class Tracer:
         finally:
             self._stack.pop()
             span.end = max(span.start, self.clock.now)
+            self._emit("span", span)
 
     @contextmanager
     def timed_span(self, name: str, seconds: float,
@@ -126,7 +137,9 @@ class Tracer:
 
     def instant(self, name: str, **attributes: Any) -> Span:
         """Zero-duration mark (decision points, errors, fallbacks)."""
-        return self._open(name, attributes)
+        span = self._open(name, attributes)
+        self._emit("instant", span)
+        return span
 
     def record(self, name: str, start: float, end: float,
                parent: Optional[Span] = None, **attributes: Any) -> Span:
@@ -148,6 +161,7 @@ class Tracer:
             attributes=attributes,
         )
         self.spans.append(span)
+        self._emit("record", span)
         return span
 
     # ------------------------------------------------------------------
@@ -167,8 +181,10 @@ class Tracer:
     def root_for(self, query_id: str) -> Optional[Span]:
         """The last root span stamped with ``query_id`` (None if absent)."""
         for span in reversed(self.spans):
-            if span.parent_id is None and \
-                    span.attributes.get("query_id") == query_id:
+            if (
+                span.parent_id is None
+                and span.attributes.get("query_id") == query_id
+            ):
                 return span
         return None
 

@@ -270,9 +270,10 @@ class ConcurrentDriver:
         ]
         simulator = WorkloadSimulator(self.driver._sim_config(gpu))
         result = simulator.run(users)
+        recorder = getattr(self.driver.gpu_engine, "recorder", None)
         return build_serving_run(
             result, self.class_of, sessions=sessions, gpu=gpu,
             degree=degree, loops=self.loops,
             think_seconds=self.think_seconds, slos=self.slos,
-            rules=self.rules,
+            rules=self.rules, recorder=recorder,
         )

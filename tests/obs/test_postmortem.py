@@ -1,0 +1,148 @@
+"""Postmortem correlation: a flight-record snapshot from a chaos run
+must reduce to the causal incident chain — fault -> CPU fallback ->
+quarantine -> queue pressure -> SLO burn — and noise must stay out."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs.postmortem import build_postmortem
+from repro.obs.recorder import FlightEvent, FlightSnapshot
+
+
+def _snap(events, trigger="manual"):
+    return FlightSnapshot(trigger=trigger, time=1.0, dropped=0,
+                          capacity=64, events=tuple(events))
+
+
+def _event(seq, name, time=0.0, kind="instant", **attrs):
+    return FlightEvent(time=time, seq=seq, kind=kind, name=name,
+                       attributes=attrs)
+
+
+class TestCorrelation:
+    def test_full_chain_in_causal_order(self):
+        report = build_postmortem(_snap([
+            _event(0, "fault.injected", 0.001, site="device_loss",
+                   device_id=0),
+            _event(1, "breaker.transition", 0.001, kind="breaker",
+                   device_id=0, **{"from": "closed", "to": "open"}),
+            _event(2, "fault.fallback", 0.002, operator="groupby",
+                   error="DeviceLostError"),
+            _event(3, "cache.invalidate", 0.002, device_id=0, entries=2,
+                   bytes=1024, reason="device_lost"),
+            _event(4, "scheduler.dispatch", 0.003, kind="dispatch",
+                   granted=False, device_id=None, memory_bytes=4096),
+            _event(5, "slo.alert", 0.004, kind="record", slo="latency",
+                   rule="page", long_burn=14.4, short_burn=15.0),
+        ]))
+        assert report.chain == ["fault", "fallback", "quarantine",
+                                "cache_invalidation", "queue_pressure",
+                                "slo_alert"]
+        stages = [entry.stage for entry in report.timeline]
+        assert stages == sorted(
+            stages, key=["fault", "quarantine", "fallback",
+                         "cache_invalidation", "queue_pressure",
+                         "slo_alert"].index) or len(stages) == 6
+
+    def test_noise_is_excluded(self):
+        report = build_postmortem(_snap([
+            _event(0, "query", 0.001, kind="span", query_id="Q1"),
+            _event(1, "gpu.kernel", 0.002, kind="span"),
+            _event(2, "scheduler.dispatch", 0.003, kind="dispatch",
+                   granted=True, device_id=1, memory_bytes=4096),
+            _event(3, "breaker.transition", 0.004, kind="breaker",
+                   device_id=0, **{"from": "open", "to": "half-open"}),
+            _event(4, "repro_gpu_offloads_total", 0.005, kind="metric",
+                   amount=1),
+        ]))
+        assert report.timeline == []
+        assert report.chain == []
+        assert "no incident markers" in report.to_text()
+
+    def test_events_ordered_by_time_then_seq(self):
+        report = build_postmortem(_snap([
+            _event(9, "fault.injected", 0.005, site="launch"),
+            _event(2, "fault.injected", 0.001, site="launch"),
+            _event(3, "fault.injected", 0.001, site="reserve"),
+        ]))
+        keys = [(e.event.time, e.event.seq) for e in report.timeline]
+        assert keys == sorted(keys)
+
+    def test_text_and_html_renderings(self):
+        report = build_postmortem(_snap([
+            _event(0, "fault.injected", 0.001, site="device_loss",
+                   device_id=1),
+            _event(1, "slo.alert", 0.002, kind="record", slo="latency",
+                   rule="page", long_burn=2.5, short_burn=3.0),
+        ], trigger="slo.alert"))
+        text = report.to_text()
+        assert "causal chain: fault -> slo_alert" in text
+        assert "device=1" in text
+        page = report.to_html()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "slo_alert" in page
+        data = report.to_dict()
+        assert data["chain"] == ["fault", "slo_alert"]
+        assert len(data["timeline"]) == 2
+
+    def test_write_html(self, tmp_path):
+        report = build_postmortem(_snap([
+            _event(0, "fault.injected", 0.0, site="launch")]))
+        path = str(tmp_path / "pm.html")
+        assert report.write_html(path) == path
+        assert "<html" in open(path).read()
+
+
+@pytest.mark.chaos
+class TestChaosFlightRecord:
+    def test_total_device_loss_dumps_snapshot_with_causal_chain(
+            self, bd_catalog, bd_config, tmp_path):
+        """The acceptance criterion: a chaos run that loses every GPU
+        under concurrent serving auto-dumps a flight-record snapshot
+        whose postmortem timeline holds the fault -> fallback ->
+        SLO-alert chain."""
+        from repro.faults import FaultPlan
+        from repro.obs.slo import SLObjective
+        from repro.workloads.bdinsights import queries_by_category
+        from repro.workloads.driver import ConcurrentDriver, WorkloadDriver
+        from repro.workloads.query import QueryCategory
+
+        queries = queries_by_category(QueryCategory.COMPLEX)
+        healthy = WorkloadDriver(bd_catalog, bd_config)
+        broken = WorkloadDriver(
+            bd_catalog, dataclasses.replace(
+                bd_config, faults=FaultPlan.total_device_loss()))
+        broken.gpu_engine.recorder.dump_dir = str(tmp_path)
+
+        # Pin the latency SLO between the two tails, exactly like the
+        # chaos serving test: healthy clears it, degraded cannot.
+        probe_ok = ConcurrentDriver(healthy, queries).run(sessions=8)
+        probe_bad = ConcurrentDriver(broken, queries).run(sessions=8)
+        threshold = (probe_ok.hist.p999 + probe_bad.hist.p50) / 2.0
+        slos = [SLObjective("latency", objective=0.99,
+                            latency_threshold=threshold)]
+        bad = ConcurrentDriver(broken, queries, slos=slos).run(sessions=8)
+        assert bad.slo.alerts, "device loss must trip the SLO alert"
+
+        # The recorder auto-dumped at least one snapshot file...
+        snapshots = sorted(tmp_path.glob("flight_*.jsonl"))
+        assert snapshots, "no flight-record snapshot was auto-dumped"
+        assert sorted(tmp_path.glob("flight_*.html"))
+
+        # ...and the one triggered by the SLO alert correlates into the
+        # full causal story.
+        alert_snaps = [p for p in snapshots if "slo_alert" in p.name]
+        assert alert_snaps, "no snapshot was triggered by the SLO alert"
+        report = build_postmortem(FlightSnapshot.load(str(alert_snaps[-1])))
+        assert "fault" in report.chain
+        assert "fallback" in report.chain
+        assert "slo_alert" in report.chain
+        assert report.chain.index("fault") \
+            < report.chain.index("fallback") \
+            < report.chain.index("slo_alert")
+        # The timeline itself is causally ordered: the first fault
+        # precedes the first alert in simulated time.
+        first = {entry.stage: entry.event.time
+                 for entry in reversed(report.timeline)}
+        assert first["fault"] <= first["slo_alert"]

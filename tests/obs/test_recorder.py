@@ -1,0 +1,206 @@
+"""The flight recorder: bounded ring, deterministic ordering, lossless
+below capacity, auto-snapshots on incidents, and zero effect on
+simulated time."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import (
+    AUTO_SNAPSHOT_NAMES,
+    DROPPED_METRIC,
+    FlightEvent,
+    FlightRecorder,
+    FlightSnapshot,
+)
+from repro.obs.tracing import Tracer
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture()
+def rig():
+    """A tracer + registry pair with a recorder attached to both."""
+    clock = SimClock()
+    tracer = Tracer(clock)
+    registry = MetricsRegistry()
+    recorder = FlightRecorder(capacity=64, clock=clock, metrics=registry)
+    recorder.attach_tracer(tracer)
+    recorder.attach_registry(registry)
+    return clock, tracer, registry, recorder
+
+
+class TestRingInvariants:
+    def test_lossless_below_capacity(self, rig):
+        clock, tracer, _registry, recorder = rig
+        for i in range(50):
+            with tracer.span(f"work.{i}"):
+                clock.advance(1e-3)
+        assert recorder.dropped == 0
+        assert len(recorder.events()) == 50
+        names = [e.name for e in recorder.events()]
+        assert names == [f"work.{i}" for i in range(50)]
+
+    def test_ring_bounded_and_drop_counted(self, rig):
+        clock, tracer, registry, recorder = rig
+        for i in range(100):
+            with tracer.span(f"work.{i}"):
+                clock.advance(1e-3)
+        assert len(recorder.events()) == 64
+        assert recorder.dropped == 36
+        # The oldest events were the ones evicted.
+        assert recorder.events()[0].name == "work.36"
+        from repro.obs.export import prometheus_text
+
+        assert f"{DROPPED_METRIC} 36" in prometheus_text(registry)
+
+    def test_events_ordered_by_sim_time_then_seq(self, rig):
+        clock, tracer, _registry, recorder = rig
+        # Nested spans complete inner-first but at identical end times;
+        # instants land mid-flight.  The view must still be sorted.
+        with tracer.span("outer"):
+            clock.advance(2e-3)
+            tracer.instant("mark")
+            with tracer.span("inner"):
+                clock.advance(1e-3)
+        events = recorder.events()
+        keys = [(e.time, e.seq) for e in events]
+        assert keys == sorted(keys)
+        assert [e.name for e in events] == ["mark", "inner", "outer"]
+
+    def test_recorder_never_advances_sim_time(self, rig):
+        clock, tracer, _registry, _recorder = rig
+        with tracer.span("work"):
+            clock.advance(5e-3)
+        assert clock.now == pytest.approx(5e-3)
+
+    def test_metric_deltas_recorded_with_labels(self, rig):
+        clock, _tracer, registry, recorder = rig
+        counter = registry.counter("repro_test_total", "t", ["site"])
+        clock.advance(1e-3)
+        counter.labels(site="launch").inc(3)
+        events = [e for e in recorder.events() if e.kind == "metric"]
+        assert len(events) == 1
+        assert events[0].name == "repro_test_total"
+        assert events[0].attributes == {"site": "launch", "amount": 3}
+        assert events[0].time == pytest.approx(1e-3)
+
+    def test_dropped_metric_does_not_feed_back(self, rig):
+        _clock, _tracer, registry, recorder = rig
+        # Bumping the recorder's own drop counter through the registry
+        # must not re-enter the ring (it would loop forever on a full
+        # ring otherwise).
+        registry.counter(DROPPED_METRIC, "d").inc()
+        assert [e for e in recorder.events() if e.name == DROPPED_METRIC] \
+            == []
+
+
+class TestSnapshots:
+    def test_manual_snapshot_and_jsonl_round_trip(self, rig, tmp_path):
+        clock, tracer, _registry, recorder = rig
+        with tracer.span("q", query_id="Q1"):
+            clock.advance(1e-3)
+        snap = recorder.snapshot(trigger="manual")
+        path = str(tmp_path / "snap.jsonl")
+        snap.write_jsonl(path)
+        loaded = FlightSnapshot.load(path)
+        assert loaded.trigger == snap.trigger
+        assert loaded.dropped == snap.dropped
+        assert loaded.capacity == snap.capacity
+        assert [e.to_dict() for e in loaded.events] \
+            == [e.to_dict() for e in snap.events]
+
+    def test_auto_snapshot_on_slo_alert_span(self, rig):
+        clock, tracer, _registry, recorder = rig
+        assert "slo.alert" in AUTO_SNAPSHOT_NAMES
+        with tracer.span("healthy"):
+            clock.advance(1e-3)
+        assert len(recorder.snapshots) == 0
+        tracer.record("slo.alert", start=clock.now, end=clock.now,
+                      slo="latency", rule="page")
+        assert len(recorder.snapshots) == 1
+        assert recorder.snapshots[0].trigger == "slo.alert"
+        assert any(e.name == "slo.alert"
+                   for e in recorder.snapshots[0].events)
+
+    def test_auto_snapshot_writes_files_when_dump_dir_set(
+            self, rig, tmp_path):
+        clock, tracer, _registry, recorder = rig
+        recorder.dump_dir = str(tmp_path)
+        tracer.record("slo.alert", start=clock.now, end=clock.now,
+                      slo="latency", rule="page")
+        jsonl = list(tmp_path.glob("flight_*_slo_alert.jsonl"))
+        html = list(tmp_path.glob("flight_*_slo_alert.html"))
+        assert len(jsonl) == 1 and len(html) == 1
+        assert FlightSnapshot.load(str(jsonl[0])).trigger == "slo.alert"
+        assert "<html" in html[0].read_text()
+
+    def test_snapshot_html_is_self_contained(self, rig):
+        clock, tracer, _registry, recorder = rig
+        with tracer.span("q"):
+            clock.advance(1e-3)
+        page = recorder.snapshot().to_html()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "q" in page
+
+    def test_event_round_trips_through_dict(self):
+        event = FlightEvent(time=0.5, seq=3, kind="span", name="x",
+                            attributes={"a": 1})
+        assert FlightEvent.from_dict(event.to_dict()) == event
+
+
+class TestEngineIntegration:
+    def test_engine_recorder_sees_dispatch_and_spans(self, gpu_engine):
+        gpu_engine.execute_sql(
+            "SELECT s_store, SUM(s_paid) AS paid FROM sales "
+            "GROUP BY s_store", query_id="rec-1")
+        kinds = {e.kind for e in gpu_engine.recorder.events()}
+        assert "span" in kinds
+        assert "metric" in kinds
+        assert "dispatch" in kinds
+        grants = [e for e in gpu_engine.recorder.events()
+                  if e.kind == "dispatch"]
+        assert all("granted" in e.attributes for e in grants)
+
+    def test_recorder_does_not_change_simulated_latency(
+            self, small_catalog):
+        import dataclasses
+
+        from repro.config import paper_testbed
+        from repro.core import GpuAcceleratedEngine
+
+        config = paper_testbed()
+        thresholds = dataclasses.replace(config.thresholds,
+                                         t1_min_rows=5_000,
+                                         sort_min_rows=5_000)
+        config = dataclasses.replace(config, thresholds=thresholds)
+        sql = ("SELECT s_store, SUM(s_paid) AS paid FROM sales "
+               "GROUP BY s_store")
+        wired = GpuAcceleratedEngine(small_catalog, config=config)
+        bare = GpuAcceleratedEngine(small_catalog, config=config)
+        bare.recorder.clear()
+        bare.tracer.listeners.clear()
+        bare.registry.listeners.clear()
+        assert wired.execute_sql(sql, query_id="t").elapsed_ms \
+            == bare.execute_sql(sql, query_id="t").elapsed_ms
+
+    def test_dump_flight_record(self, gpu_engine, tmp_path):
+        gpu_engine.execute_sql(
+            "SELECT s_store, COUNT(*) AS c FROM sales GROUP BY s_store",
+            query_id="rec-2")
+        out = gpu_engine.dump_flight_record(str(tmp_path))
+        assert out["events"] > 0
+        header = json.loads(
+            open(out["jsonl"]).readline())
+        assert header["kind"] == "flight_header"
+        assert open(out["html"]).read().startswith("<!DOCTYPE html>")
+
+    def test_capacity_comes_from_config(self, small_catalog):
+        import dataclasses
+
+        from repro.config import paper_testbed
+        from repro.core import GpuAcceleratedEngine
+
+        config = dataclasses.replace(paper_testbed(), recorder_capacity=32)
+        engine = GpuAcceleratedEngine(small_catalog, config=config)
+        assert engine.recorder.capacity == 32
