@@ -201,7 +201,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench",
         help="benchmark harness: write or compare a BENCH_* baseline")
-    p_bench.add_argument("workload", choices=["bd_insights", "cognos_rolap"])
+    p_bench.add_argument("workload",
+                         choices=["bd_insights", "cognos_rolap",
+                                  "over_memory"])
     p_bench.add_argument("--baseline", metavar="PATH", default=None,
                          help="baseline file (default benchmarks/baselines/"
                               "BENCH_<workload>.json)")
@@ -248,6 +250,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="B",
                          help="max bytes per pipelined chunk (default: "
                               "config, or the baseline's value on --compare)")
+    p_bench.add_argument("--partition", choices=["on", "off"], default=None,
+                         help="out-of-core partitioned execution of "
+                              "over-memory sorts/group-bys (default: on; "
+                              "off restores the paper's T3 CPU fallback)")
+    p_bench.add_argument("--max-partitions", type=int, default=None,
+                         help="cap on how finely one over-memory operator "
+                              "may split (default: config value 64)")
+    p_bench.add_argument("--flight-record", metavar="DIR",
+                         help="write flight-record snapshots (JSONL + "
+                              "postmortem-ready) of the bench run into DIR")
     p_bench.add_argument("--fusion", choices=["on", "off"], default=None,
                          help="fuse filter/join/group-by chains into one "
                               "kernel launch (default: config, or the "
@@ -643,6 +655,8 @@ def cmd_bench(args) -> int:
     pipeline_depth = args.pipeline_depth
     chunk_bytes = args.chunk_bytes
     fusion = None if args.fusion is None else args.fusion == "on"
+    partition = None if args.partition is None else args.partition == "on"
+    max_partitions = args.max_partitions
     baseline = None
     if args.compare:
         try:
@@ -665,6 +679,10 @@ def cmd_bench(args) -> int:
             chunk_bytes = baseline["chunk_bytes"]
         if fusion is None and "fusion_enabled" in baseline:
             fusion = baseline["fusion_enabled"]
+        if partition is None and "partition_enabled" in baseline:
+            partition = baseline["partition_enabled"]
+        if max_partitions is None and "max_partitions" in baseline:
+            max_partitions = baseline["max_partitions"]
     else:
         degree = args.degree
 
@@ -678,8 +696,17 @@ def cmd_bench(args) -> int:
         config = dataclasses.replace(config, chunk_bytes=chunk_bytes)
     if fusion is not None:
         config = dataclasses.replace(config, fusion_enabled=fusion)
+    if partition is not None:
+        config = dataclasses.replace(config, partition_enabled=partition)
+    if max_partitions is not None:
+        config = dataclasses.replace(config, max_partitions=max_partitions)
     driver = WorkloadDriver(catalog, config, degree=degree,
                             enable_join_offload=args.join_offload)
+    if args.flight_record:
+        import os
+
+        os.makedirs(args.flight_record, exist_ok=True)
+        driver.gpu_engine.recorder.dump_dir = args.flight_record
     classes = args.classes.split(",") if args.classes else None
     try:
         result = bench.run_workload(driver, args.workload, scale=scale,
@@ -703,8 +730,18 @@ def cmd_bench(args) -> int:
                     f"degree={degree} cache={result.cache_fraction} "
                     f"pipeline={result.pipeline_depth}"
                     f"x{result.chunk_bytes}B "
-                    f"fusion={'on' if result.fusion_enabled else 'off'}"))
+                    f"fusion={'on' if result.fusion_enabled else 'off'} "
+                    f"partition="
+                    f"{'on' if result.partition_enabled else 'off'}"))
     print()
+
+    if args.flight_record:
+        engine = driver.gpu_engine
+        dumped = engine.dump_flight_record(args.flight_record)
+        print(f"flight record: {len(engine.recorder.snapshots)} auto "
+              f"snapshot(s) in {args.flight_record}/, final snapshot "
+              f"{dumped['jsonl']} ({dumped['events']} events)")
+        print()
 
     if args.out:
         result.write(args.out)

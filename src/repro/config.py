@@ -215,6 +215,17 @@ class SystemConfig:
     (or CPU operator) per plan node.  ``False`` restores the strictly
     per-operator execution of the paper's prototype; results are
     bit-identical either way.
+
+    ``partition_enabled`` turns on out-of-core partitioned execution
+    (:mod:`repro.gpu.partition`, ``docs/out_of_core.md``): sorts and
+    group-bys whose working sets exceed device memory — the Figure-3 T3
+    verdict — split into device-sized partitions that stream through the
+    cards on the three-engine pipeline and merge on the host, instead of
+    falling back to the CPU chain.  ``False`` restores the paper's
+    behaviour ("all of the large queries are processed in the CPU");
+    results are bit-identical either way.  ``max_partitions`` caps how
+    finely one operator may split — the planner declines (keeping the
+    CPU fallback) when even that many partitions cannot fit the card.
     """
 
     host: HostSpec = field(default_factory=HostSpec)
@@ -226,6 +237,8 @@ class SystemConfig:
     pipeline_depth: int = 4
     chunk_bytes: int = 1 << 20
     fusion_enabled: bool = True
+    partition_enabled: bool = True
+    max_partitions: int = 64
     serving: ServingDefaults = field(default_factory=ServingDefaults)
     #: Flight-recorder ring capacity in events (``repro.obs.recorder``,
     #: ``docs/observability.md``).  The recorder is accounting-only — it

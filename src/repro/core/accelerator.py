@@ -58,7 +58,7 @@ class GpuAcceleratedEngine:
         race_kernels: bool = False,
         learning_moderator: bool = False,
         enable_join_offload: bool = False,
-        partition_large_groupby: bool = False,
+        partition_large_groupby: Optional[bool] = None,
         pinned_pool_bytes: int = _DEFAULT_PINNED_POOL,
         default_degree: int = 48,
         faults: Optional[FaultPlan] = None,
@@ -143,6 +143,12 @@ class GpuAcceleratedEngine:
                 smx_count=self.config.gpus[0].smx_count,
             )
         self.moderator.tracer = self.tracer
+        # Out-of-core partitioned execution (docs/out_of_core.md): the
+        # explicit kwarg wins over the config knob; both hybrid
+        # executors share the enable and the partition-count cap.
+        partition_large = (self.config.partition_enabled
+                           if partition_large_groupby is None
+                           else partition_large_groupby)
         self._groupby = HybridGroupByExecutor(
             scheduler=self.scheduler,
             moderator=self.moderator,
@@ -150,7 +156,8 @@ class GpuAcceleratedEngine:
             thresholds=self.config.thresholds,
             monitor=self.monitor,
             race_kernels=race_kernels,
-            partition_large=partition_large_groupby,
+            partition_large=partition_large,
+            max_partitions=self.config.max_partitions,
             catalog=catalog,
             pipeline=self.pipeline,
         )
@@ -161,6 +168,8 @@ class GpuAcceleratedEngine:
             monitor=self.monitor,
             catalog=catalog,
             pipeline=self.pipeline,
+            partition_large=partition_large,
+            max_partitions=self.config.max_partitions,
         )
         self._join = HybridJoinExecutor(
             scheduler=self.scheduler,

@@ -43,11 +43,21 @@ from repro.config import Thresholds
 from repro.core.metadata import RuntimeMetadata
 from repro.core.moderator import GpuModerator
 from repro.core.monitoring import OffloadDecision, PerformanceMonitor
-from repro.core.pathselect import ExecutionPath, select_groupby_path
+from repro.core.pathselect import (
+    ExecutionPath,
+    select_groupby_path,
+    select_partitioned_path,
+)
 from repro.core.scheduler import MultiGpuScheduler
 from repro.errors import GpuError, PinnedMemoryError
 from repro.gpu.cache import SegmentKey, StagedSegment, content_digest
 from repro.gpu.kernels.hashtable import combine_keys
+from repro.gpu.partition import (
+    PartitionPlan,
+    PartitionStreamState,
+    groupby_working_set_bytes,
+    plan_groupby_partitions,
+)
 from repro.gpu.kernels.request import GroupByRequest, PayloadSpec
 from repro.gpu.pinned import PinnedMemoryPool
 from repro.gpu.streams import PipelineSpec, streamed_launch
@@ -65,13 +75,19 @@ _PARALLEL_GROUP_IDS = _itertools.count(0, 1024)
 class HybridGroupByExecutor:
     """Pluggable group-by executor implementing the hybrid design.
 
-    ``partition_large`` enables the extension the paper describes but does
-    not implement ("If the number of input rows is very large ... we will
-    need to partition the data and use both the CPU and the GPU ... In our
-    current implementation, all of the large queries are processed in the
-    CPU"): inputs above T3 are hash-partitioned on the grouping key into
-    device-sized chunks that run on the GPUs one lease at a time, and the
-    partitions concatenate merge-free because their key sets are disjoint.
+    ``partition_large`` enables the out-of-core extension the paper
+    describes but does not implement ("If the number of input rows is
+    very large ... we will need to partition the data and use both the
+    CPU and the GPU ... In our current implementation, all of the large
+    queries are processed in the CPU"): over-memory inputs — over T3 by
+    rows or with a working set estimated above device capacity — are
+    hash-partitioned on the grouping key into device-sized chunks that
+    stream through the cards on the three-engine pipeline
+    (:mod:`repro.gpu.partition`), whenever the partition planner's cost
+    model beats the stock CPU chain.  The partitions' group sets are
+    disjoint, so the merge renumbers and concatenates — no
+    re-aggregation — and the final output is bit-identical to the CPU
+    chain's.  ``max_partitions`` caps how finely one group-by may split.
     """
 
     scheduler: MultiGpuScheduler
@@ -81,6 +97,7 @@ class HybridGroupByExecutor:
     monitor: Optional[PerformanceMonitor] = None
     race_kernels: bool = False
     partition_large: bool = False
+    max_partitions: int = 64
     catalog: Optional[Catalog] = None
     pipeline: Optional[PipelineSpec] = None
     query_id: str = ""
@@ -93,11 +110,35 @@ class HybridGroupByExecutor:
         if not node.keys:
             return cpu_groupby_executor(table, node, ctx)
 
+        groups_estimate = int(optimizer_groups) if optimizer_groups > 0 \
+            else rows
+        working_set = groupby_working_set_bytes(rows, groups_estimate,
+                                                len(node.aggs))
+        capacity = max(
+            (d.memory.capacity for d in self.scheduler.devices), default=0)
         decision = select_groupby_path(rows, optimizer_groups,
                                        self.thresholds,
-                                       tracer=self._tracer)
+                                       tracer=self._tracer,
+                                       working_set_bytes=working_set,
+                                       device_capacity_bytes=capacity)
         if decision.path is ExecutionPath.CPU_LARGE and self.partition_large:
-            return self._run_partitioned(table, node, ctx, optimizer_groups)
+            plan = plan_groupby_partitions(
+                rows=rows, estimated_groups=groups_estimate,
+                num_keys=len(node.keys), num_aggs=len(node.aggs),
+                thresholds=self.thresholds, cost=ctx.config.cost,
+                spec=self.scheduler.devices[0].spec,
+                host=ctx.config.host, degree=ctx.degree,
+                capacity_bytes=capacity,
+                max_partitions=self.max_partitions,
+                devices=self.scheduler.device_count,
+            )
+            partitioned = select_partitioned_path(
+                operator="groupby", plan=plan, tracer=self._tracer)
+            if partitioned.partition:
+                return self._run_partitioned(table, node, ctx,
+                                             optimizer_groups, plan)
+            self._record(decision.path.value, partitioned.reason)
+            return cpu_groupby_executor(table, node, ctx)
         if not decision.use_gpu:
             self._record(decision.path.value, decision.reason)
             return cpu_groupby_executor(table, node, ctx)
@@ -267,12 +308,17 @@ class HybridGroupByExecutor:
 
     def _run_partitioned(self, table: Table, node: GroupByNode,
                          ctx: OperatorContext,
-                         optimizer_groups: float) -> Table:
-        """Hash-partition an oversized group-by into device-sized chunks.
+                         optimizer_groups: float,
+                         plan: PartitionPlan) -> Table:
+        """Hash-partition an over-memory group-by into device-sized chunks.
 
         Partitioning on the grouping-key hash makes the partitions'
-        group sets disjoint, so per-partition results concatenate without
-        any merge step — the same merge-free idea as the hybrid sort.
+        group sets disjoint, so the merge is a renumber-and-concatenate
+        pass — no re-aggregation.  The final group numbering follows
+        global first appearance, which makes the output *bit-identical*
+        to the stock CPU chain's for any partition count and any mix of
+        per-partition GPU faults (a faulted partition redoes its slice
+        on the CPU chain and changes nothing downstream).
         """
         rows = table.num_rows
         cost = ctx.config.cost
@@ -281,23 +327,27 @@ class HybridGroupByExecutor:
         key_bits = sum(table.schema.field(k).dtype.bits for k in node.keys)
         payloads = self._payload_specs(table, node)
 
-        partitions = max(2, -(-rows // self.thresholds.t3_max_rows))
+        partitions = plan.partitions
         hashes = murmur3_fmix64(combined)
         part_of_row = (hashes % np.uint64(partitions)).astype(np.int64)
         # One pass over the data to split it (host side, parallel).
         ctx.ledger.cpu("PARTITION", rows, rows / cost.cpu_scan_rate,
                        max_degree=ctx.degree)
-        self._record("gpu-partitioned",
-                     f"{rows} rows split into {partitions} partitions",
-                     kernel=None)
+        self._record("gpu-partitioned", plan.reason, kernel=None)
 
-        # Partitions run data-parallel across the devices (section 2.2):
-        # GPU events are emitted in waves of device_count sharing a
-        # parallel group, so both the serial timing and the DES overlap
-        # them the way the hardware would.
-        devices = max(1, self.scheduler.device_count)
+        # Partitions run data-parallel across the devices (section 2.2)
+        # and stream back-to-back within each device on the three-engine
+        # pipeline: the per-device PartitionStreamState charges each
+        # launch only its exposed makespan growth, and parallel groups
+        # pair same-rank partitions on different devices so both the
+        # serial timing and the DES overlap them the way the hardware
+        # would.
         gpu_events: list[CostEvent] = []
         group_base = next(_PARALLEL_GROUP_IDS)
+        stream = PartitionStreamState()
+        device_seq: dict[int, int] = {}
+        tracer = self._tracer
+        gpu_parts = cpu_parts = 0
 
         group_index = np.empty(rows, dtype=np.int64)
         offset = 0
@@ -316,6 +366,19 @@ class HybridGroupByExecutor:
                 "LGHT", len(rows_p),
                 len(rows_p) / cost.cpu_groupby_rate, ctx.degree)
             return sub_index, n_sub
+
+        def note_part(index, n_rows, target, device_id=-1):
+            nonlocal gpu_parts, cpu_parts
+            if target == "gpu":
+                gpu_parts += 1
+            else:
+                cpu_parts += 1
+            if tracer is not None:
+                tracer.instant(
+                    "partition.part", operator="groupby", index=index,
+                    rows=int(n_rows), target=target, device_id=device_id,
+                    query_id=self.query_id,
+                )
 
         for p in range(partitions):
             rows_p = np.nonzero(part_of_row == p)[0]
@@ -348,6 +411,7 @@ class HybridGroupByExecutor:
                                                tag="groupby-part")
             if lease is None:
                 # Partition runs on the CPU chain instead (truly hybrid).
+                note_part(p, len(rows_p), "cpu")
                 sub_index, n_sub = cpu_partition(rows_p, keys_p)
                 self._note_kmv(kmv.groups, n_sub, stamp_span=False)
                 group_index[rows_p] = sub_index + offset
@@ -373,21 +437,35 @@ class HybridGroupByExecutor:
                     pinned=True,
                     pipeline=self.pipeline,
                 )
+                # Feed this launch through its device's partition-level
+                # pipeline: only the makespan growth is charged, so H2D
+                # of partition k+1 hides under the kernel of partition k
+                # and the summed events equal the streamed makespan.
+                device_id = lease.device.device_id
+                exposed = stream.advance(
+                    device_id,
+                    launch.transfer_in_seconds,
+                    launch.kernel_seconds,
+                    launch.transfer_out_seconds,
+                )
+                seq = device_seq.get(device_id, 0)
+                device_seq[device_id] = seq + 1
                 gpu_events.append(CostEvent(
                     op="GPU-GROUPBY",
                     rows=len(rows_p),
                     cpu_seconds=_DISPATCH_SECONDS,
                     max_degree=1,
-                    gpu_seconds=launch.total_seconds,
+                    gpu_seconds=exposed,
                     gpu_memory_bytes=lease.reservation.nbytes,
-                    device_id=lease.device.device_id,
-                    parallel_group=group_base + p // devices,
+                    device_id=device_id,
+                    parallel_group=group_base + seq,
                 ))
             except PinnedMemoryError as exc:
                 # Staging exhaustion degrades just this partition to the
                 # CPU chain; the breaker is not fed.
                 if self.monitor is not None:
                     self.monitor.record_fault_fallback("groupby", exc)
+                note_part(p, len(rows_p), "cpu")
                 sub_index, n_sub = cpu_partition(rows_p, keys_p)
                 self._note_kmv(kmv.groups, n_sub, stamp_span=False)
                 group_index[rows_p] = sub_index + offset
@@ -398,6 +476,7 @@ class HybridGroupByExecutor:
                 if self.monitor is not None:
                     self.monitor.record_fault_fallback(
                         "groupby", exc, lease.device.device_id)
+                note_part(p, len(rows_p), "cpu")
                 sub_index, n_sub = cpu_partition(rows_p, keys_p)
                 self._note_kmv(kmv.groups, n_sub, stamp_span=False)
                 group_index[rows_p] = sub_index + offset
@@ -407,14 +486,43 @@ class HybridGroupByExecutor:
                 self.scheduler.record_success(lease)
             finally:
                 self.scheduler.release(lease)
+            note_part(p, len(rows_p), "gpu", lease.device.device_id)
             self._note_kmv(kmv.groups, winner.n_groups, stamp_span=False)
             group_index[rows_p] = winner.group_index + offset
             offset += winner.n_groups
 
-        # Emit the device work as consecutive wave groups.
+        # Emit the device work grouped so same-rank partitions on
+        # *different* devices sit adjacent and overlap (section 2.2);
+        # same-device events keep distinct groups — their overlap is
+        # already folded into the exposed makespan contributions above.
+        gpu_events.sort(key=lambda e: e.parallel_group)
         ctx.ledger.extend(gpu_events)
 
-        first_row = _first_rows(group_index, offset)
+        # The merge: renumber the disjoint per-partition group ids into
+        # global first-appearance order (one remap pass over the group
+        # index), which makes the concatenated output bit-identical to
+        # the stock CPU chain's hash-insertion order.
+        first = _first_rows(group_index, offset)
+        rank = np.argsort(first, kind="stable")
+        remap = np.empty(offset, dtype=np.int64)
+        remap[rank] = np.arange(offset, dtype=np.int64)
+        group_index = remap[group_index]
+        first_row = first[rank]
+        merge_core_seconds = (offset / cost.cpu_merge_rate
+                              + rows / cost.cpu_scan_rate)
+        ctx.ledger.cpu("PARTITION-MERGE", rows, merge_core_seconds,
+                       max_degree=ctx.degree)
+        merge_wall = merge_core_seconds / max(
+            1.0, ctx.config.host.effective_capacity(ctx.degree))
+        if tracer is not None:
+            tracer.instant(
+                "partition.exec", operator="groupby",
+                partitions=partitions, gpu_partitions=gpu_parts,
+                cpu_partitions=cpu_parts, rows=rows, groups=int(offset),
+                merge_seconds=merge_wall,
+                working_set=plan.working_set_bytes,
+                capacity=plan.capacity_bytes, query_id=self.query_id,
+            )
         return build_group_output(
             table, node.keys, node.aggs, group_index, first_row, offset,
             name=f"{table.name}_grouped",

@@ -35,13 +35,15 @@ from repro.blu.engine import OperatorContext, cpu_sort_executor
 from repro.blu.plan import SortKey, SortNode
 from repro.blu.table import Table
 from repro.config import Thresholds
+from repro.core.hybrid_groupby import _PARALLEL_GROUP_IDS
 from repro.core.monitoring import OffloadDecision, PerformanceMonitor
-from repro.core.pathselect import select_sort_offload
+from repro.core.pathselect import select_partitioned_path, select_sort_offload
 from repro.core.scheduler import MultiGpuScheduler
 from repro.errors import GpuError, PinnedMemoryError
 from repro.obs.tracing import NULL_TRACER
 from repro.gpu.cache import SegmentKey, StagedSegment, content_digest
 from repro.gpu.kernels.radix_sort import RadixSortKernel
+from repro.gpu.partition import PartitionStreamState, plan_sort_partitions
 from repro.gpu.pinned import PinnedMemoryPool
 from repro.gpu.streams import PipelineSpec, streamed_launch
 from repro.gpu.transfer import effective_transfer_bytes
@@ -134,6 +136,7 @@ class SortRunStats:
     jobs_cpu: int = 0
     duplicate_jobs: int = 0
     fallbacks: int = 0
+    partitioned_jobs: int = 0
 
 
 @dataclass
@@ -146,6 +149,8 @@ class HybridSortExecutor:
     monitor: Optional[PerformanceMonitor] = None
     catalog: Optional[Catalog] = None
     pipeline: Optional[PipelineSpec] = None
+    partition_large: bool = False
+    max_partitions: int = 64
     query_id: str = ""
     last_stats: SortRunStats = field(default_factory=SortRunStats)
 
@@ -242,6 +247,11 @@ class HybridSortExecutor:
         length = len(partial)
         staged = length * 8           # key + payload pairs
         memory_needed = radix.device_bytes(length)
+        if not self.scheduler.fits_any_device(memory_needed):
+            # No card could ever hold this job whole — the sort-side T3
+            # cliff.  Slice it through the devices, or decline to the
+            # CPU sort when the planner says partitioning cannot win.
+            return self._partitioned_sort_job(partial, radix, ctx, stats)
         affinity = [segment.key] if segment is not None else None
         lease = self.scheduler.try_acquire(memory_needed, tag="sort",
                                            affinity=affinity)
@@ -301,6 +311,177 @@ class HybridSortExecutor:
         ranges = [(d.start, d.length) for d in result.duplicate_ranges]
         return result.order, ranges
 
+    # ------------------------------------------------------------------
+    # Extension: partitioned processing of over-memory jobs
+    # ------------------------------------------------------------------
+
+    def _partitioned_sort_job(self, partial: np.ndarray,
+                              radix: RadixSortKernel, ctx: OperatorContext,
+                              stats: SortRunStats):
+        """An over-memory job as contiguous device-sized slices.
+
+        Each slice radix-sorts independently (on a device when one has
+        room, on the host when not or when a launch faults), then one
+        stable argsort over the concatenated slice-sorted keys merges
+        the runs.  Slices are contiguous ascending index ranges, so for
+        equal keys the merge keeps lower-slice (= lower-index) rows
+        first: the merged order equals a single global stable sort
+        bit-for-bit, for any slice count and any mix of per-slice
+        faults.  ``None`` declines the whole job to the CPU sort.
+        """
+        cost = ctx.config.cost
+        capacity = max(
+            (d.memory.capacity for d in self.scheduler.devices), default=0)
+        rows = len(partial)
+        plan = plan_sort_partitions(
+            rows=rows,
+            device_bytes_per_row=radix.device_bytes(1),
+            staged_bytes_per_row=8,
+            cost=cost, spec=self.scheduler.devices[0].spec,
+            host=ctx.config.host, degree=ctx.degree,
+            capacity_bytes=capacity,
+            max_partitions=self.max_partitions,
+            devices=self.scheduler.device_count,
+        )
+        decision = select_partitioned_path(
+            operator="sort", plan=plan, enabled=self.partition_large,
+            tracer=self._tracer)
+        if not decision.partition:
+            stats.fallbacks += 1
+            return None
+        partitions = plan.partitions
+        self._record("gpu-partitioned", plan.reason)
+
+        stream = PartitionStreamState()
+        device_seq: dict[int, int] = {}
+        group_base = next(_PARALLEL_GROUP_IDS)
+        gpu_events: list[CostEvent] = []
+        tracer = self._tracer
+        gpu_parts = cpu_parts = 0
+        bounds = np.linspace(0, rows, partitions + 1).astype(np.int64)
+        pieces: list[np.ndarray] = []
+        for p in range(partitions):
+            lo, hi = int(bounds[p]), int(bounds[p + 1])
+            if hi <= lo:
+                continue
+            sub = partial[lo:hi]
+            sliced = self._gpu_sort_slice(sub, radix, ctx, stream,
+                                          device_seq, group_base,
+                                          gpu_events)
+            if sliced is None:
+                # The slice (not the whole job) degrades to the host.
+                stats.fallbacks += 1
+                cpu_parts += 1
+                target, device_id = "cpu", -1
+                sub_order = np.argsort(sub, kind="stable")
+                if len(sub) > 1:
+                    comparisons = len(sub) * math.log2(len(sub))
+                    ctx.ledger.add(CostEvent(
+                        op="SORT", rows=len(sub),
+                        cpu_seconds=comparisons / (cost.cpu_sort_rate * 16),
+                        max_degree=min(ctx.degree, 8),
+                    ))
+            else:
+                gpu_parts += 1
+                target = "gpu"
+                sub_order, device_id = sliced
+            if tracer is not None:
+                tracer.instant(
+                    "partition.part", operator="sort", index=p,
+                    rows=hi - lo, target=target, device_id=device_id,
+                    query_id=self.query_id,
+                )
+            pieces.append(lo + sub_order)
+
+        # Same-rank slices on different devices overlap; same-device
+        # slices keep their exposed-makespan accounting (see the
+        # group-by executor's partitioned path).
+        gpu_events.sort(key=lambda e: e.parallel_group)
+        ctx.ledger.extend(gpu_events)
+
+        # The k-way merge: one stable argsort over the concatenated
+        # slice-sorted keys (runs are already sorted, priced at
+        # rows * log2(k) comparisons like the CPU sort model).
+        run_order = np.concatenate(pieces)
+        merge_perm = np.argsort(partial[run_order], kind="stable")
+        sub_order = run_order[merge_perm]
+        if partitions > 1:
+            merge_comparisons = rows * math.log2(partitions)
+            ctx.ledger.add(CostEvent(
+                op="SORT-MERGE", rows=rows,
+                cpu_seconds=merge_comparisons / (cost.cpu_sort_rate * 16),
+                max_degree=min(ctx.degree, 8),
+            ))
+        if tracer is not None:
+            tracer.instant(
+                "partition.exec", operator="sort", partitions=partitions,
+                gpu_partitions=gpu_parts, cpu_partitions=cpu_parts,
+                rows=rows, groups=0, merge_seconds=plan.merge_seconds,
+                working_set=plan.working_set_bytes,
+                capacity=plan.capacity_bytes, query_id=self.query_id,
+            )
+        stats.jobs_gpu += 1
+        stats.partitioned_jobs += 1
+        return sub_order, _duplicate_ranges(partial[sub_order])
+
+    def _gpu_sort_slice(self, sub: np.ndarray, radix: RadixSortKernel,
+                        ctx: OperatorContext, stream: PartitionStreamState,
+                        device_seq: dict[int, int], group_base: int,
+                        gpu_events: list[CostEvent]):
+        """One slice on a device; ``None`` degrades the slice to the host."""
+        length = len(sub)
+        staged = length * 8
+        lease = self.scheduler.try_acquire(radix.device_bytes(length),
+                                           tag="sort-part")
+        if lease is None:
+            return None
+        try:
+            result = radix.run(sub)
+            launch = streamed_launch(
+                lease.device, self.pinned,
+                kernel=radix.name,
+                kernel_seconds=result.kernel_seconds,
+                reservation=lease.reservation,
+                rows=length,
+                bytes_in=staged,
+                bytes_out=staged,
+                pinned=True,
+                pipeline=self.pipeline,
+            )
+            device_id = lease.device.device_id
+            exposed = stream.advance(
+                device_id,
+                launch.transfer_in_seconds,
+                launch.kernel_seconds,
+                launch.transfer_out_seconds,
+            )
+            seq = device_seq.get(device_id, 0)
+            device_seq[device_id] = seq + 1
+            gpu_events.append(CostEvent(
+                op="GPU-SORT", rows=length,
+                cpu_seconds=_DISPATCH_SECONDS, max_degree=1,
+                gpu_seconds=exposed,
+                gpu_memory_bytes=lease.reservation.nbytes,
+                device_id=device_id,
+                parallel_group=group_base + seq,
+            ))
+        except PinnedMemoryError as exc:
+            # Host-side staging exhaustion: the breaker stays out of it.
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback("sort", exc)
+            return None
+        except GpuError as exc:
+            self.scheduler.record_failure(lease)
+            if self.monitor is not None:
+                self.monitor.record_fault_fallback(
+                    "sort", exc, lease.device.device_id)
+            return None
+        else:
+            self.scheduler.record_success(lease)
+        finally:
+            self.scheduler.release(lease)
+        return result.order, lease.device.device_id
+
     @property
     def _tracer(self):
         return self.monitor.tracer if self.monitor is not None else None
@@ -331,14 +512,17 @@ def _cpu_sort_job(partial: np.ndarray, cost, ctx: OperatorContext,
             max_degree=min(ctx.degree, 8),
         ))
     stats.jobs_cpu += 1
-    sorted_keys = partial[sub_order]
-    ranges = []
-    if length:
-        change = np.empty(length, dtype=bool)
-        change[0] = True
-        change[1:] = sorted_keys[1:] != sorted_keys[:-1]
-        starts = np.nonzero(change)[0]
-        lengths = np.diff(np.append(starts, length))
-        ranges = [(int(s), int(n)) for s, n in zip(starts, lengths)
-                  if n > 1]
-    return sub_order, ranges
+    return sub_order, _duplicate_ranges(partial[sub_order])
+
+
+def _duplicate_ranges(sorted_keys: np.ndarray) -> list[tuple[int, int]]:
+    """Runs of equal keys in an already-sorted array (start, length)."""
+    length = len(sorted_keys)
+    if not length:
+        return []
+    change = np.empty(length, dtype=bool)
+    change[0] = True
+    change[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    starts = np.nonzero(change)[0]
+    lengths = np.diff(np.append(starts, length))
+    return [(int(s), int(n)) for s, n in zip(starts, lengths) if n > 1]

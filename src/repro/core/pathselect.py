@@ -5,9 +5,13 @@ Three-way routing on the optimizer's row/group estimates:
 - rows < T1 (or groups < T2): the CPU is already fast, and the PCIe
   round-trip would cost more than the kernel saves -> stock CPU chain;
 - T1 <= rows <= T3 and groups >= T2: the common analytic case -> GPU;
-- rows > T3: the working set would not fit in device memory and the
-  prototype does not partition group-bys -> CPU ("in our current
-  implementation, all of the large queries are processed in the CPU").
+- rows > T3 (or a working set estimated over device memory): the input
+  does not fit the card.  The paper stops here ("in our current
+  implementation, all of the large queries are processed in the CPU");
+  this implementation then consults the out-of-core partition planner
+  (:mod:`repro.gpu.partition`) and upgrades the verdict to *pipelined
+  GPU (partitioned)* whenever the partitioned cost model beats the
+  stock CPU chain — :func:`select_partitioned_path`.
 
 Sort offload gets the analogous small-job cutoff from section 3.
 """
@@ -26,6 +30,7 @@ class ExecutionPath(enum.Enum):
     CPU_SMALL = "cpu-small"      # below T1/T2: not worth the transfer
     GPU = "gpu"                  # the offload sweet spot
     CPU_LARGE = "cpu-large"      # above T3: exceeds device memory
+    GPU_PARTITIONED = "gpu-partitioned"   # over-memory, streamed in parts
 
 
 @dataclass(frozen=True)
@@ -45,20 +50,32 @@ def select_groupby_path(
     estimated_groups: float,
     thresholds: Thresholds,
     tracer: Optional[Tracer] = None,
+    working_set_bytes: int = 0,
+    device_capacity_bytes: int = 0,
 ) -> PathDecision:
     """Apply the Figure 3 decision tree to one group-by.
+
+    ``working_set_bytes``/``device_capacity_bytes``, when both supplied,
+    extend the T3 row check with the real over-memory condition: a
+    working set estimated above device capacity draws the CPU_LARGE
+    verdict even when the row count sits under T3 (the row threshold is
+    calibrated for typical group-by shapes; wide payload lists blow the
+    budget earlier).
 
     A tracer, when supplied, receives a zero-duration ``pathselect.groupby``
     mark carrying the inputs and the outcome — the observability layer's
     view of every routing decision.
     """
-    decision = _groupby_decision(rows, estimated_groups, thresholds)
+    decision = _groupby_decision(rows, estimated_groups, thresholds,
+                                 working_set_bytes, device_capacity_bytes)
     if tracer is not None:
         tracer.instant(
             "pathselect.groupby",
             rows=int(rows), groups=int(estimated_groups),
             t1=thresholds.t1_min_rows, t2=thresholds.t2_min_groups,
             t3=thresholds.t3_max_rows,
+            working_set=int(working_set_bytes),
+            capacity=int(device_capacity_bytes),
             path=decision.path.value, reason=decision.reason,
         )
     return decision
@@ -68,12 +85,21 @@ def _groupby_decision(
     rows: float,
     estimated_groups: float,
     thresholds: Thresholds,
+    working_set_bytes: int = 0,
+    device_capacity_bytes: int = 0,
 ) -> PathDecision:
     if rows > thresholds.t3_max_rows:
         return PathDecision(
             ExecutionPath.CPU_LARGE,
             f"rows~{rows:.0f} > T3={thresholds.t3_max_rows}: "
             "exceeds GPU memory, processed on CPU",
+        )
+    if 0 < device_capacity_bytes < working_set_bytes:
+        return PathDecision(
+            ExecutionPath.CPU_LARGE,
+            f"working set ~{working_set_bytes} bytes > device memory "
+            f"{device_capacity_bytes}: exceeds GPU memory, "
+            "processed on CPU",
         )
     if rows < thresholds.t1_min_rows:
         return PathDecision(
@@ -165,6 +191,82 @@ def select_fused_path(
             fused_seconds=fused_seconds, unfused_seconds=unfused_seconds,
             fused_bytes=int(fused_bytes),
             per_op_gpu_bytes=int(per_op_gpu_bytes),
+        )
+    return decision
+
+
+@dataclass(frozen=True)
+class PartitionDecision:
+    """Whether an over-memory operator runs partitioned on the GPU.
+
+    ``partition`` is only True when the planner found an admissible
+    partition count *and* its streamed-GPU cost estimate beats the stock
+    CPU chain — otherwise the operator keeps the paper's CPU fallback
+    (``docs/out_of_core.md``).
+    """
+
+    partition: bool
+    reason: str
+    partitions: int = 0
+    gpu_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    merge_seconds: float = 0.0
+
+
+def select_partitioned_path(
+    *,
+    operator: str,
+    plan,                       # Optional[repro.gpu.partition.PartitionPlan]
+    enabled: bool = True,
+    tracer: Optional[Tracer] = None,
+) -> PartitionDecision:
+    """Decide whether an over-memory ``operator`` runs partitioned.
+
+    The T3 (or over-memory) verdict gates before this is called; here
+    the partition planner's plan — or its refusal — turns into the
+    final routing decision.  Three ways to keep the CPU fallback: the
+    knob is off, the planner declined (no admissible partition count
+    within ``max_partitions``), or the partitioned cost estimate does
+    not beat the CPU chain.
+    """
+    if not enabled:
+        decision = PartitionDecision(
+            False, "partitioned execution disabled (--partition off)")
+    elif plan is None:
+        decision = PartitionDecision(
+            False, "no admissible partition count: a single partition "
+                   "still exceeds device memory",
+        )
+    elif not plan.beats_cpu:
+        decision = PartitionDecision(
+            False,
+            f"partitioned gpu~{plan.gpu_seconds * 1e3:.3f}ms >= "
+            f"cpu~{plan.cpu_seconds * 1e3:.3f}ms: partitioning would "
+            "not pay",
+            plan.partitions, plan.gpu_seconds, plan.cpu_seconds,
+            plan.merge_seconds,
+        )
+    else:
+        decision = PartitionDecision(
+            True,
+            f"{plan.partitions} partitions: "
+            f"gpu~{plan.gpu_seconds * 1e3:.3f}ms < "
+            f"cpu~{plan.cpu_seconds * 1e3:.3f}ms "
+            f"(merge ~{plan.merge_seconds * 1e3:.3f}ms)",
+            plan.partitions, plan.gpu_seconds, plan.cpu_seconds,
+            plan.merge_seconds,
+        )
+    if tracer is not None:
+        tracer.instant(
+            "pathselect.partition",
+            operator=operator, partition=decision.partition,
+            partitions=decision.partitions,
+            working_set=int(plan.working_set_bytes) if plan else 0,
+            capacity=int(plan.capacity_bytes) if plan else 0,
+            gpu_seconds=decision.gpu_seconds,
+            cpu_seconds=decision.cpu_seconds,
+            merge_seconds=decision.merge_seconds,
+            reason=decision.reason,
         )
     return decision
 

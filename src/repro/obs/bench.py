@@ -31,8 +31,11 @@ from repro.workloads.query import QueryCategory, WorkloadQuery
 #: Baseline file schema version (bump when the JSON shape changes).
 BASELINE_FORMAT = 1
 
-#: Workloads the harness knows how to enumerate.
-WORKLOADS = ("bd_insights", "cognos_rolap")
+#: Workloads the harness knows how to enumerate.  ``over_memory`` is the
+#: out-of-core class: the Cognos ROLAP queries whose working sets exceed
+#: simulated device memory — the Figure-3 T3 verdict — which the
+#: partition planner (``repro.gpu.partition``) must keep on the GPU.
+WORKLOADS = ("bd_insights", "cognos_rolap", "over_memory")
 
 #: Default committed-baseline location for a workload.
 BASELINE_DIR = os.path.join("benchmarks", "baselines")
@@ -65,6 +68,9 @@ def workload_classes(
     if workload == "cognos_rolap":
         runnable, _oversized = screen_queries(driver.gpu_engine)
         return {"rolap": runnable}
+    if workload == "over_memory":
+        _runnable, oversized = screen_queries(driver.gpu_engine)
+        return {"over_memory": oversized}
     raise BenchError(
         f"unknown workload {workload!r} (expected one of {WORKLOADS})")
 
@@ -151,6 +157,8 @@ class BenchResult:
     pipeline_depth: int = 1
     chunk_bytes: int = 0
     fusion_enabled: bool = True
+    partition_enabled: bool = True
+    max_partitions: int = 64
     classes: dict[str, ClassStat] = field(default_factory=dict)
     queries: dict[str, QueryStat] = field(default_factory=dict)
     #: Attributed per-query profile dumps (``QueryProfile.to_dict``).
@@ -170,6 +178,8 @@ class BenchResult:
             "pipeline_depth": self.pipeline_depth,
             "chunk_bytes": self.chunk_bytes,
             "fusion_enabled": self.fusion_enabled,
+            "partition_enabled": self.partition_enabled,
+            "max_partitions": self.max_partitions,
             "classes": {name: stat.to_dict()
                         for name, stat in sorted(self.classes.items())},
             "queries": {qid: stat.to_dict()
@@ -224,7 +234,9 @@ def run_workload(
                          cache_fraction=driver.config.cache_fraction,
                          pipeline_depth=driver.config.pipeline_depth,
                          chunk_bytes=driver.config.chunk_bytes,
-                         fusion_enabled=driver.config.fusion_enabled)
+                         fusion_enabled=driver.config.fusion_enabled,
+                         partition_enabled=driver.config.partition_enabled,
+                         max_partitions=driver.config.max_partitions)
     tracer = driver.gpu_engine.tracer
     for cls, queries in available.items():
         latencies: list[float] = []
@@ -371,6 +383,20 @@ class BenchComparison:
         return "\n".join(lines)
 
 
+#: The exact ``repro bench`` flag that sets each config-identity knob.
+#: The mismatch hint renders these verbatim — a bare
+#: ``--{knob.replace('_', '-')}={value}`` would name flags that do not
+#: exist (``--fusion-enabled=True`` instead of ``--fusion on``).
+_KNOB_FLAGS = {
+    "cache_fraction": lambda v: f"--cache-fraction {v}",
+    "pipeline_depth": lambda v: f"--pipeline-depth {v}",
+    "chunk_bytes": lambda v: f"--chunk-bytes {v}",
+    "fusion_enabled": lambda v: f"--fusion {'on' if v else 'off'}",
+    "partition_enabled": lambda v: f"--partition {'on' if v else 'off'}",
+    "max_partitions": lambda v: f"--max-partitions {v}",
+}
+
+
 def compare(current: BenchResult, baseline: dict,
             tolerance: float = 0.10,
             baseline_path: Optional[str] = None) -> BenchComparison:
@@ -385,19 +411,20 @@ def compare(current: BenchResult, baseline: dict,
     offload-ratio drops are warnings — they often *explain* a latency
     failure but can legitimately move when thresholds are retuned.
     Config mismatches (workload/scale/seed/degree/cache_fraction/
-    pipeline_depth/chunk_bytes/query set) are failures outright: the
-    simulation is deterministic, so comparing different configs is
-    comparing nothing.  ``cache_fraction``, ``pipeline_depth`` and
-    ``chunk_bytes`` are only checked when the baseline records them, so
-    baselines written before those knobs existed stay comparable.  Query
+    pipeline_depth/chunk_bytes/fusion/partition knobs/query set) are
+    failures outright: the simulation is deterministic, so comparing
+    different configs is comparing nothing.  The optional knobs (every
+    key in :data:`_KNOB_FLAGS`) are only checked when the baseline
+    records them, so baselines written before a knob existed stay
+    comparable; the mismatch hint names the exact CLI flag that restores
+    each baseline value.  Query
     result checksums must match exactly when both sides carry them — a
     perf knob is never allowed to change an answer.
     """
     out = BenchComparison()
     cur = current.to_dict()
     config_keys = ["workload", "scale", "seed", "degree"]
-    for knob in ("cache_fraction", "pipeline_depth", "chunk_bytes",
-                 "fusion_enabled"):
+    for knob in _KNOB_FLAGS:
         if knob in baseline:
             config_keys.append(knob)
     mismatched = [key for key in config_keys
@@ -409,10 +436,8 @@ def compare(current: BenchResult, baseline: dict,
                 f"{baseline.get(key)!r}")
         where = baseline_path or "the committed baseline"
         hints = " ".join(
-            f"--{key.replace('_', '-')}={baseline.get(key)}"
-            for key in mismatched
-            if key in ("cache_fraction", "pipeline_depth", "chunk_bytes",
-                       "fusion_enabled"))
+            _KNOB_FLAGS[key](baseline.get(key))
+            for key in mismatched if key in _KNOB_FLAGS)
         out.failures.append(
             f"config identity failed on {', '.join(mismatched)} — the "
             f"simulation is deterministic per config, so this run is not "

@@ -212,6 +212,7 @@ class QueryProfile:
     cache_events: list[dict] = field(default_factory=list)
     pipeline_events: list[dict] = field(default_factory=list)
     fusion_events: list[dict] = field(default_factory=list)
+    partition_events: list[dict] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -305,6 +306,28 @@ class QueryProfile:
             summary["elided_bytes"] += int(event.get("elided_bytes", 0))
         return summary
 
+    def partition_summary(self) -> dict:
+        """Aggregate of the query's out-of-core partitioned operators
+        (``docs/out_of_core.md``).
+
+        ``operators`` counts sorts/group-bys that ran partitioned;
+        ``partitions`` is how many device-sized pieces they split into
+        (``gpu_partitions`` of which ran on a card, ``cpu_partitions``
+        degraded to the host on lease failure or a fault);
+        ``merge_seconds`` is the host-side merge cost the planner broke
+        out for EXPLAIN ANALYZE.
+        """
+        summary = {"operators": len(self.partition_events), "partitions": 0,
+                   "gpu_partitions": 0, "cpu_partitions": 0,
+                   "merge_seconds": 0.0}
+        for event in self.partition_events:
+            summary["partitions"] += int(event.get("partitions", 0))
+            summary["gpu_partitions"] += int(event.get("gpu_partitions", 0))
+            summary["cpu_partitions"] += int(event.get("cpu_partitions", 0))
+            summary["merge_seconds"] += float(
+                event.get("merge_seconds", 0.0))
+        return summary
+
     def overlap_saved_by_operator(self) -> dict[str, float]:
         """Per-operator overlap savings (the EXPLAIN ANALYZE attribution)."""
         out: dict[str, float] = {}
@@ -347,6 +370,10 @@ class QueryProfile:
             "fusion": {
                 "summary": self.fusion_summary(),
                 "events": list(self.fusion_events),
+            },
+            "partitions": {
+                "summary": self.partition_summary(),
+                "events": list(self.partition_events),
             },
             "scheduler_events": list(self.scheduler_events),
             "offload_decisions": [
@@ -527,6 +554,27 @@ class QueryProfile:
                     f"matches={event.get('matches', '?')}  "
                     f"groupby={event.get('groupby_kernel', '?')}  "
                     f"elided {event.get('elided_bytes', 0)} B")
+        if self.partition_events:
+            summary = self.partition_summary()
+            lines.append("")
+            lines.append("-- partitions (out-of-core) --")
+            lines.append(
+                f"partitioned operators={summary['operators']}  "
+                f"partitions={summary['partitions']} "
+                f"(gpu={summary['gpu_partitions']}, "
+                f"cpu={summary['cpu_partitions']})  "
+                f"merge {summary['merge_seconds'] * ms:.3f} ms")
+            for event in self.partition_events:
+                lines.append(
+                    f"{event.get('operator', '?'):16} "
+                    f"partitions={event.get('partitions', '?')} "
+                    f"(gpu={event.get('gpu_partitions', '?')}, "
+                    f"cpu={event.get('cpu_partitions', '?')})  "
+                    f"rows={event.get('rows', '?')}  "
+                    f"working set {event.get('working_set', 0)} B vs "
+                    f"device {event.get('capacity', 0)} B  "
+                    f"merge "
+                    f"{float(event.get('merge_seconds', 0.0)) * ms:.3f} ms")
         if self.scheduler_events:
             lines.append("")
             lines.append("-- scheduler / fault events --")
@@ -683,6 +731,20 @@ def build_profile(
         for s in trace
         if s.name == "gpu.launch" and int(s.attributes.get("chunks", 1)) > 1
     ]
+    partition_events = [
+        {
+            "operator": str(s.attributes.get("operator", "")),
+            "partitions": int(s.attributes.get("partitions", 0)),
+            "gpu_partitions": int(s.attributes.get("gpu_partitions", 0)),
+            "cpu_partitions": int(s.attributes.get("cpu_partitions", 0)),
+            "rows": int(s.attributes.get("rows", 0)),
+            "groups": int(s.attributes.get("groups", 0)),
+            "merge_seconds": float(s.attributes.get("merge_seconds", 0.0)),
+            "working_set": int(s.attributes.get("working_set", 0)),
+            "capacity": int(s.attributes.get("capacity", 0)),
+        }
+        for s in trace if s.name == "partition.exec"
+    ]
     fusion_events = [
         {
             "operator": owner[s.span_id].name,
@@ -712,6 +774,7 @@ def build_profile(
         cache_events=cache_events,
         pipeline_events=pipeline_events,
         fusion_events=fusion_events,
+        partition_events=partition_events,
     )
 
 
@@ -763,6 +826,19 @@ def _collect_verdicts(trace: Sequence[Span]) -> list[PathVerdict]:
                 reason=str(span.attributes.get("reason", "")),
                 thresholds={
                     "stages": span.attributes.get("stages"),
+                },
+            ))
+        elif span.name == "pathselect.partition":
+            partitioned = bool(span.attributes.get("partition", False))
+            out.append(PathVerdict(
+                operator=f"{span.attributes.get('operator', '?')}-partition",
+                rows=0,
+                path="gpu-partitioned" if partitioned else "cpu-large",
+                reason=str(span.attributes.get("reason", "")),
+                thresholds={
+                    "partitions": span.attributes.get("partitions"),
+                    "working_set": span.attributes.get("working_set"),
+                    "capacity": span.attributes.get("capacity"),
                 },
             ))
         elif span.name == "pathselect.sort":

@@ -45,17 +45,31 @@ class TestOffloadPaths:
         assert decisions[0].path == "cpu-large"
 
     def test_reservation_failure_falls_back_to_cpu(self, small_catalog):
-        """Section 2.1.1 option 2: no device memory -> run on the host."""
+        """Section 2.1.1 option 2: no device memory -> run on the host.
+
+        The devices are full-sized (the working-set screen would route a
+        query to the CPU before trying to reserve on an undersized card),
+        but another tenant holds almost all of their memory, so the
+        runtime reservation fails and the query degrades to the CPU chain.
+        """
         config = paper_testbed()
-        tiny_gpu = dataclasses.replace(GpuSpec(),
-                                       device_memory_bytes=64 * 1024)
         thresholds = dataclasses.replace(config.thresholds,
                                          t1_min_rows=1000,
                                          sort_min_rows=1000)
-        config = dataclasses.replace(config, gpus=(tiny_gpu,),
-                                     thresholds=thresholds)
+        config = dataclasses.replace(config, thresholds=thresholds)
         engine = GpuAcceleratedEngine(small_catalog, config=config)
-        result = engine.execute_sql(GROUPBY_SQL, query_id="starved")
+        hogs = [
+            engine.scheduler.try_acquire(
+                device.memory.capacity - device.memory.reserved - 1024,
+                tag="hog")
+            for device in engine.devices
+        ]
+        assert all(hogs)
+        try:
+            result = engine.execute_sql(GROUPBY_SQL, query_id="starved")
+        finally:
+            for hog in hogs:
+                engine.scheduler.release(hog)
         assert not result.profile.offloaded
         decisions = engine.monitor.decisions_for("starved")
         assert any(d.path == "cpu-fallback" for d in decisions)

@@ -1,0 +1,66 @@
+"""Tests for out-of-core partitioned sort (over-memory ORDER BY)."""
+
+import dataclasses
+
+from repro.blu import BluEngine
+from repro.config import GpuSpec, paper_testbed
+from repro.core import GpuAcceleratedEngine
+
+SORT_SQL = "SELECT s_item, s_ticket FROM sales ORDER BY s_item"
+
+
+def make_engine(small_catalog, device_bytes, partition=True):
+    """Two small cards so slices stream across devices; group-by offload
+    is left at paper defaults (this query has none)."""
+    config = paper_testbed()
+    card = dataclasses.replace(GpuSpec(), device_memory_bytes=device_bytes)
+    thresholds = dataclasses.replace(config.thresholds,
+                                     sort_min_rows=1000)
+    config = dataclasses.replace(config, gpus=(card, card),
+                                 thresholds=thresholds,
+                                 partition_enabled=partition)
+    return GpuAcceleratedEngine(small_catalog, config=config)
+
+
+def cpu_table(small_catalog):
+    return BluEngine(small_catalog).execute_sql(SORT_SQL).table.to_pydict()
+
+
+class TestPartitionedSort:
+    def test_over_memory_sort_splits_and_matches_cpu_exactly(
+            self, small_catalog):
+        """50k rows need ~800 KB of device memory; a 256 KB card forces
+        4 slices.  The stable k-way merge must reproduce the CPU's
+        stable sort byte-for-byte (ties included: s_ticket is unique
+        and in row order, so any instability would show)."""
+        engine = make_engine(small_catalog, device_bytes=256 * 1024)
+        result = engine.execute_sql(SORT_SQL, query_id="ps1")
+        gpu_sorts = [e for e in result.profile.events if e.op == "GPU-SORT"]
+        assert len(gpu_sorts) >= 2
+        assert any(e.op == "SORT-MERGE" for e in result.profile.events)
+        decisions = engine.monitor.decisions_for("ps1")
+        assert any(d.path == "gpu-partitioned" for d in decisions)
+        assert result.table.to_pydict() == cpu_table(small_catalog)
+
+    def test_slices_release_device_memory(self, small_catalog):
+        engine = make_engine(small_catalog, device_bytes=256 * 1024)
+        engine.execute_sql(SORT_SQL)
+        for device in engine.devices:
+            assert device.memory.reserved == 0
+
+    def test_declines_to_cpu_when_no_slice_fits(self, small_catalog):
+        """A 1 KB card cannot hold even a max_partitions slice; the sort
+        stays on the CPU and is still exact."""
+        engine = make_engine(small_catalog, device_bytes=1024)
+        result = engine.execute_sql(SORT_SQL, query_id="ps2")
+        assert not any(e.op == "GPU-SORT" for e in result.profile.events)
+        assert result.table.to_pydict() == cpu_table(small_catalog)
+
+    def test_knob_off_keeps_cpu_fallback(self, small_catalog):
+        engine = make_engine(small_catalog, device_bytes=256 * 1024,
+                             partition=False)
+        result = engine.execute_sql(SORT_SQL, query_id="ps3")
+        assert not any(e.op == "GPU-SORT" for e in result.profile.events)
+        assert not any(e.op == "SORT-MERGE"
+                       for e in result.profile.events)
+        assert result.table.to_pydict() == cpu_table(small_catalog)

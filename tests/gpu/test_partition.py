@@ -1,0 +1,143 @@
+"""Unit tests for the out-of-core partition planner (repro.gpu.partition)."""
+
+import pytest
+
+from repro.config import CostModel, GpuSpec, HostSpec, Thresholds
+from repro.gpu.partition import (
+    PartitionStreamState,
+    groupby_working_set_bytes,
+    plan_groupby_partitions,
+    plan_sort_partitions,
+)
+from repro.gpu.streams import PipelineSpec, StreamChunk, StreamPlan
+
+
+COST = CostModel()
+SPEC = GpuSpec()
+HOST = HostSpec()
+THRESHOLDS = Thresholds()
+
+
+def groupby_plan(rows=200_000, groups=2_000, capacity=1_000_000, **kw):
+    args = dict(rows=rows, estimated_groups=groups, num_keys=1, num_aggs=3,
+                thresholds=THRESHOLDS, cost=COST, spec=SPEC, host=HOST,
+                degree=48, capacity_bytes=capacity, max_partitions=64,
+                devices=2)
+    args.update(kw)
+    return plan_groupby_partitions(**args)
+
+
+def sort_plan(rows=200_000, capacity=1_000_000, **kw):
+    args = dict(rows=rows, device_bytes_per_row=16, staged_bytes_per_row=8,
+                cost=COST, spec=SPEC, host=HOST, degree=48,
+                capacity_bytes=capacity, max_partitions=64, devices=2)
+    args.update(kw)
+    return plan_sort_partitions(**args)
+
+
+class TestGroupbyPlanner:
+    def test_over_memory_input_splits(self):
+        plan = groupby_plan()
+        assert plan is not None
+        assert plan.partitions >= 2
+        assert plan.working_set_bytes > plan.capacity_bytes
+        # Every partition's own working set must fit the card.
+        groups_p = -(-2_000 // plan.partitions)
+        assert groupby_working_set_bytes(
+            plan.partition_rows, groups_p, 3) <= plan.capacity_bytes
+
+    def test_partitions_respect_t3(self):
+        thresholds = Thresholds(t3_max_rows=10_000)
+        plan = groupby_plan(capacity=10**12, thresholds=thresholds)
+        assert plan is not None
+        assert plan.partition_rows <= 10_000
+
+    def test_declines_when_nothing_fits(self):
+        # Even max_partitions slices cannot squeeze under a 4 KB card.
+        assert groupby_plan(capacity=4 * 1024) is None
+
+    def test_declines_on_degenerate_inputs(self):
+        assert groupby_plan(rows=0) is None
+        assert groupby_plan(capacity=0) is None
+        assert groupby_plan(max_partitions=0) is None
+
+    def test_costs_both_sides(self):
+        plan = groupby_plan()
+        assert plan.gpu_seconds > 0.0
+        assert plan.cpu_seconds > 0.0
+        assert 0.0 < plan.merge_seconds < plan.gpu_seconds
+        assert str(plan.partitions) in plan.reason
+
+    def test_beats_cpu_reflects_estimates(self):
+        plan = groupby_plan()
+        assert plan.beats_cpu == (plan.gpu_seconds < plan.cpu_seconds)
+
+
+class TestSortPlanner:
+    def test_over_memory_job_splits(self):
+        plan = sort_plan()
+        assert plan is not None
+        assert plan.partitions >= 2
+        assert plan.partition_rows * 16 <= plan.capacity_bytes
+
+    def test_declines_when_no_slice_fits(self):
+        # 64 slices of >3k rows each still need >48 KB of device memory.
+        assert sort_plan(capacity=1024) is None
+
+    def test_merge_priced_only_when_split(self):
+        wide = sort_plan(rows=50_000, capacity=10**12)
+        assert wide is None or wide.partitions == 1
+        split = sort_plan()
+        assert split.merge_seconds > 0.0
+
+
+class TestPartitionStreamState:
+    CHUNKS = [
+        StreamChunk(bytes_in=1000, bytes_out=500, kernel_seconds=3e-4,
+                    h2d_seconds=1e-4, d2h_seconds=5e-5),
+        StreamChunk(bytes_in=1000, bytes_out=500, kernel_seconds=2e-4,
+                    h2d_seconds=2e-4, d2h_seconds=5e-5),
+        StreamChunk(bytes_in=1000, bytes_out=500, kernel_seconds=4e-4,
+                    h2d_seconds=1e-4, d2h_seconds=1e-4),
+        StreamChunk(bytes_in=1000, bytes_out=500, kernel_seconds=1e-4,
+                    h2d_seconds=3e-4, d2h_seconds=5e-5),
+    ]
+
+    def test_exposed_deltas_sum_to_streamed_makespan(self):
+        """The incremental recurrence must agree with StreamPlan.schedule:
+        per-partition exposed contributions on one device sum exactly to
+        the overlapped makespan of the same chunks."""
+        plan = StreamPlan(
+            chunks=tuple(self.CHUNKS),
+            pipeline=PipelineSpec(depth=len(self.CHUNKS)),
+            serial_in=sum(c.h2d_seconds for c in self.CHUNKS),
+            serial_kernel=sum(c.kernel_seconds for c in self.CHUNKS),
+            serial_out=sum(c.d2h_seconds for c in self.CHUNKS),
+        )
+        want = plan.schedule().total_seconds
+        state = PartitionStreamState()
+        got = sum(
+            state.advance(0, c.h2d_seconds, c.kernel_seconds, c.d2h_seconds)
+            for c in self.CHUNKS
+        )
+        assert got == pytest.approx(want, rel=1e-12)
+
+    def test_devices_tracked_independently(self):
+        state = PartitionStreamState()
+        a = state.advance(0, 1e-4, 3e-4, 5e-5)
+        b = state.advance(1, 1e-4, 3e-4, 5e-5)
+        assert a == pytest.approx(b)          # fresh pipelines, same cost
+
+    def test_exposed_never_negative(self):
+        state = PartitionStreamState()
+        for _ in range(8):
+            assert state.advance(0, 1e-4, 1e-6, 1e-4) >= 0.0
+
+    def test_overlap_hides_copies(self):
+        """With kernels dominating, steady-state exposure approaches the
+        kernel time: copies hide under neighbouring kernels."""
+        state = PartitionStreamState()
+        state.advance(0, 1e-4, 1e-3, 1e-4)
+        exposed = [state.advance(0, 1e-4, 1e-3, 1e-4) for _ in range(6)]
+        for delta in exposed:
+            assert delta == pytest.approx(1e-3, rel=1e-6)
