@@ -20,6 +20,7 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, dict[str, ColumnStats]] = {}
+        self._shards: dict[str, object] = {}
         self._version = 0
 
     @property
@@ -56,7 +57,46 @@ class Catalog:
             raise SchemaError(f"unknown table {name!r}")
         del self._tables[key]
         del self._stats[key]
+        self._shards.pop(key, None)
         self._version += 1
+
+    # ------------------------------------------------------------------
+    # Shard maps (scale-out; repro.gpu.shard, docs/scale_out.md)
+    # ------------------------------------------------------------------
+
+    def register_shard_map(self, shard_map) -> None:
+        """Attach (or replace) a table's shard map.
+
+        Shard maps are DDL: registering one bumps the catalog version,
+        so device caches keyed on it (:mod:`repro.gpu.cache`) drop
+        segments staged under the old placement.  Rebalancing after a
+        device loss re-registers the survivor map through this path for
+        the same reason.
+        """
+        key = shard_map.table.lower()
+        if key not in self._tables:
+            raise SchemaError(f"unknown table {shard_map.table!r}")
+        self._shards[key] = shard_map
+        self._version += 1
+
+    def shard_map(self, name: str):
+        """The table's shard map, or ``None`` when it is unsharded."""
+        key = name.lower()
+        if key not in self._tables:
+            raise SchemaError(f"unknown table {name!r}")
+        return self._shards.get(key)
+
+    def drop_shard_map(self, name: str) -> None:
+        """Detach a table's shard map (no-op if unsharded); bumps DDL."""
+        key = name.lower()
+        if key not in self._tables:
+            raise SchemaError(f"unknown table {name!r}")
+        if self._shards.pop(key, None) is not None:
+            self._version += 1
+
+    def shard_maps(self) -> list:
+        """Every registered shard map, in registration order."""
+        return list(self._shards.values())
 
     # ------------------------------------------------------------------
     # Lookup

@@ -59,6 +59,11 @@ class OperatorContext:
 GroupByExecutor = Callable[[Table, GroupByNode, OperatorContext], Table]
 SortExecutor = Callable[[Table, SortNode, OperatorContext], Table]
 JoinExecutor = Callable[[Table, Table, JoinNode, OperatorContext], Table]
+# Window-sort hook: (table, sort keys, context) -> row order.  RANK "drives
+# SORT", so a GPU-backed engine installs the hybrid sort's order computation
+# here and the window's internal sort rides the same offload/shard path as
+# ORDER BY; ``None`` keeps the stock host sort inside ``execute_rank``.
+RankOrderExecutor = Callable[..., "object"]
 # Fused-chain hook: consulted before the per-operator group-by path with the
 # engine's own subtree-execute callback; ``None`` means "not fused" and the
 # engine proceeds exactly as before (repro.gpu.fusion, docs/fusion.md).
@@ -117,6 +122,7 @@ class BluEngine:
         sort_executor: Optional[SortExecutor] = None,
         join_executor: Optional[JoinExecutor] = None,
         fused_executor: Optional[FusedExecutor] = None,
+        rank_order_executor: Optional[RankOrderExecutor] = None,
         default_degree: int = 48,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -127,6 +133,7 @@ class BluEngine:
         self.sort_executor = sort_executor or cpu_sort_executor
         self.join_executor = join_executor or cpu_join_executor
         self.fused_executor = fused_executor
+        self.rank_order_executor = rank_order_executor
         self.default_degree = default_degree
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._query_counter = itertools.count(1)
@@ -248,8 +255,13 @@ class BluEngine:
                                    ctx.ledger, max_degree=ctx.degree)
         if isinstance(node, RankNode):
             child = self._execute(node.child, ctx)
+            order_fn = None
+            if self.rank_order_executor is not None:
+                def order_fn(t, keys, _ctx=ctx):
+                    return self.rank_order_executor(t, keys, _ctx)
             return execute_rank(child, node, ctx.config.cost, ctx.ledger,
-                                max_degree=min(ctx.degree, 24))
+                                max_degree=min(ctx.degree, 24),
+                                order_fn=order_fn)
         if isinstance(node, LimitNode):
             child = self._execute(node.child, ctx)
             return execute_limit(child, node.limit, ctx.config.cost, ctx.ledger)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -15,28 +16,40 @@ from repro.config import CostModel
 from repro.timing import CostLedger
 
 
+#: Pluggable window-sort strategy: ``(table, keys) -> row order``.  The
+#: callable does its own cost accounting; ``None`` keeps the stock CPU
+#: sort.  This is the seam through which the hybrid sort executor (and
+#: its sharded N-device path) accelerates the sort RANK drives.
+RankOrderFn = Callable[[Table, Sequence[SortKey]], np.ndarray]
+
+
 def execute_rank(
     table: Table,
     node: RankNode,
     cost: CostModel,
     ledger: CostLedger,
     max_degree: int = 24,
+    order_fn: Optional[RankOrderFn] = None,
 ) -> Table:
     """Append a RANK() column computed over (partition, order) keys.
 
     Standard SQL RANK: ties share a rank and the next distinct value skips
     ahead by the tie count.  Implemented as one sort over
     (partition_keys..., order_key) plus a linear pass — which is exactly why
-    the paper says RANK "drives SORT".
+    the paper says RANK "drives SORT".  ``order_fn`` replaces that sort
+    (cost accounting included) so a GPU-backed engine can offload it.
     """
     keys = [SortKey(k) for k in node.partition_keys]
     keys.append(SortKey(node.order_key, ascending=node.ascending))
-    order = sort_order(table, keys)
-
     rows = table.num_rows
-    if rows > 1:
-        comparisons = rows * math.log2(rows) * len(keys)
-        ledger.cpu("SORT", rows, comparisons / (cost.cpu_sort_rate * 16), max_degree)
+    if order_fn is not None:
+        order = order_fn(table, keys)
+    else:
+        order = sort_order(table, keys)
+        if rows > 1:
+            comparisons = rows * math.log2(rows) * len(keys)
+            ledger.cpu("SORT", rows, comparisons / (cost.cpu_sort_rate * 16),
+                       max_degree)
     ledger.cpu("RANK", rows, rows / cost.cpu_scan_rate, max_degree)
 
     ranks_sorted = _ranks_in_order(table, node, order)

@@ -203,7 +203,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="benchmark harness: write or compare a BENCH_* baseline")
     p_bench.add_argument("workload",
                          choices=["bd_insights", "cognos_rolap",
-                                  "over_memory"])
+                                  "over_memory", "scale_out"])
     p_bench.add_argument("--baseline", metavar="PATH", default=None,
                          help="baseline file (default benchmarks/baselines/"
                               "BENCH_<workload>.json)")
@@ -267,6 +267,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--join-offload", action="store_true",
                          help="route hash joins through the GPU per-operator "
                               "path (the fusion gate's unfused reference)")
+    p_bench.add_argument("--devices", default=None, metavar="N,N,...",
+                         help="scale_out only: device counts to sweep "
+                              "(default 1,2,4,8, or the baseline's counts "
+                              "on --compare)")
+    p_bench.add_argument("--shard", choices=["on", "off"], default=None,
+                         help="scale_out only: shard fact tables across "
+                              "the devices (default on; off measures the "
+                              "whole-job dispatch rival)")
+    p_bench.add_argument("--nvlink", choices=["on", "off"], default=None,
+                         help="scale_out only: NVLink-class peer-to-peer "
+                              "exchange instead of the host bounce "
+                              "(default on)")
+    p_bench.add_argument("--switch-bandwidth", type=float, default=None,
+                         metavar="B",
+                         help="scale_out only: shared PCIe switch uplink "
+                              "bytes/s (default: config; the committed "
+                              "baseline uses 96e9 — a gen4-class switch)")
     p_bench.add_argument("--out", metavar="PATH", default=None,
                          help="also write this run's result JSON to PATH "
                               "(independent of --update)")
@@ -686,36 +703,68 @@ def cmd_bench(args) -> int:
     else:
         degree = args.degree
 
-    catalog = generate_database(scale=scale, seed=seed)
-    config = scaled_config(catalog)
-    if cache_fraction is not None:
-        config = dataclasses.replace(config, cache_fraction=cache_fraction)
-    if pipeline_depth is not None:
-        config = dataclasses.replace(config, pipeline_depth=pipeline_depth)
-    if chunk_bytes is not None:
-        config = dataclasses.replace(config, chunk_bytes=chunk_bytes)
-    if fusion is not None:
-        config = dataclasses.replace(config, fusion_enabled=fusion)
-    if partition is not None:
-        config = dataclasses.replace(config, partition_enabled=partition)
-    if max_partitions is not None:
-        config = dataclasses.replace(config, max_partitions=max_partitions)
-    driver = WorkloadDriver(catalog, config, degree=degree,
-                            enable_join_offload=args.join_offload)
-    if args.flight_record:
-        import os
+    driver = None
+    if args.workload == "scale_out":
+        devices = ([int(n) for n in args.devices.split(",")]
+                   if args.devices else None)
+        shard = None if args.shard is None else args.shard == "on"
+        nvlink = None if args.nvlink is None else args.nvlink == "on"
+        switch_bw = args.switch_bandwidth
+        if baseline is not None:
+            # Same determinism rule as the other knobs: adopt the
+            # baseline's sweep shape unless the CLI overrides it.
+            if devices is None and "device_counts" in baseline:
+                devices = [int(n) for n in baseline["device_counts"]]
+            if shard is None and "shard_enabled" in baseline:
+                shard = bool(baseline["shard_enabled"])
+            if nvlink is None and "nvlink_enabled" in baseline:
+                nvlink = bool(baseline["nvlink_enabled"])
+            if switch_bw is None and "switch_bandwidth" in baseline:
+                switch_bw = float(baseline["switch_bandwidth"])
+        try:
+            result = bench.run_scale_out(
+                scale=scale, seed=seed, degree=degree,
+                shard=True if shard is None else shard,
+                nvlink=True if nvlink is None else nvlink,
+                switch_bandwidth=switch_bw,
+                device_counts=devices or bench.SCALE_OUT_DEVICES)
+        except bench.BenchError as exc:
+            print(f"FAIL  {exc}")
+            return 1
+    else:
+        catalog = generate_database(scale=scale, seed=seed)
+        config = scaled_config(catalog)
+        if cache_fraction is not None:
+            config = dataclasses.replace(config,
+                                         cache_fraction=cache_fraction)
+        if pipeline_depth is not None:
+            config = dataclasses.replace(config,
+                                         pipeline_depth=pipeline_depth)
+        if chunk_bytes is not None:
+            config = dataclasses.replace(config, chunk_bytes=chunk_bytes)
+        if fusion is not None:
+            config = dataclasses.replace(config, fusion_enabled=fusion)
+        if partition is not None:
+            config = dataclasses.replace(config, partition_enabled=partition)
+        if max_partitions is not None:
+            config = dataclasses.replace(config,
+                                         max_partitions=max_partitions)
+        driver = WorkloadDriver(catalog, config, degree=degree,
+                                enable_join_offload=args.join_offload)
+        if args.flight_record:
+            import os
 
-        os.makedirs(args.flight_record, exist_ok=True)
-        driver.gpu_engine.recorder.dump_dir = args.flight_record
-    classes = args.classes.split(",") if args.classes else None
-    try:
-        result = bench.run_workload(driver, args.workload, scale=scale,
-                                    seed=seed, classes=classes,
-                                    slowdown=args.slowdown,
-                                    slow_component=args.slow_component)
-    except bench.BenchError as exc:
-        print(f"FAIL  {exc}")
-        return 1
+            os.makedirs(args.flight_record, exist_ok=True)
+            driver.gpu_engine.recorder.dump_dir = args.flight_record
+        classes = args.classes.split(",") if args.classes else None
+        try:
+            result = bench.run_workload(driver, args.workload, scale=scale,
+                                        seed=seed, classes=classes,
+                                        slowdown=args.slowdown,
+                                        slow_component=args.slow_component)
+        except bench.BenchError as exc:
+            print(f"FAIL  {exc}")
+            return 1
 
     rows = [
         (cls, stat.queries, f"{stat.p50_ms:.3f}", f"{stat.p95_ms:.3f}",
@@ -735,7 +784,17 @@ def cmd_bench(args) -> int:
                     f"{'on' if result.partition_enabled else 'off'}"))
     print()
 
-    if args.flight_record:
+    if args.workload == "scale_out":
+        speedups = bench.scale_out_speedups(result)
+        print("speedup vs 1 device: " + "  ".join(
+            f"{n}x={s:.2f}" for n, s in sorted(speedups.items())))
+        print(f"(shard={'on' if result.shard_enabled else 'off'} "
+              f"nvlink={'on' if result.nvlink_enabled else 'off'} "
+              f"switch={result.switch_bandwidth:g} B/s; all GPU results "
+              f"checksum-identical to the CPU engine)")
+        print()
+
+    if driver is not None and args.flight_record:
         engine = driver.gpu_engine
         dumped = engine.dump_flight_record(args.flight_record)
         print(f"flight record: {len(engine.recorder.snapshots)} auto "

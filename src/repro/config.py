@@ -129,6 +129,12 @@ class CostModel:
     gpu_radix_sort_rate: float = 550e6     # 4-byte keys/second (Merrill radix)
     gpu_init_rate: float = 80e9            # bytes/s hash-table mask initialisation
     gpu_scan_rate: float = 2500e6          # rows/s for on-device scans
+    # Decode and gather stream straight out of device memory (no predicate
+    # evaluation), so they run at memory-bandwidth-bound value rates: BLU
+    # bit-unpacking reads packed words sequentially; a join gather is
+    # random access at a fraction of the sequential rate.
+    gpu_decode_rate: float = 9e9           # values/s on-device BLU decode
+    gpu_gather_rate: float = 8e9           # values/s random gather
 
     # --- contention model ------------------------------------------------
     atomic_contention_base: float = 1.0    # multiplier floor
@@ -226,6 +232,22 @@ class SystemConfig:
     results are bit-identical either way.  ``max_partitions`` caps how
     finely one operator may split — the planner declines (keeping the
     CPU fallback) when even that many partitions cannot fit the card.
+
+    ``shard_enabled`` turns on sharded N-device execution
+    (:mod:`repro.gpu.shard`, ``docs/scale_out.md``): a single group-by,
+    join probe or sort splits across every healthy device along the
+    catalog's shard map, each shard runs its own flow-shop pipeline on
+    its home device, and an exchange + merge step (PR 9's renumber-merge
+    / k-way stable merge) reassembles a byte-identical result.  ``False``
+    (the default) keeps the paper's whole-job dispatch; every committed
+    baseline outside ``BENCH_scale_out.json`` runs with sharding off.
+
+    ``switch_bandwidth``/``nvlink_enabled``/``nvlink_bandwidth`` describe
+    the interconnect topology (:mod:`repro.gpu.interconnect`): every
+    device owns a PCIe gen3 x16 link into one shared switch whose uplink
+    caps aggregate host bandwidth, so overlapping H2D/D2H waves contend;
+    NVLink-class peer-to-peer (off by default, matching the K40 era)
+    lets the sharded exchange bypass the host entirely.
     """
 
     host: HostSpec = field(default_factory=HostSpec)
@@ -239,6 +261,14 @@ class SystemConfig:
     fusion_enabled: bool = True
     partition_enabled: bool = True
     max_partitions: int = 64
+    shard_enabled: bool = False
+    #: Aggregate bandwidth (bytes/s) of the PCIe switch uplink shared by
+    #: every device link; overlapping transfers divide it.
+    switch_bandwidth: float = 48.0e9
+    nvlink_enabled: bool = False
+    #: Per-direction NVLink-class peer-to-peer bandwidth (bytes/s) used
+    #: by the sharded exchange when ``nvlink_enabled`` is set.
+    nvlink_bandwidth: float = 40.0e9
     serving: ServingDefaults = field(default_factory=ServingDefaults)
     #: Flight-recorder ring capacity in events (``repro.obs.recorder``,
     #: ``docs/observability.md``).  The recorder is accounting-only — it

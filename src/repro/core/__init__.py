@@ -13,7 +13,8 @@ from repro.core.accelerator import GpuAcceleratedEngine, make_engine
 from repro.core.metadata import RuntimeMetadata
 from repro.core.moderator import GpuModerator, LearningModerator
 from repro.core.monitoring import PerformanceMonitor
-from repro.core.pathselect import ExecutionPath, PathDecision, select_groupby_path
+from repro.core.pathselect import (ExecutionPath, PathDecision,
+                                   select_groupby_path)
 from repro.core.scheduler import MultiGpuScheduler
 
 __all__ = [

@@ -37,7 +37,9 @@ from repro.blu.engine import cpu_join_executor
 from repro.gpu.cache import DeviceColumnCache
 from repro.gpu.device import GpuDevice, make_devices
 from repro.gpu.fusion import FusedExecutor
+from repro.gpu.interconnect import Interconnect
 from repro.gpu.pinned import PinnedMemoryPool
+from repro.gpu.shard import build_shard_map
 from repro.gpu.streams import PipelineSpec
 from repro.obs.export import chrome_trace, prometheus_text
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry
@@ -116,8 +118,8 @@ class GpuAcceleratedEngine:
         # Fault injection (docs/fault_injection.md): an explicit ``faults``
         # kwarg wins over the plan on the config; an empty plan disarms.
         plan = faults if faults is not None else self.config.faults
-        self.faults: Optional[FaultPlan] = \
-            plan if plan is not None and plan.active else None
+        self.faults: Optional[FaultPlan] = (
+            plan if plan is not None and plan.active else None)
         self.injector: Optional[FaultInjector] = None
         self.scheduler.tracer = self.tracer
         if self.faults is not None:
@@ -149,6 +151,23 @@ class GpuAcceleratedEngine:
         partition_large = (self.config.partition_enabled
                            if partition_large_groupby is None
                            else partition_large_groupby)
+        # Scale-out sharding (docs/scale_out.md): the modelled PCIe/NVLink
+        # interconnect prices and accounts every sharded transfer wave;
+        # when sharding is on, each fact table (T1-or-larger) gets a
+        # catalog shard map over the healthy devices — versioned like
+        # DDL, so registering or rebalancing one invalidates the
+        # device column cache.
+        self.interconnect = Interconnect.from_config(self.config,
+                                                     metrics=self.registry)
+        shard_enabled = self.config.shard_enabled
+        if shard_enabled:
+            healthy = self.scheduler.healthy_device_ids()
+            if len(healthy) >= 2:
+                for name in catalog.table_names():
+                    table = catalog.table(name)
+                    if table.num_rows >= self.config.thresholds.t1_min_rows:
+                        catalog.register_shard_map(
+                            build_shard_map(name, healthy))
         self._groupby = HybridGroupByExecutor(
             scheduler=self.scheduler,
             moderator=self.moderator,
@@ -160,6 +179,9 @@ class GpuAcceleratedEngine:
             max_partitions=self.config.max_partitions,
             catalog=catalog,
             pipeline=self.pipeline,
+            shard_enabled=shard_enabled,
+            interconnect=self.interconnect,
+            rebalance=self._rebalance_shards,
         )
         self._sort = HybridSortExecutor(
             scheduler=self.scheduler,
@@ -170,6 +192,9 @@ class GpuAcceleratedEngine:
             pipeline=self.pipeline,
             partition_large=partition_large,
             max_partitions=self.config.max_partitions,
+            shard_enabled=shard_enabled,
+            interconnect=self.interconnect,
+            rebalance=self._rebalance_shards,
         )
         self._join = HybridJoinExecutor(
             scheduler=self.scheduler,
@@ -178,6 +203,9 @@ class GpuAcceleratedEngine:
             monitor=self.monitor,
             catalog=catalog,
             pipeline=self.pipeline,
+            shard_enabled=shard_enabled,
+            interconnect=self.interconnect,
+            rebalance=self._rebalance_shards,
         ) if enable_join_offload else None
         # Fused data path (docs/fusion.md): recognised filter->join->
         # group-by chains run as one device launch; every failure (and a
@@ -204,8 +232,30 @@ class GpuAcceleratedEngine:
             sort_executor=self._route_sort,
             join_executor=self._route_join if enable_join_offload else None,
             fused_executor=self._fused,
+            rank_order_executor=self._route_rank_order,
             default_degree=default_degree,
             tracer=self.tracer,
+        )
+
+    def _rebalance_shards(self, lost_device_ids: list) -> None:
+        """Rewrite every registered shard map after device loss.
+
+        Executors call this once a shard reroute observes a dead home
+        device.  Each map drops the lost devices and re-registers, which
+        bumps the catalog version — the same invalidation path as DDL —
+        so cached shard segments keyed on the old placement die with it.
+        """
+        catalog = self.engine.catalog
+        for shard_map in list(catalog.shard_maps()):
+            rebalanced = shard_map
+            for device_id in lost_device_ids:
+                rebalanced = rebalanced.without_device(device_id)
+            if rebalanced.devices != shard_map.devices:
+                catalog.register_shard_map(rebalanced)
+        self.tracer.instant(
+            "shard.rebalance", lost=list(lost_device_ids),
+            maps=len(catalog.shard_maps()),
+            catalog_version=catalog.version,
         )
 
     # Route through bound methods so the executors see the current query id.
@@ -220,6 +270,10 @@ class GpuAcceleratedEngine:
     def _route_join(self, left: Table, right: Table, node: JoinNode,
                     ctx: OperatorContext) -> Table:
         return self._join(left, right, node, ctx)
+
+    def _route_rank_order(self, table: Table, keys, ctx: OperatorContext):
+        # The sort RANK() drives rides the hybrid sort's offload path.
+        return self._sort.rank_order(table, keys, ctx)
 
     # ------------------------------------------------------------------
     # Query entry points (mirror BluEngine)
@@ -330,7 +384,9 @@ class GpuAcceleratedEngine:
         drift apart on which counters they expose.  ``counters``
         flattens every counter/gauge series to a Prometheus-style
         ``name{label=value}`` key; ``pipeline`` breaks out per-device
-        stream-overlap savings; ``cache`` is :meth:`cache_stats`.
+        stream-overlap savings; ``cache`` is :meth:`cache_stats`;
+        ``interconnect`` is the per-link bytes/busy/stall totals from
+        the modelled PCIe/NVLink topology (docs/scale_out.md).
         """
         counters: dict[str, float] = {}
         for metric in self.registry.collect():
@@ -353,6 +409,7 @@ class GpuAcceleratedEngine:
             "counters": counters,
             "cache": self.cache_stats(),
             "pipeline": pipeline,
+            "interconnect": self.interconnect.snapshot(),
             "devices": [
                 {
                     "device_id": device.device_id,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools as _itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from repro.blu.compression import packed_transfer_bytes
 from repro.blu.datatypes import int64 as int64_type
 from repro.blu.engine import OperatorContext, cpu_groupby_executor
 from repro.blu.expressions import ColumnRef
-from repro.blu.evaluators import build_gpu_host_chain
+from repro.blu.evaluators import build_cpu_groupby_chain, build_gpu_host_chain
 from repro.blu.operators.aggregate import (
     build_group_output,
     group_encode,
@@ -47,17 +47,22 @@ from repro.core.pathselect import (
     ExecutionPath,
     select_groupby_path,
     select_partitioned_path,
+    select_sharded_path,
 )
 from repro.core.scheduler import MultiGpuScheduler
 from repro.errors import GpuError, PinnedMemoryError
 from repro.gpu.cache import SegmentKey, StagedSegment, content_digest
+from repro.gpu.interconnect import Interconnect
 from repro.gpu.kernels.hashtable import combine_keys
 from repro.gpu.partition import (
     PartitionPlan,
     PartitionStreamState,
+    _chain_wall_seconds,
     groupby_working_set_bytes,
     plan_groupby_partitions,
 )
+from repro.gpu.shard import (ShardPlan, hash_shard_assignment,
+                             home_devices, plan_sharded)
 from repro.gpu.kernels.request import GroupByRequest, PayloadSpec
 from repro.gpu.pinned import PinnedMemoryPool
 from repro.gpu.streams import PipelineSpec, streamed_launch
@@ -101,6 +106,13 @@ class HybridGroupByExecutor:
     catalog: Optional[Catalog] = None
     pipeline: Optional[PipelineSpec] = None
     query_id: str = ""
+    #: Scale-out (docs/scale_out.md): when set with an interconnect,
+    #: GPU-verdict group-bys may split across every healthy device.
+    shard_enabled: bool = False
+    interconnect: Optional[Interconnect] = None
+    #: Engine callback invoked with the lost device ids after a sharded
+    #: run saw device loss — rewrites the catalog's shard maps.
+    rebalance: Optional[Callable[[list], None]] = None
 
     def __call__(self, table: Table, node: GroupByNode,
                  ctx: OperatorContext) -> Table:
@@ -110,8 +122,8 @@ class HybridGroupByExecutor:
         if not node.keys:
             return cpu_groupby_executor(table, node, ctx)
 
-        groups_estimate = int(optimizer_groups) if optimizer_groups > 0 \
-            else rows
+        groups_estimate = (int(optimizer_groups) if optimizer_groups > 0
+                           else rows)
         working_set = groupby_working_set_bytes(rows, groups_estimate,
                                                 len(node.aggs))
         capacity = max(
@@ -174,6 +186,18 @@ class HybridGroupByExecutor:
         )
         staged_bytes = metadata.staged_input_bytes()
         segments = self._staged_segments(table, node)
+
+        # Scale-out: a GPU-verdict group-by may split across every
+        # healthy device when the shard planner beats both the
+        # single-device estimate and the CPU chain (docs/scale_out.md).
+        if self.shard_enabled and self.interconnect is not None:
+            plan = self._plan_shards(table, node, ctx, metadata)
+            sharded = select_sharded_path(
+                operator="groupby", plan=plan, tracer=self._tracer)
+            if sharded.shard:
+                return self._run_sharded(table, node, ctx, combined,
+                                         exact, hashes, metadata,
+                                         payloads, plan)
 
         # Up-front device memory reservation, sized from optimizer metadata
         # (the KMV refinement may grow it below).  The reservation stays
@@ -529,6 +553,322 @@ class HybridGroupByExecutor:
         )
 
     # ------------------------------------------------------------------
+    # Extension: sharded N-device execution (docs/scale_out.md)
+    # ------------------------------------------------------------------
+
+    def _plan_shards(self, table: Table, node: GroupByNode,
+                     ctx: OperatorContext,
+                     metadata: RuntimeMetadata) -> Optional[ShardPlan]:
+        """Price sharding this group-by across the healthy devices.
+
+        The sharded kernel estimate includes the on-device decode and
+        hash of the encoded columns — the work the sharded data path
+        moves off the host (see the module docstring of
+        :mod:`repro.gpu.shard`) — and the exchange prices the hash
+        repartition of the whole staged input.
+        """
+        devices = home_devices(self.scheduler, self.catalog, table.name)
+        if len(devices) < 2:
+            return None
+        cost = ctx.config.cost
+        rows = metadata.rows
+        num_aggs = max(1, len(node.aggs))
+        num_cols = len(node.keys) + num_aggs
+        staged = metadata.staged_input_bytes()
+        groups = max(1, int(metadata.estimated_groups))
+        kernel_seconds = (
+            rows / cost.gpu_ht_insert_rate
+            + rows * num_aggs / cost.gpu_atomic_agg_rate
+            + rows * (num_cols + 1) / cost.gpu_decode_rate
+        )
+        cpu_chain = build_cpu_groupby_chain(
+            rows=rows, num_keys=len(node.keys), num_aggs=len(node.aggs),
+            groups=groups, cost=cost,
+        )
+        return plan_sharded(
+            operator="groupby",
+            rows=rows,
+            staged_bytes=staged,
+            result_bytes=metadata.result_bytes(),
+            kernel_seconds=kernel_seconds,
+            exchange_bytes=staged,
+            merge_core_seconds=groups / cost.cpu_merge_rate,
+            devices=devices,
+            cost=cost,
+            spec=self.scheduler.devices[0].spec,
+            host=ctx.config.host,
+            degree=ctx.degree,
+            interconnect=self.interconnect,
+            cpu_seconds=_chain_wall_seconds(cpu_chain, ctx.config.host,
+                                            ctx.degree),
+            host_core_seconds=(staged / cost.cpu_memcpy_rate
+                               + rows * 8 / cost.cpu_memcpy_rate),
+        )
+
+    def _run_sharded(self, table: Table, node: GroupByNode,
+                     ctx: OperatorContext, combined: np.ndarray,
+                     exact: bool, hashes: np.ndarray,
+                     metadata: RuntimeMetadata, payloads: list,
+                     plan: ShardPlan) -> Table:
+        """Split one GPU-verdict group-by across N devices.
+
+        Hash sharding on the grouping-key hash makes the shards' group
+        sets disjoint, so the merge is PR 9's renumber-and-concatenate
+        pass and the output is bit-identical to the CPU chain for any
+        shard count and fault mix.  The host's only per-row work is the
+        slicing split and the MEMCPY into pinned staging: decode and
+        hash are priced on the shards (the numpy arrays here compute
+        the real results the simulation needs, as everywhere else), and
+        the hash repartition crosses the modelled interconnect as the
+        exchange.  A shard whose home device dies reroutes — first to
+        any other admissible device, then to the CPU closure — and the
+        loss triggers the engine's shard-map rebalance afterwards.
+        """
+        rows = table.num_rows
+        cost = ctx.config.cost
+        key_bits = metadata.key_bits
+        shards = plan.shards
+        num_cols = len(node.keys) + max(1, len(payloads))
+        shard_of_row = hash_shard_assignment(hashes, shards)
+        # The host only builds the shard index vectors (bandwidth-bound);
+        # computing the per-row hash is on-device work, priced in each
+        # shard's decode+hash prep slice below.
+        ctx.ledger.cpu("SHARD-SPLIT", rows, rows * 8 / cost.cpu_memcpy_rate,
+                       max_degree=ctx.degree)
+        self._record("gpu-sharded", plan.reason, kernel=None)
+        tracer = self._tracer
+
+        # First pass sizes every shard so the H2D wave can be priced
+        # with the real switch contention before anything launches.
+        shard_rows = []
+        shard_meta = []
+        for s in range(shards):
+            rows_s = np.nonzero(shard_of_row == s)[0]
+            shard_rows.append(rows_s)
+            if not len(rows_s):
+                shard_meta.append(None)
+                continue
+            kmv = estimate_distinct(murmur3_fmix64(combined[rows_s]),
+                                    k=1024)
+            shard_meta.append(RuntimeMetadata(
+                rows=len(rows_s),
+                optimizer_groups=metadata.optimizer_groups / shards,
+                kmv_groups=kmv.groups,
+                key_bits=key_bits, num_keys=len(node.keys),
+                payloads=payloads, exact_keys=exact,
+            ))
+        legs = self.interconnect.wave_legs([
+            (plan.devices[s % len(plan.devices)],
+             shard_meta[s].staged_input_bytes() if shard_meta[s] else 0)
+            for s in range(shards)
+        ])
+
+        gpu_events: list[CostEvent] = []
+        group_base = next(_PARALLEL_GROUP_IDS)
+        stream = PartitionStreamState()
+        device_seq: dict[int, int] = {}
+        gpu_shards = cpu_shards = rerouted = 0
+        lost_devices: set[int] = set()
+        group_index = np.empty(rows, dtype=np.int64)
+        offset = 0
+
+        def cpu_shard(rows_s, keys_s):
+            """One shard on the CPU chain — the reroute-of-last-resort;
+            returns (dense group index, group count)."""
+            sub_index, _, n_sub = group_encode([keys_s])
+            chain_events = build_gpu_host_chain(
+                rows=len(rows_s), num_keys=len(node.keys),
+                num_aggs=max(1, len(payloads)),
+                staged_bytes=0, cost=cost,
+            ).cost_events(ctx.degree)
+            ctx.ledger.extend(chain_events)
+            ctx.ledger.cpu(
+                "LGHT", len(rows_s),
+                len(rows_s) / cost.cpu_groupby_rate, ctx.degree)
+            return sub_index, n_sub
+
+        def note_shard(index, n_rows, target, device_id=-1):
+            nonlocal gpu_shards, cpu_shards
+            if target == "cpu":
+                cpu_shards += 1
+            else:
+                gpu_shards += 1
+            if tracer is not None:
+                tracer.instant(
+                    "shard.part", operator="groupby", index=index,
+                    rows=int(n_rows), target=target, device_id=device_id,
+                    query_id=self.query_id,
+                )
+
+        for s in range(shards):
+            rows_s = shard_rows[s]
+            meta_s = shard_meta[s]
+            if meta_s is None:
+                continue
+            keys_s = combined[rows_s]
+            request = GroupByRequest(
+                keys=keys_s, key_bits=key_bits, payloads=payloads,
+                estimated_groups=meta_s.estimated_groups,
+                exact_keys=exact,
+            )
+            staged_s = meta_s.staged_input_bytes()
+            kernel, _reason = self.moderator.choose(meta_s)
+            memory_needed = (staged_s + meta_s.result_bytes()
+                            + kernel.table_bytes(request))
+            home = plan.devices[s % len(plan.devices)]
+            ctx.ledger.cpu("MEMCPY", len(rows_s),
+                           staged_s / cost.cpu_memcpy_rate, ctx.degree)
+            winner = None
+            for attempt in range(2):
+                prefer = home if attempt == 0 else None
+                lease = self.scheduler.try_acquire(
+                    memory_needed, tag="groupby-shard",
+                    prefer_device=prefer)
+                if lease is None:
+                    break
+                try:
+                    outcome = self.moderator.run(request, meta_s,
+                                                 race=False)
+                    candidate = outcome.winner
+                    if self.monitor is not None:
+                        self.monitor.record_overflow_retries(
+                            outcome.overflow_retries)
+                    # The shard decodes and hashes its encoded columns
+                    # on-device before aggregating (the scale-out data
+                    # path); both ride the kernel slice of the launch.
+                    prep_seconds = (len(rows_s) * (num_cols + 1)
+                                    / cost.gpu_decode_rate)
+                    launch = streamed_launch(
+                        lease.device, self.pinned,
+                        kernel=candidate.kernel,
+                        kernel_seconds=(candidate.kernel_seconds
+                                        + outcome.wasted_device_seconds
+                                        + prep_seconds),
+                        reservation=lease.reservation,
+                        rows=len(rows_s),
+                        bytes_in=staged_s,
+                        bytes_out=meta_s.result_bytes(),
+                        pinned=True,
+                        pipeline=self.pipeline,
+                    )
+                    device_id = lease.device.device_id
+                    stall = legs[s].stall_seconds
+                    self.interconnect.record_transfer(
+                        device_id, staged_s,
+                        launch.transfer_in_seconds + stall, stall)
+                    self.interconnect.record_transfer(
+                        device_id, meta_s.result_bytes(),
+                        launch.transfer_out_seconds)
+                    exposed = stream.advance(
+                        device_id,
+                        launch.transfer_in_seconds + stall,
+                        launch.kernel_seconds,
+                        launch.transfer_out_seconds,
+                    )
+                    seq = device_seq.get(device_id, 0)
+                    device_seq[device_id] = seq + 1
+                    gpu_events.append(CostEvent(
+                        op="GPU-GROUPBY",
+                        rows=len(rows_s),
+                        cpu_seconds=_DISPATCH_SECONDS,
+                        max_degree=1,
+                        gpu_seconds=exposed,
+                        gpu_memory_bytes=lease.reservation.nbytes,
+                        device_id=device_id,
+                        parallel_group=group_base + seq,
+                    ))
+                    winner = candidate
+                except PinnedMemoryError as exc:
+                    if self.monitor is not None:
+                        self.monitor.record_fault_fallback("groupby", exc)
+                    break
+                except GpuError as exc:
+                    # Only this shard reroutes: feed the breaker, then
+                    # retry on any other admissible device before the
+                    # CPU closure.
+                    self.scheduler.record_failure(lease)
+                    if not lease.device.alive:
+                        lost_devices.add(lease.device.device_id)
+                    if self.monitor is not None:
+                        self.monitor.record_fault_fallback(
+                            "groupby", exc, lease.device.device_id)
+                    rerouted += 1
+                    continue
+                else:
+                    self.scheduler.record_success(lease)
+                    break
+                finally:
+                    self.scheduler.release(lease)
+            if winner is None:
+                note_shard(s, len(rows_s), "cpu")
+                sub_index, n_sub = cpu_shard(rows_s, keys_s)
+                self._note_kmv(meta_s.kmv_groups, n_sub, stamp_span=False)
+                group_index[rows_s] = sub_index + offset
+                offset += n_sub
+                continue
+            note_shard(s, len(rows_s), "gpu", lease.device.device_id)
+            self._note_kmv(meta_s.kmv_groups, winner.n_groups,
+                           stamp_span=False)
+            group_index[rows_s] = winner.group_index + offset
+            offset += winner.n_groups
+
+        gpu_events.sort(key=lambda e: e.parallel_group)
+        ctx.ledger.extend(gpu_events)
+
+        # The exchange: the hash repartition of the encoded input
+        # crosses the interconnect (peer-to-peer over NVLink when
+        # enabled, bounced through host staging otherwise).
+        staged_total = sum(m.staged_input_bytes()
+                           for m in shard_meta if m is not None)
+        exchange_seconds = self.interconnect.exchange_seconds(
+            staged_total, shards)
+        cross_bytes = self.interconnect.cross_shard_bytes(
+            staged_total, shards)
+        self.interconnect.record_exchange(cross_bytes, exchange_seconds)
+        ctx.ledger.add(CostEvent(
+            op="SHARD-EXCHANGE", rows=rows,
+            cpu_seconds=_DISPATCH_SECONDS, max_degree=1,
+            gpu_seconds=exchange_seconds,
+        ))
+
+        # PR 9's renumber-merge, verbatim: disjoint per-shard group ids
+        # renumber into global first-appearance order.
+        first = _first_rows(group_index, offset)
+        rank = np.argsort(first, kind="stable")
+        remap = np.empty(offset, dtype=np.int64)
+        remap[rank] = np.arange(offset, dtype=np.int64)
+        group_index = remap[group_index]
+        first_row = first[rank]
+        # Per-shard aggregation is complete (disjoint group sets), so
+        # only the group tables merge on the host — O(groups), unlike
+        # the partitioned path whose slices share groups and rebuild a
+        # per-row index.
+        merge_core_seconds = offset / cost.cpu_merge_rate
+        ctx.ledger.cpu("SHARD-MERGE", rows, merge_core_seconds,
+                       max_degree=ctx.degree)
+        merge_wall = merge_core_seconds / max(
+            1.0, ctx.config.host.effective_capacity(ctx.degree))
+        if lost_devices and self.rebalance is not None:
+            self.rebalance(sorted(lost_devices))
+        if tracer is not None:
+            tracer.instant(
+                "shard.exec", operator="groupby",
+                shards=shards, gpu_shards=gpu_shards,
+                cpu_shards=cpu_shards, rerouted=rerouted,
+                devices=list(plan.devices), rows=rows,
+                groups=int(offset), merge_seconds=merge_wall,
+                exchange_seconds=exchange_seconds,
+                exchange_bytes=int(cross_bytes),
+                stall_seconds=sum(leg.stall_seconds for leg in legs),
+                nvlink=self.interconnect.nvlink_enabled,
+                query_id=self.query_id,
+            )
+        return build_group_output(
+            table, node.keys, node.aggs, group_index, first_row, offset,
+            name=f"{table.name}_grouped",
+        )
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
 
@@ -577,8 +917,8 @@ class HybridGroupByExecutor:
                        node: GroupByNode) -> list[PayloadSpec]:
         specs = []
         for agg in node.aggs:
-            dtype = int64_type() if agg.expr is None \
-                else agg.expr.result_type(table)
+            dtype = (int64_type() if agg.expr is None
+                     else agg.expr.result_type(table))
             specs.append(PayloadSpec(dtype=dtype, func=agg.func))
         return specs
 

@@ -63,12 +63,12 @@ class RuntimeMetadata:
         keys_part = self.key_transfer_bytes
         if keys_part is None:
             keys_part = self.rows * self.PACKED_COLUMN_BYTES * self.num_keys
-        payload_part = self.rows * self.PACKED_COLUMN_BYTES \
-            * max(1, self.num_aggs)
+        payload_part = (self.rows * self.PACKED_COLUMN_BYTES
+                        * max(1, self.num_aggs))
         return keys_part + payload_part
 
     def result_bytes(self) -> int:
         """Bytes copied back: one hash-table row per group."""
-        per_group = max(8, self.key_bits // 8) \
-            + sum(p.width_bytes for p in self.payloads)
+        per_group = (max(8, self.key_bits // 8)
+                     + sum(p.width_bytes for p in self.payloads))
         return self.estimated_groups * per_group

@@ -79,17 +79,20 @@ class GpuModerator:
         )
         if (groups <= self.thresholds.small_groups_kernel_max_groups
                 and self.kernel_shared.fits(request_shape)):
+            cap = self.kernel_shared.shared_capacity_groups(request_shape)
             reason = (f"groups~{groups} fit in shared memory "
-                      f"(cap {self.kernel_shared.shared_capacity_groups(request_shape)})")
+                      f"(cap {cap})")
             self.decisions.append((self.kernel_shared.name, reason))
             return self.kernel_shared, reason
         if metadata.num_aggs > self.thresholds.many_aggs_threshold:
             reason = (f"{metadata.num_aggs} aggregation functions "
-                      f"> {self.thresholds.many_aggs_threshold}: row lock wins")
+                      f"> {self.thresholds.many_aggs_threshold}: "
+                      "row lock wins")
             self.decisions.append((self.kernel_biglock.name, reason))
             return self.kernel_biglock, reason
-        if metadata.rows_per_group < self.thresholds.low_contention_ratio \
-                and metadata.num_aggs >= self.thresholds.many_aggs_threshold:
+        if (metadata.rows_per_group < self.thresholds.low_contention_ratio
+                and metadata.num_aggs
+                >= self.thresholds.many_aggs_threshold):
             reason = (f"rows/groups~{metadata.rows_per_group:.1f} "
                       "is low contention: per-payload atomics are waste")
             self.decisions.append((self.kernel_biglock.name, reason))
@@ -250,13 +253,15 @@ class LearningModerator(GpuModerator):
         candidates = self.candidates(metadata)
         for kernel in candidates:
             if not bucket.tried(kernel.name):
-                reason = f"exploring {kernel.name} for bucket {self.bucket_of(metadata)}"
+                reason = (f"exploring {kernel.name} for bucket "
+                          f"{self.bucket_of(metadata)}")
                 self.decisions.append((kernel.name, reason))
                 return kernel, reason
         best_name = bucket.best()
         for kernel in candidates:
             if kernel.name == best_name:
-                reason = f"learned winner for bucket {self.bucket_of(metadata)}"
+                reason = ("learned winner for bucket "
+                          f"{self.bucket_of(metadata)}")
                 self.decisions.append((kernel.name, reason))
                 return kernel, reason
         return super().choose(metadata)

@@ -31,6 +31,7 @@ class ExecutionPath(enum.Enum):
     GPU = "gpu"                  # the offload sweet spot
     CPU_LARGE = "cpu-large"      # above T3: exceeds device memory
     GPU_PARTITIONED = "gpu-partitioned"   # over-memory, streamed in parts
+    GPU_SHARDED = "gpu-sharded"  # split across N devices along a shard map
 
 
 @dataclass(frozen=True)
@@ -266,6 +267,96 @@ def select_partitioned_path(
             gpu_seconds=decision.gpu_seconds,
             cpu_seconds=decision.cpu_seconds,
             merge_seconds=decision.merge_seconds,
+            reason=decision.reason,
+        )
+    return decision
+
+
+@dataclass(frozen=True)
+class ShardDecision:
+    """Whether a GPU-bound operator splits across N devices, and why.
+
+    ``shard`` is only True when the shard planner produced a plan whose
+    estimate beats *both* rivals: the same job on a single device, and
+    the stock CPU chain (``docs/scale_out.md``).  Everything else keeps
+    the paper's whole-job dispatch.
+    """
+
+    shard: bool
+    reason: str
+    shards: int = 0
+    devices: tuple[int, ...] = ()
+    gpu_seconds: float = 0.0
+    single_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    exchange_seconds: float = 0.0
+    stall_seconds: float = 0.0
+
+
+def select_sharded_path(
+    *,
+    operator: str,
+    plan,                       # Optional[repro.gpu.shard.ShardPlan]
+    enabled: bool = True,
+    tracer: Optional[Tracer] = None,
+) -> ShardDecision:
+    """Decide whether a GPU-bound ``operator`` runs sharded.
+
+    Four ways to keep whole-job dispatch: the knob is off, the planner
+    declined (fewer than two healthy home devices), the sharded estimate
+    does not beat the single-device run, or it does not beat the CPU
+    chain.  The verdict lands as a ``pathselect.shard`` instant either
+    way so EXPLAIN ANALYZE can show why a query did or did not scale
+    out.
+    """
+    if not enabled:
+        decision = ShardDecision(
+            False, "sharded execution disabled (--shard off)")
+    elif plan is None:
+        decision = ShardDecision(
+            False, "fewer than two healthy home devices: "
+                   "whole-job dispatch")
+    elif not plan.beats_single:
+        decision = ShardDecision(
+            False,
+            f"sharded~{plan.gpu_seconds * 1e3:.3f}ms >= single-device"
+            f"~{plan.single_seconds * 1e3:.3f}ms: contention and merge "
+            "outweigh the split",
+            plan.shards, plan.devices, plan.gpu_seconds,
+            plan.single_seconds, plan.cpu_seconds, plan.exchange_seconds,
+            plan.stall_seconds,
+        )
+    elif not plan.beats_cpu:
+        decision = ShardDecision(
+            False,
+            f"sharded~{plan.gpu_seconds * 1e3:.3f}ms >= "
+            f"cpu~{plan.cpu_seconds * 1e3:.3f}ms: sharding would not pay",
+            plan.shards, plan.devices, plan.gpu_seconds,
+            plan.single_seconds, plan.cpu_seconds, plan.exchange_seconds,
+            plan.stall_seconds,
+        )
+    else:
+        decision = ShardDecision(
+            True,
+            f"{plan.shards} shards on devices {plan.devices}: "
+            f"gpu~{plan.gpu_seconds * 1e3:.3f}ms < single-device"
+            f"~{plan.single_seconds * 1e3:.3f}ms "
+            f"(exchange ~{plan.exchange_seconds * 1e3:.3f}ms)",
+            plan.shards, plan.devices, plan.gpu_seconds,
+            plan.single_seconds, plan.cpu_seconds, plan.exchange_seconds,
+            plan.stall_seconds,
+        )
+    if tracer is not None:
+        tracer.instant(
+            "pathselect.shard",
+            operator=operator, shard=decision.shard,
+            shards=decision.shards,
+            devices=list(decision.devices),
+            gpu_seconds=decision.gpu_seconds,
+            single_seconds=decision.single_seconds,
+            cpu_seconds=decision.cpu_seconds,
+            exchange_seconds=decision.exchange_seconds,
+            stall_seconds=decision.stall_seconds,
             reason=decision.reason,
         )
     return decision

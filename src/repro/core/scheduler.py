@@ -119,13 +119,20 @@ class MultiGpuScheduler:
         return [i for i, b in sorted(self.breakers.items())
                 if b.quarantined]
 
+    def healthy_device_ids(self) -> list[int]:
+        """Device ids currently admissible to ``try_acquire`` — alive
+        and not quarantined (the shard planner's home-device pool)."""
+        return [d.device_id for d in self.devices
+                if d.alive and self.breakers[d.device_id].allows()]
+
     # ------------------------------------------------------------------
     # Acquire / release
     # ------------------------------------------------------------------
 
     def try_acquire(self, memory_bytes: int, tag: str = "",
                     retry: Optional[RetryPolicy] = None,
-                    affinity: Optional[Sequence] = None
+                    affinity: Optional[Sequence] = None,
+                    prefer_device: Optional[int] = None
                     ) -> Optional[GpuLease]:
         """Lease the least-loaded admissible device, or return ``None``.
 
@@ -140,14 +147,19 @@ class MultiGpuScheduler:
         :class:`~repro.gpu.cache.SegmentKey` the caller is about to
         stage.  ``retry`` (default: the scheduler-wide ``retry_policy``)
         bounds how many backoff-spaced attempts are made before
-        conceding ``None``.
+        conceding ``None``.  ``prefer_device`` (sharded execution's
+        home-device pin) outranks every other term so a shard lands on
+        the device its shard map names whenever that device is
+        admissible — but it is a preference, not a requirement: a lost
+        or quarantined home device reroutes to the normal ranking.
         """
         if memory_bytes < 0:
             raise SchedulerError(
                 f"cannot acquire a negative amount ({memory_bytes} bytes)"
             )
         policy = retry if retry is not None else self.retry_policy
-        lease = self._acquire_once(memory_bytes, tag, affinity)
+        lease = self._acquire_once(memory_bytes, tag, affinity,
+                                   prefer_device)
         if lease is not None or policy is None:
             return lease
         for delay in policy.delays():
@@ -156,13 +168,15 @@ class MultiGpuScheduler:
             with self.tracer.timed_span("fault.backoff", delay, tag=tag,
                                         memory_bytes=memory_bytes):
                 pass
-            lease = self._acquire_once(memory_bytes, tag, affinity)
+            lease = self._acquire_once(memory_bytes, tag, affinity,
+                                       prefer_device)
             if lease is not None:
                 return lease
         return None
 
     def _acquire_once(self, memory_bytes: int, tag: str,
-                      affinity: Optional[Sequence] = None
+                      affinity: Optional[Sequence] = None,
+                      prefer_device: Optional[int] = None
                       ) -> Optional[GpuLease]:
         self._tick_breakers()
         admissible = [
@@ -186,7 +200,7 @@ class MultiGpuScheduler:
             self._reject(memory_bytes, tag)
             return None
         segments = tuple(affinity) if affinity else ()
-        best = min(candidates, key=self._rank_key(segments))
+        best = min(candidates, key=self._rank_key(segments, prefer_device))
         if not best.memory.can_reserve(memory_bytes):
             best.cache.shrink(memory_bytes - best.memory.free,
                               protect=segments)
@@ -206,13 +220,17 @@ class MultiGpuScheduler:
                 outstanding=best.outstanding_jobs)
         return GpuLease(device=best, reservation=reservation)
 
-    def _rank_key(self, segments: tuple):
-        """Candidate ordering: cached affinity bytes desc, then load."""
+    def _rank_key(self, segments: tuple,
+                  prefer_device: Optional[int] = None):
+        """Candidate ordering: shard-home pin first, then cached
+        affinity bytes desc, then load."""
         def rank(device: GpuDevice):
             held = 0
             if segments and device.cache is not None:
                 held = device.cache.cached_bytes_for(segments)
-            return (-held, device.outstanding_jobs, -device.memory.free)
+            pinned = 0 if device.device_id == prefer_device else 1
+            return (pinned, -held, device.outstanding_jobs,
+                    -device.memory.free)
         return rank
 
     def _reject(self, memory_bytes: int = 0, tag: str = "") -> None:
@@ -270,8 +288,8 @@ class MultiGpuScheduler:
         # A lost or quarantined device's cached segments are gone (loss)
         # or untrusted (quarantine): drop them wholesale so re-admission
         # starts cold and the reserved bytes return to the pool.
-        if device.cache is not None \
-                and (not device.alive or breaker.quarantined):
+        if (device.cache is not None
+                and (not device.alive or breaker.quarantined)):
             device.cache.invalidate_all(
                 "device_lost" if not device.alive else "quarantined")
         return breaker.quarantined
@@ -292,10 +310,16 @@ class MultiGpuScheduler:
     # ------------------------------------------------------------------
 
     def fits_any_device(self, memory_bytes: int) -> bool:
-        """Could an idle system ever run this job?  (The 12-of-46 ROLAP
-        queries whose requirements exceed the K40's memory fail this.)"""
+        """Could the system as currently degraded ever run this job?
+        (The 12-of-46 ROLAP queries whose requirements exceed the K40's
+        memory fail this.)  Screens with the same admissibility filter
+        as ``try_acquire``: a lost or quarantined device's capacity does
+        not count — planning against it would promise memory the
+        acquire path can never grant."""
         return any(
-            memory_bytes <= d.memory.capacity for d in self.devices
+            memory_bytes <= d.memory.capacity
+            for d in self.devices
+            if d.alive and self.breakers[d.device_id].allows()
         )
 
     def snapshot(self) -> list[dict]:

@@ -1,0 +1,214 @@
+"""Modelled PCIe/NVLink interconnect topology for sharded execution.
+
+The paper's testbed attaches both K40s to the host over PCIe gen3 x16
+through one shared switch, so each card owns a private 12 GB/s link but
+overlapping transfers contend for the switch uplink.  Sharded N-device
+execution (:mod:`repro.gpu.shard`, ``docs/scale_out.md``) launches its
+host->device staging as one *wave* — every shard's columns leave the
+host at the same instant — which makes that contention the first-class
+cost placement must optimize around.
+
+The model is deliberately simple and auditable:
+
+* every device ``d`` owns link ``pcie{d}`` with per-direction bandwidth
+  ``GpuSpec.pcie_pinned_bw`` (or the unpinned rate);
+* when ``k`` transfers overlap, each link's effective bandwidth is
+  ``min(link_bw, switch_bandwidth / k)`` — the switch uplink is divided
+  fairly among concurrent streams;
+* *stall seconds* are the difference between the contended and the
+  uncontended duration of a transfer — the time a link spends waiting
+  for switch arbitration rather than moving bytes;
+* the exchange between shards either crosses an NVLink-class
+  peer-to-peer mesh (one hop, ``nvlink_bandwidth``, link label
+  ``nvlink``) or bounces through host memory (D2H on the source link
+  plus H2D on the destination link, both priced through the switch).
+
+All durations are analytic; the :class:`Interconnect` also keeps the
+per-link running totals that back ``repro_link_bytes_total`` /
+``repro_link_busy_seconds_total`` and the ``-- shards --`` EXPLAIN
+section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.config import GpuSpec, SystemConfig
+    from repro.obs.metrics import MetricsRegistry
+
+
+def contended_bandwidth(link_bw: float, switch_bw: float,
+                        concurrent: int) -> float:
+    """Effective per-link bandwidth with ``concurrent`` overlapping
+    transfers sharing one switch uplink."""
+    return min(link_bw, switch_bw / max(1, concurrent))
+
+
+@dataclass(frozen=True)
+class WaveLeg:
+    """One device's share of a transfer wave."""
+
+    device_id: int
+    nbytes: int
+    seconds: float
+    stall_seconds: float
+
+
+@dataclass
+class LinkStats:
+    """Running totals for one interconnect link."""
+
+    bytes_total: int = 0
+    busy_seconds: float = 0.0
+    stall_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot."""
+        return {
+            "bytes_total": int(self.bytes_total),
+            "busy_seconds": self.busy_seconds,
+            "stall_seconds": self.stall_seconds,
+        }
+
+
+@dataclass
+class Interconnect:
+    """Topology model + per-link accounting for one engine instance."""
+
+    link_bandwidth: float
+    switch_bandwidth: float
+    setup_overhead: float
+    nvlink_enabled: bool = False
+    nvlink_bandwidth: float = 40.0e9
+    metrics: Optional["MetricsRegistry"] = None
+    links: dict[str, LinkStats] = field(default_factory=dict)
+
+    @classmethod
+    def from_config(cls, config: "SystemConfig",
+                    metrics: Optional["MetricsRegistry"] = None,
+                    ) -> "Interconnect":
+        """Build the topology described by ``config``'s knobs."""
+        spec: "GpuSpec" = config.gpus[0] if config.gpus else None
+        link_bw = spec.pcie_pinned_bw if spec is not None else 12.0e9
+        setup = spec.transfer_setup_overhead if spec is not None else 15e-6
+        return cls(
+            link_bandwidth=link_bw,
+            switch_bandwidth=config.switch_bandwidth,
+            setup_overhead=setup,
+            nvlink_enabled=config.nvlink_enabled,
+            nvlink_bandwidth=config.nvlink_bandwidth,
+            metrics=metrics,
+        )
+
+    # -- planning (pure) -------------------------------------------------
+
+    def wave_legs(self, sizes: Sequence[tuple[int, int]]) -> list[WaveLeg]:
+        """Price a wave of overlapping transfers, one per device.
+
+        ``sizes`` is ``[(device_id, nbytes), ...]``; all transfers start
+        together, so each sees ``min(link, switch / k)`` where ``k`` is
+        the number of non-empty transfers in the wave.
+        """
+        active = sum(1 for _, nbytes in sizes if nbytes > 0)
+        eff = contended_bandwidth(self.link_bandwidth,
+                                  self.switch_bandwidth, active)
+        legs = []
+        for device_id, nbytes in sizes:
+            if nbytes <= 0:
+                legs.append(WaveLeg(device_id, 0, 0.0, 0.0))
+                continue
+            seconds = self.setup_overhead + nbytes / eff
+            alone = self.setup_overhead + nbytes / self.link_bandwidth
+            legs.append(WaveLeg(device_id, int(nbytes), seconds,
+                                max(0.0, seconds - alone)))
+        return legs
+
+    def wave_seconds(self, sizes: Sequence[tuple[int, int]]) -> float:
+        """Makespan of a wave: the slowest leg (all start together)."""
+        legs = self.wave_legs(sizes)
+        return max((leg.seconds for leg in legs), default=0.0)
+
+    def exchange_seconds(self, nbytes: int, shards: int = 2) -> float:
+        """Makespan of the all-to-all repartition of ``nbytes`` of input
+        spread over ``shards`` devices.
+
+        A fraction ``(shards - 1) / shards`` of the bytes live on the
+        wrong device after the range slicing and must cross shard
+        boundaries.  With NVLink every device drains its share over the
+        peer mesh concurrently (one hop).  Without it, each crossing
+        byte bounces through host staging — D2H then H2D — with every
+        link active at once, so both traversals are priced at the
+        switch-contended bandwidth.
+        """
+        if nbytes <= 0 or shards <= 1:
+            return 0.0
+        cross = nbytes * (shards - 1) / shards
+        per_device = cross / shards
+        if self.nvlink_enabled:
+            return self.setup_overhead + per_device / self.nvlink_bandwidth
+        eff = contended_bandwidth(self.link_bandwidth,
+                                  self.switch_bandwidth, shards)
+        return 2 * (self.setup_overhead + per_device / eff)
+
+    def cross_shard_bytes(self, nbytes: int, shards: int) -> int:
+        """Bytes the exchange actually moves between devices."""
+        if nbytes <= 0 or shards <= 1:
+            return 0
+        return int(nbytes * (shards - 1) / shards)
+
+    # -- runtime accounting ----------------------------------------------
+
+    def _link(self, label: str) -> LinkStats:
+        """Get-or-create the stats row for ``label``."""
+        stats = self.links.get(label)
+        if stats is None:
+            stats = self.links[label] = LinkStats()
+        return stats
+
+    def record_transfer(self, device_id: int, nbytes: int, seconds: float,
+                        stall_seconds: float = 0.0) -> None:
+        """Account ``nbytes`` moved over ``pcie{device_id}``."""
+        self._record(f"pcie{device_id}", nbytes, seconds, stall_seconds)
+
+    def record_exchange(self, nbytes: int, seconds: float) -> None:
+        """Account an exchange hop on its transport link."""
+        label = "nvlink" if self.nvlink_enabled else "pcie-host"
+        self._record(label, nbytes, seconds, 0.0)
+
+    def record_wave(self, legs: Sequence[WaveLeg]) -> None:
+        """Account every leg of a priced wave."""
+        for leg in legs:
+            if leg.nbytes > 0:
+                self.record_transfer(leg.device_id, leg.nbytes,
+                                     leg.seconds, leg.stall_seconds)
+
+    def _record(self, label: str, nbytes: int, seconds: float,
+                stall_seconds: float) -> None:
+        stats = self._link(label)
+        stats.bytes_total += int(nbytes)
+        stats.busy_seconds += seconds
+        stats.stall_seconds += stall_seconds
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_link_bytes_total",
+                "Bytes moved over each interconnect link",
+                labelnames=("link",),
+            ).labels(link=label).inc(float(nbytes))
+            self.metrics.counter(
+                "repro_link_busy_seconds_total",
+                "Simulated seconds each interconnect link spent busy",
+                labelnames=("link",),
+            ).labels(link=label).inc(seconds)
+            if stall_seconds > 0:
+                self.metrics.counter(
+                    "repro_link_stall_seconds_total",
+                    "Simulated seconds lost to switch contention",
+                    labelnames=("link",),
+                ).labels(link=label).inc(stall_seconds)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-link totals, sorted by link label."""
+        return {label: self.links[label].to_dict()
+                for label in sorted(self.links)}

@@ -35,7 +35,14 @@ BASELINE_FORMAT = 1
 #: out-of-core class: the Cognos ROLAP queries whose working sets exceed
 #: simulated device memory — the Figure-3 T3 verdict — which the
 #: partition planner (``repro.gpu.partition``) must keep on the GPU.
-WORKLOADS = ("bd_insights", "cognos_rolap", "over_memory")
+#: ``scale_out`` is the N-device sweep: the BD Insights complex class at
+#: 1/2/4/8 simulated devices with sharded execution on, one class per
+#: device count (:func:`run_scale_out`; ``docs/scale_out.md``).
+WORKLOADS = ("bd_insights", "cognos_rolap", "over_memory", "scale_out")
+
+#: Device counts the ``scale_out`` sweep runs, smallest first.  The
+#: 1-device run is the speedup denominator CI gates against.
+SCALE_OUT_DEVICES = (1, 2, 4, 8)
 
 #: Default committed-baseline location for a workload.
 BASELINE_DIR = os.path.join("benchmarks", "baselines")
@@ -71,6 +78,10 @@ def workload_classes(
     if workload == "over_memory":
         _runnable, oversized = screen_queries(driver.gpu_engine)
         return {"over_memory": oversized}
+    if workload == "scale_out":
+        raise BenchError(
+            "scale_out builds one engine per device count; run it via "
+            "run_scale_out(), not run_workload()")
     raise BenchError(
         f"unknown workload {workload!r} (expected one of {WORKLOADS})")
 
@@ -159,6 +170,12 @@ class BenchResult:
     fusion_enabled: bool = True
     partition_enabled: bool = True
     max_partitions: int = 64
+    #: Scale-out knobs (``None`` on single-engine workloads, so their
+    #: baselines' byte-frozen JSON shape is untouched).
+    device_counts: Optional[list[int]] = None
+    shard_enabled: Optional[bool] = None
+    nvlink_enabled: Optional[bool] = None
+    switch_bandwidth: Optional[float] = None
     classes: dict[str, ClassStat] = field(default_factory=dict)
     queries: dict[str, QueryStat] = field(default_factory=dict)
     #: Attributed per-query profile dumps (``QueryProfile.to_dict``).
@@ -168,7 +185,7 @@ class BenchResult:
     profiles: dict[str, dict] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "format": BASELINE_FORMAT,
             "workload": self.workload,
             "scale": self.scale,
@@ -185,6 +202,12 @@ class BenchResult:
             "queries": {qid: stat.to_dict()
                         for qid, stat in sorted(self.queries.items())},
         }
+        if self.device_counts is not None:
+            out["device_counts"] = list(self.device_counts)
+            out["shard_enabled"] = self.shard_enabled
+            out["nvlink_enabled"] = self.nvlink_enabled
+            out["switch_bandwidth"] = self.switch_bandwidth
+        return out
 
     def to_json(self) -> str:
         """Byte-stable JSON (sorted keys, rounded floats, trailing \\n)."""
@@ -291,6 +314,140 @@ def run_workload(
     return result
 
 
+def run_scale_out(
+    scale: float,
+    seed: int,
+    degree: int,
+    *,
+    shard: bool = True,
+    nvlink: bool = True,
+    switch_bandwidth: Optional[float] = None,
+    device_counts: Sequence[int] = SCALE_OUT_DEVICES,
+) -> BenchResult:
+    """The N-device scale-out sweep (``docs/scale_out.md``).
+
+    Runs the BD Insights complex class once per device count, each count
+    on a freshly generated (hence identical) database with its own
+    engine: class ``devices_<n>`` holds that count's latencies, query
+    ids are prefixed ``d<n>:``.  ``shard`` turns the shard maps on for
+    every multi-device count (the knob is inert at one device, so the
+    1-device class is the honest whole-job baseline either way);
+    ``nvlink`` and ``switch_bandwidth`` set the interconnect topology.
+
+    Every query's GPU result is checksummed against the stock CPU
+    engine at every device count and any mismatch raises
+    :class:`BenchError` — a scale-out run that completes *is* the
+    byte-identity gate, independent of any committed baseline.
+
+    Fusion is pinned off: the fused single-launch chain runs whole on
+    one device by design, and letting it absorb the join + group-by
+    would quietly turn the sweep back into a single-device benchmark.
+    """
+    import dataclasses
+
+    from repro.workloads.bdinsights import queries_by_category
+    from repro.workloads.datagen import generate_database, scaled_config
+    from repro.workloads.query import QueryCategory
+
+    counts = sorted(set(int(n) for n in device_counts))
+    if not counts or counts[0] < 1:
+        raise BenchError(f"bad device counts {list(device_counts)}: "
+                         "need positive integers")
+    result: Optional[BenchResult] = None
+    for n in counts:
+        catalog = generate_database(scale=scale, seed=seed)
+        config = dataclasses.replace(
+            scaled_config(catalog, gpus=n),
+            shard_enabled=shard and n > 1,
+            fusion_enabled=False,
+            nvlink_enabled=nvlink,
+        )
+        if switch_bandwidth is not None:
+            config = dataclasses.replace(
+                config, switch_bandwidth=float(switch_bandwidth))
+        driver = WorkloadDriver(catalog, config, degree=degree,
+                                enable_join_offload=True)
+        if result is None:
+            result = BenchResult(
+                workload="scale_out", scale=scale, seed=seed, degree=degree,
+                cache_fraction=config.cache_fraction,
+                pipeline_depth=config.pipeline_depth,
+                chunk_bytes=config.chunk_bytes,
+                fusion_enabled=config.fusion_enabled,
+                partition_enabled=config.partition_enabled,
+                max_partitions=config.max_partitions,
+                device_counts=list(counts),
+                shard_enabled=shard,
+                nvlink_enabled=nvlink,
+                switch_bandwidth=config.switch_bandwidth,
+            )
+        cls = f"devices_{n}"
+        tracer = driver.gpu_engine.tracer
+        latencies: list[float] = []
+        cls_bytes = 0
+        cls_launches = 0
+        offloaded = 0
+        queries = queries_by_category(QueryCategory.COMPLEX)
+        for query in queries:
+            profile = driver.profile(query, gpu=True)
+            elapsed = driver.elapsed_ms(query, gpu=True)
+            checksum = driver.result_checksum(query, gpu=True)
+            cpu_checksum = driver.result_checksum(query, gpu=False)
+            if checksum != cpu_checksum:
+                raise BenchError(
+                    f"{query.query_id} at {n} device(s): GPU result "
+                    f"checksum {checksum} != CPU engine {cpu_checksum} — "
+                    "sharded execution changed an answer")
+            qid = f"d{n}:{query.query_id}"
+            result.profiles[qid] = _attributed_profile(
+                driver, query.query_id)
+            moved = _bytes_moved(tracer, query.query_id)
+            launches = _kernel_launches(tracer, query.query_id)
+            latencies.append(elapsed)
+            cls_bytes += moved
+            cls_launches += launches
+            offloaded += int(profile.offloaded)
+            result.queries[qid] = QueryStat(
+                query_id=qid, cls=cls, elapsed_ms=elapsed,
+                offloaded=profile.offloaded, bytes_moved=moved,
+                checksum=checksum, kernel_launches=launches)
+        result.classes[cls] = ClassStat(
+            cls=cls, queries=len(queries),
+            p50_ms=percentile(latencies, 0.50),
+            p95_ms=percentile(latencies, 0.95),
+            total_ms=sum(latencies),
+            bytes_moved=cls_bytes,
+            gpu_offload_ratio=offloaded / len(queries) if queries else 0.0,
+            kernel_launches=cls_launches,
+        )
+    return result
+
+
+def scale_out_speedups(result_or_dict) -> dict[int, float]:
+    """Total-latency speedup of each device count over the 1-device run.
+
+    Accepts a :class:`BenchResult` or a loaded baseline dict; returns
+    ``{device_count: speedup}`` (1-device maps to 1.0).  Raises
+    :class:`BenchError` when the 1-device class is missing — there is
+    nothing honest to normalise against.
+    """
+    if isinstance(result_or_dict, BenchResult):
+        classes = {name: stat.to_dict()
+                   for name, stat in result_or_dict.classes.items()}
+    else:
+        classes = dict(result_or_dict.get("classes", {}))
+    totals: dict[int, float] = {}
+    for name, stat in classes.items():
+        if name.startswith("devices_"):
+            totals[int(name.split("_", 1)[1])] = float(
+                stat.get("total_ms", 0.0))
+    base = totals.get(1, 0.0)
+    if base <= 0.0:
+        raise BenchError("no 1-device class to normalise speedups against")
+    return {n: base / total if total > 0 else 0.0
+            for n, total in sorted(totals.items())}
+
+
 def _attributed_profile(driver: WorkloadDriver, query_id: str) -> dict:
     """The EXPLAIN ANALYZE dump of ``query_id``'s traced profiling run.
 
@@ -394,6 +551,10 @@ _KNOB_FLAGS = {
     "fusion_enabled": lambda v: f"--fusion {'on' if v else 'off'}",
     "partition_enabled": lambda v: f"--partition {'on' if v else 'off'}",
     "max_partitions": lambda v: f"--max-partitions {v}",
+    "device_counts": lambda v: "--devices " + ",".join(str(n) for n in v),
+    "shard_enabled": lambda v: f"--shard {'on' if v else 'off'}",
+    "nvlink_enabled": lambda v: f"--nvlink {'on' if v else 'off'}",
+    "switch_bandwidth": lambda v: f"--switch-bandwidth {v:g}",
 }
 
 
@@ -428,11 +589,11 @@ def compare(current: BenchResult, baseline: dict,
         if knob in baseline:
             config_keys.append(knob)
     mismatched = [key for key in config_keys
-                  if cur[key] != baseline.get(key)]
+                  if cur.get(key) != baseline.get(key)]
     if mismatched:
         for key in mismatched:
             out.failures.append(
-                f"config mismatch: {key} is {cur[key]!r}, baseline has "
+                f"config mismatch: {key} is {cur.get(key)!r}, baseline has "
                 f"{baseline.get(key)!r}")
         where = baseline_path or "the committed baseline"
         hints = " ".join(

@@ -213,6 +213,10 @@ class QueryProfile:
     pipeline_events: list[dict] = field(default_factory=list)
     fusion_events: list[dict] = field(default_factory=list)
     partition_events: list[dict] = field(default_factory=list)
+    shard_events: list[dict] = field(default_factory=list)
+    #: ``(bytes, seconds, device_id, stall_seconds)`` per transfer span —
+    #: the raw legs :meth:`link_utilization` folds into per-link rows.
+    transfer_legs: list[tuple] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -328,6 +332,66 @@ class QueryProfile:
                 event.get("merge_seconds", 0.0))
         return summary
 
+    def shard_summary(self) -> dict:
+        """Aggregate of the query's sharded operators
+        (``docs/scale_out.md``).
+
+        ``operators`` counts group-bys/sorts/join probes that split
+        across devices; ``shards`` is how many home-device pieces they
+        cut into (``gpu_shards`` of which ran on their card,
+        ``cpu_shards`` degraded to the host, ``rerouted`` landed on a
+        non-home device after loss or quarantine); ``exchange_bytes`` /
+        ``exchange_seconds`` are the cross-shard repartition traffic and
+        ``stall_seconds`` the switch-contention penalty the topology
+        model charged.
+        """
+        summary = {"operators": len(self.shard_events), "shards": 0,
+                   "gpu_shards": 0, "cpu_shards": 0, "rerouted": 0,
+                   "exchange_bytes": 0, "exchange_seconds": 0.0,
+                   "merge_seconds": 0.0, "stall_seconds": 0.0}
+        for event in self.shard_events:
+            summary["shards"] += int(event.get("shards", 0))
+            summary["gpu_shards"] += int(event.get("gpu_shards", 0))
+            summary["cpu_shards"] += int(event.get("cpu_shards", 0))
+            summary["rerouted"] += int(event.get("rerouted", 0))
+            summary["exchange_bytes"] += int(event.get("exchange_bytes", 0))
+            summary["exchange_seconds"] += float(
+                event.get("exchange_seconds", 0.0))
+            summary["merge_seconds"] += float(
+                event.get("merge_seconds", 0.0))
+            summary["stall_seconds"] += float(
+                event.get("stall_seconds", 0.0))
+        return summary
+
+    def link_utilization(self) -> dict[str, dict]:
+        """Per-link interconnect totals for this query.
+
+        ``pcie{d}`` rows aggregate the query's transfer spans by device;
+        the exchange transport (``nvlink`` or the host bounce) comes
+        from the shard events.  Busy seconds over the query duration is
+        the utilization figure the ``-- shards --`` section prints.
+        """
+        links: dict[str, dict] = {}
+
+        def row(label: str) -> dict:
+            return links.setdefault(
+                label, {"bytes_total": 0, "busy_seconds": 0.0,
+                        "stall_seconds": 0.0})
+        for span_bytes, seconds, device_id, stall in self.transfer_legs:
+            r = row(f"pcie{device_id}")
+            r["bytes_total"] += span_bytes
+            r["busy_seconds"] += seconds
+            r["stall_seconds"] += stall
+        for event in self.shard_events:
+            nbytes = int(event.get("exchange_bytes", 0))
+            if nbytes <= 0:
+                continue
+            label = "nvlink" if event.get("nvlink") else "pcie-host"
+            r = row(label)
+            r["bytes_total"] += nbytes
+            r["busy_seconds"] += float(event.get("exchange_seconds", 0.0))
+        return {label: links[label] for label in sorted(links)}
+
     def overlap_saved_by_operator(self) -> dict[str, float]:
         """Per-operator overlap savings (the EXPLAIN ANALYZE attribution)."""
         out: dict[str, float] = {}
@@ -374,6 +438,11 @@ class QueryProfile:
             "partitions": {
                 "summary": self.partition_summary(),
                 "events": list(self.partition_events),
+            },
+            "shards": {
+                "summary": self.shard_summary(),
+                "events": list(self.shard_events),
+                "links": self.link_utilization(),
             },
             "scheduler_events": list(self.scheduler_events),
             "offload_decisions": [
@@ -575,6 +644,41 @@ class QueryProfile:
                     f"device {event.get('capacity', 0)} B  "
                     f"merge "
                     f"{float(event.get('merge_seconds', 0.0)) * ms:.3f} ms")
+        if self.shard_events:
+            summary = self.shard_summary()
+            lines.append("")
+            lines.append("-- shards --")
+            lines.append(
+                f"sharded operators={summary['operators']}  "
+                f"shards={summary['shards']} "
+                f"(gpu={summary['gpu_shards']}, "
+                f"cpu={summary['cpu_shards']}, "
+                f"rerouted={summary['rerouted']})  "
+                f"exchange {summary['exchange_bytes']} B / "
+                f"{summary['exchange_seconds'] * ms:.3f} ms  "
+                f"merge {summary['merge_seconds'] * ms:.3f} ms  "
+                f"stall {summary['stall_seconds'] * ms:.3f} ms")
+            for event in self.shard_events:
+                lines.append(
+                    f"{event.get('operator', '?'):16} "
+                    f"shards={event.get('shards', '?')} "
+                    f"devices={event.get('devices', '?')}  "
+                    f"rows={event.get('rows', '?')}  "
+                    f"exchange {event.get('exchange_bytes', 0)} B  "
+                    f"stall "
+                    f"{float(event.get('stall_seconds', 0.0)) * ms:.3f} ms")
+            links = self.link_utilization()
+            if links:
+                lines.append("per-link utilization:")
+                for label, row in links.items():
+                    share = (row["busy_seconds"] / self.duration * 100.0
+                             if self.duration else 0.0)
+                    stall = row["stall_seconds"]
+                    lines.append(
+                        f"   {label:10} {row['bytes_total']:>12} B  busy "
+                        f"{row['busy_seconds'] * ms:.3f} ms "
+                        f"({share:.1f}% of query)"
+                        + (f"  stall {stall * ms:.3f} ms" if stall else ""))
         if self.scheduler_events:
             lines.append("")
             lines.append("-- scheduler / fault events --")
@@ -745,6 +849,36 @@ def build_profile(
         }
         for s in trace if s.name == "partition.exec"
     ]
+    shard_events = [
+        {
+            "operator": str(s.attributes.get("operator", "")),
+            "shards": int(s.attributes.get("shards", 0)),
+            "gpu_shards": int(s.attributes.get("gpu_shards", 0)),
+            "cpu_shards": int(s.attributes.get("cpu_shards", 0)),
+            "rerouted": int(s.attributes.get("rerouted", 0)),
+            "devices": list(s.attributes.get("devices", [])),
+            "rows": int(s.attributes.get("rows", 0)),
+            "exchange_bytes": int(s.attributes.get("exchange_bytes", 0)),
+            "exchange_seconds": float(
+                s.attributes.get("exchange_seconds", 0.0)),
+            "merge_seconds": float(s.attributes.get("merge_seconds", 0.0)),
+            "stall_seconds": float(s.attributes.get("stall_seconds", 0.0)),
+            "nvlink": bool(s.attributes.get("nvlink", False)),
+        }
+        for s in trace if s.name == "shard.exec"
+    ]
+    transfer_legs = []
+    stalls: dict[int, float] = {}
+    for s in trace:
+        if s.name == "gpu.transfer_stall":
+            device = int(s.attributes.get("device_id", -1))
+            stalls[device] = stalls.get(device, 0.0) + s.duration
+        elif s.name in ("gpu.transfer_in", "gpu.transfer_out"):
+            device = int(s.attributes.get("device_id", -1))
+            transfer_legs.append((
+                int(s.attributes.get("bytes", 0)), s.duration, device,
+                stalls.pop(device, 0.0),
+            ))
     fusion_events = [
         {
             "operator": owner[s.span_id].name,
@@ -775,6 +909,8 @@ def build_profile(
         pipeline_events=pipeline_events,
         fusion_events=fusion_events,
         partition_events=partition_events,
+        shard_events=shard_events,
+        transfer_legs=transfer_legs,
     )
 
 
@@ -839,6 +975,18 @@ def _collect_verdicts(trace: Sequence[Span]) -> list[PathVerdict]:
                     "partitions": span.attributes.get("partitions"),
                     "working_set": span.attributes.get("working_set"),
                     "capacity": span.attributes.get("capacity"),
+                },
+            ))
+        elif span.name == "pathselect.shard":
+            sharded = bool(span.attributes.get("shard", False))
+            out.append(PathVerdict(
+                operator=f"{span.attributes.get('operator', '?')}-shard",
+                rows=0,
+                path="gpu-sharded" if sharded else "whole-job",
+                reason=str(span.attributes.get("reason", "")),
+                thresholds={
+                    "shards": span.attributes.get("shards"),
+                    "devices": str(span.attributes.get("devices", [])),
                 },
             ))
         elif span.name == "pathselect.sort":

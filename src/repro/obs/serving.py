@@ -641,4 +641,20 @@ def render_top(snapshot: dict, engine_stats: Optional[dict] = None) -> str:
                 "pipeline overlap saved: " + "  ".join(
                     f"GPU {dev}={saved:.6f}s"
                     for dev, saved in sorted(pipeline.items())))
+        for device in engine_stats.get("devices", []):
+            lines.append(
+                f"GPU {device.get('device_id')}: reserved "
+                f"{device.get('memory_reserved', 0)} B "
+                f"(peak {device.get('memory_peak_reserved', 0)} B) of "
+                f"{device.get('memory_capacity', 0)} B")
+        interconnect = engine_stats.get("interconnect", {})
+        if interconnect:
+            lines.append("-- interconnect --")
+            for label in sorted(interconnect):
+                link = interconnect[label]
+                stall = float(link.get("stall_seconds", 0.0))
+                lines.append(
+                    f"{label:10} {int(link.get('bytes_total', 0)):>14} B  "
+                    f"busy {float(link.get('busy_seconds', 0.0)):.6f}s"
+                    + (f"  stall {stall:.6f}s" if stall else ""))
     return "\n".join(lines)

@@ -213,6 +213,7 @@ class WorkloadDriver:
                 gpu_seconds=e.gpu_seconds,
                 gpu_memory_bytes=e.gpu_memory_bytes,
                 device_id=e.device_id,
+                parallel_group=e.parallel_group,
             )
             for e in base.events
         ]

@@ -97,12 +97,26 @@ class TestHybridSortExecution:
 
     def test_small_jobs_stay_on_cpu(self, gpu_engine):
         gpu_engine.execute_sql(
-            "SELECT s_store, s_ticket FROM sales ORDER BY s_store, s_ticket",
-            query_id="mixed")
+            "SELECT s_paid, s_ticket FROM sales WHERE s_item < 250 "
+            "ORDER BY s_paid, s_ticket", query_id="mixed")
         stats = gpu_engine._sort.last_stats
-        # Follow-up duplicate-range jobs are small -> CPU-sorted.
+        # A duplicate-range generation too small to batch into one
+        # segmented launch degrades to per-range CPU jobs.
         assert stats.jobs_cpu >= 1
         assert stats.jobs_gpu >= 1
+
+    def test_duplicate_generations_batch_into_segmented_jobs(
+            self, gpu_engine):
+        """A low-cardinality leading key leaves hundreds of duplicate
+        ranges; they sort as one segmented device job per generation,
+        not one launch (or one CPU job) per range."""
+        gpu_engine.execute_sql(
+            "SELECT s_store, s_ticket FROM sales "
+            "ORDER BY s_store, s_ticket", query_id="segsort")
+        stats = gpu_engine._sort.last_stats
+        assert stats.duplicate_jobs > stats.jobs_total
+        assert stats.jobs_cpu == 0
+        assert stats.jobs_gpu >= 2
 
     def test_tiny_sort_never_offloads(self, gpu_engine):
         result = gpu_engine.execute_sql(

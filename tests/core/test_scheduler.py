@@ -88,3 +88,71 @@ class TestLifecycle:
         total_jobs = sum(s["outstanding_jobs"] for s in snap)
         assert total_jobs == 1
         assert any(s["free_bytes"] == 750 for s in snap)
+
+
+def _quarantine(scheduler, device_id: int) -> None:
+    """Trip ``device_id``'s breaker through the public feed."""
+    while not scheduler.breakers[device_id].quarantined:
+        lease = scheduler.try_acquire(1, prefer_device=device_id)
+        assert lease.device.device_id == device_id
+        scheduler.record_failure(lease)
+        scheduler.release(lease)
+
+
+class TestDegradedScreening:
+    """``fits_any_device`` must apply the same admissibility filter as
+    ``try_acquire`` — a lost or quarantined device's capacity is not a
+    promise the acquire path can keep."""
+
+    def test_fits_any_device_ignores_lost_devices(self):
+        scheduler = make_scheduler(memories=(100, 2000))
+        assert scheduler.fits_any_device(1500)
+        scheduler.devices[1].alive = False
+        assert not scheduler.fits_any_device(1500)
+        assert scheduler.try_acquire(1500) is None   # the screen agrees
+        assert scheduler.fits_any_device(50)         # device 0 still counts
+
+    def test_fits_any_device_ignores_quarantined_devices(self):
+        scheduler = make_scheduler(memories=(100, 2000))
+        _quarantine(scheduler, 1)
+        # The screen and the acquire path must give the same verdict
+        # while the big device sits in quarantine.
+        assert not scheduler.fits_any_device(1500)
+        assert scheduler.try_acquire(1500) is None
+
+    def test_quarantined_device_readmits_after_cooldown(self):
+        scheduler = make_scheduler(memories=(100, 2000))
+        _quarantine(scheduler, 1)
+        # Each acquire attempt ticks the breakers; after the cooldown the
+        # half-open probe readmits the device to both surfaces at once.
+        for _ in range(64):
+            if scheduler.fits_any_device(1500):
+                break
+            scheduler.try_acquire(50)
+        assert scheduler.fits_any_device(1500)
+        lease = scheduler.try_acquire(1500)
+        assert lease is not None and lease.device.device_id == 1
+
+    def test_healthy_device_ids_tracks_degradation(self):
+        scheduler = make_scheduler(memories=(1000, 1000, 1000))
+        assert scheduler.healthy_device_ids() == [0, 1, 2]
+        scheduler.devices[0].alive = False
+        _quarantine(scheduler, 2)
+        assert scheduler.healthy_device_ids() == [1]
+
+
+class TestPreferDevice:
+    def test_prefer_device_pins_home_shard(self):
+        scheduler = make_scheduler(memories=(1000, 1000))
+        # Load device 1 so the stock ranking would pick device 0.
+        held = scheduler.try_acquire(600, prefer_device=1)
+        assert held.device.device_id == 1
+        lease = scheduler.try_acquire(100, prefer_device=1)
+        assert lease.device.device_id == 1   # pin outranks load
+
+    def test_prefer_device_is_a_preference_not_a_requirement(self):
+        scheduler = make_scheduler(memories=(1000, 1000))
+        scheduler.devices[1].alive = False
+        lease = scheduler.try_acquire(100, prefer_device=1)
+        assert lease is not None
+        assert lease.device.device_id == 0   # reroutes off the dead home

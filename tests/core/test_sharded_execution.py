@@ -1,0 +1,183 @@
+"""Sharded N-device execution: byte-identity, instants, DDL versioning.
+
+The sharded data path must be invisible in the *answers*: for any shard
+count the merged result is byte-identical to the CPU chain (group-by via
+the renumber-merge, sort via the k-way stable merge, join probes via
+order-preserving concatenation).  These tests run the 50k-row fixture on
+a four-device engine with sharding on and compare against ``BluEngine``
+on the same tables.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.blu import BluEngine, Catalog
+from repro.config import paper_testbed
+from repro.core import GpuAcceleratedEngine
+from repro.gpu.shard import build_shard_map
+from tests.conftest import tables_equal
+
+
+GROUPBY_SQL = ("SELECT s_store, SUM(s_paid) AS paid, COUNT(*) AS c "
+               "FROM sales GROUP BY s_store")
+WIDE_GROUPBY_SQL = ("SELECT s_item, SUM(s_qty) AS q, COUNT(*) AS c "
+                    "FROM sales GROUP BY s_item")
+SORT_SQL = "SELECT s_channel, s_qty FROM sales ORDER BY s_channel, s_qty"
+FILTERED_SORT_SQL = ("SELECT s_paid, s_ticket FROM sales "
+                     "WHERE s_item < 250 ORDER BY s_paid, s_ticket")
+JOIN_SQL = ("SELECT st_state, SUM(s_paid) AS rev, COUNT(*) AS c "
+            "FROM sales JOIN stores ON s_store = st_id "
+            "GROUP BY st_state ORDER BY rev DESC")
+
+ALL_SQL = (GROUPBY_SQL, WIDE_GROUPBY_SQL, SORT_SQL, FILTERED_SORT_SQL,
+           JOIN_SQL)
+
+
+def sharded_config(devices: int = 4, **overrides):
+    config = paper_testbed()
+    thresholds = dataclasses.replace(config.thresholds, t1_min_rows=5_000,
+                                     sort_min_rows=5_000)
+    return dataclasses.replace(
+        config,
+        thresholds=thresholds,
+        gpus=tuple(config.gpus[0] for _ in range(devices)),
+        shard_enabled=True,
+        nvlink_enabled=True,
+        fusion_enabled=False,
+        **overrides,
+    )
+
+
+@pytest.fixture()
+def shard_catalog(sales_table, stores_table) -> Catalog:
+    """A per-test catalog: shard-map DDL must not leak across tests."""
+    catalog = Catalog()
+    catalog.register(sales_table)
+    catalog.register(stores_table)
+    return catalog
+
+
+@pytest.fixture()
+def sharded_engine(shard_catalog) -> GpuAcceleratedEngine:
+    return GpuAcceleratedEngine(shard_catalog, config=sharded_config(),
+                                enable_join_offload=True)
+
+
+def shard_execs(engine, operator=None):
+    return [s for s in engine.tracer.spans if s.name == "shard.exec"
+            and (operator is None
+                 or s.attributes.get("operator") == operator)]
+
+
+class TestShardMapDdl:
+    def test_engine_registers_maps_for_big_tables(self, sharded_engine,
+                                                  shard_catalog):
+        maps = {m.table: m for m in shard_catalog.shard_maps()}
+        # sales (50k rows) clears t1_min_rows; stores (12 rows) must not.
+        assert maps["sales"].devices == (0, 1, 2, 3)
+        assert "stores" not in maps
+        assert shard_catalog.version > 1   # registration is DDL
+
+    def test_register_and_drop_bump_the_version(self, shard_catalog):
+        before = shard_catalog.version
+        shard_catalog.register_shard_map(build_shard_map("sales", [0, 1]))
+        assert shard_catalog.version == before + 1
+        shard_catalog.drop_shard_map("sales")
+        assert shard_catalog.version == before + 2
+        shard_catalog.drop_shard_map("sales")     # no-op: already dropped
+        assert shard_catalog.version == before + 2
+
+    def test_reregistration_invalidates_cached_segments(
+            self, sharded_engine, shard_catalog):
+        # The filtered sort declines sharding and runs whole-job, which
+        # stages its columns through the device cache (the sharded path
+        # ships per-shard slices and bypasses it — docs/scale_out.md).
+        sharded_engine.execute_sql(FILTERED_SORT_SQL, query_id="warm")
+        cached = [d for d in sharded_engine.devices
+                  if d.cache is not None and d.cache.cached_bytes > 0]
+        assert cached, "the warm run staged nothing"
+        # Re-registering the shard map is DDL: the catalog version moves,
+        # so every segment staged under the old placement misses.
+        shard_catalog.register_shard_map(
+            build_shard_map("sales", [0, 1, 2]))
+        caches = [d.cache for d in sharded_engine.devices
+                  if d.cache is not None]
+        hits_before = sum(c.hits for c in caches)
+        misses_before = sum(c.misses for c in caches)
+        sharded_engine.execute_sql(FILTERED_SORT_SQL, query_id="cold")
+        # No hit may come from a segment staged under the old placement.
+        assert sum(c.hits for c in caches) == hits_before
+        assert sum(c.misses for c in caches) > misses_before
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("sql", ALL_SQL)
+    def test_four_device_results_match_cpu(self, sql, sharded_engine,
+                                           shard_catalog):
+        want = BluEngine(shard_catalog).execute_sql(sql).table
+        got = sharded_engine.execute_sql(sql).table
+        assert tables_equal(want, got)
+
+    @pytest.mark.parametrize("devices", [2, 3, 8])
+    def test_any_shard_count_matches_cpu(self, devices, shard_catalog):
+        engine = GpuAcceleratedEngine(
+            shard_catalog, config=sharded_config(devices),
+            enable_join_offload=True)
+        for sql in ALL_SQL:
+            want = BluEngine(shard_catalog).execute_sql(sql).table
+            assert tables_equal(want, engine.execute_sql(sql).table)
+
+    def test_groupby_and_sort_actually_shard(self, sharded_engine):
+        sharded_engine.execute_sql(WIDE_GROUPBY_SQL, query_id="g")
+        sharded_engine.execute_sql(SORT_SQL, query_id="s")
+        groupby = shard_execs(sharded_engine, "groupby")
+        sort = shard_execs(sharded_engine, "sort")
+        assert groupby and groupby[0].attributes["gpu_shards"] == 4
+        assert sort and sort[0].attributes["gpu_shards"] == 4
+        for span in groupby + sort:
+            assert span.attributes["shards"] == 4
+            assert span.attributes["rerouted"] == 0
+            assert span.attributes["nvlink"] is True
+
+    def test_shard_parts_cover_every_row(self, sharded_engine):
+        sharded_engine.execute_sql(WIDE_GROUPBY_SQL, query_id="g")
+        (exec_span,) = shard_execs(sharded_engine, "groupby")
+        parts = [s for s in sharded_engine.tracer.spans
+                 if s.name == "shard.part"
+                 and s.attributes.get("operator") == "groupby"]
+        assert len(parts) == 4
+        assert sum(p.attributes["rows"] for p in parts) \
+            == exec_span.attributes["rows"]
+        assert sorted(p.attributes["device_id"] for p in parts) \
+            == [0, 1, 2, 3]
+
+    def test_shard_off_is_inert(self, shard_catalog):
+        engine = GpuAcceleratedEngine(
+            shard_catalog,
+            config=dataclasses.replace(sharded_config(),
+                                       shard_enabled=False),
+            enable_join_offload=True)
+        for sql in ALL_SQL:
+            want = BluEngine(shard_catalog).execute_sql(sql).table
+            assert tables_equal(want, engine.execute_sql(sql).table)
+        assert not shard_execs(engine)
+        assert not shard_catalog.shard_maps()   # no DDL either
+
+
+class TestInterconnectAccounting:
+    def test_sharded_run_books_link_traffic(self, sharded_engine):
+        sharded_engine.execute_sql(WIDE_GROUPBY_SQL, query_id="g")
+        snap = sharded_engine.interconnect.snapshot()
+        pcie = [label for label in snap if label.startswith("pcie")
+                and label != "pcie-host"]
+        assert len(pcie) == 4          # every shard staged over its link
+        assert all(snap[label]["bytes_total"] > 0 for label in pcie)
+        assert "nvlink" in snap        # the exchange crossed the mesh
+        assert snap["nvlink"]["bytes_total"] > 0
+
+    def test_stats_snapshot_exposes_interconnect(self, sharded_engine):
+        sharded_engine.execute_sql(WIDE_GROUPBY_SQL, query_id="g")
+        stats = sharded_engine.stats_snapshot()
+        assert stats["interconnect"] == \
+            sharded_engine.interconnect.snapshot()

@@ -1,0 +1,184 @@
+"""Shard-device loss: reroute one shard, rebalance, stay byte-identical.
+
+Satellite of the scale-out PR: when a shard's home device dies mid-
+query, *only that shard* reroutes (the survivors keep their home
+placement), the engine rebalances the catalog's shard maps afterwards,
+and every answer — during and after the fault — matches the CPU chain
+bit for bit.  The hypothesis property widens this to any shard count
+crossed with any single fault rule.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.blu import BluEngine, Catalog
+from repro.config import paper_testbed
+from repro.core import GpuAcceleratedEngine
+from repro.faults import FAULT_SITES, FaultPlan, FaultRule
+from repro.workloads.driver import tables_match
+
+QUERIES = (
+    "SELECT s_item, SUM(s_qty) AS q, COUNT(*) AS c "
+    "FROM sales GROUP BY s_item",
+    "SELECT s_channel, s_qty FROM sales ORDER BY s_channel, s_qty",
+    "SELECT st_state, SUM(s_paid) AS paid "
+    "FROM sales JOIN stores ON s_store = st_id GROUP BY st_state",
+)
+GROUPBY_SQL = QUERIES[0]
+
+
+def sharded_config(devices=4, faults=None):
+    config = paper_testbed()
+    thresholds = dataclasses.replace(config.thresholds, t1_min_rows=5_000,
+                                     sort_min_rows=5_000)
+    return dataclasses.replace(
+        config,
+        thresholds=thresholds,
+        gpus=tuple(config.gpus[0] for _ in range(devices)),
+        shard_enabled=True,
+        nvlink_enabled=True,
+        fusion_enabled=False,
+        faults=faults,
+    )
+
+
+def fresh_catalog(sales_table, stores_table) -> Catalog:
+    """Per-test catalog: shard-map DDL must not leak into the session."""
+    catalog = Catalog()
+    catalog.register(sales_table)
+    catalog.register(stores_table)
+    return catalog
+
+
+class TestShardDeviceLoss:
+    """Device 2 dies at its first launch — deterministically, mid-wave."""
+
+    @pytest.fixture()
+    def lossy(self, sales_table, stores_table):
+        catalog = fresh_catalog(sales_table, stores_table)
+        engine = GpuAcceleratedEngine(
+            catalog,
+            config=sharded_config(
+                faults=FaultPlan.parse("device_loss@2:nth=1")),
+            enable_join_offload=True)
+        return catalog, engine
+
+    def test_only_the_lost_shard_reroutes(self, lossy):
+        catalog, engine = lossy
+        got = engine.execute_sql(GROUPBY_SQL, query_id="q1").table
+        (exec_span,) = [s for s in engine.tracer.spans
+                        if s.name == "shard.exec"]
+        attrs = exec_span.attributes
+        assert attrs["shards"] == 4
+        assert attrs["rerouted"] == 1          # exactly the dead home
+        assert attrs["gpu_shards"] + attrs["cpu_shards"] == 4
+        assert tables_match(
+            got, BluEngine(catalog).execute_sql(GROUPBY_SQL).table)
+
+    def test_loss_triggers_rebalance_ddl(self, lossy):
+        catalog, engine = lossy
+        version_before = catalog.version
+        engine.execute_sql(GROUPBY_SQL, query_id="q1")
+        (rebalance,) = [s for s in engine.tracer.spans
+                        if s.name == "shard.rebalance"]
+        assert rebalance.attributes["lost"] == [2]
+        assert catalog.version > version_before
+        (shard_map,) = catalog.shard_maps()
+        assert shard_map.devices == (0, 1, 3)
+        assert 2 in engine.scheduler.quarantined_devices()
+
+    def test_post_rebalance_queries_avoid_the_dead_device(self, lossy):
+        catalog, engine = lossy
+        engine.execute_sql(GROUPBY_SQL, query_id="q1")
+        got = engine.execute_sql(GROUPBY_SQL, query_id="q2").table
+        execs = [s for s in engine.tracer.spans if s.name == "shard.exec"
+                 and s.attributes["query_id"] == "q2"]
+        assert execs, "the rebalanced map no longer shards"
+        attrs = execs[0].attributes
+        assert attrs["shards"] == 3
+        assert attrs["devices"] == [0, 1, 3]
+        assert attrs["rerouted"] == 0
+        assert tables_match(
+            got, BluEngine(catalog).execute_sql(GROUPBY_SQL).table)
+
+    def test_every_query_shape_survives_the_loss(self, lossy):
+        catalog, engine = lossy
+        cpu = BluEngine(catalog)
+        for i, sql in enumerate(QUERIES):
+            got = engine.execute_sql(sql, query_id=f"q{i}").table
+            assert tables_match(got, cpu.execute_sql(sql).table), sql
+
+
+@pytest.mark.chaos
+class TestShardedWorkloadParity:
+    def test_sharded_driver_verifies_parity_under_loss(self, bd_catalog,
+                                                       bd_config):
+        """The satellite's headline: a sharded 4-device BD Insights run
+        with a mid-workload device loss stays ``verify_parity``-clean."""
+        from repro.workloads.bdinsights import queries_by_category
+        from repro.workloads.driver import WorkloadDriver
+        from repro.workloads.query import QueryCategory
+
+        config = dataclasses.replace(
+            bd_config,
+            gpus=tuple(bd_config.gpus[0] for _ in range(4)),
+            shard_enabled=True,
+            nvlink_enabled=True,
+            fusion_enabled=False,
+            faults=FaultPlan.parse("device_loss@1:nth=3"),
+        )
+        driver = WorkloadDriver(bd_catalog, config,
+                                enable_join_offload=True)
+        queries = queries_by_category(QueryCategory.COMPLEX)
+        assert driver.verify_parity(queries) == []
+        engine = driver.gpu_engine
+        assert not engine.devices[1].alive
+        assert any(s.name == "shard.rebalance"
+                   for s in engine.tracer.spans)
+
+
+single_fault_rules = st.builds(
+    lambda site, device_id, trigger: FaultRule(
+        site=site, device_id=device_id,
+        stall_seconds=2e-3 if site == "transfer" else 0.0, **trigger),
+    site=st.sampled_from(FAULT_SITES),
+    device_id=st.sampled_from([-1, 0, 1]),
+    trigger=st.one_of(
+        st.integers(1, 4).map(lambda n: {"nth": (n,)}),
+        st.sampled_from([0.5, 1.0]).map(lambda p: {"probability": p}),
+        st.integers(1, 3).map(lambda k: {"every": k}),
+    ),
+)
+
+_baseline_cache: dict[str, object] = {}
+
+
+def _baselines(catalog):
+    if not _baseline_cache:
+        cpu = BluEngine(catalog)
+        for sql in QUERIES:
+            _baseline_cache[sql] = cpu.execute_sql(sql).table
+    return _baseline_cache
+
+
+@given(devices=st.sampled_from([2, 3, 4]), rule=single_fault_rules,
+       seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_any_shard_count_any_single_fault_preserves_results(
+        sales_table, stores_table, devices, rule, seed):
+    """Any shard count x any single fault rule: the merged answers stay
+    byte-identical to the CPU chain."""
+    catalog = fresh_catalog(sales_table, stores_table)
+    plan = FaultPlan(rules=(rule,), seed=seed)
+    engine = GpuAcceleratedEngine(
+        catalog, config=sharded_config(devices, faults=plan),
+        enable_join_offload=True)
+    for sql in QUERIES:
+        got = engine.execute_sql(sql).table
+        assert tables_match(got, _baselines(catalog)[sql]), \
+            f"diverged under {rule.spec()!r} at {devices} devices " \
+            f"(seed {seed}): {sql}"

@@ -1,0 +1,155 @@
+"""Unit tests for the modelled PCIe/NVLink interconnect."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.gpu.interconnect import (
+    Interconnect,
+    WaveLeg,
+    contended_bandwidth,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_interconnect(**overrides) -> Interconnect:
+    kwargs = dict(
+        link_bandwidth=12.0e9,
+        switch_bandwidth=48.0e9,
+        setup_overhead=0.0,
+    )
+    kwargs.update(overrides)
+    return Interconnect(**kwargs)
+
+
+class TestContendedBandwidth:
+    def test_link_bound_when_switch_has_headroom(self):
+        # 48 GB/s switch / 2 streams = 24 GB/s > 12 GB/s link
+        assert contended_bandwidth(12e9, 48e9, 2) == 12e9
+
+    def test_switch_bound_when_oversubscribed(self):
+        # 48 GB/s / 8 streams = 6 GB/s < 12 GB/s link
+        assert contended_bandwidth(12e9, 48e9, 8) == pytest.approx(6e9)
+
+    def test_zero_concurrency_clamped(self):
+        assert contended_bandwidth(12e9, 48e9, 0) == 12e9
+
+
+class TestWaveLegs:
+    def test_uncontended_wave_has_no_stall(self):
+        ic = make_interconnect()
+        legs = ic.wave_legs([(0, 12_000_000_000), (1, 12_000_000_000)])
+        # Two streams share a 48 GB/s switch: each still gets its full
+        # 12 GB/s link, so the legs take 1 s with zero stall.
+        assert [leg.seconds for leg in legs] == pytest.approx([1.0, 1.0])
+        assert all(leg.stall_seconds == 0.0 for leg in legs)
+
+    def test_oversubscribed_wave_accounts_stall(self):
+        ic = make_interconnect()
+        sizes = [(d, 6_000_000_000) for d in range(8)]
+        legs = ic.wave_legs(sizes)
+        # 48 GB/s / 8 = 6 GB/s effective: 1 s contended vs 0.5 s alone.
+        for leg in legs:
+            assert leg.seconds == pytest.approx(1.0)
+            assert leg.stall_seconds == pytest.approx(0.5)
+        assert ic.wave_seconds(sizes) == pytest.approx(1.0)
+
+    def test_empty_legs_do_not_count_toward_contention(self):
+        ic = make_interconnect()
+        legs = ic.wave_legs([(0, 12_000_000_000), (1, 0)])
+        # Only one active stream: full link bandwidth, placeholder leg.
+        assert legs[0].seconds == pytest.approx(1.0)
+        assert legs[1] == WaveLeg(1, 0, 0.0, 0.0)
+
+    def test_setup_overhead_charged_per_leg(self):
+        ic = make_interconnect(setup_overhead=15e-6)
+        (leg,) = ic.wave_legs([(0, 12_000_000)])
+        assert leg.seconds == pytest.approx(15e-6 + 1e-3)
+        assert leg.stall_seconds == 0.0
+
+
+class TestExchange:
+    def test_nvlink_exchange_is_one_hop(self):
+        ic = make_interconnect(nvlink_enabled=True, nvlink_bandwidth=40.0e9)
+        # 4 shards: 3/4 of the bytes cross, spread over 4 devices.
+        nbytes = 160_000_000_000
+        per_device = nbytes * (3 / 4) / 4
+        assert ic.exchange_seconds(nbytes, 4) == pytest.approx(
+            per_device / 40.0e9)
+
+    def test_host_bounce_pays_both_directions(self):
+        ic = make_interconnect(nvlink_enabled=False)
+        nbytes = 16_000_000_000
+        per_device = nbytes * (3 / 4) / 4
+        eff = contended_bandwidth(12e9, 48e9, 4)
+        assert ic.exchange_seconds(nbytes, 4) == pytest.approx(
+            2 * per_device / eff)
+
+    def test_nvlink_beats_host_bounce(self):
+        bounced = make_interconnect().exchange_seconds(1 << 30, 4)
+        meshed = make_interconnect(
+            nvlink_enabled=True).exchange_seconds(1 << 30, 4)
+        assert meshed < bounced
+
+    def test_degenerate_exchanges_are_free(self):
+        ic = make_interconnect()
+        assert ic.exchange_seconds(0, 4) == 0.0
+        assert ic.exchange_seconds(1 << 20, 1) == 0.0
+        assert ic.cross_shard_bytes(0, 4) == 0
+        assert ic.cross_shard_bytes(1000, 4) == 750
+
+
+class TestAccounting:
+    def test_record_transfer_accumulates_per_link(self):
+        ic = make_interconnect()
+        ic.record_transfer(0, 100, 0.5, stall_seconds=0.1)
+        ic.record_transfer(0, 50, 0.25)
+        ic.record_transfer(1, 10, 0.01)
+        snap = ic.snapshot()
+        assert snap["pcie0"]["bytes_total"] == 150
+        assert snap["pcie0"]["busy_seconds"] == pytest.approx(0.75)
+        assert snap["pcie0"]["stall_seconds"] == pytest.approx(0.1)
+        assert snap["pcie1"]["bytes_total"] == 10
+
+    def test_record_exchange_labels_by_transport(self):
+        pcie = make_interconnect()
+        pcie.record_exchange(100, 0.5)
+        assert "pcie-host" in pcie.snapshot()
+        nvl = make_interconnect(nvlink_enabled=True)
+        nvl.record_exchange(100, 0.5)
+        assert "nvlink" in nvl.snapshot()
+
+    def test_record_wave_skips_empty_legs(self):
+        ic = make_interconnect()
+        ic.record_wave(ic.wave_legs([(0, 1 << 20), (1, 0)]))
+        assert sorted(ic.snapshot()) == ["pcie0"]
+
+    def test_metrics_export(self):
+        metrics = MetricsRegistry()
+        ic = make_interconnect(metrics=metrics)
+        ic.record_transfer(0, 1 << 20, 0.5, stall_seconds=0.125)
+
+        def sample(name):
+            return metrics.get(name).labels(link="pcie0").value
+
+        assert sample("repro_link_bytes_total") == float(1 << 20)
+        assert sample("repro_link_busy_seconds_total") == pytest.approx(0.5)
+        assert sample("repro_link_stall_seconds_total") == pytest.approx(
+            0.125)
+
+
+class TestFromConfig:
+    def test_inherits_spec_and_topology_knobs(self):
+        config = dataclasses.replace(
+            SystemConfig(),
+            switch_bandwidth=96.0e9,
+            nvlink_enabled=True,
+            nvlink_bandwidth=50.0e9,
+        )
+        ic = Interconnect.from_config(config)
+        spec = config.gpus[0]
+        assert ic.link_bandwidth == spec.pcie_pinned_bw
+        assert ic.setup_overhead == spec.transfer_setup_overhead
+        assert ic.switch_bandwidth == 96.0e9
+        assert ic.nvlink_enabled and ic.nvlink_bandwidth == 50.0e9

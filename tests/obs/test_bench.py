@@ -207,3 +207,73 @@ class TestCompare:
         del baseline["queries"]["C1"]
         comparison = bench.compare(result, baseline)
         assert any("query set changed" in f for f in comparison.failures)
+
+
+class TestScaleOut:
+    @pytest.fixture(scope="class")
+    def scale_out(self):
+        """A tiny 1-vs-2-device scale-out run (fresh DB per count)."""
+        return bench.run_scale_out(scale=0.02, seed=11, degree=48,
+                                   device_counts=(1, 2))
+
+    def test_one_class_per_device_count(self, scale_out):
+        assert sorted(scale_out.classes) == ["devices_1", "devices_2"]
+        assert scale_out.device_counts == [1, 2]
+        assert scale_out.shard_enabled and scale_out.nvlink_enabled
+        # Same queries at both counts, keyed by device prefix.
+        d1 = [q for q in scale_out.queries if q.startswith("d1:")]
+        d2 = [q for q in scale_out.queries if q.startswith("d2:")]
+        assert len(d1) == len(d2) > 0
+
+    def test_speedups_normalised_to_one_device(self, scale_out):
+        speedups = bench.scale_out_speedups(scale_out)
+        assert speedups[1] == 1.0
+        assert speedups[2] > 1.0    # sharding must actually pay
+
+    def test_checksums_identical_across_device_counts(self, scale_out):
+        """run_scale_out itself raises on CPU divergence; this pins the
+        secondary invariant that the digest is device-count-invariant."""
+        by_query: dict[str, set] = {}
+        for key, stat in scale_out.queries.items():
+            by_query.setdefault(key.split(":", 1)[1], set()).add(
+                stat.checksum)
+        for query_id, checksums in by_query.items():
+            assert len(checksums) == 1, query_id
+
+    def test_self_compare_passes(self, scale_out):
+        assert bench.compare(scale_out, scale_out.to_dict()).ok
+
+    def test_topology_knob_mismatches_name_the_flag(self, scale_out):
+        path = "benchmarks/baselines/BENCH_scale_out.json"
+        for knob, other, flag in (
+                ("device_counts", [1, 2, 4], "--devices 1,2,4"),
+                ("shard_enabled", False, "--shard off"),
+                ("nvlink_enabled", False, "--nvlink off"),
+                ("switch_bandwidth", 96.0e9, "--switch-bandwidth 9.6e+10"),
+        ):
+            baseline = scale_out.to_dict()
+            baseline[knob] = other
+            comparison = bench.compare(scale_out, baseline,
+                                       baseline_path=path)
+            assert not comparison.ok
+            assert any("config mismatch" in f and knob in f
+                       for f in comparison.failures), knob
+            hint = [f for f in comparison.failures
+                    if "not comparable" in f][0]
+            assert flag in hint and path in hint, knob
+
+    def test_regular_results_omit_scale_out_keys(self, result):
+        """Old BENCH_* baselines must stay byte-identical: the topology
+        keys only serialise for scale-out runs."""
+        d = result.to_dict()
+        for key in ("device_counts", "shard_enabled", "nvlink_enabled",
+                    "switch_bandwidth"):
+            assert key not in d
+
+    def test_run_workload_refuses_scale_out(self, driver):
+        with pytest.raises(bench.BenchError, match="run_scale_out"):
+            bench.run_workload(driver, "scale_out", scale=0.02, seed=11)
+
+    def test_speedups_require_a_single_device_class(self, result):
+        with pytest.raises(bench.BenchError, match="1-device"):
+            bench.scale_out_speedups(result)

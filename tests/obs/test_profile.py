@@ -246,3 +246,65 @@ class TestEdges:
         assert accounted == pytest.approx(profile.duration, abs=1e-12)
         names = {e["name"] for e in profile.scheduler_events}
         assert "fault.injected" in names or "fault.fallback" in names
+
+
+class TestShardSection:
+    """The ``-- shards --`` section: what scaled out, over which links."""
+
+    @pytest.fixture(scope="class")
+    def sharded_profile(self, sales_table):
+        import dataclasses
+
+        from repro.blu import Catalog
+        from repro.config import paper_testbed
+
+        catalog = Catalog()
+        catalog.register(sales_table)
+        config = paper_testbed()
+        thresholds = dataclasses.replace(config.thresholds,
+                                         t1_min_rows=5_000,
+                                         sort_min_rows=5_000)
+        config = dataclasses.replace(
+            config, thresholds=thresholds,
+            gpus=tuple(config.gpus[0] for _ in range(4)),
+            shard_enabled=True, nvlink_enabled=True, fusion_enabled=False)
+        engine = GpuAcceleratedEngine(catalog, config=config)
+        _result, profile = engine.profile_sql(
+            "SELECT s_item, SUM(s_qty) AS q, COUNT(*) AS c "
+            "FROM sales GROUP BY s_item", query_id="sharded")
+        return profile
+
+    def test_text_report_has_shards_section(self, sharded_profile):
+        text = sharded_profile.to_text()
+        assert "-- shards --" in text
+        assert "shards=4 (gpu=4, cpu=0, rerouted=0)" in text
+        assert "per-link utilization:" in text
+        assert "nvlink" in text
+        for device in range(4):
+            assert f"pcie{device}" in text
+
+    def test_dict_report_summarises_the_split(self, sharded_profile):
+        shards = sharded_profile.to_dict()["shards"]
+        summary = shards["summary"]
+        assert summary["operators"] >= 1
+        assert summary["shards"] == 4 and summary["gpu_shards"] == 4
+        assert summary["exchange_bytes"] > 0
+        assert [e["operator"] for e in shards["events"]] == ["groupby"]
+
+    def test_links_cover_every_shard_and_the_exchange(self,
+                                                      sharded_profile):
+        links = sharded_profile.link_utilization()
+        assert set(links) == {"nvlink", "pcie0", "pcie1", "pcie2", "pcie3"}
+        for stats in links.values():
+            assert stats["bytes_total"] > 0
+            assert stats["busy_seconds"] > 0
+
+    def test_shard_verdict_joined_from_pathselect(self, sharded_profile):
+        verdicts = [v for v in sharded_profile.verdicts
+                    if v.operator == "groupby-shard"]
+        assert verdicts and verdicts[0].path == "gpu-sharded"
+
+    def test_unsharded_profiles_omit_the_section(self, profiled):
+        _engine, profiles = profiled
+        for profile in profiles.values():
+            assert "-- shards --" not in profile.to_text()

@@ -265,3 +265,36 @@ class TestSweep:
         with pytest.raises(serving.ServingError, match="unknown class"):
             serving.run_sweep(bd_catalog, bd_config, scale=0.02, seed=11,
                               classes=["nope"], session_counts=(1,))
+
+
+class TestTopInterconnectSection:
+    def test_render_top_shows_per_link_utilization(self, run):
+        snap = run.snapshot()
+        stats = {
+            "interconnect": {
+                "nvlink": {"bytes_total": 450000,
+                           "busy_seconds": 1.78125e-05,
+                           "stall_seconds": 0.0},
+                "pcie0": {"bytes_total": 149640,
+                          "busy_seconds": 4.25e-05,
+                          "stall_seconds": 1.5e-06},
+            },
+            "devices": [{"device_id": 0, "memory_reserved": 10,
+                         "memory_peak_reserved": 20,
+                         "memory_capacity": 100}],
+        }
+        rendered = serving.render_top(snap, engine_stats=stats)
+        assert "-- interconnect --" in rendered
+        assert "nvlink" in rendered and "450000 B" in rendered
+        assert "busy 0.000018s" in rendered
+        # Stall only renders when contention actually cost time.
+        assert "stall 0.000002s" in rendered
+        nvlink_line = [line for line in rendered.splitlines()
+                       if line.startswith("nvlink")][0]
+        assert "stall" not in nvlink_line
+        assert "GPU 0: reserved 10 B (peak 20 B) of 100 B" in rendered
+
+    def test_render_top_without_interconnect_omits_section(self, run):
+        rendered = serving.render_top(run.snapshot(),
+                                      engine_stats={"interconnect": {}})
+        assert "-- interconnect --" not in rendered

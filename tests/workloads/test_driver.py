@@ -108,3 +108,43 @@ class TestSimulatedModes:
         samples = [s for log in result.device_memory_logs.values()
                    for s in log]
         assert samples
+
+
+class TestShardedProfiles:
+    @pytest.fixture(scope="class")
+    def sharded_driver(self, bd_catalog_module, bd_config_module):
+        import dataclasses
+
+        config = dataclasses.replace(
+            bd_config_module,
+            gpus=tuple(bd_config_module.gpus[0] for _ in range(4)),
+            shard_enabled=True,
+            nvlink_enabled=True,
+            fusion_enabled=False,
+        )
+        return WorkloadDriver(bd_catalog_module, config,
+                              enable_join_offload=True)
+
+    def test_sharded_profiles_carry_parallel_groups(self, sharded_driver):
+        """Sharded execution books one cost event per device and relies
+        on ``parallel_group`` collapsing them to the slowest shard."""
+        query = queries_by_category(QueryCategory.COMPLEX)[0]
+        profile = sharded_driver.profile(query, gpu=True)
+        assert any(e.parallel_group >= 0 for e in profile.events)
+
+    def test_degree_clamp_preserves_parallel_groups(self, sharded_driver):
+        """Regression: ``_profile_at_degree`` rebuilds the cost events to
+        clamp ``max_degree``; dropping ``parallel_group`` there would
+        serialize the per-shard events and re-inflate narrow-degree
+        estimates."""
+        query = queries_by_category(QueryCategory.COMPLEX)[0]
+        base = sharded_driver.profile(query, gpu=True)
+        clamped = sharded_driver._profile_at_degree(query, gpu=True,
+                                                    degree=8)
+        assert [e.parallel_group for e in clamped.events] \
+            == [e.parallel_group for e in base.events]
+
+    def test_sharded_checksums_match_cpu(self, sharded_driver):
+        query = queries_by_category(QueryCategory.COMPLEX)[0]
+        assert sharded_driver.result_checksum(query, gpu=True) \
+            == sharded_driver.result_checksum(query, gpu=False)
